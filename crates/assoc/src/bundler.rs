@@ -1,0 +1,205 @@
+//! Same-frame bundling of observations from multiple sources.
+//!
+//! The paper's worked example (Section 3):
+//!
+//! ```python
+//! class TrackBundler(Bundler):
+//!     def is_associated(self, box1, box2):
+//!         return compute_iou(box1, box2) > 0.5
+//! ```
+//!
+//! [`bundle_frame`] generalizes this: observations from *different* sources
+//! whose association predicate fires are merged (transitively, via
+//! union-find) into observation bundles. Two observations from the same
+//! source are never directly associated — a source reports each object at
+//! most once — but can end up in one bundle through a shared partner
+//! (e.g. a duplicated model box overlapping the same human label).
+
+use crate::union_find::UnionFind;
+use loa_geom::{iou_bev, Box3};
+
+/// The association predicate between two boxes.
+pub trait Bundler {
+    /// Whether two boxes (from different sources) are the same object.
+    fn is_associated(&self, a: &Box3, b: &Box3) -> bool;
+}
+
+/// The default BEV-IOU bundler (`iou > threshold`).
+#[derive(Debug, Clone, Copy)]
+pub struct IouBundler {
+    pub threshold: f64,
+}
+
+impl Default for IouBundler {
+    fn default() -> Self {
+        // The paper's example threshold.
+        IouBundler { threshold: 0.5 }
+    }
+}
+
+impl Bundler for IouBundler {
+    fn is_associated(&self, a: &Box3, b: &Box3) -> bool {
+        iou_bev(a, b) > self.threshold
+    }
+}
+
+impl<F: Fn(&Box3, &Box3) -> bool> Bundler for F {
+    fn is_associated(&self, a: &Box3, b: &Box3) -> bool {
+        self(a, b)
+    }
+}
+
+/// One bundle: the member observations, as `(source, index_within_source)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleGroup {
+    pub members: Vec<(usize, usize)>,
+}
+
+impl BundleGroup {
+    /// Whether the bundle contains an observation from `source`.
+    pub fn has_source(&self, source: usize) -> bool {
+        self.members.iter().any(|&(s, _)| s == source)
+    }
+
+    /// Number of member observations.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Bundle one frame's observations.
+///
+/// `sources` is a list of per-source box lists (e.g. `[human_labels,
+/// model_predictions]`). Returns bundles covering *every* observation;
+/// unmatched observations become singleton bundles. Bundles are sorted by
+/// their first member for determinism.
+pub fn bundle_frame(sources: &[&[Box3]], bundler: &impl Bundler) -> Vec<BundleGroup> {
+    // Flatten with source tags.
+    let mut flat: Vec<(usize, usize)> = Vec::new();
+    for (s, boxes) in sources.iter().enumerate() {
+        for i in 0..boxes.len() {
+            flat.push((s, i));
+        }
+    }
+    let n = flat.len();
+    let mut uf = UnionFind::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let (sa, ia) = flat[a];
+            let (sb, ib) = flat[b];
+            if sa == sb {
+                continue;
+            }
+            if bundler.is_associated(&sources[sa][ia], &sources[sb][ib]) {
+                uf.union(a, b);
+            }
+        }
+    }
+    uf.groups()
+        .into_iter()
+        .map(|group| BundleGroup { members: group.into_iter().map(|x| flat[x]).collect() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car(x: f64, y: f64) -> Box3 {
+        Box3::on_ground(x, y, 0.0, 4.5, 1.9, 1.6, 0.0)
+    }
+
+    #[test]
+    fn overlapping_cross_source_boxes_bundle() {
+        let human = [car(10.0, 0.0)];
+        let model = [car(10.2, 0.1)];
+        let bundles = bundle_frame(&[&human, &model], &IouBundler::default());
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].len(), 2);
+        assert!(bundles[0].has_source(0));
+        assert!(bundles[0].has_source(1));
+    }
+
+    #[test]
+    fn distant_boxes_stay_separate() {
+        let human = [car(10.0, 0.0)];
+        let model = [car(40.0, 5.0)];
+        let bundles = bundle_frame(&[&human, &model], &IouBundler::default());
+        assert_eq!(bundles.len(), 2);
+        assert!(bundles.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn same_source_boxes_never_directly_bundle() {
+        // Two overlapping boxes from the same source remain separate.
+        let model = [car(10.0, 0.0), car(10.1, 0.0)];
+        let bundles = bundle_frame(&[&model], &IouBundler::default());
+        assert_eq!(bundles.len(), 2);
+    }
+
+    #[test]
+    fn transitive_bundling_through_shared_partner() {
+        // Two model duplicates both overlap one human label → one bundle of
+        // three.
+        let human = [car(10.0, 0.0)];
+        let model = [car(10.15, 0.05), car(9.9, -0.05)];
+        let bundles = bundle_frame(&[&human, &model], &IouBundler { threshold: 0.4 });
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].len(), 3);
+    }
+
+    #[test]
+    fn all_observations_covered() {
+        let human = [car(5.0, 0.0), car(20.0, 3.0)];
+        let model = [car(5.1, 0.0), car(40.0, -4.0), car(20.1, 3.0)];
+        let bundles = bundle_frame(&[&human, &model], &IouBundler::default());
+        let total: usize = bundles.iter().map(BundleGroup::len).sum();
+        assert_eq!(total, 5);
+        // Two matched pairs and one singleton.
+        assert_eq!(bundles.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = bundles.iter().map(BundleGroup::len).collect();
+            s.sort();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn closure_bundler_works() {
+        // The paper lets users override is_associated with arbitrary code;
+        // here: center distance < 1 m.
+        let custom = |a: &Box3, b: &Box3| a.bev_center_distance(b) < 1.0;
+        let human = [car(10.0, 0.0)];
+        let model = [car(10.8, 0.0)];
+        let bundles = bundle_frame(&[&human, &model], &custom);
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_sources() {
+        let bundles = bundle_frame(&[], &IouBundler::default());
+        assert!(bundles.is_empty());
+        let empty: [Box3; 0] = [];
+        let bundles = bundle_frame(&[&empty, &empty], &IouBundler::default());
+        assert!(bundles.is_empty());
+    }
+
+    #[test]
+    fn three_sources_bundle() {
+        let human = [car(10.0, 0.0)];
+        let model = [car(10.1, 0.0)];
+        let auditor = [car(9.95, 0.02)];
+        let bundles = bundle_frame(&[&human, &model, &auditor], &IouBundler::default());
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].len(), 3);
+        for s in 0..3 {
+            assert!(bundles[0].has_source(s));
+        }
+    }
+}

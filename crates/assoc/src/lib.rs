@@ -1,0 +1,28 @@
+//! Data-association substrate for the Fixy / LOA reproduction.
+//!
+//! Section 4 of the paper: *"our DSL supports means of associating
+//! observations together: across observation sources (observation bundles
+//! …) and across time (tracks …)"*. The association itself is a classic
+//! perception problem; this crate provides the machinery:
+//!
+//! * [`matching`] — one-shot assignment between two box sets: greedy
+//!   highest-overlap-first (the paper's default behavior) and an exact
+//!   Hungarian solver for the ablation,
+//! * [`union_find`] — disjoint sets for multi-source bundling,
+//! * [`bundler`] — group same-frame observations from different sources
+//!   into observation bundles by IOU (the `TrackBundler` of Section 3),
+//! * [`tracker`] — link bundles across adjacent frames into tracks by box
+//!   overlap, with a configurable frame gap.
+//!
+//! Everything here is generic over "things that have a [`Box3`]"; the LOA
+//! engine supplies its observation types.
+
+pub mod bundler;
+pub mod matching;
+pub mod tracker;
+pub mod union_find;
+
+pub use bundler::{bundle_frame, BundleGroup, Bundler, IouBundler};
+pub use matching::{greedy_match, hungarian_match, Match};
+pub use tracker::{build_tracks, TrackerConfig, TrackPath};
+pub use union_find::UnionFind;

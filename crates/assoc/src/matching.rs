@@ -1,0 +1,312 @@
+//! One-shot assignment between two sets scored by overlap.
+//!
+//! The paper associates observations greedily by box overlap; the Hungarian
+//! solver is provided for the greedy-vs-optimal ablation bench (and as a
+//! correctness oracle in tests).
+
+use serde::{Deserialize, Serialize};
+
+/// One matched pair: `left[i] ↔ right[j]` with its score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Match {
+    pub left: usize,
+    pub right: usize,
+    pub score: f64,
+}
+
+/// Greedy maximum-score-first matching.
+///
+/// Sorts all pairs with `score >= min_score` by descending score and takes
+/// each pair whose endpoints are both unused. `scores[i][j]` is the score
+/// between left item `i` and right item `j` (rows may be empty).
+pub fn greedy_match(scores: &[Vec<f64>], min_score: f64) -> Vec<Match> {
+    let mut pairs: Vec<Match> = Vec::new();
+    for (i, row) in scores.iter().enumerate() {
+        for (j, &s) in row.iter().enumerate() {
+            if s >= min_score && s.is_finite() {
+                pairs.push(Match { left: i, right: j, score: s });
+            }
+        }
+    }
+    // Descending by score; ties broken by indices for determinism.
+    pairs.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.left.cmp(&b.left))
+            .then(a.right.cmp(&b.right))
+    });
+    let n_left = scores.len();
+    let n_right = scores.iter().map(Vec::len).max().unwrap_or(0);
+    let mut used_left = vec![false; n_left];
+    let mut used_right = vec![false; n_right];
+    let mut out = Vec::new();
+    for m in pairs {
+        if !used_left[m.left] && !used_right[m.right] {
+            used_left[m.left] = true;
+            used_right[m.right] = true;
+            out.push(m);
+        }
+    }
+    out.sort_by_key(|m| (m.left, m.right));
+    out
+}
+
+/// Exact maximum-total-score matching (Hungarian algorithm, O(n³)), with
+/// pairs scoring below `min_score` removed afterwards.
+///
+/// Scores must be finite; rectangular inputs are handled by solving with
+/// the smaller side as rows.
+pub fn hungarian_match(scores: &[Vec<f64>], min_score: f64) -> Vec<Match> {
+    let n = scores.len();
+    let m = scores.iter().map(Vec::len).max().unwrap_or(0);
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    // Normalize to a dense rectangular matrix (absent entries = 0 score).
+    let dense: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..m).map(|j| scores[i].get(j).copied().unwrap_or(0.0)).collect())
+        .collect();
+
+    type ScoreFn = Box<dyn Fn(usize, usize) -> f64>;
+    let transpose = n > m;
+    let (rows, cols, at): (usize, usize, ScoreFn) = if transpose {
+        (m, n, Box::new(move |i, j| dense[j][i]))
+    } else {
+        let d = dense.clone();
+        (n, m, Box::new(move |i, j| d[i][j]))
+    };
+
+    // Minimization form: cost = max_score - score (non-negative).
+    let mut max_score = 0.0f64;
+    for i in 0..rows {
+        for j in 0..cols {
+            max_score = max_score.max(at(i, j));
+        }
+    }
+    let cost = |i: usize, j: usize| max_score - at(i, j);
+
+    // Hungarian with potentials (1-indexed internals).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; rows + 1];
+    let mut v = vec![0.0; cols + 1];
+    let mut p = vec![0usize; cols + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; cols + 1];
+    for i in 1..=rows {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; cols + 1];
+        let mut used = vec![false; cols + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=cols {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    #[allow(clippy::needless_range_loop)] // j indexes both p and the score matrix
+    for j in 1..=cols {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (left, right) = if transpose { (j - 1, i - 1) } else { (i - 1, j - 1) };
+        let s = scores[left].get(right).copied().unwrap_or(0.0);
+        if s >= min_score {
+            out.push(Match { left, right, score: s });
+        }
+    }
+    out.sort_by_key(|m| (m.left, m.right));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn total(ms: &[Match]) -> f64 {
+        ms.iter().map(|m| m.score).sum()
+    }
+
+    /// Exhaustive optimal assignment for small matrices (≤ ~6×6).
+    fn brute_force_best(scores: &[Vec<f64>], min_score: f64) -> f64 {
+        fn rec(scores: &[Vec<f64>], row: usize, used: &mut Vec<bool>, min_score: f64) -> f64 {
+            if row == scores.len() {
+                return 0.0;
+            }
+            // Option: leave this row unmatched.
+            let mut best = rec(scores, row + 1, used, min_score);
+            for j in 0..scores[row].len() {
+                if !used[j] && scores[row][j] >= min_score {
+                    used[j] = true;
+                    best = best.max(scores[row][j] + rec(scores, row + 1, used, min_score));
+                    used[j] = false;
+                }
+            }
+            best
+        }
+        let m = scores.iter().map(Vec::len).max().unwrap_or(0);
+        rec(scores, 0, &mut vec![false; m], min_score)
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(greedy_match(&[], 0.5).is_empty());
+        assert!(hungarian_match(&[], 0.5).is_empty());
+        let no_cols: Vec<Vec<f64>> = vec![vec![], vec![]];
+        assert!(greedy_match(&no_cols, 0.5).is_empty());
+        assert!(hungarian_match(&no_cols, 0.5).is_empty());
+    }
+
+    #[test]
+    fn simple_diagonal() {
+        let scores = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+        for matcher in [greedy_match, hungarian_match] {
+            let ms = matcher(&scores, 0.5);
+            assert_eq!(ms.len(), 2);
+            assert_eq!(ms[0], Match { left: 0, right: 0, score: 0.9 });
+            assert_eq!(ms[1], Match { left: 1, right: 1, score: 0.8 });
+        }
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_hungarian_is_not() {
+        // Greedy takes (0,0)=0.9 then 1 gets nothing ≥ threshold at col 1;
+        // optimal pairs (0,1)=0.8 and (1,0)=0.8.
+        let scores = vec![vec![0.9, 0.8], vec![0.8, 0.0]];
+        let g = greedy_match(&scores, 0.1);
+        let h = hungarian_match(&scores, 0.1);
+        assert!((total(&g) - 0.9).abs() < 1e-9, "greedy total {}", total(&g));
+        assert!((total(&h) - 1.6).abs() < 1e-9, "hungarian total {}", total(&h));
+    }
+
+    #[test]
+    fn threshold_filters_pairs() {
+        let scores = vec![vec![0.4]];
+        assert!(greedy_match(&scores, 0.5).is_empty());
+        assert!(hungarian_match(&scores, 0.5).is_empty());
+        assert_eq!(greedy_match(&scores, 0.3).len(), 1);
+    }
+
+    #[test]
+    fn rectangular_more_rows_than_cols() {
+        let scores = vec![vec![0.9], vec![0.8], vec![0.7]];
+        let h = hungarian_match(&scores, 0.1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].left, 0);
+        let g = greedy_match(&scores, 0.1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].left, 0);
+    }
+
+    #[test]
+    fn rectangular_more_cols_than_rows() {
+        let scores = vec![vec![0.1, 0.9, 0.3]];
+        let h = hungarian_match(&scores, 0.05);
+        assert_eq!(h, vec![Match { left: 0, right: 1, score: 0.9 }]);
+    }
+
+    #[test]
+    fn matching_is_one_to_one() {
+        let scores = vec![
+            vec![0.9, 0.9, 0.9],
+            vec![0.9, 0.9, 0.9],
+            vec![0.9, 0.9, 0.9],
+        ];
+        for matcher in [greedy_match, hungarian_match] {
+            let ms = matcher(&scores, 0.5);
+            assert_eq!(ms.len(), 3);
+            let mut lefts: Vec<_> = ms.iter().map(|m| m.left).collect();
+            let mut rights: Vec<_> = ms.iter().map(|m| m.right).collect();
+            lefts.dedup();
+            rights.sort();
+            rights.dedup();
+            assert_eq!(lefts.len(), 3);
+            assert_eq!(rights.len(), 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn prop_hungarian_matches_brute_force(
+            rows in 1usize..5, cols in 1usize..5, seed in 0u64..10_000,
+        ) {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 1000) as f64 / 1000.0
+            };
+            let scores: Vec<Vec<f64>> =
+                (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect();
+            let h = hungarian_match(&scores, 0.0);
+            let best = brute_force_best(&scores, 0.0);
+            // Hungarian maximizes before thresholding at 0, so totals match.
+            prop_assert!((total(&h) - best).abs() < 1e-9,
+                "hungarian {} vs brute {best} on {:?}", total(&h), scores);
+        }
+
+        #[test]
+        fn prop_greedy_never_beats_hungarian(
+            rows in 1usize..6, cols in 1usize..6, seed in 0u64..10_000,
+        ) {
+            let mut state = seed.wrapping_add(13);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 1000) as f64 / 1000.0
+            };
+            let scores: Vec<Vec<f64>> =
+                (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect();
+            let g = greedy_match(&scores, 0.0);
+            let h = hungarian_match(&scores, 0.0);
+            prop_assert!(total(&g) <= total(&h) + 1e-9);
+            // Both are valid one-to-one matchings.
+            for ms in [&g, &h] {
+                let mut seen_l = std::collections::BTreeSet::new();
+                let mut seen_r = std::collections::BTreeSet::new();
+                for m in ms.iter() {
+                    prop_assert!(seen_l.insert(m.left));
+                    prop_assert!(seen_r.insert(m.right));
+                }
+            }
+        }
+    }
+}

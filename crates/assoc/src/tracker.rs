@@ -1,0 +1,252 @@
+//! Cross-frame track building.
+//!
+//! Links per-frame items (bundles, in the LOA pipeline) into tracks by box
+//! overlap between nearby frames — the paper's *"associated observations
+//! within a track by box overlap across time"*. A configurable frame gap
+//! lets tracks survive single-frame dropouts (real detectors flicker).
+
+use crate::matching::{greedy_match, hungarian_match};
+use loa_geom::{iou_bev, Box3};
+use serde::{Deserialize, Serialize};
+
+/// Track-builder parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Minimum BEV IOU between an item and a track's last box. Lower than
+    /// the bundling threshold because objects move between frames.
+    pub iou_threshold: f64,
+    /// Maximum number of frames between a track's last entry and a new
+    /// one (1 = strictly adjacent frames).
+    pub max_gap: u32,
+    /// Use the exact Hungarian matcher instead of greedy (ablation).
+    pub use_hungarian: bool,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig { iou_threshold: 0.05, max_gap: 2, use_hungarian: false }
+    }
+}
+
+/// A built track: `(frame_index, item_index)` entries in frame order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackPath {
+    pub entries: Vec<(usize, usize)>,
+}
+
+impl TrackPath {
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// First and last frame indices.
+    pub fn frame_span(&self) -> Option<(usize, usize)> {
+        Some((self.entries.first()?.0, self.entries.last()?.0))
+    }
+}
+
+/// Build tracks over per-frame item boxes.
+///
+/// Every item lands in exactly one track; items that never match anything
+/// become singleton tracks. Tracks are returned sorted by first entry.
+pub fn build_tracks(frames: &[Vec<Box3>], cfg: &TrackerConfig) -> Vec<TrackPath> {
+    struct Active {
+        track_idx: usize,
+        last_frame: usize,
+        last_box: Box3,
+    }
+
+    let mut tracks: Vec<TrackPath> = Vec::new();
+    let mut active: Vec<Active> = Vec::new();
+
+    for (f, items) in frames.iter().enumerate() {
+        // Expire tracks that are too old to extend.
+        active.retain(|a| f - a.last_frame <= cfg.max_gap as usize);
+
+        if items.is_empty() {
+            continue;
+        }
+
+        // Score matrix: active tracks × current items.
+        let scores: Vec<Vec<f64>> = active
+            .iter()
+            .map(|a| items.iter().map(|b| iou_bev(&a.last_box, b)).collect())
+            .collect();
+        let matches = if cfg.use_hungarian {
+            hungarian_match(&scores, cfg.iou_threshold)
+        } else {
+            greedy_match(&scores, cfg.iou_threshold)
+        };
+
+        let mut item_taken = vec![false; items.len()];
+        for m in &matches {
+            let a = &mut active[m.left];
+            tracks[a.track_idx].entries.push((f, m.right));
+            a.last_frame = f;
+            a.last_box = items[m.right];
+            item_taken[m.right] = true;
+        }
+        for (i, taken) in item_taken.iter().enumerate() {
+            if !taken {
+                let track_idx = tracks.len();
+                tracks.push(TrackPath { entries: vec![(f, i)] });
+                active.push(Active { track_idx, last_frame: f, last_box: items[i] });
+            }
+        }
+    }
+
+    tracks.sort_by_key(|t| t.entries.first().copied());
+    tracks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn car(x: f64, y: f64) -> Box3 {
+        Box3::on_ground(x, y, 0.0, 4.5, 1.9, 1.6, 0.0)
+    }
+
+    /// A car moving 1 m per frame for `n` frames.
+    fn moving_car_frames(n: usize) -> Vec<Vec<Box3>> {
+        (0..n).map(|i| vec![car(10.0 + i as f64, 0.0)]).collect()
+    }
+
+    #[test]
+    fn single_moving_object_single_track() {
+        let frames = moving_car_frames(10);
+        let tracks = build_tracks(&frames, &TrackerConfig::default());
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].len(), 10);
+        assert_eq!(tracks[0].frame_span(), Some((0, 9)));
+    }
+
+    #[test]
+    fn two_distant_objects_two_tracks() {
+        let frames: Vec<Vec<Box3>> = (0..8)
+            .map(|i| vec![car(10.0 + i as f64, 0.0), car(10.0 + i as f64, 30.0)])
+            .collect();
+        let tracks = build_tracks(&frames, &TrackerConfig::default());
+        assert_eq!(tracks.len(), 2);
+        assert!(tracks.iter().all(|t| t.len() == 8));
+    }
+
+    #[test]
+    fn fast_object_breaks_track() {
+        // 20 m jumps: IOU 0 between consecutive frames → singleton tracks.
+        let frames: Vec<Vec<Box3>> =
+            (0..5).map(|i| vec![car(10.0 + 20.0 * i as f64, 0.0)]).collect();
+        let tracks = build_tracks(&frames, &TrackerConfig::default());
+        assert_eq!(tracks.len(), 5);
+        assert!(tracks.iter().all(|t| t.len() == 1));
+    }
+
+    #[test]
+    fn gap_bridges_single_frame_dropout() {
+        // Object detected in frames 0,1,3,4 (missing in 2).
+        let mut frames = moving_car_frames(5);
+        frames[2] = vec![];
+        let bridged = build_tracks(&frames, &TrackerConfig { max_gap: 2, ..Default::default() });
+        assert_eq!(bridged.len(), 1);
+        assert_eq!(bridged[0].len(), 4);
+
+        let strict = build_tracks(&frames, &TrackerConfig { max_gap: 1, ..Default::default() });
+        assert_eq!(strict.len(), 2);
+    }
+
+    #[test]
+    fn every_item_in_exactly_one_track() {
+        let frames: Vec<Vec<Box3>> = (0..6)
+            .map(|i| {
+                vec![
+                    car(10.0 + i as f64, 0.0),
+                    car(30.0 - i as f64, 4.0),
+                    car(50.0, -4.0),
+                ]
+            })
+            .collect();
+        let tracks = build_tracks(&frames, &TrackerConfig::default());
+        let mut seen = std::collections::BTreeSet::new();
+        for t in &tracks {
+            for &(f, i) in &t.entries {
+                assert!(seen.insert((f, i)), "item ({f},{i}) in two tracks");
+            }
+        }
+        let total: usize = frames.iter().map(Vec::len).sum();
+        assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn track_entries_are_frame_ordered() {
+        let frames = moving_car_frames(12);
+        let tracks = build_tracks(&frames, &TrackerConfig::default());
+        for t in &tracks {
+            for w in t.entries.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn hungarian_and_greedy_agree_on_easy_scenes() {
+        let frames: Vec<Vec<Box3>> = (0..8)
+            .map(|i| vec![car(10.0 + i as f64, 0.0), car(20.0 - i as f64, 15.0)])
+            .collect();
+        let greedy = build_tracks(&frames, &TrackerConfig { use_hungarian: false, ..Default::default() });
+        let hung = build_tracks(&frames, &TrackerConfig { use_hungarian: true, ..Default::default() });
+        assert_eq!(greedy.len(), hung.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(build_tracks(&[], &TrackerConfig::default()).is_empty());
+        let empty_frames: Vec<Vec<Box3>> = vec![vec![], vec![], vec![]];
+        assert!(build_tracks(&empty_frames, &TrackerConfig::default()).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_partition_invariant(
+            n_frames in 1usize..8,
+            n_objects in 0usize..4,
+            speed in 0.0f64..3.0,
+        ) {
+            let frames: Vec<Vec<Box3>> = (0..n_frames)
+                .map(|f| {
+                    (0..n_objects)
+                        .map(|o| car(10.0 + o as f64 * 25.0 + speed * f as f64, 0.0))
+                        .collect()
+                })
+                .collect();
+            let tracks = build_tracks(&frames, &TrackerConfig::default());
+            let total: usize = frames.iter().map(Vec::len).sum();
+            let covered: usize = tracks.iter().map(TrackPath::len).sum();
+            prop_assert_eq!(total, covered);
+            // Entries unique.
+            let mut seen = std::collections::BTreeSet::new();
+            for t in &tracks {
+                for e in &t.entries {
+                    prop_assert!(seen.insert(*e));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_slow_objects_form_long_tracks(speed in 0.0f64..1.5) {
+            // A 4.5 m long car moving ≤1.5 m/frame keeps IOU above the
+            // default threshold, so one track must emerge.
+            let frames: Vec<Vec<Box3>> =
+                (0..10).map(|f| vec![car(10.0 + speed * f as f64, 0.0)]).collect();
+            let tracks = build_tracks(&frames, &TrackerConfig::default());
+            prop_assert_eq!(tracks.len(), 1);
+            prop_assert_eq!(tracks[0].len(), 10);
+        }
+    }
+}

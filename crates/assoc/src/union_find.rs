@@ -1,0 +1,118 @@
+//! Disjoint-set union (path halving + union by size).
+
+/// A disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already merged.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Group element indices by set, sorted within and across groups.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        by_root.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_sets_are_singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.groups(), vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already together
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        let groups = uf.groups();
+        assert_eq!(groups.len(), 3);
+        assert!(groups.contains(&vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(UnionFind::new(3).len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_groups_partition(
+            n in 1usize..40,
+            edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+        ) {
+            let mut uf = UnionFind::new(n);
+            for (a, b) in edges {
+                if a < n && b < n {
+                    uf.union(a, b);
+                }
+            }
+            let groups = uf.groups();
+            let total: usize = groups.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, n);
+            // Transitivity spot check: all members of a group are connected.
+            for g in &groups {
+                for &x in g {
+                    prop_assert!(uf.connected(g[0], x));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Severity orderings for ad-hoc assertion output.
+//!
+//! MAs *"require users to write … ad-hoc severity scores to indicate the
+//! likelihood of an error"*. The paper's comparison orders the flagged
+//! model predictions randomly and by model confidence — the two rows in
+//! Table 3.
+
+use fixy_core::{Scene, TrackIdx};
+use rand::prelude::*;
+
+/// Shuffle flagged tracks uniformly at random ("Ad-hoc MA (rand)").
+pub fn order_randomly(flagged: &[TrackIdx], seed: u64) -> Vec<TrackIdx> {
+    let mut out = flagged.to_vec();
+    out.shuffle(&mut StdRng::seed_from_u64(seed));
+    out
+}
+
+/// Order flagged tracks by descending mean model confidence
+/// ("Ad-hoc MA (conf)"). Tracks without model confidence sort last;
+/// ties break by track index for determinism.
+pub fn order_by_confidence(scene: &Scene, flagged: &[TrackIdx]) -> Vec<TrackIdx> {
+    let mut out = flagged.to_vec();
+    out.sort_by(|&a, &b| {
+        let ca = scene.track_mean_confidence(scene.track(a)).unwrap_or(-1.0);
+        let cb = scene.track_mean_confidence(scene.track(b)).unwrap_or(-1.0);
+        cb.partial_cmp(&ca).expect("finite confidences").then(a.cmp(&b))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixy_core::AssemblyConfig;
+    use loa_data::{generate_scene, DatasetProfile};
+
+    fn scene() -> (loa_data::SceneData, Scene) {
+        let mut cfg = DatasetProfile::LyftLike.scene_config();
+        cfg.world.duration = 5.0;
+        cfg.lidar.beam_count = 300;
+        let data = generate_scene(&cfg, "ordering-test", 11);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        (data, scene)
+    }
+
+    #[test]
+    fn random_order_is_seeded_permutation() {
+        let (_, scene) = scene();
+        let flagged: Vec<TrackIdx> = scene.tracks.iter().map(|t| t.idx).collect();
+        let a = order_randomly(&flagged, 1);
+        let b = order_randomly(&flagged, 1);
+        let c = order_randomly(&flagged, 2);
+        assert_eq!(a, b, "same seed, same order");
+        assert_ne!(a, c, "different seed, different order");
+        let mut sorted = a.clone();
+        sorted.sort();
+        let mut orig = flagged.clone();
+        orig.sort();
+        assert_eq!(sorted, orig, "permutation preserves membership");
+    }
+
+    #[test]
+    fn confidence_order_is_descending() {
+        let (_, scene) = scene();
+        let flagged: Vec<TrackIdx> = scene.tracks.iter().map(|t| t.idx).collect();
+        let ordered = order_by_confidence(&scene, &flagged);
+        assert_eq!(ordered.len(), flagged.len());
+        let confs: Vec<f64> = ordered
+            .iter()
+            .map(|&t| scene.track_mean_confidence(scene.track(t)).unwrap_or(-1.0))
+            .collect();
+        for w in confs.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (_, scene) = scene();
+        assert!(order_randomly(&[], 1).is_empty());
+        assert!(order_by_confidence(&scene, &[]).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Uncertainty sampling (Section 8.4's active-learning baseline).
+//!
+//! *"we additionally compared to uncertainty sampling, in which we sampled
+//! predictions around a confidence threshold"* — rank predictions by how
+//! close their confidence is to the decision boundary. Structurally blind
+//! to high-confidence errors: a 95%-confidence ghost sorts near the
+//! bottom.
+
+use fixy_core::{ObsIdx, Scene, TrackIdx};
+use loa_data::ObservationSource;
+
+/// Rank model observations by `|confidence − threshold|` ascending.
+pub fn uncertainty_sample_obs(scene: &Scene, threshold: f64) -> Vec<ObsIdx> {
+    let mut obs: Vec<(f64, ObsIdx)> = scene
+        .observations
+        .iter()
+        .filter(|o| o.source == ObservationSource::Model)
+        .filter_map(|o| o.confidence.map(|c| ((c - threshold).abs(), o.idx)))
+        .collect();
+    obs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite confidences").then(a.1.cmp(&b.1)));
+    obs.into_iter().map(|(_, idx)| idx).collect()
+}
+
+/// Rank tracks by the mean `|confidence − threshold|` of their model
+/// observations, ascending (most uncertain track first). Tracks with no
+/// model confidence are omitted.
+pub fn uncertainty_sample_tracks(scene: &Scene, threshold: f64) -> Vec<TrackIdx> {
+    let mut tracks: Vec<(f64, TrackIdx)> = Vec::new();
+    for track in &scene.tracks {
+        let margins: Vec<f64> = scene
+            .track_obs(track)
+            .into_iter()
+            .filter_map(|o| scene.obs(o).confidence)
+            .map(|c| (c - threshold).abs())
+            .collect();
+        if !margins.is_empty() {
+            let mean = margins.iter().sum::<f64>() / margins.len() as f64;
+            tracks.push((mean, track.idx));
+        }
+    }
+    tracks.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite margins").then(a.1.cmp(&b.1)));
+    tracks.into_iter().map(|(_, idx)| idx).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixy_core::AssemblyConfig;
+    use loa_data::{generate_scene, DatasetProfile};
+
+    fn scene() -> Scene {
+        let mut cfg = DatasetProfile::LyftLike.scene_config();
+        cfg.world.duration = 5.0;
+        cfg.lidar.beam_count = 300;
+        let data = generate_scene(&cfg, "unc-test", 13);
+        Scene::assemble(&data, &AssemblyConfig::model_only())
+    }
+
+    #[test]
+    fn obs_ranking_is_by_margin() {
+        let scene = scene();
+        let ranked = uncertainty_sample_obs(&scene, 0.5);
+        assert!(!ranked.is_empty());
+        let margins: Vec<f64> = ranked
+            .iter()
+            .map(|&o| (scene.obs(o).confidence.unwrap() - 0.5).abs())
+            .collect();
+        for w in margins.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_confidence_obs_rank_last() {
+        let scene = scene();
+        let ranked = uncertainty_sample_obs(&scene, 0.5);
+        // The most confident observation must appear in the last quarter.
+        let most_confident = ranked
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                let ca = scene.obs(*a.1).confidence.unwrap();
+                let cb = scene.obs(*b.1).confidence.unwrap();
+                ca.partial_cmp(&cb).unwrap()
+            })
+            .map(|(pos, _)| pos)
+            .unwrap();
+        assert!(
+            most_confident >= ranked.len() / 2,
+            "most confident obs at position {most_confident}/{}",
+            ranked.len()
+        );
+    }
+
+    #[test]
+    fn track_ranking_covers_model_tracks() {
+        let scene = scene();
+        let ranked = uncertainty_sample_tracks(&scene, 0.5);
+        let with_conf = scene
+            .tracks
+            .iter()
+            .filter(|t| scene.track_mean_confidence(t).is_some())
+            .count();
+        assert_eq!(ranked.len(), with_conf);
+    }
+
+    #[test]
+    fn empty_scene() {
+        let scene = Scene {
+            observations: vec![],
+            bundles: vec![],
+            tracks: vec![],
+            frame_dt: 0.2,
+            n_frames: 0,
+        };
+        assert!(uncertainty_sample_obs(&scene, 0.5).is_empty());
+        assert!(uncertainty_sample_tracks(&scene, 0.5).is_empty());
+    }
+}

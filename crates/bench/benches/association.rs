@@ -1,0 +1,93 @@
+//! Association microbenchmarks: bundling, greedy vs Hungarian matching,
+//! and track building — the Section 4 substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loa_assoc::{
+    build_tracks, bundle_frame, greedy_match, hungarian_match, IouBundler, TrackerConfig,
+};
+use loa_geom::Box3;
+use std::hint::black_box;
+
+fn boxes(n: usize, jitter: f64) -> Vec<Box3> {
+    (0..n)
+        .map(|i| {
+            let u = ((i.wrapping_mul(40503)) % 997) as f64 / 997.0;
+            Box3::on_ground(
+                5.0 + (i as f64 * 7.3) % 70.0 + u * jitter,
+                -20.0 + (i as f64 * 3.7) % 40.0,
+                0.0,
+                4.5,
+                1.9,
+                1.6,
+                u * 3.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_bundling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundling");
+    for n in [10usize, 40, 80] {
+        let human = boxes(n, 0.0);
+        let model = boxes(n, 0.3);
+        group.bench_with_input(BenchmarkId::new("bundle_frame", n), &n, |b, _| {
+            b.iter(|| {
+                let bundles = bundle_frame(
+                    &[black_box(&human), black_box(&model)],
+                    &IouBundler::default(),
+                );
+                black_box(bundles.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for n in [10usize, 40, 80] {
+        let a = boxes(n, 0.0);
+        let bxs = boxes(n, 0.4);
+        let scores: Vec<Vec<f64>> = a
+            .iter()
+            .map(|x| bxs.iter().map(|y| loa_geom::iou_bev(x, y)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("greedy", n), &scores, |b, s| {
+            b.iter(|| black_box(greedy_match(black_box(s), 0.1).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("hungarian", n), &scores, |b, s| {
+            b.iter(|| black_box(hungarian_match(black_box(s), 0.1).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking");
+    for frames in [50usize, 150] {
+        let per_frame: Vec<Vec<Box3>> = (0..frames)
+            .map(|f| {
+                (0..30)
+                    .map(|o| {
+                        Box3::on_ground(
+                            5.0 + o as f64 * 8.0 + f as f64 * 0.8,
+                            -15.0 + (o % 5) as f64 * 6.0,
+                            0.0,
+                            4.5,
+                            1.9,
+                            1.6,
+                            0.0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("build_tracks", frames), &per_frame, |b, pf| {
+            b.iter(|| black_box(build_tracks(black_box(pf), &TrackerConfig::default()).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bundling, bench_matching, bench_tracking);
+criterion_main!(benches);

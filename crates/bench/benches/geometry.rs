@@ -1,0 +1,63 @@
+//! Geometry microbenchmarks: oriented IOU is the hot inner loop of
+//! association and LIDAR simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loa_geom::{iou_3d, iou_bev, Box3};
+use std::hint::black_box;
+
+fn bench_iou(c: &mut Criterion) {
+    let a = Box3::on_ground(10.0, 0.0, 0.0, 4.5, 1.9, 1.6, 0.3);
+    let overlapping = Box3::on_ground(10.8, 0.4, 0.0, 4.4, 1.8, 1.6, 0.5);
+    let distant = Box3::on_ground(60.0, 20.0, 0.0, 4.5, 1.9, 1.6, 0.0);
+
+    let mut group = c.benchmark_group("iou");
+    group.bench_function("bev_overlapping", |b| {
+        b.iter(|| black_box(iou_bev(black_box(&a), black_box(&overlapping))))
+    });
+    group.bench_function("bev_distant_early_reject", |b| {
+        b.iter(|| black_box(iou_bev(black_box(&a), black_box(&distant))))
+    });
+    group.bench_function("volumetric", |b| {
+        b.iter(|| black_box(iou_3d(black_box(&a), black_box(&overlapping))))
+    });
+    group.finish();
+}
+
+fn bench_polygon(c: &mut Criterion) {
+    let a = Box3::on_ground(0.0, 0.0, 0.0, 4.5, 1.9, 1.6, 0.2).bev_polygon();
+    let b_poly = Box3::on_ground(0.8, 0.3, 0.0, 4.5, 1.9, 1.6, 1.0).bev_polygon();
+    let mut group = c.benchmark_group("polygon");
+    group.bench_function("clip_intersection", |b| {
+        b.iter(|| black_box(a.intersect(black_box(&b_poly)).area()))
+    });
+    group.finish();
+}
+
+fn bench_lidar_scan(c: &mut Criterion) {
+    let boxes: Vec<Box3> = (0..30)
+        .map(|i| {
+            Box3::on_ground(
+                8.0 + (i as f64 * 6.1) % 60.0,
+                -18.0 + (i as f64 * 4.3) % 36.0,
+                0.0,
+                4.5,
+                1.9,
+                1.6,
+                i as f64 * 0.4,
+            )
+        })
+        .collect();
+    let cfg = loa_data::LidarConfig::default();
+    let mut group = c.benchmark_group("lidar");
+    group.sample_size(30);
+    group.bench_function("scan_30_objects_900_beams", |b| {
+        b.iter(|| {
+            let scan = loa_data::lidar::scan(black_box(&boxes), &cfg, false);
+            black_box(scan.visibility.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iou, bench_polygon, bench_lidar_scan);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! KDE microbenchmarks: fitting and evaluation, exact vs binned — the
+//! distribution-learning substrate behind every learned feature.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loa_stats::{BinnedKde, Density1d, Kde1d};
+use std::hint::black_box;
+
+fn samples(n: usize) -> Vec<f64> {
+    // Deterministic pseudo-random mixture: two modes, like real volume
+    // distributions (cars + trucks).
+    (0..n)
+        .map(|i| {
+            let u = ((i.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0;
+            if i % 4 == 0 {
+                60.0 + u * 25.0
+            } else {
+                12.0 + u * 6.0
+            }
+        })
+        .collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kde_fit");
+    for n in [100usize, 1_000, 10_000] {
+        let xs = samples(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &xs, |b, xs| {
+            b.iter(|| black_box(Kde1d::fit(black_box(xs)).unwrap().bandwidth_value()))
+        });
+        group.bench_with_input(BenchmarkId::new("binned", n), &xs, |b, xs| {
+            b.iter(|| black_box(BinnedKde::fit(black_box(xs)).unwrap().bins()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kde_eval");
+    for n in [100usize, 1_000, 10_000] {
+        let xs = samples(n);
+        let kde = Kde1d::fit(&xs).unwrap();
+        let binned = BinnedKde::from_kde(&kde);
+        group.bench_with_input(BenchmarkId::new("exact", n), &kde, |b, kde| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in 0..100 {
+                    acc += kde.relative_likelihood(black_box(q as f64));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binned", n), &binned, |b, binned| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in 0..100 {
+                    acc += binned.relative_likelihood(black_box(q as f64));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_eval);
+criterion_main!(benches);

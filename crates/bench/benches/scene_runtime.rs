@@ -1,0 +1,74 @@
+//! Section 8.1 runtime benchmark: the end-to-end online phase on a
+//! 15-second Internal-like scene (paper bound: < 5 s on one core), plus
+//! the phases broken out.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fixy_core::prelude::*;
+use fixy_core::Learner;
+use loa_data::{generate_scene, DatasetProfile, SceneData};
+use std::hint::black_box;
+
+fn setup() -> (SceneData, FeatureLibrary, MissingTrackFinder) {
+    let cfg = DatasetProfile::InternalLike.scene_config();
+    let finder = MissingTrackFinder::default();
+    let train: Vec<_> =
+        (0..2).map(|i| generate_scene(&cfg, &format!("bench-train-{i}"), 42 + i)).collect();
+    let library = Learner::new().fit(&finder.feature_set(), &train).expect("fit");
+    let data = generate_scene(&cfg, "bench-eval", 4242);
+    (data, library, finder)
+}
+
+fn bench_scene_runtime(c: &mut Criterion) {
+    let (data, library, finder) = setup();
+    let mut group = c.benchmark_group("scene_runtime");
+    group.sample_size(20);
+
+    group.bench_function("online_phase_15s_scene", |b| {
+        b.iter(|| {
+            let scene = Scene::assemble(black_box(&data), &AssemblyConfig::default());
+            let ranked = finder.rank(&scene, &library).expect("rank");
+            black_box(ranked.len())
+        })
+    });
+
+    group.bench_function("assemble_only", |b| {
+        b.iter(|| {
+            let scene = Scene::assemble(black_box(&data), &AssemblyConfig::default());
+            black_box(scene.tracks.len())
+        })
+    });
+
+    let scene = Scene::assemble(&data, &AssemblyConfig::default());
+    group.bench_function("score_and_rank_only", |b| {
+        b.iter_batched(
+            || scene.clone(),
+            |scene| {
+                let ranked = finder.rank(&scene, &library).expect("rank");
+                black_box(ranked.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+fn bench_offline_learning(c: &mut Criterion) {
+    let cfg = DatasetProfile::InternalLike.scene_config();
+    let finder = MissingTrackFinder::default();
+    let train: Vec<_> =
+        (0..2).map(|i| generate_scene(&cfg, &format!("bench-fit-{i}"), 77 + i)).collect();
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    group.bench_function("learn_distributions_2_scenes", |b| {
+        b.iter(|| {
+            let library =
+                Learner::new().fit(&finder.feature_set(), black_box(&train)).expect("fit");
+            black_box(library.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scene_runtime, bench_offline_learning);
+criterion_main!(benches);

@@ -1,0 +1,318 @@
+//! Argument parsing (hand-rolled; the workspace avoids heavyweight CLI
+//! dependencies).
+
+use std::path::PathBuf;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+fixy — Learned Observation Assertions (SIGMOD 2022 reproduction)
+
+USAGE:
+    fixy generate --profile <lyft|internal> --scenes <N> [--seed <S>] --out <DIR> [--duration <SECS>]
+    fixy learn    --data <DIR> [--app <APP>] --out <FILE>
+    fixy rank     --scene <FILE> --library <FILE> [--app <APP>] [--top <K>] [--grade]
+    fixy render   --scene <FILE> [--frame <N>] [--svg <FILE>]
+    fixy help
+
+APPS: missing-tracks (default), missing-obs, model-errors
+";
+
+/// Which application pipeline to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum App {
+    #[default]
+    MissingTracks,
+    MissingObs,
+    ModelErrors,
+}
+
+impl App {
+    pub fn parse(s: &str) -> Result<App, ParseError> {
+        match s {
+            "missing-tracks" => Ok(App::MissingTracks),
+            "missing-obs" => Ok(App::MissingObs),
+            "model-errors" => Ok(App::ModelErrors),
+            other => Err(ParseError(format!("unknown app '{other}'"))),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            App::MissingTracks => "missing-tracks",
+            App::MissingObs => "missing-obs",
+            App::ModelErrors => "model-errors",
+        }
+    }
+}
+
+/// `fixy generate`.
+#[derive(Debug, Clone)]
+pub struct GenerateArgs {
+    pub profile: loa_data::DatasetProfile,
+    pub scenes: usize,
+    pub seed: u64,
+    pub out: PathBuf,
+    /// Override scene duration (seconds) for smaller datasets.
+    pub duration: Option<f64>,
+}
+
+/// `fixy learn`.
+#[derive(Debug, Clone)]
+pub struct LearnArgs {
+    pub data: PathBuf,
+    pub app: App,
+    pub out: PathBuf,
+}
+
+/// `fixy rank`.
+#[derive(Debug, Clone)]
+pub struct RankArgs {
+    pub scene: PathBuf,
+    pub library: PathBuf,
+    pub app: App,
+    pub top: usize,
+    /// Grade candidates against the scene's injected-error record.
+    pub grade: bool,
+}
+
+/// `fixy render`.
+#[derive(Debug, Clone)]
+pub struct RenderArgs {
+    pub scene: PathBuf,
+    pub frame: usize,
+    pub svg: Option<PathBuf>,
+}
+
+/// A parsed command.
+#[derive(Debug, Clone)]
+pub enum Command {
+    Generate(GenerateArgs),
+    Learn(LearnArgs),
+    Rank(RankArgs),
+    Render(RenderArgs),
+    Help,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\n\n{USAGE}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Flags {
+    pairs: std::collections::BTreeMap<String, String>,
+    switches: std::collections::BTreeSet<String>,
+}
+
+fn collect_flags(args: &[String], switch_names: &[&str]) -> Result<Flags, ParseError> {
+    let mut pairs = std::collections::BTreeMap::new();
+    let mut switches = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(ParseError(format!("unexpected argument '{arg}'")));
+        };
+        if switch_names.contains(&name) {
+            switches.insert(name.to_string());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| ParseError(format!("--{name} requires a value")))?;
+            pairs.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(Flags { pairs, switches })
+}
+
+impl Flags {
+    fn required(&self, name: &str) -> Result<&str, ParseError> {
+        self.pairs
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| ParseError(format!("missing required --{name}")))
+    }
+
+    fn optional(&self, name: &str) -> Option<&str> {
+        self.pairs.get(name).map(String::as_str)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ParseError> {
+        match self.optional(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("--{name}: cannot parse '{v}'"))),
+        }
+    }
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let flags = collect_flags(rest, &[])?;
+            let profile = match flags.required("profile")? {
+                "lyft" => loa_data::DatasetProfile::LyftLike,
+                "internal" => loa_data::DatasetProfile::InternalLike,
+                other => return Err(ParseError(format!("unknown profile '{other}'"))),
+            };
+            Ok(Command::Generate(GenerateArgs {
+                profile,
+                scenes: flags.parse_num("scenes", 1usize)?,
+                seed: flags.parse_num("seed", 0u64)?,
+                out: PathBuf::from(flags.required("out")?),
+                duration: flags
+                    .optional("duration")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| ParseError(format!("--duration: cannot parse '{v}'")))
+                    })
+                    .transpose()?,
+            }))
+        }
+        "learn" => {
+            let flags = collect_flags(rest, &[])?;
+            Ok(Command::Learn(LearnArgs {
+                data: PathBuf::from(flags.required("data")?),
+                app: flags.optional("app").map(App::parse).transpose()?.unwrap_or_default(),
+                out: PathBuf::from(flags.required("out")?),
+            }))
+        }
+        "rank" => {
+            let flags = collect_flags(rest, &["grade"])?;
+            Ok(Command::Rank(RankArgs {
+                scene: PathBuf::from(flags.required("scene")?),
+                library: PathBuf::from(flags.required("library")?),
+                app: flags.optional("app").map(App::parse).transpose()?.unwrap_or_default(),
+                top: flags.parse_num("top", 10usize)?,
+                grade: flags.switches.contains("grade"),
+            }))
+        }
+        "render" => {
+            let flags = collect_flags(rest, &[])?;
+            Ok(Command::Render(RenderArgs {
+                scene: PathBuf::from(flags.required("scene")?),
+                frame: flags.parse_num("frame", 0usize)?,
+                svg: flags.optional("svg").map(PathBuf::from),
+            }))
+        }
+        other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert!(matches!(parse(&[]).unwrap(), Command::Help));
+        assert!(matches!(parse(&argv("help")).unwrap(), Command::Help));
+        assert!(matches!(parse(&argv("--help")).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn generate_parses() {
+        let cmd = parse(&argv("generate --profile lyft --scenes 3 --seed 9 --out /tmp/x")).unwrap();
+        match cmd {
+            Command::Generate(g) => {
+                assert_eq!(g.profile, loa_data::DatasetProfile::LyftLike);
+                assert_eq!(g.scenes, 3);
+                assert_eq!(g.seed, 9);
+                assert_eq!(g.out, PathBuf::from("/tmp/x"));
+                assert!(g.duration.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_duration_override() {
+        let cmd =
+            parse(&argv("generate --profile internal --scenes 1 --out /tmp/x --duration 5"))
+                .unwrap();
+        match cmd {
+            Command::Generate(g) => assert_eq!(g.duration, Some(5.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_requires_profile_and_out() {
+        assert!(parse(&argv("generate --scenes 3 --out /tmp/x")).is_err());
+        assert!(parse(&argv("generate --profile lyft")).is_err());
+        assert!(parse(&argv("generate --profile mars --out /tmp/x")).is_err());
+    }
+
+    #[test]
+    fn learn_defaults_app() {
+        let cmd = parse(&argv("learn --data d --out l.json")).unwrap();
+        match cmd {
+            Command::Learn(l) => assert_eq!(l.app, App::MissingTracks),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv("learn --data d --app model-errors --out l.json")).unwrap();
+        match cmd {
+            Command::Learn(l) => assert_eq!(l.app, App::ModelErrors),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_parses_grade_switch() {
+        let cmd = parse(&argv("rank --scene s.json --library l.json --grade --top 5")).unwrap();
+        match cmd {
+            Command::Rank(r) => {
+                assert!(r.grade);
+                assert_eq!(r.top, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv("rank --scene s.json --library l.json")).unwrap();
+        match cmd {
+            Command::Rank(r) => {
+                assert!(!r.grade);
+                assert_eq!(r.top, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(parse(&argv("generate --profile lyft --scenes many --out x")).is_err());
+        assert!(parse(&argv("rank --scene s --library l --top ten")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_flags() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("rank positional")).is_err());
+        assert!(parse(&argv("learn --data")).is_err());
+    }
+
+    #[test]
+    fn app_roundtrip() {
+        for app in [App::MissingTracks, App::MissingObs, App::ModelErrors] {
+            assert_eq!(App::parse(app.name()).unwrap(), app);
+        }
+        assert!(App::parse("nope").is_err());
+    }
+}

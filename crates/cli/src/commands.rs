@@ -1,0 +1,372 @@
+//! Command implementations.
+
+use crate::args::{App, GenerateArgs, LearnArgs, RankArgs, RenderArgs};
+use crate::CliError;
+use fixy_core::prelude::*;
+use fixy_core::{FeatureSet, Learner};
+use loa_data::SceneData;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The on-disk library format: the fitted distributions tagged with the
+/// application they were fitted for, so `rank` can detect mismatches.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct LibraryFile {
+    pub app: String,
+    pub library: FeatureLibrary,
+}
+
+fn feature_set_for(app: App) -> FeatureSet {
+    match app {
+        App::MissingTracks => MissingTrackFinder::default().feature_set(),
+        App::MissingObs => MissingObsFinder::default().feature_set(),
+        App::ModelErrors => ModelErrorFinder::default().feature_set(),
+    }
+}
+
+/// `fixy generate`: write `scenes` JSON scene files into `out`.
+pub fn generate(args: GenerateArgs) -> Result<String, CliError> {
+    let mut cfg = args.profile.scene_config();
+    if let Some(duration) = args.duration {
+        if !(duration.is_finite() && duration > 0.0) {
+            return Err(CliError::Invalid(format!("--duration must be positive, got {duration}")));
+        }
+        cfg.world.duration = duration;
+    }
+    let scenes: Vec<SceneData> = (0..args.scenes)
+        .map(|i| {
+            let seed = args.seed + i as u64;
+            loa_data::generate_scene(
+                &cfg,
+                &format!("{}-{:03}-s{}", args.profile.name(), i, seed),
+                seed,
+            )
+        })
+        .collect();
+    let paths = loa_data::io::save_dataset(&scenes, &args.out)?;
+    let mut out = String::new();
+    for (scene, path) in scenes.iter().zip(&paths) {
+        let _ = writeln!(
+            out,
+            "{}: {} frames, {} label errors, {} ghost tracks",
+            path.display(),
+            scene.frame_count(),
+            scene.injected.label_error_count(),
+            scene.injected.ghost_tracks.len()
+        );
+    }
+    let _ = writeln!(out, "wrote {} scene(s) to {}", scenes.len(), args.out.display());
+    Ok(out)
+}
+
+fn load_scene_dir(dir: &Path) -> Result<Vec<SceneData>, CliError> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Invalid(format!("no .json scenes in {}", dir.display())));
+    }
+    paths
+        .iter()
+        .map(|p| loa_data::io::load_scene(p).map_err(CliError::from))
+        .collect()
+}
+
+/// `fixy learn`: fit the app's feature distributions over a scene
+/// directory and write the library file.
+pub fn learn(args: LearnArgs) -> Result<String, CliError> {
+    let scenes = load_scene_dir(&args.data)?;
+    let features = feature_set_for(args.app);
+    let library = Learner::new().fit(&features, &scenes)?;
+    let file = LibraryFile { app: args.app.name().to_string(), library };
+    std::fs::write(&args.out, serde_json::to_string_pretty(&file)?)?;
+    Ok(format!(
+        "fitted {} distribution(s) from {} scene(s) → {}\n",
+        file.library.len(),
+        scenes.len(),
+        args.out.display()
+    ))
+}
+
+/// `fixy rank`: rank one scene's candidates and print the worklist.
+pub fn rank(args: RankArgs) -> Result<String, CliError> {
+    let data = loa_data::io::load_scene(&args.scene)?;
+    let file: LibraryFile = serde_json::from_str(&std::fs::read_to_string(&args.library)?)?;
+    if file.app != args.app.name() {
+        return Err(CliError::Invalid(format!(
+            "library was fitted for app '{}', but --app is '{}'",
+            file.app,
+            args.app.name()
+        )));
+    }
+
+    let mut out = String::new();
+    match args.app {
+        App::MissingTracks => {
+            let scene = Scene::assemble(&data, &AssemblyConfig::default());
+            let finder = MissingTrackFinder::default();
+            let ranked = finder.rank(&scene, &file.library)?;
+            let _ = writeln!(out, "rank  class        score    #obs  conf   {}",
+                if args.grade { "hit" } else { "" });
+            for (i, c) in ranked.iter().take(args.top).enumerate() {
+                let grade = if args.grade {
+                    if loa_eval::resolve::is_missing_track_hit(&data, &scene, c.track) {
+                        "YES"
+                    } else {
+                        "no"
+                    }
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:<12} {:<8.3} {:<5} {:<6} {}",
+                    i + 1,
+                    c.class.to_string(),
+                    c.score,
+                    c.n_obs,
+                    c.mean_confidence.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+                    grade
+                );
+            }
+            let _ = writeln!(out, "{} candidate(s) total", ranked.len());
+        }
+        App::MissingObs => {
+            let scene = Scene::assemble(&data, &AssemblyConfig::default());
+            let finder = MissingObsFinder::default();
+            let ranked = finder.rank(&scene, &file.library)?;
+            let _ = writeln!(out, "rank  frame  class        score");
+            for (i, c) in ranked.iter().take(args.top).enumerate() {
+                let bundle = scene.bundle(c.bundle);
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:<6} {:<12} {:.3}",
+                    i + 1,
+                    bundle.frame.0,
+                    c.class.to_string(),
+                    c.score
+                );
+            }
+            let _ = writeln!(out, "{} candidate(s) total", ranked.len());
+        }
+        App::ModelErrors => {
+            let scene = Scene::assemble(&data, &AssemblyConfig::model_only());
+            let excluded = loa_baselines::AdHocAssertions::default().flag_all(&scene);
+            let finder = ModelErrorFinder::default();
+            let ranked = finder.rank(&scene, &file.library, &excluded)?;
+            let _ = writeln!(out, "rank  class        score    #obs  conf   {}",
+                if args.grade { "hit" } else { "" });
+            for (i, c) in ranked.iter().take(args.top).enumerate() {
+                let grade = if args.grade {
+                    if loa_eval::resolve::is_model_error_hit(&data, &scene, c.track) {
+                        "YES"
+                    } else {
+                        "no"
+                    }
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:<12} {:<8.3} {:<5} {:<6} {}",
+                    i + 1,
+                    c.class.to_string(),
+                    c.score,
+                    c.n_obs,
+                    c.mean_confidence.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+                    grade
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{} candidate(s) total ({} observations excluded by ad-hoc assertions)",
+                ranked.len(),
+                excluded.len()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `fixy render`: ASCII render of one frame (and optionally an SVG).
+pub fn render(args: RenderArgs) -> Result<String, CliError> {
+    let data = loa_data::io::load_scene(&args.scene)?;
+    let Some(frame) = data.frames.get(args.frame) else {
+        return Err(CliError::Invalid(format!(
+            "frame {} out of range (scene has {})",
+            args.frame,
+            data.frames.len()
+        )));
+    };
+    let layers = loa_render::FrameLayers::from_frame(frame, Some(&loa_data::LidarConfig::default()));
+    let ascii = loa_render::render_frame_ascii(&layers, loa_render::AsciiOptions::default());
+    if let Some(svg_path) = &args.svg {
+        let svg = loa_render::render_frame_svg(&layers, loa_render::SvgOptions::default());
+        std::fs::write(svg_path, svg)?;
+    }
+    Ok(format!(
+        "scene {} frame {} — '!' missing, '#' human, '+' model\n{}",
+        data.id, args.frame, ascii
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::args::parse;
+    use crate::run;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fixy_cli_test_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = tmp_dir("workflow");
+        let data_dir = dir.join("data");
+        // generate (small scenes for test speed)
+        let cmd = parse(&argv(&format!(
+            "generate --profile lyft --scenes 2 --seed 5 --duration 4 --out {}",
+            data_dir.display()
+        )))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("wrote 2 scene(s)"));
+
+        // learn
+        let lib_path = dir.join("library.json");
+        let cmd = parse(&argv(&format!(
+            "learn --data {} --out {}",
+            data_dir.display(),
+            lib_path.display()
+        )))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("fitted 2 distribution(s)"), "{out}");
+
+        // rank (graded)
+        let scene_path = std::fs::read_dir(&data_dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let cmd = parse(&argv(&format!(
+            "rank --scene {} --library {} --top 5 --grade",
+            scene_path.display(),
+            lib_path.display()
+        )))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("candidate(s) total"), "{out}");
+
+        // render
+        let svg_path = dir.join("frame.svg");
+        let cmd = parse(&argv(&format!(
+            "render --scene {} --frame 3 --svg {}",
+            scene_path.display(),
+            svg_path.display()
+        )))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("frame 3"));
+        assert!(svg_path.exists());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rank_rejects_mismatched_library() {
+        let dir = tmp_dir("mismatch");
+        let data_dir = dir.join("data");
+        run(parse(&argv(&format!(
+            "generate --profile lyft --scenes 1 --seed 9 --duration 3 --out {}",
+            data_dir.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let lib_path = dir.join("lib.json");
+        run(parse(&argv(&format!(
+            "learn --data {} --app model-errors --out {}",
+            data_dir.display(),
+            lib_path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let scene_path = std::fs::read_dir(&data_dir).unwrap().next().unwrap().unwrap().path();
+        // Library fitted for model-errors; asking missing-tracks must fail.
+        let err = run(parse(&argv(&format!(
+            "rank --scene {} --library {}",
+            scene_path.display(),
+            lib_path.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.to_string().contains("fitted for app"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn render_rejects_out_of_range_frame() {
+        let dir = tmp_dir("range");
+        let data_dir = dir.join("data");
+        run(parse(&argv(&format!(
+            "generate --profile internal --scenes 1 --seed 2 --duration 2 --out {}",
+            data_dir.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let scene_path = std::fs::read_dir(&data_dir).unwrap().next().unwrap().unwrap().path();
+        let err = run(parse(&argv(&format!(
+            "render --scene {} --frame 9999",
+            scene_path.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generate_rejects_bad_duration() {
+        let dir = tmp_dir("baddur");
+        let err = run(parse(&argv(&format!(
+            "generate --profile lyft --scenes 1 --duration -3 --out {}",
+            dir.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.to_string().contains("positive"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn learn_rejects_empty_dir() {
+        let dir = tmp_dir("empty");
+        let err = run(parse(&argv(&format!(
+            "learn --data {} --out {}",
+            dir.display(),
+            dir.join("lib.json").display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.to_string().contains("no .json scenes"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(parse(&[]).unwrap()).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

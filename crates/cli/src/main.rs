@@ -1,0 +1,19 @@
+//! `fixy` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match fixy_cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match fixy_cli::run(command) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

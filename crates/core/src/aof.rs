@@ -1,0 +1,118 @@
+//! Application objective functions (Section 5.3).
+//!
+//! AOFs wrap feature distributions to transform probabilities for the
+//! application at hand: *"The most common operations are taking the
+//! inverse and setting the probability to 0/1 under certain conditions.
+//! For example, when searching for likely tracks, the application
+//! objective function may be the identity. In contrast, when searching
+//! for unlikely tracks, the application objective function may invert the
+//! probability."*
+
+use serde::{Deserialize, Serialize};
+
+/// A numeric transform applied to a feature-distribution probability.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Aof {
+    /// Pass the probability through (searching for likely components).
+    #[default]
+    Identity,
+    /// `p ↦ max(1 − p, ε)` (searching for unlikely components). The floor
+    /// keeps a perfectly modal feature value from zeroing out — and thus
+    /// excluding — an otherwise-suspicious component; only the explicit
+    /// filtering AOFs produce hard zeros.
+    Invert,
+    /// `p ↦ 0` — removes every component the factor touches (filtering).
+    Zero,
+    /// `p ↦ 1` — keeps the factor but makes it uninformative (ablation:
+    /// "feature disabled" without changing the factor count).
+    One,
+    /// `p ↦ 1` if `p ≥ threshold` else `0` (hard gating).
+    Gate { threshold: f64 },
+}
+
+impl Aof {
+    /// Apply the transform. Inputs are clamped to `[0, 1]` first so
+    /// downstream `ln` arithmetic stays well-defined.
+    pub fn apply(self, p: f64) -> f64 {
+        let p = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+        match self {
+            Aof::Identity => p,
+            Aof::Invert => (1.0 - p).max(1e-9),
+            Aof::Zero => 0.0,
+            Aof::One => 1.0,
+            Aof::Gate { threshold } => {
+                if p >= threshold {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_passes_through() {
+        assert_eq!(Aof::Identity.apply(0.3), 0.3);
+        assert_eq!(Aof::Identity.apply(1.0), 1.0);
+    }
+
+    #[test]
+    fn invert_flips_with_floor() {
+        assert!((Aof::Invert.apply(0.3) - 0.7).abs() < 1e-12);
+        // Floored, not zero: a modal value must not exclude the component.
+        assert_eq!(Aof::Invert.apply(1.0), 1e-9);
+        assert_eq!(Aof::Invert.apply(0.0), 1.0);
+    }
+
+    #[test]
+    fn zero_and_one_are_constant() {
+        for p in [0.0, 0.4, 1.0] {
+            assert_eq!(Aof::Zero.apply(p), 0.0);
+            assert_eq!(Aof::One.apply(p), 1.0);
+        }
+    }
+
+    #[test]
+    fn gate_thresholds() {
+        let gate = Aof::Gate { threshold: 0.5 };
+        assert_eq!(gate.apply(0.4), 0.0);
+        assert_eq!(gate.apply(0.5), 1.0);
+        assert_eq!(gate.apply(0.9), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_and_nan_are_tamed() {
+        assert_eq!(Aof::Identity.apply(1.5), 1.0);
+        assert_eq!(Aof::Identity.apply(-0.5), 0.0);
+        assert_eq!(Aof::Identity.apply(f64::NAN), 0.0);
+        assert_eq!(Aof::Invert.apply(f64::NAN), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_output_in_unit_interval(p in -2.0f64..3.0) {
+            for aof in [
+                Aof::Identity,
+                Aof::Invert,
+                Aof::Zero,
+                Aof::One,
+                Aof::Gate { threshold: 0.5 },
+            ] {
+                let out = aof.apply(p);
+                prop_assert!((0.0..=1.0).contains(&out));
+            }
+        }
+
+        #[test]
+        fn prop_invert_is_involution_on_unit(p in 0.0f64..1.0) {
+            let twice = Aof::Invert.apply(Aof::Invert.apply(p));
+            prop_assert!((twice - p).abs() < 1e-12);
+        }
+    }
+}

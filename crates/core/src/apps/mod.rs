@@ -1,0 +1,14 @@
+//! The paper's applications (Section 7): prebuilt pipelines over the LOA
+//! engine.
+//!
+//! * [`MissingTrackFinder`] — tracks entirely missed by human labelers,
+//! * [`MissingObsFinder`] — missing labels within human-labeled tracks,
+//! * [`ModelErrorFinder`] — erroneous ML model predictions (inverted AOF).
+
+mod missing_obs;
+mod missing_tracks;
+mod model_errors;
+
+pub use missing_obs::MissingObsFinder;
+pub use missing_tracks::MissingTrackFinder;
+pub use model_errors::ModelErrorFinder;

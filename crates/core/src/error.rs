@@ -1,0 +1,55 @@
+//! Error type for the Fixy engine.
+
+use loa_stats::FitError;
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by the LOA engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FixyError {
+    /// A learned feature had no training values at all (e.g. the feature's
+    /// source never appears in the training scenes).
+    NoTrainingData { feature: String },
+    /// Fitting a distribution failed.
+    Fit { feature: String, error: FitError },
+    /// A feature referenced by the scene pipeline is missing from the
+    /// fitted library (library and feature set got out of sync).
+    MissingDistribution { feature: String },
+    /// A scene failed structural validation.
+    InvalidScene(String),
+}
+
+impl std::fmt::Display for FixyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FixyError::NoTrainingData { feature } => {
+                write!(f, "feature '{feature}' produced no training values")
+            }
+            FixyError::Fit { feature, error } => {
+                write!(f, "fitting feature '{feature}' failed: {error}")
+            }
+            FixyError::MissingDistribution { feature } => {
+                write!(f, "no fitted distribution for feature '{feature}'")
+            }
+            FixyError::InvalidScene(msg) => write!(f, "invalid scene: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FixyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FixyError::NoTrainingData { feature: "volume".into() };
+        assert!(e.to_string().contains("volume"));
+        let e = FixyError::Fit { feature: "velocity".into(), error: FitError::EmptySample };
+        assert!(e.to_string().contains("velocity"));
+        assert!(e.to_string().contains("empty"));
+        let e = FixyError::MissingDistribution { feature: "x".into() };
+        assert!(e.to_string().contains("x"));
+        assert!(FixyError::InvalidScene("no frames".into()).to_string().contains("no frames"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Bundle-level features.
+
+use crate::feature::{Feature, FeatureKind, FeatureTarget, FeatureValue, ProbabilityModel};
+use crate::scene::Scene;
+use loa_data::ObservationSource;
+
+/// Manual selector: probability 1 for bundles containing **only** model
+/// predictions, 0 otherwise. With the identity AOF this zeroes out every
+/// bundle that already has a human label — the Table 2 "Model only"
+/// feature driving the missing-label applications.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelOnlyFeature;
+
+impl Feature for ModelOnlyFeature {
+    fn name(&self) -> &str {
+        "model_only"
+    }
+
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Bundle
+    }
+
+    fn probability_model(&self) -> ProbabilityModel {
+        ProbabilityModel::Manual
+    }
+
+    fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
+        match target {
+            FeatureTarget::Bundle(bundle) => {
+                let model_only = bundle
+                    .obs
+                    .iter()
+                    .all(|&o| scene.obs(o).source == ObservationSource::Model);
+                Some(FeatureValue::scalar(if model_only { 1.0 } else { 0.0 }))
+            }
+            _ => None,
+        }
+    }
+
+    fn description(&self) -> &str {
+        "Selects bundles with model predictions only"
+    }
+}
+
+/// Learned Bernoulli over class agreement within a bundle — the paper's
+/// Section 5.1 example: value 1 when every member reports the same class,
+/// 0 otherwise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassAgreementFeature;
+
+impl Feature for ClassAgreementFeature {
+    fn name(&self) -> &str {
+        "class_agreement"
+    }
+
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Bundle
+    }
+
+    fn probability_model(&self) -> ProbabilityModel {
+        ProbabilityModel::LearnedBernoulli
+    }
+
+    fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
+        match target {
+            FeatureTarget::Bundle(bundle) => {
+                if bundle.obs.len() < 2 {
+                    // Agreement is vacuous for singletons; skip the factor.
+                    return None;
+                }
+                let first = scene.obs(bundle.obs[0]).class;
+                let agree = bundle.obs.iter().all(|&o| scene.obs(o).class == first);
+                Some(FeatureValue::scalar(if agree { 1.0 } else { 0.0 }))
+            }
+            _ => None,
+        }
+    }
+
+    fn description(&self) -> &str {
+        "Bundle members agree on object class"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Bundle, BundleIdx, ObsIdx, Observation};
+    use loa_data::{FrameId, ObjectClass};
+    use loa_geom::{Box3, Vec2};
+
+    fn obs(idx: usize, source: ObservationSource, class: ObjectClass) -> Observation {
+        Observation {
+            idx: ObsIdx(idx),
+            frame: FrameId(0),
+            source,
+            source_index: idx,
+            bbox: Box3::on_ground(10.0, 0.0, 0.0, 4.0, 2.0, 1.5, 0.0),
+            class,
+            confidence: None,
+            world_center: Vec2::new(10.0, 0.0),
+        }
+    }
+
+    fn scene_with(observations: Vec<Observation>, bundle_members: Vec<usize>) -> (Scene, Bundle) {
+        let bundle = Bundle {
+            idx: BundleIdx(0),
+            frame: FrameId(0),
+            obs: bundle_members.into_iter().map(ObsIdx).collect(),
+        };
+        let scene = Scene {
+            observations,
+            bundles: vec![bundle.clone()],
+            tracks: vec![],
+            frame_dt: 0.2,
+            n_frames: 1,
+        };
+        (scene, bundle)
+    }
+
+    #[test]
+    fn model_only_detects_pure_model_bundles() {
+        let (scene, bundle) = scene_with(
+            vec![
+                obs(0, ObservationSource::Model, ObjectClass::Car),
+                obs(1, ObservationSource::Model, ObjectClass::Car),
+            ],
+            vec![0, 1],
+        );
+        let v = ModelOnlyFeature.value(&scene, &FeatureTarget::Bundle(&bundle)).unwrap();
+        assert_eq!(v.x, 1.0);
+    }
+
+    #[test]
+    fn model_only_rejects_mixed_bundles() {
+        let (scene, bundle) = scene_with(
+            vec![
+                obs(0, ObservationSource::Human, ObjectClass::Car),
+                obs(1, ObservationSource::Model, ObjectClass::Car),
+            ],
+            vec![0, 1],
+        );
+        let v = ModelOnlyFeature.value(&scene, &FeatureTarget::Bundle(&bundle)).unwrap();
+        assert_eq!(v.x, 0.0);
+    }
+
+    #[test]
+    fn class_agreement_values() {
+        let (scene, bundle) = scene_with(
+            vec![
+                obs(0, ObservationSource::Human, ObjectClass::Car),
+                obs(1, ObservationSource::Model, ObjectClass::Car),
+            ],
+            vec![0, 1],
+        );
+        let v = ClassAgreementFeature.value(&scene, &FeatureTarget::Bundle(&bundle)).unwrap();
+        assert_eq!(v.x, 1.0);
+
+        let (scene, bundle) = scene_with(
+            vec![
+                obs(0, ObservationSource::Human, ObjectClass::Pedestrian),
+                obs(1, ObservationSource::Model, ObjectClass::Truck),
+            ],
+            vec![0, 1],
+        );
+        let v = ClassAgreementFeature.value(&scene, &FeatureTarget::Bundle(&bundle)).unwrap();
+        assert_eq!(v.x, 0.0);
+    }
+
+    #[test]
+    fn class_agreement_skips_singletons() {
+        let (scene, bundle) = scene_with(
+            vec![obs(0, ObservationSource::Model, ObjectClass::Car)],
+            vec![0],
+        );
+        assert!(ClassAgreementFeature
+            .value(&scene, &FeatureTarget::Bundle(&bundle))
+            .is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Track-level features.
+
+use crate::feature::{Feature, FeatureKind, FeatureTarget, FeatureValue, ProbabilityModel};
+use crate::scene::Scene;
+
+/// Manual filter: probability 0 for tracks with `min_obs` or fewer
+/// observations, 1 otherwise — the Table 2 Count feature (*"filters
+/// tracks with two or fewer obs"*). Very short tracks are flicker, not
+/// evidence of a missed object.
+#[derive(Debug, Clone, Copy)]
+pub struct CountFeature {
+    /// Tracks with at most this many observations are filtered.
+    pub min_obs: usize,
+}
+
+impl Default for CountFeature {
+    fn default() -> Self {
+        CountFeature { min_obs: 2 }
+    }
+}
+
+impl Feature for CountFeature {
+    fn name(&self) -> &str {
+        "count"
+    }
+
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Track
+    }
+
+    fn probability_model(&self) -> ProbabilityModel {
+        ProbabilityModel::Manual
+    }
+
+    fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
+        match target {
+            FeatureTarget::Track(track) => {
+                let n = scene.track_obs(track).len();
+                Some(FeatureValue::scalar(if n > self.min_obs { 1.0 } else { 0.0 }))
+            }
+            _ => None,
+        }
+    }
+
+    fn description(&self) -> &str {
+        "Filters tracks with two or fewer obs"
+    }
+}
+
+/// Learned histogram over the number of observations per track — used by
+/// the model-error application (Section 8.4 deploys *"a track feature
+/// over the total number of observations"*).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrackLengthFeature;
+
+impl Feature for TrackLengthFeature {
+    fn name(&self) -> &str {
+        "track_length"
+    }
+
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Track
+    }
+
+    fn probability_model(&self) -> ProbabilityModel {
+        ProbabilityModel::LearnedHistogram
+    }
+
+    fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
+        match target {
+            FeatureTarget::Track(track) => {
+                Some(FeatureValue::scalar(scene.track_obs(track).len() as f64))
+            }
+            _ => None,
+        }
+    }
+
+    fn description(&self) -> &str {
+        "Total observations within the track"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Bundle, BundleIdx, ObsIdx, Observation, Track, TrackIdx};
+    use loa_data::{FrameId, ObjectClass, ObservationSource};
+    use loa_geom::{Box3, Vec2};
+
+    fn scene_with_track(n_obs: usize) -> (Scene, Track) {
+        let observations: Vec<Observation> = (0..n_obs)
+            .map(|i| Observation {
+                idx: ObsIdx(i),
+                frame: FrameId(i as u32),
+                source: ObservationSource::Model,
+                source_index: 0,
+                bbox: Box3::on_ground(10.0, 0.0, 0.0, 4.0, 2.0, 1.5, 0.0),
+                class: ObjectClass::Car,
+                confidence: Some(0.5),
+                world_center: Vec2::new(10.0 + i as f64, 0.0),
+            })
+            .collect();
+        let bundles: Vec<Bundle> = (0..n_obs)
+            .map(|i| Bundle { idx: BundleIdx(i), frame: FrameId(i as u32), obs: vec![ObsIdx(i)] })
+            .collect();
+        let track = Track { idx: TrackIdx(0), bundles: (0..n_obs).map(BundleIdx).collect() };
+        let scene = Scene {
+            observations,
+            bundles,
+            tracks: vec![track.clone()],
+            frame_dt: 0.2,
+            n_frames: n_obs,
+        };
+        (scene, track)
+    }
+
+    #[test]
+    fn count_filters_short_tracks() {
+        let f = CountFeature::default();
+        let (scene, track) = scene_with_track(2);
+        let v = f.value(&scene, &FeatureTarget::Track(&track)).unwrap();
+        assert_eq!(v.x, 0.0);
+        let (scene, track) = scene_with_track(3);
+        let v = f.value(&scene, &FeatureTarget::Track(&track)).unwrap();
+        assert_eq!(v.x, 1.0);
+    }
+
+    #[test]
+    fn count_threshold_configurable() {
+        let f = CountFeature { min_obs: 5 };
+        let (scene, track) = scene_with_track(5);
+        assert_eq!(f.value(&scene, &FeatureTarget::Track(&track)).unwrap().x, 0.0);
+        let (scene, track) = scene_with_track(6);
+        assert_eq!(f.value(&scene, &FeatureTarget::Track(&track)).unwrap().x, 1.0);
+    }
+
+    #[test]
+    fn track_length_counts_observations() {
+        let (scene, track) = scene_with_track(7);
+        let v = TrackLengthFeature.value(&scene, &FeatureTarget::Track(&track)).unwrap();
+        assert_eq!(v.x, 7.0);
+        assert_eq!(
+            TrackLengthFeature.probability_model(),
+            ProbabilityModel::LearnedHistogram
+        );
+    }
+
+    #[test]
+    fn track_features_ignore_other_targets() {
+        let (scene, _) = scene_with_track(3);
+        let bundle = scene.bundles[0].clone();
+        assert!(CountFeature::default()
+            .value(&scene, &FeatureTarget::Bundle(&bundle))
+            .is_none());
+        assert!(TrackLengthFeature
+            .value(&scene, &FeatureTarget::Bundle(&bundle))
+            .is_none());
+    }
+}

@@ -1,0 +1,387 @@
+//! Offline distribution learning (Section 5.2).
+//!
+//! *"Fixy takes already-present labels to learn feature distributions …
+//! To learn feature distributions given a set of scenes, Fixy first
+//! exhaustively generates the features over the data and collects the
+//! scalar or vector values. Then, for each feature, Fixy executes the
+//! fitting function over the scalar/vector values."*
+//!
+//! Training scenes are assembled from **human labels only** — the
+//! organizational resource is the existing (possibly noisy) labeled data,
+//! which comes at no additional cost.
+
+use crate::compile::for_each_target;
+use crate::error::FixyError;
+use crate::feature::{FeatureSet, FeatureValue, ProbabilityModel};
+use crate::scene::{AssemblyConfig, Scene};
+use loa_data::{ObjectClass, SceneData};
+use loa_stats::{Bernoulli, Density1d, Histogram, Kde1d, KdeNd};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Minimum per-class sample count before a class gets its own
+/// distribution (smaller classes fall back to the pooled fit).
+const MIN_CLASS_SAMPLES: usize = 8;
+
+/// A fitted feature distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FittedDistribution {
+    /// Per-class KDEs with a pooled fallback (class-conditional features).
+    ClassConditional {
+        per_class: BTreeMap<ObjectClass, Kde1d>,
+        pooled: Kde1d,
+    },
+    /// A single pooled KDE.
+    Kde(Kde1d),
+    /// A histogram (integer-ish features).
+    Histogram(Histogram),
+    /// A Bernoulli over {0, 1} features.
+    Bernoulli(Bernoulli),
+    /// A joint multivariate KDE over vector features.
+    Joint(KdeNd),
+}
+
+impl FittedDistribution {
+    /// Relative likelihood of a feature value in `(0, 1]`.
+    ///
+    /// Joint distributions cannot be evaluated on a scalar; they return
+    /// the floor (callers use [`probability_vector`](Self::probability_vector)).
+    pub fn probability(&self, value: &FeatureValue) -> f64 {
+        match self {
+            FittedDistribution::ClassConditional { per_class, pooled } => {
+                if let Some(class) = value.class {
+                    if let Some(kde) = per_class.get(&class) {
+                        return kde.relative_likelihood(value.x);
+                    }
+                }
+                pooled.relative_likelihood(value.x)
+            }
+            FittedDistribution::Kde(kde) => kde.relative_likelihood(value.x),
+            FittedDistribution::Histogram(h) => h.relative_likelihood(value.x),
+            FittedDistribution::Bernoulli(b) => b.relative_likelihood(value.x),
+            FittedDistribution::Joint(_) => loa_stats::P_FLOOR,
+        }
+    }
+
+    /// Relative likelihood of a vector value under a joint distribution.
+    pub fn probability_vector(&self, value: &[f64]) -> f64 {
+        match self {
+            FittedDistribution::Joint(kde) => kde.relative_likelihood(value),
+            _ => loa_stats::P_FLOOR,
+        }
+    }
+
+    /// Number of training samples behind the fit.
+    pub fn sample_count(&self) -> usize {
+        match self {
+            FittedDistribution::ClassConditional { pooled, .. } => pooled.len(),
+            FittedDistribution::Kde(kde) => kde.len(),
+            FittedDistribution::Histogram(h) => h.sample_count(),
+            FittedDistribution::Bernoulli(_) => 0,
+            FittedDistribution::Joint(kde) => kde.len(),
+        }
+    }
+}
+
+/// The fitted distributions, keyed by feature name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeatureLibrary {
+    map: BTreeMap<String, FittedDistribution>,
+}
+
+impl FeatureLibrary {
+    pub fn get(&self, feature: &str) -> Option<&FittedDistribution> {
+        self.map.get(feature)
+    }
+
+    pub fn insert(&mut self, feature: String, dist: FittedDistribution) {
+        self.map.insert(feature, dist);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn feature_names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+}
+
+/// The offline learner.
+#[derive(Debug, Clone)]
+pub struct Learner {
+    /// How training scenes are assembled. Default: human labels only.
+    pub assembly: AssemblyConfig,
+}
+
+impl Default for Learner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Learner {
+    pub fn new() -> Self {
+        Learner {
+            assembly: AssemblyConfig { use_human: true, use_model: false, ..Default::default() },
+        }
+    }
+
+    /// Fit all learned features in `features` over raw training scenes.
+    pub fn fit(
+        &self,
+        features: &FeatureSet,
+        scenes: &[SceneData],
+    ) -> Result<FeatureLibrary, FixyError> {
+        let assembled: Vec<Scene> =
+            scenes.iter().map(|s| Scene::assemble(s, &self.assembly)).collect();
+        self.fit_assembled(features, &assembled)
+    }
+
+    /// Fit over already-assembled scenes.
+    pub fn fit_assembled(
+        &self,
+        features: &FeatureSet,
+        scenes: &[Scene],
+    ) -> Result<FeatureLibrary, FixyError> {
+        let mut library = FeatureLibrary::default();
+        for bf in features.learned() {
+            let feature = bf.feature.as_ref();
+            let dist = if feature.probability_model() == ProbabilityModel::LearnedJointKde {
+                let mut vectors: Vec<Vec<f64>> = Vec::new();
+                for scene in scenes {
+                    for_each_target(scene, feature.kind(), |target, _edges| {
+                        if let Some(v) = feature.vector_value(scene, &target) {
+                            vectors.push(v);
+                        }
+                    });
+                }
+                if vectors.is_empty() {
+                    return Err(FixyError::NoTrainingData {
+                        feature: feature.name().to_string(),
+                    });
+                }
+                FittedDistribution::Joint(KdeNd::fit(&vectors).map_err(|e| FixyError::Fit {
+                    feature: feature.name().to_string(),
+                    error: e,
+                })?)
+            } else {
+                let mut values: Vec<FeatureValue> = Vec::new();
+                for scene in scenes {
+                    for_each_target(scene, feature.kind(), |target, _edges| {
+                        if let Some(v) = feature.value(scene, &target) {
+                            values.push(v);
+                        }
+                    });
+                }
+                if values.is_empty() {
+                    return Err(FixyError::NoTrainingData {
+                        feature: feature.name().to_string(),
+                    });
+                }
+                fit_values(feature.name(), feature.probability_model(), &values)?
+            };
+            library.insert(feature.name().to_string(), dist);
+        }
+        Ok(library)
+    }
+}
+
+fn fit_values(
+    name: &str,
+    model: ProbabilityModel,
+    values: &[FeatureValue],
+) -> Result<FittedDistribution, FixyError> {
+    let xs: Vec<f64> = values.iter().map(|v| v.x).collect();
+    let wrap = |e| FixyError::Fit { feature: name.to_string(), error: e };
+    match model {
+        ProbabilityModel::Manual => unreachable!("manual features are never fitted"),
+        ProbabilityModel::LearnedJointKde => {
+            unreachable!("joint features are fitted from vector values")
+        }
+        ProbabilityModel::LearnedBernoulli => {
+            Ok(FittedDistribution::Bernoulli(Bernoulli::fit(&xs).map_err(wrap)?))
+        }
+        ProbabilityModel::LearnedHistogram => {
+            Ok(FittedDistribution::Histogram(Histogram::fit(&xs).map_err(wrap)?))
+        }
+        ProbabilityModel::LearnedKde => {
+            let class_conditional = values.iter().any(|v| v.class.is_some());
+            let pooled = Kde1d::fit(&xs).map_err(wrap)?;
+            if !class_conditional {
+                return Ok(FittedDistribution::Kde(pooled));
+            }
+            let mut by_class: BTreeMap<ObjectClass, Vec<f64>> = BTreeMap::new();
+            for v in values {
+                if let Some(class) = v.class {
+                    by_class.entry(class).or_default().push(v.x);
+                }
+            }
+            let mut per_class = BTreeMap::new();
+            for (class, xs) in by_class {
+                if xs.len() >= MIN_CLASS_SAMPLES {
+                    per_class.insert(class, Kde1d::fit(&xs).map_err(wrap)?);
+                }
+            }
+            Ok(FittedDistribution::ClassConditional { per_class, pooled })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::FeatureSet;
+    use loa_data::{generate_scene, DatasetProfile};
+
+    fn training_scenes(n: usize) -> Vec<SceneData> {
+        let mut cfg = DatasetProfile::LyftLike.scene_config();
+        cfg.world.duration = 5.0;
+        cfg.lidar.beam_count = 240;
+        (0..n).map(|i| generate_scene(&cfg, &format!("train-{i}"), 1000 + i as u64)).collect()
+    }
+
+    #[test]
+    fn fit_paper_features() {
+        let scenes = training_scenes(2);
+        let library = Learner::new().fit(&FeatureSet::paper_default(), &scenes).unwrap();
+        // Learned: volume, velocity. Manual features are absent.
+        assert_eq!(library.len(), 2);
+        assert!(library.get("volume").is_some());
+        assert!(library.get("velocity").is_some());
+        assert!(library.get("distance").is_none());
+        assert!(library.get("model_only").is_none());
+    }
+
+    #[test]
+    fn volume_distribution_is_class_conditional_and_sane() {
+        let scenes = training_scenes(3);
+        let library = Learner::new().fit(&FeatureSet::paper_default(), &scenes).unwrap();
+        let vol = library.get("volume").unwrap();
+        match vol {
+            FittedDistribution::ClassConditional { per_class, pooled } => {
+                assert!(!per_class.is_empty());
+                assert!(pooled.len() > 50);
+            }
+            other => panic!("expected class-conditional, got {other:?}"),
+        }
+        // A car-sized volume is likely under the car distribution; an
+        // absurd volume is not.
+        let car_vol = FeatureValue::class_conditional(4.6 * 1.9 * 1.7, ObjectClass::Car);
+        let absurd = FeatureValue::class_conditional(500.0, ObjectClass::Car);
+        assert!(vol.probability(&car_vol) > 0.05);
+        assert!(vol.probability(&absurd) < 1e-3);
+        assert!(vol.probability(&car_vol) > 20.0 * vol.probability(&absurd));
+    }
+
+    #[test]
+    fn velocity_distribution_prefers_plausible_speeds() {
+        let scenes = training_scenes(3);
+        let library = Learner::new().fit(&FeatureSet::paper_default(), &scenes).unwrap();
+        let vel = library.get("velocity").unwrap();
+        // 300 mph (~134 m/s) must be far less likely than 30 mph (~13 m/s)
+        // — the abstract's motivating example.
+        let normal = FeatureValue::class_conditional(13.0, ObjectClass::Car);
+        let absurd = FeatureValue::class_conditional(134.0, ObjectClass::Car);
+        assert!(vel.probability(&normal) > 100.0 * vel.probability(&absurd));
+    }
+
+    #[test]
+    fn unknown_class_falls_back_to_pooled() {
+        let scenes = training_scenes(2);
+        let library = Learner::new().fit(&FeatureSet::paper_default(), &scenes).unwrap();
+        let vol = library.get("volume").unwrap();
+        // Query without class conditioning uses the pooled distribution
+        // and still returns something sane.
+        let p = vol.probability(&FeatureValue::scalar(14.0));
+        assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn empty_training_set_fails_cleanly() {
+        let err = Learner::new().fit(&FeatureSet::paper_default(), &[]).unwrap_err();
+        assert!(matches!(err, FixyError::NoTrainingData { .. }));
+    }
+
+    #[test]
+    fn learner_uses_human_labels_only() {
+        // The organizational resource is the existing labels: the default
+        // learner must assemble training scenes without model detections.
+        let learner = Learner::new();
+        assert!(learner.assembly.use_human);
+        assert!(!learner.assembly.use_model);
+    }
+
+    #[test]
+    fn joint_feature_fits_and_evaluates() {
+        use crate::aof::Aof;
+        use crate::feature::BoundFeature;
+        use crate::features::MotionVectorFeature;
+        use std::sync::Arc;
+
+        let scenes = training_scenes(2);
+        let features = crate::feature::FeatureSet::new(vec![BoundFeature::new(
+            Arc::new(MotionVectorFeature),
+            Aof::Identity,
+        )]);
+        let library = Learner::new().fit(&features, &scenes).unwrap();
+        let dist = library.get("motion_vector").unwrap();
+        assert!(matches!(dist, FittedDistribution::Joint(_)));
+        assert!(dist.sample_count() > 20);
+        // A plausible (speed, yaw-rate) pair beats an absurd one.
+        let plausible = dist.probability_vector(&[8.0, 0.1]);
+        let absurd = dist.probability_vector(&[60.0, 3.0]);
+        assert!(plausible > 10.0 * absurd, "{plausible} vs {absurd}");
+        // Scalar lookup on a joint distribution degrades to the floor.
+        assert_eq!(
+            dist.probability(&FeatureValue::scalar(8.0)),
+            loa_stats::P_FLOOR
+        );
+    }
+
+    #[test]
+    fn joint_feature_compiles_into_factors() {
+        use crate::aof::Aof;
+        use crate::feature::BoundFeature;
+        use crate::features::MotionVectorFeature;
+        use crate::scene::{AssemblyConfig, Scene};
+        use std::sync::Arc;
+
+        let scenes = training_scenes(1);
+        let features = crate::feature::FeatureSet::new(vec![BoundFeature::new(
+            Arc::new(MotionVectorFeature),
+            Aof::Invert,
+        )]);
+        let library = Learner::new().fit(&features, &scenes).unwrap();
+        let scene = Scene::assemble(&scenes[0], &AssemblyConfig::default());
+        let compiled =
+            crate::compile::compile_scene(&scene, &features, &library).unwrap();
+        let n_transitions: usize =
+            scene.tracks.iter().map(|t| t.bundles.len().saturating_sub(1)).sum();
+        assert_eq!(compiled.graph.factor_count(), n_transitions);
+        for f in compiled.graph.factor_ids() {
+            let p = compiled.graph.factor(f).probability;
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn library_roundtrips_serde() {
+        let scenes = training_scenes(1);
+        let library = Learner::new().fit(&FeatureSet::paper_default(), &scenes).unwrap();
+        let json = serde_json::to_string(&library).unwrap();
+        let back: FeatureLibrary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), library.len());
+        let v = FeatureValue::class_conditional(15.0, ObjectClass::Car);
+        assert!(
+            (back.get("volume").unwrap().probability(&v)
+                - library.get("volume").unwrap().probability(&v))
+            .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! # Fixy — Learned Observation Assertions (LOA)
+//!
+//! A reproduction of *"Finding Label and Model Errors in Perception Data
+//! With Learned Observation Assertions"* (Kang et al., SIGMOD 2022).
+//!
+//! Fixy finds errors in ML labeling pipelines and in ML model predictions
+//! — primarily missing labels — by learning **feature distributions** from
+//! existing organizational resources (already-labeled scenes) and scoring
+//! new observations against them. Users specify only natural quantities
+//! (box volume, velocity) and associations (box overlap); Fixy compiles
+//! scenes into factor graphs and returns a ranked list of likely errors
+//! for human auditing.
+//!
+//! ## The LOA data model (Section 4)
+//!
+//! * [`Observation`] — one 3D box from one source (human label, model
+//!   prediction, auditor) in one frame,
+//! * [`Bundle`] — observations of the same object from different sources
+//!   in one time step, associated by box overlap,
+//! * [`Track`] — bundles of the same object across time,
+//! * [`Scene`] — the full set of tracks; assembled from raw per-frame
+//!   observations by [`Scene::assemble`].
+//!
+//! Collectively: OBTs (observations, bundles, tracks).
+//!
+//! ## Features and scoring (Sections 5–6)
+//!
+//! A [`Feature`](feature::Feature) maps an OBT (or a transition between
+//! adjacent bundles) to a scalar. Learned features get a fitted
+//! distribution ([`learner::FeatureLibrary`]); manual features (distance,
+//! model-only, count) emit probabilities directly. An
+//! [`Aof`](aof::Aof) (application objective function) transforms each
+//! probability — identity to find likely-but-unlabeled objects, inversion
+//! to find unlikely predictions, zeroing to filter.
+//!
+//! A scene compiles into a bipartite factor graph
+//! ([`compile::compile_scene`]); any OBT is scored by the normalized sum of
+//! log-probabilities of the factors it contains (Section 6's worked
+//! example lives in `score::tests`).
+//!
+//! ## Applications (Section 7)
+//!
+//! * [`apps::MissingTrackFinder`] — tracks humans missed entirely,
+//! * [`apps::MissingObsFinder`] — missing labels within labeled tracks,
+//! * [`apps::ModelErrorFinder`] — erroneous ML predictions (inverted AOF).
+
+pub mod aof;
+pub mod apps;
+pub mod compile;
+pub mod error;
+pub mod feature;
+pub mod features;
+pub mod learner;
+pub mod rank;
+pub mod scene;
+pub mod score;
+
+pub use aof::Aof;
+pub use error::FixyError;
+pub use feature::{BoundFeature, Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
+pub use learner::{FeatureLibrary, FittedDistribution, Learner};
+pub use scene::{AssemblyConfig, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx};
+
+/// Convenience prelude for downstream users.
+pub mod prelude {
+    pub use crate::aof::Aof;
+    pub use crate::apps::{MissingObsFinder, MissingTrackFinder, ModelErrorFinder};
+    pub use crate::feature::{Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
+    pub use crate::learner::{FeatureLibrary, Learner};
+    pub use crate::rank::{BundleCandidate, TrackCandidate};
+    pub use crate::scene::{
+        AssemblyConfig, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx,
+    };
+    pub use crate::score::{ScoreEngine, ScoreOptions};
+}

@@ -1,0 +1,111 @@
+//! Ranked outputs — the runtime engine's product.
+//!
+//! *"As output, Fixy returns a ranked list of (potentially a subset of)
+//! observations, where higher ranked observations are ideally more likely
+//! to contain errors."*
+
+use crate::scene::{BundleIdx, Scene, TrackIdx};
+use loa_data::ObjectClass;
+use serde::{Deserialize, Serialize};
+
+/// A ranked track candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackCandidate {
+    pub track: TrackIdx,
+    /// Normalized log-likelihood (higher = more likely under the learned
+    /// distributions, after AOF transformation).
+    pub score: f64,
+    pub class: ObjectClass,
+    /// Number of observations in the track.
+    pub n_obs: usize,
+    /// Mean model confidence over the track (None: no model members).
+    pub mean_confidence: Option<f64>,
+}
+
+/// A ranked bundle candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BundleCandidate {
+    pub bundle: BundleIdx,
+    /// The track containing the bundle.
+    pub track: TrackIdx,
+    pub score: f64,
+    pub class: ObjectClass,
+}
+
+/// Sort candidates by descending score with a deterministic tiebreak.
+pub fn sort_track_candidates(candidates: &mut [TrackCandidate]) {
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then(a.track.cmp(&b.track))
+    });
+}
+
+/// Sort bundle candidates by descending score with a deterministic
+/// tiebreak.
+pub fn sort_bundle_candidates(candidates: &mut [BundleCandidate]) {
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then(a.bundle.cmp(&b.bundle))
+    });
+}
+
+/// Build a track candidate from its score.
+pub fn track_candidate(scene: &Scene, track: TrackIdx, score: f64) -> TrackCandidate {
+    let t = scene.track(track);
+    TrackCandidate {
+        track,
+        score,
+        class: scene.track_class(t),
+        n_obs: scene.track_obs(t).len(),
+        mean_confidence: scene.track_mean_confidence(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(track: usize, score: f64) -> TrackCandidate {
+        TrackCandidate {
+            track: TrackIdx(track),
+            score,
+            class: ObjectClass::Car,
+            n_obs: 5,
+            mean_confidence: None,
+        }
+    }
+
+    #[test]
+    fn sorts_descending() {
+        let mut cs = vec![cand(0, -2.0), cand(1, -0.5), cand(2, -1.0)];
+        sort_track_candidates(&mut cs);
+        let order: Vec<usize> = cs.iter().map(|c| c.track.0).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_track_index() {
+        let mut cs = vec![cand(5, -1.0), cand(2, -1.0), cand(9, -1.0)];
+        sort_track_candidates(&mut cs);
+        let order: Vec<usize> = cs.iter().map(|c| c.track.0).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn bundle_sort_descending() {
+        let mk = |b: usize, s: f64| BundleCandidate {
+            bundle: BundleIdx(b),
+            track: TrackIdx(0),
+            score: s,
+            class: ObjectClass::Car,
+        };
+        let mut cs = vec![mk(0, -3.0), mk(1, -1.0), mk(2, -1.0)];
+        sort_bundle_candidates(&mut cs);
+        let order: Vec<usize> = cs.iter().map(|c| c.bundle.0).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+}

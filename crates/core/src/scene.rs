@@ -1,0 +1,493 @@
+//! The LOA scene model: observations, bundles, tracks (Section 4.2).
+//!
+//! Formally a scene `s = {τ}` is a set of tracks; each track
+//! `τ = (β₀, …, βₙ)` is a sequence of observation bundles; each bundle
+//! `β = {ω}` is a set of observations from different modalities.
+//!
+//! [`Scene::assemble`] builds this structure from a raw
+//! [`SceneData`](loa_data::SceneData) exactly the way the paper's worked
+//! example does: same-frame observations associate by box overlap into
+//! bundles; bundles associate across adjacent frames into tracks.
+
+use loa_assoc::{build_tracks, bundle_frame, IouBundler, TrackerConfig};
+use loa_data::{FrameId, ObjectClass, ObservationSource, SceneData};
+use loa_geom::{Box3, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Index of an observation within a [`Scene`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObsIdx(pub usize);
+
+/// Index of a bundle within a [`Scene`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BundleIdx(pub usize);
+
+/// Index of a track within a [`Scene`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TrackIdx(pub usize);
+
+/// One observation `ω`: a 3D box from one source in one frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Observation {
+    pub idx: ObsIdx,
+    pub frame: FrameId,
+    pub source: ObservationSource,
+    /// Index of this observation within its source's per-frame list
+    /// (`frame.human_labels[i]` or `frame.detections[i]`), so evaluation
+    /// can resolve provenance without the engine ever reading it.
+    pub source_index: usize,
+    /// Ego-frame box.
+    pub bbox: Box3,
+    pub class: ObjectClass,
+    /// Model confidence (None for human/auditor labels).
+    pub confidence: Option<f64>,
+    /// Box center in the world frame (ego-motion compensated) — the basis
+    /// of velocity features, so a parked car has near-zero velocity even
+    /// while the ego moves.
+    pub world_center: Vec2,
+}
+
+/// One observation bundle `β`: same-object observations in one frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bundle {
+    pub idx: BundleIdx,
+    pub frame: FrameId,
+    /// Members, in deterministic order.
+    pub obs: Vec<ObsIdx>,
+}
+
+/// One track `τ`: bundles of the same object across time, frame-ordered.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Track {
+    pub idx: TrackIdx,
+    pub bundles: Vec<BundleIdx>,
+}
+
+/// How raw observations are associated into bundles and tracks.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AssemblyConfig {
+    /// Same-frame bundling IOU threshold (the paper's `compute_iou > 0.5`).
+    pub bundle_iou: f64,
+    /// Cross-frame tracking config.
+    pub tracker: TrackerConfig,
+    /// Include human labels as observations.
+    pub use_human: bool,
+    /// Include model detections as observations.
+    pub use_model: bool,
+}
+
+impl Default for AssemblyConfig {
+    fn default() -> Self {
+        AssemblyConfig {
+            bundle_iou: 0.5,
+            tracker: TrackerConfig::default(),
+            use_human: true,
+            use_model: true,
+        }
+    }
+}
+
+impl AssemblyConfig {
+    /// Model-predictions-only assembly (the Section 8.4 application
+    /// assumes no human proposals).
+    pub fn model_only() -> Self {
+        AssemblyConfig { use_human: false, ..Default::default() }
+    }
+}
+
+/// A fully assembled scene.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scene {
+    pub observations: Vec<Observation>,
+    pub bundles: Vec<Bundle>,
+    pub tracks: Vec<Track>,
+    /// Seconds between frames (for velocity features).
+    pub frame_dt: f64,
+    pub n_frames: usize,
+}
+
+impl Scene {
+    /// Assemble bundles and tracks from a raw scene.
+    pub fn assemble(data: &SceneData, cfg: &AssemblyConfig) -> Scene {
+        let n_frames = data.frames.len();
+        let mut observations: Vec<Observation> = Vec::new();
+
+        // Per-frame: gather observations, bundle them, remember bundle
+        // representative boxes for tracking.
+        let mut per_frame_bundles: Vec<Vec<Vec<ObsIdx>>> = Vec::with_capacity(n_frames);
+        let bundler = IouBundler { threshold: cfg.bundle_iou };
+
+        for frame in &data.frames {
+            let mut human_boxes: Vec<Box3> = Vec::new();
+            let mut human_idx: Vec<ObsIdx> = Vec::new();
+            let mut model_boxes: Vec<Box3> = Vec::new();
+            let mut model_idx: Vec<ObsIdx> = Vec::new();
+
+            if cfg.use_human {
+                for (i, label) in frame.human_labels.iter().enumerate() {
+                    let idx = ObsIdx(observations.len());
+                    observations.push(Observation {
+                        idx,
+                        frame: frame.index,
+                        source: ObservationSource::Human,
+                        source_index: i,
+                        bbox: label.bbox,
+                        class: label.class,
+                        confidence: None,
+                        world_center: frame.ego_pose.transform(label.bbox.center.bev()),
+                    });
+                    human_boxes.push(label.bbox);
+                    human_idx.push(idx);
+                }
+            }
+            if cfg.use_model {
+                for (i, det) in frame.detections.iter().enumerate() {
+                    let idx = ObsIdx(observations.len());
+                    observations.push(Observation {
+                        idx,
+                        frame: frame.index,
+                        source: ObservationSource::Model,
+                        source_index: i,
+                        bbox: det.bbox,
+                        class: det.class,
+                        confidence: Some(det.confidence),
+                        world_center: frame.ego_pose.transform(det.bbox.center.bev()),
+                    });
+                    model_boxes.push(det.bbox);
+                    model_idx.push(idx);
+                }
+            }
+
+            let groups = bundle_frame(&[&human_boxes, &model_boxes], &bundler);
+            let frame_bundles: Vec<Vec<ObsIdx>> = groups
+                .into_iter()
+                .map(|g| {
+                    g.members
+                        .into_iter()
+                        .map(|(source, i)| if source == 0 { human_idx[i] } else { model_idx[i] })
+                        .collect()
+                })
+                .collect();
+            per_frame_bundles.push(frame_bundles);
+        }
+
+        // Materialize bundles and representative boxes per frame.
+        let mut bundles: Vec<Bundle> = Vec::new();
+        let mut rep_boxes: Vec<Vec<Box3>> = Vec::with_capacity(n_frames);
+        let mut bundle_lookup: Vec<Vec<BundleIdx>> = Vec::with_capacity(n_frames);
+        for (f, frame_bundles) in per_frame_bundles.into_iter().enumerate() {
+            let mut reps = Vec::with_capacity(frame_bundles.len());
+            let mut ids = Vec::with_capacity(frame_bundles.len());
+            for members in frame_bundles {
+                let idx = BundleIdx(bundles.len());
+                let rep = representative_box(&observations, &members);
+                bundles.push(Bundle {
+                    idx,
+                    frame: FrameId(f as u32),
+                    obs: members,
+                });
+                reps.push(rep);
+                ids.push(idx);
+            }
+            rep_boxes.push(reps);
+            bundle_lookup.push(ids);
+        }
+
+        // Track: link bundles across frames by representative-box overlap.
+        let paths = build_tracks(&rep_boxes, &cfg.tracker);
+        let tracks: Vec<Track> = paths
+            .into_iter()
+            .enumerate()
+            .map(|(i, path)| Track {
+                idx: TrackIdx(i),
+                bundles: path
+                    .entries
+                    .into_iter()
+                    .map(|(f, b)| bundle_lookup[f][b])
+                    .collect(),
+            })
+            .collect();
+
+        Scene { observations, bundles, tracks, frame_dt: data.frame_dt, n_frames }
+    }
+
+    /// The observation an index refers to.
+    pub fn obs(&self, idx: ObsIdx) -> &Observation {
+        &self.observations[idx.0]
+    }
+
+    pub fn bundle(&self, idx: BundleIdx) -> &Bundle {
+        &self.bundles[idx.0]
+    }
+
+    pub fn track(&self, idx: TrackIdx) -> &Track {
+        &self.tracks[idx.0]
+    }
+
+    /// All observation indices of a track, bundle-ordered.
+    pub fn track_obs(&self, track: &Track) -> Vec<ObsIdx> {
+        track
+            .bundles
+            .iter()
+            .flat_map(|&b| self.bundle(b).obs.iter().copied())
+            .collect()
+    }
+
+    /// Whether a track contains an observation from `source`.
+    pub fn track_has_source(&self, track: &Track, source: ObservationSource) -> bool {
+        track
+            .bundles
+            .iter()
+            .any(|&b| self.bundle_has_source(self.bundle(b), source))
+    }
+
+    /// Whether a bundle contains an observation from `source`.
+    pub fn bundle_has_source(&self, bundle: &Bundle, source: ObservationSource) -> bool {
+        bundle.obs.iter().any(|&o| self.obs(o).source == source)
+    }
+
+    /// The representative observation of a bundle: the human label when
+    /// present, else the highest-confidence model prediction.
+    pub fn bundle_representative(&self, bundle: &Bundle) -> &Observation {
+        let mut best: Option<&Observation> = None;
+        for &o in &bundle.obs {
+            let obs = self.obs(o);
+            best = Some(match best {
+                None => obs,
+                Some(cur) => {
+                    let cur_human = cur.source == ObservationSource::Human;
+                    let obs_human = obs.source == ObservationSource::Human;
+                    if obs_human && !cur_human {
+                        obs
+                    } else if cur_human && !obs_human {
+                        cur
+                    } else if obs.confidence.unwrap_or(0.0) > cur.confidence.unwrap_or(0.0) {
+                        obs
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        best.expect("bundles are non-empty by construction")
+    }
+
+    /// Majority class of a track (ties broken by class index).
+    pub fn track_class(&self, track: &Track) -> ObjectClass {
+        let mut counts = [0usize; ObjectClass::ALL.len()];
+        for obs_idx in self.track_obs(track) {
+            counts[self.obs(obs_idx).class.index()] += 1;
+        }
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        ObjectClass::from_index(best).unwrap_or(ObjectClass::Car)
+    }
+
+    /// Mean model confidence over a track's observations (None if the
+    /// track has no model observations).
+    pub fn track_mean_confidence(&self, track: &Track) -> Option<f64> {
+        let confs: Vec<f64> = self
+            .track_obs(track)
+            .into_iter()
+            .filter_map(|o| self.obs(o).confidence)
+            .collect();
+        if confs.is_empty() {
+            None
+        } else {
+            Some(confs.iter().sum::<f64>() / confs.len() as f64)
+        }
+    }
+}
+
+fn representative_box(observations: &[Observation], members: &[ObsIdx]) -> Box3 {
+    // Human boxes are preferred as anchors (they are the curated ones);
+    // among model boxes the highest-confidence wins.
+    let mut best: Option<&Observation> = None;
+    for &m in members {
+        let obs = &observations[m.0];
+        best = Some(match best {
+            None => obs,
+            Some(cur) => {
+                let cur_human = cur.source == ObservationSource::Human;
+                let obs_human = obs.source == ObservationSource::Human;
+                if obs_human && !cur_human {
+                    obs
+                } else if cur_human && !obs_human {
+                    cur
+                } else if obs.confidence.unwrap_or(0.0) > cur.confidence.unwrap_or(0.0) {
+                    obs
+                } else {
+                    cur
+                }
+            }
+        });
+    }
+    best.expect("bundle members non-empty").bbox
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loa_data::{generate_scene, DatasetProfile};
+
+    fn tiny_scene_data(seed: u64) -> SceneData {
+        let mut cfg = DatasetProfile::LyftLike.scene_config();
+        cfg.world.duration = 4.0;
+        cfg.lidar.beam_count = 240;
+        generate_scene(&cfg, "assembly-test", seed)
+    }
+
+    #[test]
+    fn assembly_covers_all_observations() {
+        let data = tiny_scene_data(3);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        let raw_count: usize = data
+            .frames
+            .iter()
+            .map(|f| f.human_labels.len() + f.detections.len())
+            .sum();
+        assert_eq!(scene.observations.len(), raw_count);
+        // Every observation in exactly one bundle.
+        let mut seen = std::collections::BTreeSet::new();
+        for b in &scene.bundles {
+            for &o in &b.obs {
+                assert!(seen.insert(o), "{o:?} in two bundles");
+            }
+        }
+        assert_eq!(seen.len(), raw_count);
+        // Every bundle in exactly one track.
+        let mut seen_b = std::collections::BTreeSet::new();
+        for t in &scene.tracks {
+            for &b in &t.bundles {
+                assert!(seen_b.insert(b), "{b:?} in two tracks");
+            }
+        }
+        assert_eq!(seen_b.len(), scene.bundles.len());
+    }
+
+    #[test]
+    fn model_only_assembly_excludes_human() {
+        let data = tiny_scene_data(4);
+        let scene = Scene::assemble(&data, &AssemblyConfig::model_only());
+        assert!(scene
+            .observations
+            .iter()
+            .all(|o| o.source == ObservationSource::Model));
+        let det_count: usize = data.frames.iter().map(|f| f.detections.len()).sum();
+        assert_eq!(scene.observations.len(), det_count);
+    }
+
+    #[test]
+    fn bundles_mix_sources_for_same_object() {
+        // A well-labeled, well-detected scene should produce many bundles
+        // with both a human and a model member.
+        let data = tiny_scene_data(5);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        let mixed = scene
+            .bundles
+            .iter()
+            .filter(|b| {
+                scene.bundle_has_source(b, ObservationSource::Human)
+                    && scene.bundle_has_source(b, ObservationSource::Model)
+            })
+            .count();
+        assert!(
+            mixed > scene.bundles.len() / 4,
+            "only {mixed}/{} mixed bundles",
+            scene.bundles.len()
+        );
+    }
+
+    #[test]
+    fn tracks_span_multiple_frames() {
+        let data = tiny_scene_data(6);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        let long_tracks = scene.tracks.iter().filter(|t| t.bundles.len() >= 5).count();
+        assert!(long_tracks >= 3, "only {long_tracks} long tracks");
+        // Tracks are frame-ordered.
+        for t in &scene.tracks {
+            let frames: Vec<u32> = t.bundles.iter().map(|&b| scene.bundle(b).frame.0).collect();
+            for w in frames.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn world_centers_compensate_ego_motion() {
+        // A stationary parked car must have a near-constant world center
+        // across a track even though the ego moves.
+        let data = tiny_scene_data(7);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        // Find the longest track and check spread of world centers per
+        // bundle transition is bounded by a plausible per-frame motion.
+        let track = scene
+            .tracks
+            .iter()
+            .max_by_key(|t| t.bundles.len())
+            .expect("tracks exist");
+        for pair in track.bundles.windows(2) {
+            let a = scene.bundle_representative(scene.bundle(pair[0]));
+            let b = scene.bundle_representative(scene.bundle(pair[1]));
+            let frames_apart =
+                (scene.bundle(pair[1]).frame.0 - scene.bundle(pair[0]).frame.0) as f64;
+            let speed =
+                a.world_center.distance(b.world_center) / (frames_apart * scene.frame_dt);
+            assert!(speed < 40.0, "implausible world speed {speed}");
+        }
+    }
+
+    #[test]
+    fn representative_prefers_human() {
+        let data = tiny_scene_data(8);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        for b in &scene.bundles {
+            let rep = scene.bundle_representative(b);
+            if scene.bundle_has_source(b, ObservationSource::Human) {
+                assert_eq!(rep.source, ObservationSource::Human);
+            }
+        }
+    }
+
+    #[test]
+    fn track_class_majority() {
+        let data = tiny_scene_data(9);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        for t in &scene.tracks {
+            let class = scene.track_class(t);
+            let members = scene.track_obs(t);
+            let count = members
+                .iter()
+                .filter(|&&o| scene.obs(o).class == class)
+                .count();
+            // Majority class covers at least half (ties possible).
+            assert!(count * 2 >= members.len());
+        }
+    }
+
+    #[test]
+    fn empty_scene_assembles() {
+        let data = SceneData {
+            id: "empty".into(),
+            frame_dt: 0.2,
+            frames: vec![loa_data::Frame {
+                index: FrameId(0),
+                timestamp: 0.0,
+                ego_pose: loa_geom::Pose2::identity(),
+                gt: vec![],
+                human_labels: vec![],
+                detections: vec![],
+            }],
+            injected: Default::default(),
+        };
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        assert!(scene.observations.is_empty());
+        assert!(scene.bundles.is_empty());
+        assert!(scene.tracks.is_empty());
+        assert_eq!(scene.n_frames, 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Object classes and their physical priors.
+//!
+//! The paper's evaluation focuses on *"the common classes of car, truck,
+//! pedestrian, and motorcycle"*; the simulator additionally models buses and
+//! bicycles so that class-conditional distributions have non-trivial overlap
+//! structure (a bicycle's box volume is close to a motorcycle's — exactly
+//! the confusions real detectors make).
+
+use serde::{Deserialize, Serialize};
+
+/// Object classes annotated in the synthetic datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ObjectClass {
+    Car,
+    Truck,
+    Pedestrian,
+    Motorcycle,
+    Bus,
+    Bicycle,
+}
+
+impl ObjectClass {
+    /// All classes, in stable index order.
+    pub const ALL: [ObjectClass; 6] = [
+        ObjectClass::Car,
+        ObjectClass::Truck,
+        ObjectClass::Pedestrian,
+        ObjectClass::Motorcycle,
+        ObjectClass::Bus,
+        ObjectClass::Bicycle,
+    ];
+
+    /// The four classes the paper's evaluation reports on.
+    pub const EVALUATED: [ObjectClass; 4] = [
+        ObjectClass::Car,
+        ObjectClass::Truck,
+        ObjectClass::Pedestrian,
+        ObjectClass::Motorcycle,
+    ];
+
+    /// Stable dense index (categorical distributions, arrays).
+    pub fn index(self) -> usize {
+        match self {
+            ObjectClass::Car => 0,
+            ObjectClass::Truck => 1,
+            ObjectClass::Pedestrian => 2,
+            ObjectClass::Motorcycle => 3,
+            ObjectClass::Bus => 4,
+            ObjectClass::Bicycle => 5,
+        }
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(idx: usize) -> Option<ObjectClass> {
+        Self::ALL.get(idx).copied()
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectClass::Car => "car",
+            ObjectClass::Truck => "truck",
+            ObjectClass::Pedestrian => "pedestrian",
+            ObjectClass::Motorcycle => "motorcycle",
+            ObjectClass::Bus => "bus",
+            ObjectClass::Bicycle => "bicycle",
+        }
+    }
+
+    /// Mean box dimensions (length, width, height) in meters, roughly
+    /// matching the Lyft Level 5 per-class statistics.
+    pub fn mean_dims(self) -> (f64, f64, f64) {
+        match self {
+            ObjectClass::Car => (4.6, 1.9, 1.7),
+            ObjectClass::Truck => (8.0, 2.6, 3.2),
+            ObjectClass::Pedestrian => (0.8, 0.8, 1.8),
+            ObjectClass::Motorcycle => (2.2, 0.9, 1.5),
+            ObjectClass::Bus => (12.0, 2.9, 3.4),
+            ObjectClass::Bicycle => (1.8, 0.6, 1.4),
+        }
+    }
+
+    /// Relative per-dimension standard deviation of box dimensions.
+    pub fn dims_rel_std(self) -> f64 {
+        match self {
+            ObjectClass::Car => 0.08,
+            ObjectClass::Truck => 0.18,
+            ObjectClass::Pedestrian => 0.10,
+            ObjectClass::Motorcycle => 0.10,
+            ObjectClass::Bus => 0.12,
+            ObjectClass::Bicycle => 0.10,
+        }
+    }
+
+    /// Typical moving speed (mean, std) in m/s for a moving instance.
+    pub fn speed_profile(self) -> (f64, f64) {
+        match self {
+            ObjectClass::Car => (9.0, 3.5),
+            ObjectClass::Truck => (8.0, 3.0),
+            ObjectClass::Pedestrian => (1.4, 0.4),
+            ObjectClass::Motorcycle => (10.0, 4.0),
+            ObjectClass::Bus => (7.5, 2.5),
+            ObjectClass::Bicycle => (4.5, 1.5),
+        }
+    }
+
+    /// Probability that a spawned instance of this class is stationary
+    /// (parked car, standing pedestrian).
+    pub fn stationary_prob(self) -> f64 {
+        match self {
+            ObjectClass::Car => 0.45,
+            ObjectClass::Truck => 0.35,
+            ObjectClass::Pedestrian => 0.25,
+            ObjectClass::Motorcycle => 0.30,
+            ObjectClass::Bus => 0.15,
+            ObjectClass::Bicycle => 0.20,
+        }
+    }
+
+    /// The classes a detector confuses this class with (used by the
+    /// class-confusion error injector).
+    pub fn confusable_with(self) -> &'static [ObjectClass] {
+        match self {
+            ObjectClass::Car => &[ObjectClass::Truck],
+            ObjectClass::Truck => &[ObjectClass::Car, ObjectClass::Bus],
+            ObjectClass::Pedestrian => &[ObjectClass::Bicycle],
+            ObjectClass::Motorcycle => &[ObjectClass::Bicycle],
+            ObjectClass::Bus => &[ObjectClass::Truck],
+            ObjectClass::Bicycle => &[ObjectClass::Motorcycle, ObjectClass::Pedestrian],
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for class in ObjectClass::ALL {
+            assert_eq!(ObjectClass::from_index(class.index()), Some(class));
+        }
+        assert_eq!(ObjectClass::from_index(99), None);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for class in ObjectClass::ALL {
+            assert!(seen.insert(class.index()));
+            assert!(class.index() < ObjectClass::ALL.len());
+        }
+    }
+
+    #[test]
+    fn evaluated_is_subset_of_all() {
+        for class in ObjectClass::EVALUATED {
+            assert!(ObjectClass::ALL.contains(&class));
+        }
+    }
+
+    #[test]
+    fn physical_priors_are_sane() {
+        for class in ObjectClass::ALL {
+            let (l, w, h) = class.mean_dims();
+            assert!(l > 0.0 && w > 0.0 && h > 0.0, "{class}");
+            assert!(l >= w, "{class}: length should dominate width");
+            let (speed, std) = class.speed_profile();
+            assert!(speed > 0.0 && std > 0.0);
+            assert!((0.0..1.0).contains(&class.stationary_prob()));
+            assert!(class.dims_rel_std() > 0.0 && class.dims_rel_std() < 0.5);
+        }
+    }
+
+    #[test]
+    fn truck_bigger_than_car_bigger_than_pedestrian() {
+        let vol = |c: ObjectClass| {
+            let (l, w, h) = c.mean_dims();
+            l * w * h
+        };
+        assert!(vol(ObjectClass::Truck) > vol(ObjectClass::Car));
+        assert!(vol(ObjectClass::Car) > vol(ObjectClass::Motorcycle));
+        assert!(vol(ObjectClass::Motorcycle) > vol(ObjectClass::Pedestrian) * 0.5);
+    }
+
+    #[test]
+    fn confusions_are_symmetric_enough() {
+        // Every confusable class must itself be a real class; no
+        // self-confusion.
+        for class in ObjectClass::ALL {
+            for &other in class.confusable_with() {
+                assert_ne!(class, other);
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(ObjectClass::Car.to_string(), "car");
+        assert_eq!(ObjectClass::Motorcycle.to_string(), "motorcycle");
+    }
+}

@@ -1,0 +1,651 @@
+//! LIDAR 3D-detection model simulator.
+//!
+//! Stands in for the paper's PointPillars/CBGS detectors. What matters to
+//! Fixy is the detector's *output error taxonomy*, which this simulator
+//! reproduces structurally:
+//!
+//! * detection probability driven by simulated LIDAR return counts (so
+//!   distance and occlusion shape misses, as with real detectors),
+//! * localization / extent / yaw noise, with occasional gross errors,
+//! * confidence that is well calibrated for the internal-like profile and
+//!   poorly calibrated for the Lyft-like profile (the paper: *"our internal
+//!   model was trained on already audited data … results in more calibrated
+//!   model predictions"*),
+//! * **clutter** false positives lasting 1–2 frames (caught by the
+//!   appear/flicker ad-hoc assertions),
+//! * **duplicate boxes** on real objects (caught by the multibox
+//!   assertion),
+//! * **persistent ghosts**: multi-frame spurious tracks with inconsistent
+//!   geometry — contiguous and long enough to evade the ad-hoc assertions;
+//!   only unlikely feature values give them away (Section 8.4, Figure 9),
+//! * class confusion between confusable classes.
+
+use crate::class::ObjectClass;
+use crate::types::{Detection, DetectionProvenance, Frame, FrameId, GhostId};
+use loa_geom::{normalize_angle, Box3, Size3, Vec2, Vec3};
+use rand::prelude::*;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Detector behavior parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectorProfile {
+    /// Asymptotic detection probability for a richly-observed object.
+    pub base_detect_prob: f64,
+    /// LIDAR-return half-life of the detection curve:
+    /// `p = base · (1 − exp(−points / halflife))`.
+    pub point_halflife: f64,
+    /// Center noise (m), per axis.
+    pub center_noise_std: f64,
+    /// Relative extent noise.
+    pub size_noise_rel_std: f64,
+    /// Yaw noise (rad).
+    pub yaw_noise_std: f64,
+    /// Probability of a gross localization error on a true detection
+    /// (center off by 1.5–3 m, extents off by 1.5–2×).
+    pub gross_loc_error_rate: f64,
+    /// Probability that the detector *consistently* misclassifies a given
+    /// object for the whole scene (a trained-in confusion — the
+    /// classification errors of Section 8.4).
+    pub track_confusion_rate: f64,
+    /// Probability of a one-off per-frame class flip.
+    pub class_confusion_rate: f64,
+    /// Confidence calibration weight in `[0, 1]`: 1 = confidence equals
+    /// detection quality, 0 = confidence is uniform noise.
+    pub confidence_calibration: f64,
+    /// Additive confidence noise std.
+    pub confidence_noise_std: f64,
+    /// Mean/std of the low-confidence bulk of ghost and clutter
+    /// confidences.
+    pub ghost_confidence_mean: f64,
+    pub ghost_confidence_std: f64,
+    /// Fraction of persistent ghosts drawn from a *high*-confidence mode
+    /// (~0.85): trained-in failure modes far from the decision boundary
+    /// (the paper found errors at up to 95% confidence).
+    pub ghost_high_conf_fraction: f64,
+    /// Expected clutter false positives per frame.
+    pub clutter_rate_per_frame: f64,
+    /// Expected persistent ghost tracks per scene.
+    pub persistent_ghosts_per_scene: f64,
+    /// Ghost track length bounds (frames).
+    pub ghost_min_frames: u32,
+    pub ghost_max_frames: u32,
+    /// Probability of emitting a duplicate box alongside a true detection.
+    pub duplicate_rate: f64,
+}
+
+impl DetectorProfile {
+    /// Public-model profile (trained on noisy Lyft-like labels): more
+    /// ghosts, duplicates, and a poorly calibrated confidence head.
+    pub fn lyft_like() -> Self {
+        DetectorProfile {
+            base_detect_prob: 0.92,
+            point_halflife: 18.0,
+            center_noise_std: 0.18,
+            size_noise_rel_std: 0.06,
+            yaw_noise_std: 0.05,
+            gross_loc_error_rate: 0.004,
+            track_confusion_rate: 0.05,
+            class_confusion_rate: 0.015,
+            confidence_calibration: 0.25,
+            confidence_noise_std: 0.25,
+            // Bimodal ghost confidence: a low bulk (so confidence ordering
+            // keeps some signal for Table 3) plus a high-confidence tail
+            // that uncertainty sampling structurally misses (Section 8.4).
+            ghost_confidence_mean: 0.32,
+            ghost_confidence_std: 0.10,
+            ghost_high_conf_fraction: 0.30,
+            clutter_rate_per_frame: 0.35,
+            persistent_ghosts_per_scene: 7.0,
+            ghost_min_frames: 4,
+            ghost_max_frames: 12,
+            duplicate_rate: 0.01,
+        }
+    }
+
+    /// Internal-model profile (trained on audited data): fewer false
+    /// positives, calibrated confidence.
+    pub fn internal_like() -> Self {
+        DetectorProfile {
+            base_detect_prob: 0.96,
+            point_halflife: 12.0,
+            center_noise_std: 0.10,
+            size_noise_rel_std: 0.04,
+            yaw_noise_std: 0.03,
+            gross_loc_error_rate: 0.002,
+            track_confusion_rate: 0.015,
+            class_confusion_rate: 0.008,
+            confidence_calibration: 0.85,
+            confidence_noise_std: 0.06,
+            ghost_confidence_mean: 0.28,
+            ghost_confidence_std: 0.12,
+            ghost_high_conf_fraction: 0.05,
+            clutter_rate_per_frame: 0.15,
+            persistent_ghosts_per_scene: 4.0,
+            ghost_min_frames: 4,
+            ghost_max_frames: 10,
+            duplicate_rate: 0.005,
+        }
+    }
+
+    /// Detection probability for an object with this many LIDAR returns.
+    pub fn detect_prob(&self, points: u32) -> f64 {
+        self.base_detect_prob * (1.0 - (-(points as f64) / self.point_halflife).exp())
+    }
+}
+
+/// The detector's audit record: ghost tracks it injected.
+#[derive(Debug, Default)]
+pub struct DetectorOutcome {
+    pub ghost_tracks: Vec<(GhostId, Vec<FrameId>)>,
+}
+
+/// Run the simulated detector over a scene's frames, writing
+/// `frame.detections`.
+pub fn run_detector(
+    frames: &mut [Frame],
+    profile: &DetectorProfile,
+    rng: &mut impl Rng,
+) -> DetectorOutcome {
+    let mut outcome = DetectorOutcome::default();
+    let n_frames = frames.len();
+    if n_frames == 0 {
+        return outcome;
+    }
+
+    // --- Sticky per-track class confusions ---------------------------------
+    // A detector trained on noisy data misclassifies some objects
+    // *consistently*; decide those up front.
+    let mut sticky_class: std::collections::BTreeMap<crate::types::TrackId, ObjectClass> =
+        Default::default();
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for frame in frames.iter() {
+            for g in &frame.gt {
+                if seen.insert(g.track) && rng.gen_bool(profile.track_confusion_rate) {
+                    let opts = g.class.confusable_with();
+                    if !opts.is_empty() {
+                        sticky_class.insert(g.track, opts[rng.gen_range(0..opts.len())]);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- True-object detections, duplicates --------------------------------
+    for frame in frames.iter_mut() {
+        let mut detections = Vec::new();
+        for g in &frame.gt {
+            let range = g.bbox.ground_distance_to_origin();
+            if range > 85.0 || g.lidar_points == 0 {
+                continue;
+            }
+            let quality = 1.0 - (-(g.lidar_points as f64) / profile.point_halflife).exp();
+            if !rng.gen_bool((profile.base_detect_prob * quality).clamp(0.0, 1.0)) {
+                continue;
+            }
+            let gross = rng.gen_bool(profile.gross_loc_error_rate);
+            let bbox = noisy_box(&g.bbox, profile, gross, rng);
+            let class = if let Some(&swapped) = sticky_class.get(&g.track) {
+                swapped
+            } else if rng.gen_bool(profile.class_confusion_rate) {
+                let opts = g.class.confusable_with();
+                if opts.is_empty() { g.class } else { opts[rng.gen_range(0..opts.len())] }
+            } else {
+                g.class
+            };
+            let confidence = true_confidence(quality, profile, rng);
+            detections.push(Detection {
+                bbox,
+                class,
+                confidence,
+                provenance: DetectionProvenance::TrueObject(g.track),
+                class_correct: class == g.class,
+                localization_error: gross,
+            });
+            if rng.gen_bool(profile.duplicate_rate) {
+                // A slightly shifted second box on the same object;
+                // occasionally a third (the multibox assertion's target).
+                let n_extra = if rng.gen_bool(0.3) { 2 } else { 1 };
+                for _ in 0..n_extra {
+                    let dup_box = noisy_box(&g.bbox, profile, false, rng).translated(Vec3::new(
+                        rng.gen_range(-0.6..0.6),
+                        rng.gen_range(-0.6..0.6),
+                        0.0,
+                    ));
+                    detections.push(Detection {
+                        bbox: dup_box,
+                        class,
+                        confidence: confidence * rng.gen_range(0.5..0.9),
+                        provenance: DetectionProvenance::Duplicate(g.track),
+                        class_correct: true,
+                        localization_error: false,
+                    });
+                }
+            }
+        }
+        frame.detections = detections;
+    }
+
+    // --- Clutter (1–2 frame false positives) -------------------------------
+    let expected_clutter = profile.clutter_rate_per_frame * n_frames as f64;
+    let n_clutter = sample_count(expected_clutter, rng);
+    for _ in 0..n_clutter {
+        let start = rng.gen_range(0..n_frames);
+        let span = if rng.gen_bool(0.35) { 2 } else { 1 };
+        let class = random_class(rng);
+        let pos = random_position(rng);
+        for k in 0..span {
+            let idx = start + k;
+            if idx >= n_frames {
+                break;
+            }
+            let bbox = clutter_box(class, pos, rng);
+            frames[idx].detections.push(Detection {
+                bbox,
+                class,
+                confidence: ghost_confidence(profile, rng),
+                provenance: DetectionProvenance::Clutter,
+                class_correct: true,
+                localization_error: false,
+            });
+        }
+    }
+
+    // --- Persistent ghosts (Section 8.4 targets) ----------------------------
+    let n_ghosts = sample_count(profile.persistent_ghosts_per_scene, rng);
+    for ghost_idx in 0..n_ghosts {
+        let ghost = GhostId(ghost_idx as u32);
+        let span = rng
+            .gen_range(profile.ghost_min_frames..=profile.ghost_max_frames)
+            .min(n_frames as u32)
+            .max(1) as usize;
+        let start = rng.gen_range(0..n_frames.saturating_sub(span).max(1));
+        let class = random_class(rng);
+        let (ml, mw, mh) = class.mean_dims();
+        // A stable per-ghost confidence: low bulk or high-confidence tail.
+        let base_conf = if rng.gen_bool(profile.ghost_high_conf_fraction) {
+            rng.gen_range(0.78..0.95)
+        } else {
+            (profile.ghost_confidence_mean
+                + rng.gen_range(-1.0..1.5) * profile.ghost_confidence_std)
+                .clamp(0.1, 0.95)
+        };
+        // The ghost's base extent is clearly implausible for its class:
+        // either squashed or blown up. Per-frame jitter on top makes the
+        // volume inconsistent frame to frame.
+        let base_scale = if rng.gen_bool(0.5) {
+            rng.gen_range(0.40..0.62)
+        } else {
+            rng.gen_range(1.5..2.3)
+        };
+        let mut pos = random_position(rng);
+        let mut yaw = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let mut frames_hit = Vec::new();
+        for k in 0..span {
+            let idx = start + k;
+            if idx >= n_frames {
+                break;
+            }
+            // Erratic but overlapping geometry (Figure 9): drift is a
+            // fraction of the box length so consecutive boxes still
+            // overlap and form a track, while extents and yaw wobble in a
+            // physically implausible way.
+            let scale = base_scale * rng.gen_range(0.82..1.22);
+            let length = (ml * scale).max(0.3);
+            let step = rng.gen_range(0.15..0.40) * length;
+            let dir = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+            pos += Vec2::new(dir.cos(), dir.sin()) * step;
+            yaw = normalize_angle(yaw + rng.gen_range(-0.3..0.3));
+            let bbox = Box3::on_ground(
+                pos.x,
+                pos.y,
+                0.0,
+                length,
+                (mw * scale * rng.gen_range(0.85..1.2)).max(0.3),
+                (mh * rng.gen_range(0.7..1.4)).max(0.3),
+                yaw,
+            );
+            frames[idx].detections.push(Detection {
+                bbox,
+                class,
+                confidence: (base_conf + rng.gen_range(-0.05..0.05)).clamp(0.05, 0.99),
+                provenance: DetectionProvenance::PersistentGhost(ghost),
+                class_correct: true,
+                localization_error: false,
+            });
+            frames_hit.push(FrameId(idx as u32));
+        }
+        if !frames_hit.is_empty() {
+            outcome.ghost_tracks.push((ghost, frames_hit));
+        }
+    }
+
+    outcome
+}
+
+fn noisy_box(gt: &Box3, profile: &DetectorProfile, gross: bool, rng: &mut impl Rng) -> Box3 {
+    let center_noise =
+        Normal::new(0.0, profile.center_noise_std.max(1e-9)).expect("positive std");
+    let size_noise =
+        Normal::new(1.0, profile.size_noise_rel_std.max(1e-9)).expect("positive std");
+    let yaw_noise = Normal::new(0.0, profile.yaw_noise_std.max(1e-9)).expect("positive std");
+
+    let (mut dx, mut dy) = (center_noise.sample(rng), center_noise.sample(rng));
+    let (mut sl, mut sw, sh) =
+        (size_noise.sample(rng), size_noise.sample(rng), size_noise.sample(rng));
+    if gross {
+        let d = rng.gen_range(1.5..3.0);
+        let theta = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        dx += d * theta.cos();
+        dy += d * theta.sin();
+        let blow = rng.gen_range(1.5..2.0);
+        if rng.gen_bool(0.5) {
+            sl *= blow;
+            sw *= blow;
+        } else {
+            sl /= blow;
+            sw /= blow;
+        }
+    }
+    let yaw = normalize_angle(gt.yaw + yaw_noise.sample(rng));
+    Box3::new(
+        Vec3::new(gt.center.x + dx, gt.center.y + dy, gt.center.z),
+        Size3::new(
+            (gt.size.length * sl).max(0.2),
+            (gt.size.width * sw).max(0.2),
+            (gt.size.height * sh).max(0.2),
+        ),
+        yaw,
+    )
+}
+
+fn true_confidence(quality: f64, profile: &DetectorProfile, rng: &mut impl Rng) -> f64 {
+    let noise = Normal::new(0.0, profile.confidence_noise_std.max(1e-9))
+        .expect("positive std")
+        .sample(rng);
+    let uniform = rng.gen_range(0.2..1.0);
+    (profile.confidence_calibration * quality
+        + (1.0 - profile.confidence_calibration) * uniform
+        + noise)
+        .clamp(0.05, 0.99)
+}
+
+fn ghost_confidence(profile: &DetectorProfile, rng: &mut impl Rng) -> f64 {
+    Normal::new(profile.ghost_confidence_mean, profile.ghost_confidence_std.max(1e-9))
+        .expect("positive std")
+        .sample(rng)
+        .clamp(0.05, 0.99)
+}
+
+/// Sample an integer count with the given expectation (floor plus a
+/// Bernoulli on the fractional part; adequate for the small rates used).
+fn sample_count(expected: f64, rng: &mut impl Rng) -> usize {
+    let base = expected.floor() as usize;
+    let frac = expected - base as f64;
+    base + usize::from(frac > 0.0 && rng.gen_bool(frac.clamp(0.0, 1.0)))
+}
+
+fn random_class(rng: &mut impl Rng) -> ObjectClass {
+    let classes = ObjectClass::EVALUATED;
+    classes[rng.gen_range(0..classes.len())]
+}
+
+fn random_position(rng: &mut impl Rng) -> Vec2 {
+    let r = rng.gen_range(8.0..55.0);
+    let theta = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+    Vec2::new(r * theta.cos(), r * theta.sin())
+}
+
+fn clutter_box(class: ObjectClass, pos: Vec2, rng: &mut impl Rng) -> Box3 {
+    let (l, w, h) = class.mean_dims();
+    let s = rng.gen_range(0.6..1.6);
+    Box3::on_ground(
+        pos.x + rng.gen_range(-1.0..1.0),
+        pos.y + rng.gen_range(-1.0..1.0),
+        0.0,
+        (l * s).max(0.3),
+        (w * s).max(0.3),
+        (h * rng.gen_range(0.7..1.3)).max(0.3),
+        rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{GtBox, TrackId};
+    use loa_geom::Pose2;
+    use rand::rngs::StdRng;
+
+    fn mk_frames(n_frames: u32, n_tracks: u64, points: u32) -> Vec<Frame> {
+        (0..n_frames)
+            .map(|i| Frame {
+                index: FrameId(i),
+                timestamp: i as f64 * 0.2,
+                ego_pose: Pose2::identity(),
+                gt: (0..n_tracks)
+                    .map(|t| GtBox {
+                        track: TrackId(t),
+                        class: ObjectClass::Car,
+                        bbox: Box3::on_ground(
+                            12.0 + t as f64 * 7.0,
+                            (t % 2) as f64 * 6.0 - 3.0,
+                            0.0,
+                            4.5,
+                            1.9,
+                            1.6,
+                            0.0,
+                        ),
+                        lidar_points: points,
+                        occlusion: 0.0,
+                        visible: true,
+                    })
+                    .collect(),
+                human_labels: vec![],
+                detections: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detect_prob_saturates_with_points() {
+        let p = DetectorProfile::internal_like();
+        assert!(p.detect_prob(0) < 1e-9);
+        assert!(p.detect_prob(5) < p.detect_prob(50));
+        assert!(p.detect_prob(500) <= p.base_detect_prob + 1e-12);
+        assert!(p.detect_prob(500) > 0.9 * p.base_detect_prob);
+    }
+
+    #[test]
+    fn rich_objects_usually_detected() {
+        let mut frames = mk_frames(40, 3, 300);
+        let profile = DetectorProfile::internal_like();
+        run_detector(&mut frames, &profile, &mut StdRng::seed_from_u64(1));
+        let true_dets: usize = frames
+            .iter()
+            .flat_map(|f| &f.detections)
+            .filter(|d| matches!(d.provenance, DetectionProvenance::TrueObject(_)))
+            .count();
+        // 3 tracks × 40 frames = 120 opportunities at ~0.96 detection.
+        assert!(true_dets > 100, "got {true_dets}");
+    }
+
+    #[test]
+    fn sparse_objects_usually_missed() {
+        let mut frames = mk_frames(40, 3, 2);
+        let profile = DetectorProfile::internal_like();
+        run_detector(&mut frames, &profile, &mut StdRng::seed_from_u64(2));
+        let true_dets: usize = frames
+            .iter()
+            .flat_map(|f| &f.detections)
+            .filter(|d| matches!(d.provenance, DetectionProvenance::TrueObject(_)))
+            .count();
+        assert!(true_dets < 40, "got {true_dets}");
+    }
+
+    #[test]
+    fn detection_boxes_near_ground_truth() {
+        let mut frames = mk_frames(30, 2, 300);
+        let profile = DetectorProfile::internal_like();
+        run_detector(&mut frames, &profile, &mut StdRng::seed_from_u64(3));
+        for frame in &frames {
+            for d in &frame.detections {
+                if let DetectionProvenance::TrueObject(t) = d.provenance {
+                    if d.localization_error {
+                        continue;
+                    }
+                    let g = frame.gt.iter().find(|g| g.track == t).unwrap();
+                    assert!(d.bbox.bev_center_distance(&g.bbox) < 1.0);
+                    assert!(d.bbox.is_valid());
+                    assert!((0.0..=1.0).contains(&d.confidence));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lyft_profile_produces_more_ghosts() {
+        let trials = 12;
+        let mut lyft_fp = 0usize;
+        let mut internal_fp = 0usize;
+        for seed in 0..trials {
+            let mut frames = mk_frames(60, 2, 200);
+            run_detector(
+                &mut frames,
+                &DetectorProfile::lyft_like(),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            lyft_fp += frames
+                .iter()
+                .flat_map(|f| &f.detections)
+                .filter(|d| d.provenance.is_false_positive())
+                .count();
+            let mut frames = mk_frames(60, 2, 200);
+            run_detector(
+                &mut frames,
+                &DetectorProfile::internal_like(),
+                &mut StdRng::seed_from_u64(seed + 777),
+            );
+            internal_fp += frames
+                .iter()
+                .flat_map(|f| &f.detections)
+                .filter(|d| d.provenance.is_false_positive())
+                .count();
+        }
+        assert!(lyft_fp > internal_fp, "lyft {lyft_fp} vs internal {internal_fp}");
+    }
+
+    #[test]
+    fn ghost_tracks_are_contiguous_and_recorded() {
+        let mut profile = DetectorProfile::lyft_like();
+        profile.persistent_ghosts_per_scene = 3.0;
+        let mut frames = mk_frames(60, 1, 200);
+        let outcome = run_detector(&mut frames, &profile, &mut StdRng::seed_from_u64(4));
+        assert!(!outcome.ghost_tracks.is_empty());
+        for (ghost, span) in &outcome.ghost_tracks {
+            assert!(!span.is_empty());
+            // Frames are consecutive.
+            for w in span.windows(2) {
+                assert_eq!(w[1].0, w[0].0 + 1);
+            }
+            // Every recorded frame actually contains a ghost detection.
+            for fid in span {
+                let frame = &frames[fid.0 as usize];
+                assert!(frame
+                    .detections
+                    .iter()
+                    .any(|d| d.provenance == DetectionProvenance::PersistentGhost(*ghost)));
+            }
+            // Ghost geometry is erratic: volumes within a track vary a lot.
+            let volumes: Vec<f64> = span
+                .iter()
+                .map(|fid| {
+                    frames[fid.0 as usize]
+                        .detections
+                        .iter()
+                        .find(|d| d.provenance == DetectionProvenance::PersistentGhost(*ghost))
+                        .unwrap()
+                        .bbox
+                        .volume()
+                })
+                .collect();
+            if volumes.len() >= 3 {
+                let max = volumes.iter().copied().fold(f64::MIN, f64::max);
+                let min = volumes.iter().copied().fold(f64::MAX, f64::min);
+                assert!(max / min > 1.2, "ghost volumes too consistent: {volumes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_separates_profiles() {
+        // The gap between mean true-detection confidence and mean
+        // false-positive confidence should be much wider for the internal
+        // profile (calibrated) than the Lyft profile (miscalibrated).
+        let mean_conf = |frames: &[Frame], fp: bool| -> f64 {
+            let vals: Vec<f64> = frames
+                .iter()
+                .flat_map(|f| &f.detections)
+                .filter(|d| d.provenance.is_false_positive() == fp)
+                .map(|d| d.confidence)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let mut lyft_gap = 0.0;
+        let mut internal_gap = 0.0;
+        for seed in 0..8 {
+            let mut frames = mk_frames(80, 3, 150);
+            run_detector(&mut frames, &DetectorProfile::lyft_like(), &mut StdRng::seed_from_u64(seed));
+            lyft_gap += mean_conf(&frames, false) - mean_conf(&frames, true);
+            let mut frames = mk_frames(80, 3, 150);
+            run_detector(
+                &mut frames,
+                &DetectorProfile::internal_like(),
+                &mut StdRng::seed_from_u64(seed + 99),
+            );
+            internal_gap += mean_conf(&frames, false) - mean_conf(&frames, true);
+        }
+        assert!(
+            internal_gap > lyft_gap,
+            "internal gap {internal_gap} should exceed lyft gap {lyft_gap}"
+        );
+    }
+
+    #[test]
+    fn duplicates_reference_real_tracks() {
+        let mut profile = DetectorProfile::lyft_like();
+        profile.duplicate_rate = 0.5;
+        let mut frames = mk_frames(30, 2, 300);
+        run_detector(&mut frames, &profile, &mut StdRng::seed_from_u64(5));
+        let mut saw_duplicate = false;
+        for frame in &frames {
+            for d in &frame.detections {
+                if let DetectionProvenance::Duplicate(t) = d.provenance {
+                    saw_duplicate = true;
+                    assert!(frame.gt.iter().any(|g| g.track == t));
+                }
+            }
+        }
+        assert!(saw_duplicate);
+    }
+
+    #[test]
+    fn empty_scene_is_noop() {
+        let outcome = run_detector(
+            &mut [],
+            &DetectorProfile::lyft_like(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert!(outcome.ghost_tracks.is_empty());
+    }
+
+    #[test]
+    fn sample_count_matches_expectation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let total: usize = (0..2000).map(|_| sample_count(1.7, &mut rng)).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 1.7).abs() < 0.1, "mean {mean}");
+        assert_eq!(sample_count(3.0, &mut rng), 3);
+    }
+}

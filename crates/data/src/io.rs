@@ -1,0 +1,157 @@
+//! JSON persistence for generated scenes.
+//!
+//! The evaluation harness saves the datasets it generated alongside the
+//! result tables, so every number in EXPERIMENTS.md is regenerable from a
+//! seed *or* reloadable byte-for-byte.
+
+use crate::types::SceneData;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Errors from scene persistence.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Json(serde_json::Error),
+    /// The loaded scene failed structural validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Invalid(msg) => write!(f, "invalid scene: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Save a scene as JSON.
+pub fn save_scene(scene: &SceneData, path: &Path) -> Result<(), IoError> {
+    let file = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(file, scene)?;
+    Ok(())
+}
+
+/// Load and validate a scene from JSON.
+pub fn load_scene(path: &Path) -> Result<SceneData, IoError> {
+    let file = BufReader::new(File::open(path)?);
+    let scene: SceneData = serde_json::from_reader(file)?;
+    scene.validate().map_err(IoError::Invalid)?;
+    Ok(scene)
+}
+
+/// Save a whole dataset, one file per scene, into `dir` (created if
+/// missing). Returns the written paths.
+pub fn save_dataset(scenes: &[SceneData], dir: &Path) -> Result<Vec<std::path::PathBuf>, IoError> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(scenes.len());
+    for scene in scenes {
+        let path = dir.join(format!("{}.json", scene.id));
+        save_scene(scene, &path)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{generate_scene, DatasetProfile};
+
+    fn tiny_scene(seed: u64) -> SceneData {
+        let mut cfg = DatasetProfile::LyftLike.scene_config();
+        cfg.world.duration = 2.0;
+        cfg.lidar.beam_count = 180;
+        generate_scene(&cfg, &format!("io-test-{seed}"), seed)
+    }
+
+    #[test]
+    fn roundtrip_scene() {
+        let dir = std::env::temp_dir().join("loa_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scene.json");
+        let scene = tiny_scene(5);
+        save_scene(&scene, &path).unwrap();
+        let loaded = load_scene(&path).unwrap();
+        assert_eq!(loaded.id, scene.id);
+        assert_eq!(loaded.frames.len(), scene.frames.len());
+        assert_eq!(
+            loaded.injected.missing_tracks.len(),
+            scene.injected.missing_tracks.len()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("loa_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        assert!(matches!(load_scene(&path), Err(IoError::Json(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_invalid_scene() {
+        let dir = std::env::temp_dir().join("loa_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("invalid.json");
+        // Structurally valid JSON, semantically invalid scene (no frames).
+        std::fs::write(
+            &path,
+            serde_json::json!({
+                "id": "bad",
+                "frame_dt": 0.2,
+                "frames": [],
+                "injected": {
+                    "missing_tracks": [],
+                    "missing_boxes": [],
+                    "class_flips": [],
+                    "ghost_tracks": []
+                }
+            })
+            .to_string(),
+        )
+        .unwrap();
+        assert!(matches!(load_scene(&path), Err(IoError::Invalid(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = Path::new("/nonexistent/definitely/missing.json");
+        assert!(matches!(load_scene(path), Err(IoError::Io(_))));
+    }
+
+    #[test]
+    fn save_dataset_writes_one_file_per_scene() {
+        let dir = std::env::temp_dir().join("loa_data_io_dataset_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenes = vec![tiny_scene(1), tiny_scene(2)];
+        let paths = save_dataset(&scenes, &dir).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert!(p.exists());
+            load_scene(p).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,256 @@
+//! Scene and dataset generation: the pipeline world → LIDAR → vendor →
+//! detector, with the two dataset profiles used by the evaluation.
+
+use crate::detector::{run_detector, DetectorProfile};
+use crate::lidar::{scan, LidarConfig};
+use crate::types::{Frame, FrameId, GtBox, InjectedErrors, SceneData};
+use crate::vendor::{label_scene, VendorProfile};
+use crate::world::{World, WorldConfig};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration for one scene.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SceneConfig {
+    pub world: WorldConfig,
+    pub lidar: LidarConfig,
+    pub vendor: VendorProfile,
+    pub detector: DetectorProfile,
+    /// Seconds between frames.
+    pub frame_dt: f64,
+}
+
+/// The two dataset profiles of the paper's evaluation (Section 8.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetProfile {
+    /// Lyft Level 5-like: 25 s scenes at 5 Hz, noisy vendor, public-model
+    /// detector with poor calibration.
+    LyftLike,
+    /// Internal-dataset-like: 15 s scenes at 10 Hz, cleaner vendor,
+    /// calibrated detector. Note the deliberately different sampling rate
+    /// and scene length — the paper stresses that *"the class labels,
+    /// sampling rate, and physical sensor layout differ between the two
+    /// datasets"*.
+    InternalLike,
+}
+
+impl DatasetProfile {
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetProfile::LyftLike => "lyft-like",
+            DatasetProfile::InternalLike => "internal-like",
+        }
+    }
+
+    /// The scene configuration for this profile.
+    pub fn scene_config(self) -> SceneConfig {
+        match self {
+            DatasetProfile::LyftLike => SceneConfig {
+                world: WorldConfig { duration: 25.0, ..WorldConfig::default() },
+                lidar: LidarConfig::default(),
+                vendor: VendorProfile::lyft_like(),
+                detector: DetectorProfile::lyft_like(),
+                frame_dt: 0.2, // 5 Hz
+            },
+            DatasetProfile::InternalLike => SceneConfig {
+                world: WorldConfig { duration: 15.0, ..WorldConfig::default() },
+                lidar: LidarConfig {
+                    beam_count: 1200, // denser sensor
+                    ..LidarConfig::default()
+                },
+                vendor: VendorProfile::internal_like(),
+                detector: DetectorProfile::internal_like(),
+                frame_dt: 0.1, // 10 Hz
+            },
+        }
+    }
+
+    /// Number of scenes the paper evaluates on for this profile.
+    pub fn paper_scene_count(self) -> usize {
+        match self {
+            DatasetProfile::LyftLike => 46,
+            DatasetProfile::InternalLike => 13,
+        }
+    }
+}
+
+/// Simulate ground truth + visibility frames for a world (no labels or
+/// detections yet).
+pub fn simulate_frames(world: &World, lidar: &LidarConfig, duration: f64, dt: f64) -> Vec<Frame> {
+    let n_frames = (duration / dt).round().max(1.0) as usize;
+    let mut frames = Vec::with_capacity(n_frames);
+    for i in 0..n_frames {
+        let t = i as f64 * dt;
+        let (ego_pose, boxes) = world.snapshot(t);
+        let bare: Vec<_> = boxes.iter().map(|(_, _, b)| *b).collect();
+        let scan_result = scan(&bare, lidar, false);
+        let gt: Vec<GtBox> = boxes
+            .iter()
+            .zip(&scan_result.visibility)
+            .map(|(&(track, class, bbox), vis)| GtBox {
+                track,
+                class,
+                bbox,
+                lidar_points: vis.points,
+                occlusion: vis.occlusion,
+                visible: vis.visible,
+            })
+            .collect();
+        frames.push(Frame {
+            index: FrameId(i as u32),
+            timestamp: t,
+            ego_pose,
+            gt,
+            human_labels: Vec::new(),
+            detections: Vec::new(),
+        });
+    }
+    frames
+}
+
+/// Generate one complete scene.
+pub fn generate_scene(cfg: &SceneConfig, id: &str, seed: u64) -> SceneData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let world = World::generate(&cfg.world, &mut rng);
+    let mut frames = simulate_frames(&world, &cfg.lidar, cfg.world.duration, cfg.frame_dt);
+    let vendor_outcome = label_scene(&mut frames, &cfg.vendor, &mut rng);
+    let detector_outcome = run_detector(&mut frames, &cfg.detector, &mut rng);
+    let injected = InjectedErrors {
+        missing_tracks: vendor_outcome.missing_tracks,
+        missing_boxes: vendor_outcome.missing_boxes,
+        class_flips: vendor_outcome.class_flips,
+        ghost_tracks: detector_outcome.ghost_tracks,
+    };
+    SceneData { id: id.to_string(), frame_dt: cfg.frame_dt, frames, injected }
+}
+
+/// Generate a dataset of `n` scenes for a profile; scene `i` uses seed
+/// `base_seed + i`.
+pub fn generate_dataset(profile: DatasetProfile, n: usize, base_seed: u64) -> Vec<SceneData> {
+    let cfg = profile.scene_config();
+    (0..n)
+        .map(|i| {
+            let seed = base_seed + i as u64;
+            generate_scene(&cfg, &format!("{}-{:03}-s{}", profile.name(), i, seed), seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DetectionProvenance;
+
+    fn small_config(profile: DatasetProfile) -> SceneConfig {
+        // Shrink for test speed: 6 s, fewer beams.
+        let mut cfg = profile.scene_config();
+        cfg.world.duration = 6.0;
+        cfg.lidar.beam_count = 360;
+        cfg
+    }
+
+    #[test]
+    fn generated_scene_is_valid() {
+        let cfg = small_config(DatasetProfile::LyftLike);
+        let scene = generate_scene(&cfg, "t-0", 42);
+        scene.validate().unwrap();
+        assert_eq!(scene.frame_count(), 30); // 6 s at 5 Hz
+        assert!((scene.duration() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small_config(DatasetProfile::LyftLike);
+        let a = generate_scene(&cfg, "x", 7);
+        let b = generate_scene(&cfg, "x", 7);
+        assert_eq!(a.frames.len(), b.frames.len());
+        for (fa, fb) in a.frames.iter().zip(&b.frames) {
+            assert_eq!(fa.human_labels.len(), fb.human_labels.len());
+            assert_eq!(fa.detections.len(), fb.detections.len());
+        }
+        assert_eq!(a.injected.missing_tracks.len(), b.injected.missing_tracks.len());
+    }
+
+    #[test]
+    fn scene_has_all_three_views() {
+        let cfg = small_config(DatasetProfile::LyftLike);
+        let scene = generate_scene(&cfg, "v", 11);
+        let total_gt: usize = scene.frames.iter().map(|f| f.visible_gt().count()).sum();
+        let total_labels: usize = scene.frames.iter().map(|f| f.human_labels.len()).sum();
+        let total_dets: usize = scene.frames.iter().map(|f| f.detections.len()).sum();
+        assert!(total_gt > 50, "gt {total_gt}");
+        assert!(total_labels > 30, "labels {total_labels}");
+        assert!(total_dets > 30, "dets {total_dets}");
+        // Labels never exceed visible ground truth.
+        assert!(total_labels <= total_gt);
+    }
+
+    #[test]
+    fn injected_errors_consistent_with_frames() {
+        // Any missing track must have zero labels; ghost ids must appear.
+        let cfg = small_config(DatasetProfile::LyftLike);
+        for seed in 0..5 {
+            let scene = generate_scene(&cfg, "c", seed);
+            for mt in &scene.injected.missing_tracks {
+                for frame in &scene.frames {
+                    assert!(
+                        !frame.human_labels.iter().any(|l| l.gt_track == mt.track),
+                        "missed track {:?} has labels (seed {seed})",
+                        mt.track
+                    );
+                }
+            }
+            for (ghost, span) in &scene.injected.ghost_tracks {
+                assert!(!span.is_empty());
+                let any = scene.frames.iter().any(|f| {
+                    f.detections
+                        .iter()
+                        .any(|d| d.provenance == DetectionProvenance::PersistentGhost(*ghost))
+                });
+                assert!(any);
+            }
+        }
+    }
+
+    #[test]
+    fn lyft_profile_has_more_missing_tracks_than_internal() {
+        let mut lyft_missing = 0usize;
+        let mut internal_missing = 0usize;
+        for seed in 0..6 {
+            let scene = generate_scene(&small_config(DatasetProfile::LyftLike), "l", seed);
+            lyft_missing += scene.injected.missing_tracks.len();
+            let scene = generate_scene(&small_config(DatasetProfile::InternalLike), "i", seed);
+            internal_missing += scene.injected.missing_tracks.len();
+        }
+        assert!(
+            lyft_missing > internal_missing,
+            "lyft {lyft_missing} vs internal {internal_missing}"
+        );
+    }
+
+    #[test]
+    fn dataset_generation_produces_distinct_scenes() {
+        // Use the tiny config through generate_scene directly to keep the
+        // test fast, mirroring generate_dataset's seeding scheme.
+        let cfg = small_config(DatasetProfile::LyftLike);
+        let scenes: Vec<SceneData> = (0..3)
+            .map(|i| generate_scene(&cfg, &format!("d-{i}"), 100 + i as u64))
+            .collect();
+        assert_eq!(scenes.len(), 3);
+        let counts: Vec<usize> = scenes
+            .iter()
+            .map(|s| s.frames.iter().map(|f| f.human_labels.len()).sum())
+            .collect();
+        assert!(counts.windows(2).any(|w| w[0] != w[1]), "scenes identical: {counts:?}");
+    }
+
+    #[test]
+    fn profile_metadata() {
+        assert_eq!(DatasetProfile::LyftLike.paper_scene_count(), 46);
+        assert_eq!(DatasetProfile::InternalLike.paper_scene_count(), 13);
+        assert_eq!(DatasetProfile::LyftLike.name(), "lyft-like");
+        // Lyft: 5 Hz; internal: 10 Hz.
+        assert!((DatasetProfile::LyftLike.scene_config().frame_dt - 0.2).abs() < 1e-12);
+        assert!((DatasetProfile::InternalLike.scene_config().frame_dt - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,439 @@
+//! Human-label vendor simulator.
+//!
+//! *"Vendors that provide labels are not always accurate, which is in
+//! contrast to the large body of work that assumes datasets are gold"*
+//! (Section 2). This module produces vendor labels from ground truth with
+//! the paper's observed error classes injected at configurable rates:
+//!
+//! * **entirely-missed tracks** — the most egregious error (Figure 1, the
+//!   truck within 25 m); the probability of missing a track grows with its
+//!   difficulty (few LIDAR points, short visibility, heavy occlusion),
+//! * **per-frame misses** inside otherwise-labeled tracks (Figure 6),
+//! * **geometric jitter** — human boxes are not pixel-perfect,
+//! * **class flips** — rare, between confusable classes.
+
+use crate::class::ObjectClass;
+use crate::types::{
+    ClassFlip, Frame, FrameId, LabeledBox, MissingBox, MissingTrack, TrackId,
+};
+use loa_geom::{normalize_angle, Box3, Size3, Vec3};
+use rand::prelude::*;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Vendor behavior parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VendorProfile {
+    /// Base probability that an easy, clearly visible track is missed
+    /// entirely.
+    pub track_miss_base: f64,
+    /// Additional miss probability for difficult tracks (scaled by a
+    /// difficulty score in `[0, 1]`).
+    pub track_miss_difficulty_weight: f64,
+    /// Probability that a single frame's box is dropped from a labeled
+    /// track (Section 8.3's missing observations; rare).
+    pub frame_miss_rate: f64,
+    /// Standard deviation of center jitter in meters.
+    pub center_jitter_std: f64,
+    /// Relative standard deviation of extent jitter.
+    pub size_jitter_rel_std: f64,
+    /// Standard deviation of yaw jitter in radians.
+    pub yaw_jitter_std: f64,
+    /// Probability of labeling a track with a confusable class.
+    pub class_flip_rate: f64,
+    /// Tracks visible in fewer than this many frames are not expected to be
+    /// labeled (too ephemeral to count as vendor errors).
+    pub min_visible_frames: u32,
+}
+
+impl VendorProfile {
+    /// Noisy vendor, Lyft-like: a substantial fraction of hard tracks
+    /// missed.
+    pub fn lyft_like() -> Self {
+        VendorProfile {
+            track_miss_base: 0.06,
+            track_miss_difficulty_weight: 0.50,
+            frame_miss_rate: 0.004,
+            center_jitter_std: 0.15,
+            size_jitter_rel_std: 0.05,
+            yaw_jitter_std: 0.03,
+            class_flip_rate: 0.01,
+            min_visible_frames: 3,
+        }
+    }
+
+    /// Cleaner vendor, internal-dataset-like (labels were audited).
+    pub fn internal_like() -> Self {
+        VendorProfile {
+            track_miss_base: 0.025,
+            track_miss_difficulty_weight: 0.30,
+            frame_miss_rate: 0.002,
+            center_jitter_std: 0.08,
+            size_jitter_rel_std: 0.03,
+            yaw_jitter_std: 0.015,
+            class_flip_rate: 0.004,
+            min_visible_frames: 3,
+        }
+    }
+}
+
+/// Per-track summary used to decide miss probability.
+#[derive(Debug, Clone)]
+struct TrackStats {
+    class: ObjectClass,
+    visible_frames: Vec<FrameId>,
+    mean_points: f64,
+    mean_occlusion: f64,
+    min_distance: f64,
+}
+
+/// The vendor's output: labels are written into the frames; the injected
+/// errors are returned for the audit record.
+#[derive(Debug, Default)]
+pub struct VendorOutcome {
+    pub missing_tracks: Vec<MissingTrack>,
+    pub missing_boxes: Vec<MissingBox>,
+    pub class_flips: Vec<ClassFlip>,
+}
+
+/// Simulate the labeling vendor over a scene's frames (which must already
+/// carry ground truth + visibility).
+pub fn label_scene(
+    frames: &mut [Frame],
+    profile: &VendorProfile,
+    rng: &mut impl Rng,
+) -> VendorOutcome {
+    let stats = collect_track_stats(frames);
+    let mut outcome = VendorOutcome::default();
+
+    // Decide per-track: miss entirely? flip class?
+    let mut missed: BTreeSet<TrackId> = BTreeSet::new();
+    let mut flipped: BTreeMap<TrackId, ObjectClass> = BTreeMap::new();
+    for (&track, st) in &stats {
+        if (st.visible_frames.len() as u32) < profile.min_visible_frames {
+            // Too ephemeral: vendor not expected to label; not an error
+            // either way. Skip labeling it (conservative vendor).
+            missed.insert(track);
+            continue;
+        }
+        let difficulty = track_difficulty(st);
+        let p_miss = (profile.track_miss_base
+            + profile.track_miss_difficulty_weight * difficulty)
+            .clamp(0.0, 0.95);
+        if rng.gen_bool(p_miss) {
+            missed.insert(track);
+            outcome.missing_tracks.push(MissingTrack {
+                track,
+                class: st.class,
+                visible_frames: st.visible_frames.clone(),
+            });
+            continue;
+        }
+        if rng.gen_bool(profile.class_flip_rate) {
+            let options = st.class.confusable_with();
+            if !options.is_empty() {
+                let flip = options[rng.gen_range(0..options.len())];
+                flipped.insert(track, flip);
+            }
+        }
+    }
+
+    // Emit labels frame by frame.
+    let center_jitter = Normal::new(0.0, profile.center_jitter_std.max(1e-9))
+        .expect("positive std");
+    let yaw_jitter = Normal::new(0.0, profile.yaw_jitter_std.max(1e-9)).expect("positive std");
+    for frame in frames.iter_mut() {
+        let mut labels = Vec::new();
+        for g in &frame.gt {
+            if !g.visible || missed.contains(&g.track) {
+                continue;
+            }
+            // Ephemeral tracks were put into `missed` above, so visibility
+            // here implies the track is labeled somewhere.
+            if rng.gen_bool(profile.frame_miss_rate) {
+                outcome.missing_boxes.push(MissingBox {
+                    track: g.track,
+                    class: g.class,
+                    frame: frame.index,
+                });
+                continue;
+            }
+            let labeled_class = flipped.get(&g.track).copied().unwrap_or(g.class);
+            if labeled_class != g.class {
+                outcome.class_flips.push(ClassFlip {
+                    track: g.track,
+                    frame: frame.index,
+                    true_class: g.class,
+                    labeled_class,
+                });
+            }
+            let bbox = jitter_box(
+                &g.bbox,
+                &center_jitter,
+                profile.size_jitter_rel_std,
+                &yaw_jitter,
+                rng,
+            );
+            labels.push(LabeledBox { bbox, class: labeled_class, gt_track: g.track });
+        }
+        frame.human_labels = labels;
+    }
+    outcome
+}
+
+/// Difficulty in `[0, 1]`: few points, heavy occlusion, far away, or barely
+/// visible all push toward 1.
+fn track_difficulty(st: &TrackStats) -> f64 {
+    let point_term = (-st.mean_points / 40.0).exp(); // few points → 1
+    let occ_term = st.mean_occlusion;
+    let dist_term = (st.min_distance / 80.0).clamp(0.0, 1.0);
+    let brevity_term = (-(st.visible_frames.len() as f64) / 20.0).exp();
+    (0.40 * point_term + 0.25 * occ_term + 0.15 * dist_term + 0.20 * brevity_term)
+        .clamp(0.0, 1.0)
+}
+
+fn collect_track_stats(frames: &[Frame]) -> BTreeMap<TrackId, TrackStats> {
+    let mut map: BTreeMap<TrackId, TrackStats> = BTreeMap::new();
+    for frame in frames {
+        for g in &frame.gt {
+            if !g.visible {
+                continue;
+            }
+            let entry = map.entry(g.track).or_insert_with(|| TrackStats {
+                class: g.class,
+                visible_frames: Vec::new(),
+                mean_points: 0.0,
+                mean_occlusion: 0.0,
+                min_distance: f64::INFINITY,
+            });
+            entry.visible_frames.push(frame.index);
+            entry.mean_points += g.lidar_points as f64;
+            entry.mean_occlusion += g.occlusion;
+            entry.min_distance = entry.min_distance.min(g.bbox.ground_distance_to_origin());
+        }
+    }
+    for st in map.values_mut() {
+        let n = st.visible_frames.len().max(1) as f64;
+        st.mean_points /= n;
+        st.mean_occlusion /= n;
+    }
+    map
+}
+
+fn jitter_box(
+    bbox: &Box3,
+    center_jitter: &Normal<f64>,
+    size_rel_std: f64,
+    yaw_jitter: &Normal<f64>,
+    rng: &mut impl Rng,
+) -> Box3 {
+    let size_jitter =
+        Normal::new(1.0, size_rel_std.max(1e-9)).expect("positive std");
+    let cx = bbox.center.x + center_jitter.sample(rng);
+    let cy = bbox.center.y + center_jitter.sample(rng);
+    let cz = bbox.center.z + 0.3 * center_jitter.sample(rng);
+    let l = (bbox.size.length * size_jitter.sample(rng)).max(0.2);
+    let w = (bbox.size.width * size_jitter.sample(rng)).max(0.2);
+    let h = (bbox.size.height * size_jitter.sample(rng)).max(0.2);
+    let yaw = normalize_angle(bbox.yaw + yaw_jitter.sample(rng));
+    Box3::new(Vec3::new(cx, cy, cz), Size3::new(l, w, h), yaw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GtBox;
+    use loa_geom::Pose2;
+    use rand::rngs::StdRng;
+
+    /// Build frames with `n_tracks` cars, each visible in all frames with
+    /// the given point counts.
+    fn mk_frames(n_frames: u32, n_tracks: u64, points: u32) -> Vec<Frame> {
+        (0..n_frames)
+            .map(|i| Frame {
+                index: FrameId(i),
+                timestamp: i as f64 * 0.2,
+                ego_pose: Pose2::identity(),
+                gt: (0..n_tracks)
+                    .map(|t| GtBox {
+                        track: TrackId(t),
+                        class: ObjectClass::Car,
+                        bbox: Box3::on_ground(
+                            10.0 + t as f64 * 6.0,
+                            (t % 3) as f64 * 4.0 - 4.0,
+                            0.0,
+                            4.5,
+                            1.9,
+                            1.6,
+                            0.0,
+                        ),
+                        lidar_points: points,
+                        occlusion: 0.0,
+                        visible: true,
+                    })
+                    .collect(),
+                human_labels: vec![],
+                detections: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_vendor_labels_everything() {
+        let mut frames = mk_frames(10, 5, 200);
+        let profile = VendorProfile {
+            track_miss_base: 0.0,
+            track_miss_difficulty_weight: 0.0,
+            frame_miss_rate: 0.0,
+            center_jitter_std: 0.0,
+            size_jitter_rel_std: 0.0,
+            yaw_jitter_std: 0.0,
+            class_flip_rate: 0.0,
+            min_visible_frames: 1,
+        };
+        let outcome = label_scene(&mut frames, &profile, &mut StdRng::seed_from_u64(1));
+        assert!(outcome.missing_tracks.is_empty());
+        assert!(outcome.missing_boxes.is_empty());
+        assert!(outcome.class_flips.is_empty());
+        for frame in &frames {
+            assert_eq!(frame.human_labels.len(), 5);
+        }
+    }
+
+    #[test]
+    fn always_missing_vendor_labels_nothing() {
+        let mut frames = mk_frames(10, 4, 200);
+        let mut profile = VendorProfile::lyft_like();
+        profile.track_miss_base = 0.95;
+        profile.track_miss_difficulty_weight = 0.0;
+        let outcome = label_scene(&mut frames, &profile, &mut StdRng::seed_from_u64(7));
+        // With p=0.95 per track, expect most of the 4 tracks missed.
+        assert!(outcome.missing_tracks.len() >= 2);
+        let labeled: usize = frames.iter().map(|f| f.human_labels.len()).sum();
+        let missed_ids: BTreeSet<TrackId> =
+            outcome.missing_tracks.iter().map(|m| m.track).collect();
+        // No labels for missed tracks.
+        for frame in &frames {
+            for l in &frame.human_labels {
+                assert!(!missed_ids.contains(&l.gt_track));
+            }
+        }
+        assert_eq!(labeled, (4 - missed_ids.len()) * 10);
+    }
+
+    #[test]
+    fn difficulty_increases_miss_probability() {
+        // Hard tracks (few points, occluded) should be missed far more
+        // often than easy ones, with everything else equal.
+        let profile = VendorProfile::lyft_like();
+        let trials = 300;
+        let mut hard_missed = 0;
+        let mut easy_missed = 0;
+        for seed in 0..trials {
+            let mut easy = mk_frames(20, 1, 300);
+            let out = label_scene(&mut easy, &profile, &mut StdRng::seed_from_u64(seed));
+            if !out.missing_tracks.is_empty() {
+                easy_missed += 1;
+            }
+            let mut hard = mk_frames(4, 1, 8);
+            for f in hard.iter_mut() {
+                for g in f.gt.iter_mut() {
+                    g.occlusion = 0.7;
+                }
+            }
+            let out =
+                label_scene(&mut hard, &profile, &mut StdRng::seed_from_u64(seed + 10_000));
+            if !out.missing_tracks.is_empty() {
+                hard_missed += 1;
+            }
+        }
+        assert!(
+            hard_missed > 3 * easy_missed.max(1),
+            "hard {hard_missed} vs easy {easy_missed}"
+        );
+    }
+
+    #[test]
+    fn frame_misses_recorded_and_absent_from_labels() {
+        let mut frames = mk_frames(50, 2, 200);
+        let mut profile = VendorProfile::lyft_like();
+        profile.track_miss_base = 0.0;
+        profile.track_miss_difficulty_weight = 0.0;
+        profile.frame_miss_rate = 0.2;
+        let outcome = label_scene(&mut frames, &profile, &mut StdRng::seed_from_u64(3));
+        assert!(!outcome.missing_boxes.is_empty());
+        for mb in &outcome.missing_boxes {
+            let frame = &frames[mb.frame.0 as usize];
+            assert!(
+                !frame.human_labels.iter().any(|l| l.gt_track == mb.track),
+                "missing box for track {:?} still labeled in frame {:?}",
+                mb.track,
+                mb.frame
+            );
+        }
+    }
+
+    #[test]
+    fn ephemeral_tracks_not_counted_as_errors() {
+        let mut frames = mk_frames(2, 1, 200); // only 2 visible frames
+        let profile = VendorProfile::lyft_like(); // min_visible_frames = 3
+        let outcome = label_scene(&mut frames, &profile, &mut StdRng::seed_from_u64(4));
+        assert!(outcome.missing_tracks.is_empty());
+        // And it is not labeled either.
+        assert!(frames.iter().all(|f| f.human_labels.is_empty()));
+    }
+
+    #[test]
+    fn invisible_objects_never_labeled() {
+        let mut frames = mk_frames(10, 1, 200);
+        for f in frames.iter_mut() {
+            for g in f.gt.iter_mut() {
+                g.visible = false;
+            }
+        }
+        let mut profile = VendorProfile::internal_like();
+        profile.track_miss_base = 0.0;
+        let outcome = label_scene(&mut frames, &profile, &mut StdRng::seed_from_u64(5));
+        assert!(outcome.missing_tracks.is_empty());
+        assert!(frames.iter().all(|f| f.human_labels.is_empty()));
+    }
+
+    #[test]
+    fn jitter_perturbs_but_preserves_validity() {
+        let mut frames = mk_frames(20, 3, 200);
+        let mut profile = VendorProfile::lyft_like();
+        profile.track_miss_base = 0.0;
+        profile.track_miss_difficulty_weight = 0.0;
+        profile.frame_miss_rate = 0.0;
+        label_scene(&mut frames, &profile, &mut StdRng::seed_from_u64(6));
+        let mut any_moved = false;
+        for frame in &frames {
+            for l in &frame.human_labels {
+                assert!(l.bbox.is_valid());
+                let g = frame.gt.iter().find(|g| g.track == l.gt_track).unwrap();
+                let d = l.bbox.bev_center_distance(&g.bbox);
+                assert!(d < 2.0, "jitter too large: {d}");
+                if d > 1e-6 {
+                    any_moved = true;
+                }
+            }
+        }
+        assert!(any_moved);
+    }
+
+    #[test]
+    fn class_flips_use_confusable_classes() {
+        let mut frames = mk_frames(10, 20, 200);
+        let mut profile = VendorProfile::lyft_like();
+        profile.track_miss_base = 0.0;
+        profile.track_miss_difficulty_weight = 0.0;
+        profile.class_flip_rate = 0.5;
+        let outcome = label_scene(&mut frames, &profile, &mut StdRng::seed_from_u64(8));
+        assert!(!outcome.class_flips.is_empty());
+        for flip in &outcome.class_flips {
+            assert_eq!(flip.true_class, ObjectClass::Car);
+            assert!(ObjectClass::Car.confusable_with().contains(&flip.labeled_class));
+        }
+    }
+}

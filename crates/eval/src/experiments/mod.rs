@@ -1,0 +1,74 @@
+//! Experiment runners, one per table/figure of Section 8.
+
+pub mod audit_curve;
+pub mod missing_obs;
+pub mod model_errors;
+pub mod recall;
+pub mod runtime;
+pub mod table3;
+
+use std::sync::Mutex;
+
+/// Map a function over items in parallel (scenes are independent), keeping
+/// input order. Uses a crossbeam work-stealing queue over scoped threads.
+pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let queue = crossbeam::queue::SegQueue::new();
+    for (i, item) in items.into_iter().enumerate() {
+        queue.push((i, item));
+    }
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                while let Some((i, item)) = queue.pop() {
+                    let r = f(item);
+                    results.lock().expect("no panics while holding lock")[i] = Some(r);
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}
+
+/// Shrink a scene config for fast test runs.
+pub(crate) fn shrink_config(cfg: &mut loa_data::SceneConfig, duration: f64, beams: usize) {
+    cfg.world.duration = duration;
+    cfg.lidar.beam_count = beams;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..50).collect();
+        let out = parallel_map(items, |x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Ranking metrics.
+
+/// Precision at `k`: fraction of the first `min(k, len)` ranked items that
+/// are relevant. When fewer than `k` items were flagged, the paper's
+/// protocol applies: *"in some cases, fewer than 10 potential errors were
+/// flagged; we use the maximum number in these cases"*. Returns `None`
+/// for an empty ranking.
+pub fn precision_at_k(relevance: &[bool], k: usize) -> Option<f64> {
+    if relevance.is_empty() || k == 0 {
+        return None;
+    }
+    let n = relevance.len().min(k);
+    let hits = relevance[..n].iter().filter(|&&r| r).count();
+    Some(hits as f64 / n as f64)
+}
+
+/// Recall at `k`: fraction of all `total_relevant` items found within the
+/// first `k` ranked items. Returns `None` when there is nothing to find.
+pub fn recall_at_k(relevance: &[bool], k: usize, total_relevant: usize) -> Option<f64> {
+    if total_relevant == 0 {
+        return None;
+    }
+    let n = relevance.len().min(k);
+    let hits = relevance[..n].iter().filter(|&&r| r).count();
+    Some(hits as f64 / total_relevant as f64)
+}
+
+/// Average precision over the full ranking (area under the
+/// precision-recall curve, interpolated at each hit).
+pub fn average_precision(relevance: &[bool], total_relevant: usize) -> Option<f64> {
+    if total_relevant == 0 {
+        return None;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &rel) in relevance.iter().enumerate() {
+        if rel {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    Some(sum / total_relevant as f64)
+}
+
+/// Mean of per-scene metric values, ignoring `None`s. Returns `None` when
+/// every input is `None`.
+pub fn mean_of(values: &[Option<f64>]) -> Option<f64> {
+    let present: Vec<f64> = values.iter().flatten().copied().collect();
+    if present.is_empty() {
+        None
+    } else {
+        Some(present.iter().sum::<f64>() / present.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn precision_basic() {
+        let rel = [true, false, true, true, false];
+        assert_eq!(precision_at_k(&rel, 1), Some(1.0));
+        assert_eq!(precision_at_k(&rel, 2), Some(0.5));
+        assert_eq!(precision_at_k(&rel, 5), Some(0.6));
+    }
+
+    #[test]
+    fn precision_short_ranking_uses_max_available() {
+        // Paper: fewer than 10 flagged → use the maximum number.
+        let rel = [true, true, false];
+        assert_eq!(precision_at_k(&rel, 10), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn precision_edge_cases() {
+        assert_eq!(precision_at_k(&[], 10), None);
+        assert_eq!(precision_at_k(&[true], 0), None);
+    }
+
+    #[test]
+    fn recall_basic() {
+        let rel = [true, false, true, false];
+        assert_eq!(recall_at_k(&rel, 1, 4), Some(0.25));
+        assert_eq!(recall_at_k(&rel, 4, 4), Some(0.5));
+        assert_eq!(recall_at_k(&rel, 10, 2), Some(1.0));
+        assert_eq!(recall_at_k(&rel, 10, 0), None);
+    }
+
+    #[test]
+    fn average_precision_known_values() {
+        // Hits at ranks 1 and 3 of 2 relevant: AP = (1/1 + 2/3)/2 = 5/6.
+        let rel = [true, false, true];
+        let ap = average_precision(&rel, 2).unwrap();
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12);
+        // Perfect ranking.
+        assert_eq!(average_precision(&[true, true], 2), Some(1.0));
+        // All misses.
+        assert_eq!(average_precision(&[false, false], 2), Some(0.0));
+        assert_eq!(average_precision(&[], 0), None);
+    }
+
+    #[test]
+    fn mean_of_skips_none() {
+        assert_eq!(mean_of(&[Some(1.0), None, Some(0.0)]), Some(0.5));
+        assert_eq!(mean_of(&[None, None]), None);
+        assert_eq!(mean_of(&[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_precision_in_unit_interval(
+            rel in proptest::collection::vec(any::<bool>(), 1..50),
+            k in 1usize..60,
+        ) {
+            let p = precision_at_k(&rel, k).unwrap();
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn prop_recall_monotone_in_k(
+            rel in proptest::collection::vec(any::<bool>(), 1..50),
+        ) {
+            let total = rel.iter().filter(|&&r| r).count().max(1);
+            let mut prev = 0.0;
+            for k in 1..=rel.len() {
+                let r = recall_at_k(&rel, k, total).unwrap();
+                prop_assert!(r >= prev - 1e-12);
+                prev = r;
+            }
+        }
+
+        #[test]
+        fn prop_ap_bounded(
+            rel in proptest::collection::vec(any::<bool>(), 1..50),
+        ) {
+            let total = rel.iter().filter(|&&r| r).count();
+            if total > 0 {
+                let ap = average_precision(&rel, total).unwrap();
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+            }
+        }
+    }
+}

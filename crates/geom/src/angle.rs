@@ -1,0 +1,105 @@
+//! Angle helpers.
+//!
+//! Box yaws and ego headings live on the circle; the feature distributions
+//! (heading-consistency, yaw-rate) need well-defined wrapped differences.
+
+use std::f64::consts::PI;
+
+/// Normalize an angle to `(-π, π]`.
+#[inline]
+pub fn normalize_angle(theta: f64) -> f64 {
+    if !theta.is_finite() {
+        return theta;
+    }
+    let two_pi = 2.0 * PI;
+    let mut t = theta % two_pi;
+    if t <= -PI {
+        t += two_pi;
+    } else if t > PI {
+        t -= two_pi;
+    }
+    t
+}
+
+/// Smallest signed difference `a - b` on the circle, in `(-π, π]`.
+#[inline]
+pub fn angle_diff(a: f64, b: f64) -> f64 {
+    normalize_angle(a - b)
+}
+
+/// Absolute heading difference treating directions `θ` and `θ + π` as
+/// equivalent (bounding boxes are symmetric under 180° flips, and detectors
+/// frequently report flipped yaws).
+#[inline]
+pub fn undirected_angle_diff(a: f64, b: f64) -> f64 {
+    let d = angle_diff(a, b).abs();
+    d.min(PI - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalize_identity_in_range() {
+        assert_eq!(normalize_angle(0.0), 0.0);
+        assert!((normalize_angle(1.0) - 1.0).abs() < 1e-12);
+        assert!((normalize_angle(-1.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_wraps_multiples() {
+        assert!((normalize_angle(2.0 * PI)).abs() < 1e-12);
+        assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-3.0 * PI) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_across_wrap() {
+        // 350° vs 10° should be -20°, not 340°.
+        let a = -10.0_f64.to_radians();
+        let b = 10.0_f64.to_radians();
+        assert!((angle_diff(a, b) + 20.0_f64.to_radians()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undirected_treats_flip_as_zero() {
+        assert!(undirected_angle_diff(0.0, PI) < 1e-12);
+        assert!(undirected_angle_diff(0.3, 0.3 + PI) < 1e-12);
+    }
+
+    #[test]
+    fn nan_passes_through() {
+        assert!(normalize_angle(f64::NAN).is_nan());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_normalized_in_range(theta in -1e6f64..1e6f64) {
+            let t = normalize_angle(theta);
+            prop_assert!(t > -PI - 1e-9 && t <= PI + 1e-9);
+        }
+
+        #[test]
+        fn prop_normalize_idempotent(theta in -1e4f64..1e4f64) {
+            let once = normalize_angle(theta);
+            let twice = normalize_angle(once);
+            prop_assert!((once - twice).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_diff_antisymmetric(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+            let d1 = angle_diff(a, b);
+            let d2 = angle_diff(b, a);
+            // Either exact negation or both at the π boundary.
+            prop_assert!((d1 + d2).abs() < 1e-9 || (d1.abs() - PI).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_undirected_bounded(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+            let d = undirected_angle_diff(a, b);
+            prop_assert!((-1e-12..=PI / 2.0 + 1e-9).contains(&d));
+        }
+    }
+}

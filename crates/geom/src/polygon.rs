@@ -1,0 +1,394 @@
+//! Convex polygons in the bird's-eye-view plane.
+//!
+//! Oriented-box IOU reduces to clipping one box footprint against another
+//! (Sutherland–Hodgman) and taking the shoelace area of the result. Both
+//! operations live here so they can be tested independently of boxes.
+
+use crate::vec::Vec2;
+use crate::GEOM_EPS;
+use serde::{Deserialize, Serialize};
+
+/// A convex polygon with counter-clockwise vertex order.
+///
+/// Construction normalizes orientation (clockwise input is reversed) but
+/// does not verify convexity exhaustively; [`ConvexPolygon::is_convex`] is
+/// available for debug assertions and tests. Degenerate polygons (fewer than
+/// three vertices, or near-zero area) are representable — their area is 0 and
+/// they intersect nothing — because clipping naturally produces them.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConvexPolygon {
+    vertices: Vec<Vec2>,
+}
+
+impl ConvexPolygon {
+    /// Build from vertices, normalizing to counter-clockwise order.
+    pub fn new(mut vertices: Vec<Vec2>) -> Self {
+        if signed_area(&vertices) < 0.0 {
+            vertices.reverse();
+        }
+        ConvexPolygon { vertices }
+    }
+
+    /// The empty polygon (zero area, intersects nothing).
+    pub fn empty() -> Self {
+        ConvexPolygon { vertices: Vec::new() }
+    }
+
+    /// Vertices in counter-clockwise order.
+    #[inline]
+    pub fn vertices(&self) -> &[Vec2] {
+        &self.vertices
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3 || self.area() < GEOM_EPS
+    }
+
+    /// Polygon area (non-negative; zero for degenerate polygons).
+    pub fn area(&self) -> f64 {
+        signed_area(&self.vertices).max(0.0)
+    }
+
+    /// Centroid of the polygon. Returns the vertex mean for degenerate
+    /// polygons (area below tolerance).
+    pub fn centroid(&self) -> Vec2 {
+        let n = self.vertices.len();
+        if n == 0 {
+            return Vec2::ZERO;
+        }
+        let a = signed_area(&self.vertices);
+        if a.abs() < GEOM_EPS {
+            let sum = self
+                .vertices
+                .iter()
+                .fold(Vec2::ZERO, |acc, &v| acc + v);
+            return sum / n as f64;
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.cross(q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Vec2::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// True if `point` lies inside or on the boundary.
+    pub fn contains(&self, point: Vec2) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return false;
+        }
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            if (q - p).cross(point - p) < -GEOM_EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Clip this polygon against another convex polygon
+    /// (Sutherland–Hodgman). The result is the convex intersection region,
+    /// possibly empty.
+    pub fn intersect(&self, clip: &ConvexPolygon) -> ConvexPolygon {
+        if self.vertices.len() < 3 || clip.vertices.len() < 3 {
+            return ConvexPolygon::empty();
+        }
+        let mut output = self.vertices.clone();
+        let m = clip.vertices.len();
+        for i in 0..m {
+            if output.is_empty() {
+                break;
+            }
+            let a = clip.vertices[i];
+            let b = clip.vertices[(i + 1) % m];
+            output = clip_against_edge(&output, a, b);
+        }
+        ConvexPolygon::new(output)
+    }
+
+    /// Area of the intersection with another convex polygon.
+    pub fn intersection_area(&self, other: &ConvexPolygon) -> f64 {
+        self.intersect(other).area()
+    }
+
+    /// Verify convexity and counter-clockwise orientation (used in tests and
+    /// debug assertions; clipping can produce collinear vertices, which are
+    /// accepted).
+    pub fn is_convex(&self) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return false;
+        }
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let r = self.vertices[(i + 2) % n];
+            if (q - p).cross(r - q) < -1e-7 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Signed shoelace area: positive for counter-clockwise vertex order.
+fn signed_area(vertices: &[Vec2]) -> f64 {
+    let n = vertices.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += vertices[i].cross(vertices[(i + 1) % n]);
+    }
+    acc / 2.0
+}
+
+/// Keep the part of `subject` on the left of the directed edge `a -> b`.
+fn clip_against_edge(subject: &[Vec2], a: Vec2, b: Vec2) -> Vec<Vec2> {
+    let mut out = Vec::with_capacity(subject.len() + 1);
+    let n = subject.len();
+    let edge = b - a;
+    for i in 0..n {
+        let cur = subject[i];
+        let next = subject[(i + 1) % n];
+        let cur_inside = edge.cross(cur - a) >= -GEOM_EPS;
+        let next_inside = edge.cross(next - a) >= -GEOM_EPS;
+        if cur_inside {
+            out.push(cur);
+            if !next_inside {
+                if let Some(x) = line_intersection(cur, next, a, b) {
+                    out.push(x);
+                }
+            }
+        } else if next_inside {
+            if let Some(x) = line_intersection(cur, next, a, b) {
+                out.push(x);
+            }
+        }
+    }
+    out
+}
+
+/// Intersection of segment `p1 -> p2` with the infinite line through
+/// `a -> b`. Returns `None` for (near-)parallel configurations.
+fn line_intersection(p1: Vec2, p2: Vec2, a: Vec2, b: Vec2) -> Option<Vec2> {
+    let r = p2 - p1;
+    let s = b - a;
+    let denom = r.cross(s);
+    if denom.abs() < GEOM_EPS {
+        return None;
+    }
+    let t = (a - p1).cross(s) / denom;
+    Some(p1 + r * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_square() -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ])
+    }
+
+    fn square_at(cx: f64, cy: f64, half: f64) -> ConvexPolygon {
+        ConvexPolygon::new(vec![
+            Vec2::new(cx - half, cy - half),
+            Vec2::new(cx + half, cy - half),
+            Vec2::new(cx + half, cy + half),
+            Vec2::new(cx - half, cy + half),
+        ])
+    }
+
+    #[test]
+    fn area_of_unit_square() {
+        assert!((unit_square().area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clockwise_input_is_normalized() {
+        let cw = ConvexPolygon::new(vec![
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 0.0),
+        ]);
+        assert!((cw.area() - 1.0).abs() < 1e-12);
+        assert!(cw.is_convex());
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let c = unit_square().centroid();
+        assert!((c.x - 0.5).abs() < 1e-12);
+        assert!((c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_interior_and_excludes_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains(Vec2::new(0.5, 0.5)));
+        assert!(sq.contains(Vec2::new(0.0, 0.0))); // boundary counts
+        assert!(!sq.contains(Vec2::new(1.5, 0.5)));
+        assert!(!sq.contains(Vec2::new(-0.1, 0.5)));
+    }
+
+    #[test]
+    fn self_intersection_is_identity_area() {
+        let sq = unit_square();
+        assert!((sq.intersection_area(&sq) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_squares_have_zero_intersection() {
+        let a = square_at(0.0, 0.0, 0.5);
+        let b = square_at(10.0, 0.0, 0.5);
+        assert_eq!(a.intersection_area(&b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_squares() {
+        let a = square_at(0.0, 0.0, 0.5); // [-0.5, 0.5]^2
+        let b = square_at(0.5, 0.0, 0.5); // [0.0, 1.0] x [-0.5, 0.5]
+        assert!((a.intersection_area(&b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_squares_intersection_is_inner() {
+        let outer = square_at(0.0, 0.0, 2.0);
+        let inner = square_at(0.2, -0.3, 0.5);
+        assert!((outer.intersection_area(&inner) - inner.area()).abs() < 1e-9);
+        assert!((inner.intersection_area(&outer) - inner.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotated_square_intersection_is_octagon() {
+        // Unit-diagonal square rotated 45° inside the unit square centered at
+        // origin: classic octagon case with known area 4*(sqrt(2)-1) for
+        // side 2... use squares of half-extent 1: area = 8*(sqrt(2)-1).
+        let a = square_at(0.0, 0.0, 1.0);
+        let pts: Vec<Vec2> = a
+            .vertices()
+            .iter()
+            .map(|v| v.rotated(std::f64::consts::FRAC_PI_4))
+            .collect();
+        let b = ConvexPolygon::new(pts);
+        let inter = a.intersect(&b);
+        assert_eq!(inter.len(), 8);
+        let expected = 8.0 * (2.0_f64.sqrt() - 1.0);
+        assert!((inter.area() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_polygons() {
+        let empty = ConvexPolygon::empty();
+        assert!(empty.is_empty());
+        assert_eq!(empty.area(), 0.0);
+        assert!(!empty.contains(Vec2::ZERO));
+        assert_eq!(empty.intersection_area(&unit_square()), 0.0);
+
+        let line = ConvexPolygon::new(vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)]);
+        assert!(line.is_empty());
+        assert_eq!(line.intersection_area(&unit_square()), 0.0);
+    }
+
+    #[test]
+    fn triangle_area_and_centroid() {
+        let tri = ConvexPolygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(0.0, 2.0),
+        ]);
+        assert!((tri.area() - 2.0).abs() < 1e-12);
+        let c = tri.centroid();
+        assert!((c.x - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.y - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_area_bounded(
+            cx in -3.0f64..3.0, cy in -3.0f64..3.0,
+            half_a in 0.1f64..2.0, half_b in 0.1f64..2.0,
+            yaw in -3.2f64..3.2,
+        ) {
+            let a = square_at(0.0, 0.0, half_a);
+            let pts: Vec<Vec2> = square_at(0.0, 0.0, half_b)
+                .vertices()
+                .iter()
+                .map(|v| v.rotated(yaw) + Vec2::new(cx, cy))
+                .collect();
+            let b = ConvexPolygon::new(pts);
+            let i = a.intersection_area(&b);
+            prop_assert!(i >= -1e-9);
+            prop_assert!(i <= a.area() + 1e-7);
+            prop_assert!(i <= b.area() + 1e-7);
+        }
+
+        #[test]
+        fn prop_intersection_symmetric(
+            cx in -2.0f64..2.0, cy in -2.0f64..2.0,
+            half_a in 0.2f64..1.5, half_b in 0.2f64..1.5,
+            yaw in -3.2f64..3.2,
+        ) {
+            let a = square_at(0.0, 0.0, half_a);
+            let pts: Vec<Vec2> = square_at(0.0, 0.0, half_b)
+                .vertices()
+                .iter()
+                .map(|v| v.rotated(yaw) + Vec2::new(cx, cy))
+                .collect();
+            let b = ConvexPolygon::new(pts);
+            let ab = a.intersection_area(&b);
+            let ba = b.intersection_area(&a);
+            prop_assert!((ab - ba).abs() < 1e-7);
+        }
+
+        #[test]
+        fn prop_clip_result_convex(
+            cx in -1.5f64..1.5, cy in -1.5f64..1.5, yaw in -3.2f64..3.2,
+        ) {
+            let a = square_at(0.0, 0.0, 1.0);
+            let pts: Vec<Vec2> = square_at(0.0, 0.0, 1.0)
+                .vertices()
+                .iter()
+                .map(|v| v.rotated(yaw) + Vec2::new(cx, cy))
+                .collect();
+            let b = ConvexPolygon::new(pts);
+            let inter = a.intersect(&b);
+            if !inter.is_empty() {
+                prop_assert!(inter.is_convex());
+            }
+        }
+
+        #[test]
+        fn prop_centroid_inside(
+            half in 0.2f64..2.0, yaw in -3.2f64..3.2,
+        ) {
+            let pts: Vec<Vec2> = square_at(0.0, 0.0, half)
+                .vertices()
+                .iter()
+                .map(|v| v.rotated(yaw))
+                .collect();
+            let p = ConvexPolygon::new(pts);
+            prop_assert!(p.contains(p.centroid()));
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Factor-graph substrate for the Fixy / Learned Observation Assertions
+//! reproduction.
+//!
+//! Section 2 of the paper: a factor graph is a bipartite graph
+//! `G = (X, F, E)` between random variables `X` (observations, in LOA) and
+//! factors `F` (feature-distribution instances), with an edge from factor
+//! `f_j` to variable `X_i` iff `X_i ∈ S_j` in the factorization
+//! `g(X) = Π_j f_j(S_j)`.
+//!
+//! [`FactorGraph`] is the structure LOA scenes compile into (Section 4.3);
+//! [`score`] implements the normalized log-likelihood scoring of Section 6;
+//! [`sum_product`] adds exact marginal inference on acyclic graphs — beyond
+//! what Fixy's ranking needs, but the natural extension the paper's related
+//! work (robot-perception factor graphs) points at, and used by an ablation.
+
+pub mod graph;
+pub mod score;
+pub mod sum_product;
+
+pub use graph::{FactorGraph, FactorId, GraphError, VarId};
+pub use score::{normalized_log_score, ComponentScore, ScopeMode};
+pub use sum_product::{DiscreteFactor, SumProduct, SumProductError};

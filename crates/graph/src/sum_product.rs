@@ -1,0 +1,480 @@
+//! Exact sum-product (belief propagation) on acyclic factor graphs.
+//!
+//! Fixy's ranking only needs the normalized log-score of Section 6, but the
+//! paper's related-work section positions LOA next to the factor graphs of
+//! robot perception, where marginal inference is the point. This module
+//! provides exact marginals on trees over discrete variables — used by the
+//! `ablations` bench to show that for LOA's graphs (unary and chain factors
+//! with fixed evidence) the normalized score ranking and the posterior
+//! marginal ranking agree.
+//!
+//! Variables carry their domain size as the payload; factors carry a
+//! row-major table over their scope.
+
+use crate::graph::{FactorGraph, FactorId, VarId};
+use serde::{Deserialize, Serialize};
+
+/// A discrete factor: a non-negative table over the factor's scope, laid
+/// out row-major (first scope variable is the slowest index).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteFactor {
+    pub table: Vec<f64>,
+}
+
+impl DiscreteFactor {
+    pub fn new(table: Vec<f64>) -> Self {
+        DiscreteFactor { table }
+    }
+}
+
+/// Errors from sum-product inference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SumProductError {
+    /// The graph contains a cycle; exact two-pass BP does not apply.
+    NotAForest,
+    /// A factor table's length does not match its scope's domain sizes.
+    BadTable { factor: usize, expected: usize, got: usize },
+    /// A factor table contains a negative or non-finite entry.
+    InvalidEntry { factor: usize },
+    /// A variable has domain size zero.
+    EmptyDomain { var: usize },
+    /// All configurations have zero probability.
+    ZeroPartition,
+}
+
+impl std::fmt::Display for SumProductError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SumProductError::NotAForest => write!(f, "factor graph has a cycle"),
+            SumProductError::BadTable { factor, expected, got } => {
+                write!(f, "factor {factor}: table length {got}, expected {expected}")
+            }
+            SumProductError::InvalidEntry { factor } => {
+                write!(f, "factor {factor}: negative or non-finite table entry")
+            }
+            SumProductError::EmptyDomain { var } => write!(f, "variable {var} has empty domain"),
+            SumProductError::ZeroPartition => write!(f, "all configurations have zero mass"),
+        }
+    }
+}
+
+impl std::error::Error for SumProductError {}
+
+/// Exact sum-product runner.
+pub struct SumProduct;
+
+/// The factor-graph type sum-product operates on: variable payloads are
+/// domain sizes.
+pub type DiscreteGraph = FactorGraph<usize, DiscreteFactor>;
+
+impl SumProduct {
+    /// Compute the exact marginal distribution of every variable.
+    ///
+    /// Runs synchronous message passing for `#nodes` rounds, which reaches
+    /// the fixed point on forests; cyclic graphs are rejected up front.
+    pub fn marginals(graph: &DiscreteGraph) -> Result<Vec<Vec<f64>>, SumProductError> {
+        validate(graph)?;
+        if !graph.is_forest() {
+            return Err(SumProductError::NotAForest);
+        }
+
+        let n_vars = graph.var_count();
+        let n_factors = graph.factor_count();
+
+        // Message storage: var→factor and factor→var, indexed by (factor,
+        // position-in-scope) so lookups are O(1).
+        let mut msg_vf: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n_factors);
+        let mut msg_fv: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n_factors);
+        for f in graph.factor_ids() {
+            let mut per_pos_vf = Vec::new();
+            let mut per_pos_fv = Vec::new();
+            for &v in graph.scope(f) {
+                let k = *graph.var(v);
+                per_pos_vf.push(vec![1.0; k]);
+                per_pos_fv.push(vec![1.0; k]);
+            }
+            msg_vf.push(per_pos_vf);
+            msg_fv.push(per_pos_fv);
+        }
+
+        let rounds = n_vars + n_factors + 2;
+        for _ in 0..rounds {
+            // Variable → factor messages.
+            for f in graph.factor_ids() {
+                let scope = graph.scope(f);
+                for (pos, &v) in scope.iter().enumerate() {
+                    let k = *graph.var(v);
+                    let mut m = vec![1.0; k];
+                    for &g_id in graph.incident_factors(v) {
+                        if g_id == f {
+                            continue;
+                        }
+                        let g_pos = position_in_scope(graph, g_id, v);
+                        let incoming = &msg_fv[g_id.0][g_pos];
+                        for (mi, &inc) in m.iter_mut().zip(incoming) {
+                            *mi *= inc;
+                        }
+                    }
+                    normalize(&mut m);
+                    msg_vf[f.0][pos] = m;
+                }
+            }
+            // Factor → variable messages.
+            for f in graph.factor_ids() {
+                let scope = graph.scope(f);
+                let sizes: Vec<usize> = scope.iter().map(|&v| *graph.var(v)).collect();
+                let table = &graph.factor(f).table;
+                for (pos, &v) in scope.iter().enumerate() {
+                    let k = *graph.var(v);
+                    let mut m = vec![0.0; k];
+                    for_each_assignment(&sizes, |assign, idx| {
+                        let mut w = table[idx];
+                        if w == 0.0 {
+                            return;
+                        }
+                        for (other_pos, &val) in assign.iter().enumerate() {
+                            if other_pos != pos {
+                                w *= msg_vf[f.0][other_pos][val];
+                            }
+                        }
+                        m[assign[pos]] += w;
+                    });
+                    normalize(&mut m);
+                    msg_fv[f.0][pos] = m;
+                }
+            }
+        }
+
+        // Beliefs.
+        let mut marginals = Vec::with_capacity(n_vars);
+        for v in graph.var_ids() {
+            let k = *graph.var(v);
+            let mut b = vec![1.0; k];
+            for &f in graph.incident_factors(v) {
+                let pos = position_in_scope(graph, f, v);
+                for (bi, &m) in b.iter_mut().zip(&msg_fv[f.0][pos]) {
+                    *bi *= m;
+                }
+            }
+            let total: f64 = b.iter().sum();
+            if total <= 0.0 {
+                return Err(SumProductError::ZeroPartition);
+            }
+            for bi in &mut b {
+                *bi /= total;
+            }
+            marginals.push(b);
+        }
+        Ok(marginals)
+    }
+
+    /// Brute-force marginals by enumerating every joint assignment.
+    /// Exponential; test/verification use only.
+    pub fn marginals_brute_force(
+        graph: &DiscreteGraph,
+    ) -> Result<Vec<Vec<f64>>, SumProductError> {
+        validate(graph)?;
+        let sizes: Vec<usize> = graph.var_ids().map(|v| *graph.var(v)).collect();
+        let mut marginals: Vec<Vec<f64>> = sizes.iter().map(|&k| vec![0.0; k]).collect();
+        let mut total = 0.0;
+        for_each_assignment(&sizes, |assign, _| {
+            let mut w = 1.0;
+            for f in graph.factor_ids() {
+                let scope = graph.scope(f);
+                let f_sizes: Vec<usize> = scope.iter().map(|&v| *graph.var(v)).collect();
+                let local: Vec<usize> = scope.iter().map(|&v| assign[v.0]).collect();
+                w *= graph.factor(f).table[flat_index(&f_sizes, &local)];
+            }
+            total += w;
+            for (v, &val) in assign.iter().enumerate() {
+                marginals[v][val] += w;
+            }
+        });
+        if total <= 0.0 {
+            return Err(SumProductError::ZeroPartition);
+        }
+        for m in &mut marginals {
+            for x in m.iter_mut() {
+                *x /= total;
+            }
+        }
+        Ok(marginals)
+    }
+}
+
+fn validate(graph: &DiscreteGraph) -> Result<(), SumProductError> {
+    for v in graph.var_ids() {
+        if *graph.var(v) == 0 {
+            return Err(SumProductError::EmptyDomain { var: v.0 });
+        }
+    }
+    for f in graph.factor_ids() {
+        let expected: usize = graph.scope(f).iter().map(|&v| *graph.var(v)).product();
+        let table = &graph.factor(f).table;
+        if table.len() != expected {
+            return Err(SumProductError::BadTable {
+                factor: f.0,
+                expected,
+                got: table.len(),
+            });
+        }
+        if table.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err(SumProductError::InvalidEntry { factor: f.0 });
+        }
+    }
+    Ok(())
+}
+
+fn position_in_scope(graph: &DiscreteGraph, f: FactorId, v: VarId) -> usize {
+    graph
+        .scope(f)
+        .iter()
+        .position(|&w| w == v)
+        .expect("incidence and scope are consistent by construction")
+}
+
+fn normalize(m: &mut [f64]) {
+    let total: f64 = m.iter().sum();
+    if total > 0.0 {
+        for x in m.iter_mut() {
+            *x /= total;
+        }
+    }
+    // An all-zero message is left as-is: it means the sending subtree has
+    // zero mass for every value, and must propagate so the belief stage can
+    // report ZeroPartition.
+}
+
+/// Row-major flat index for an assignment under mixed-radix `sizes`.
+fn flat_index(sizes: &[usize], assign: &[usize]) -> usize {
+    let mut idx = 0;
+    for (&k, &a) in sizes.iter().zip(assign) {
+        idx = idx * k + a;
+    }
+    idx
+}
+
+/// Visit every assignment of the mixed-radix space `sizes`, passing the
+/// assignment and its row-major flat index.
+fn for_each_assignment(sizes: &[usize], mut visit: impl FnMut(&[usize], usize)) {
+    if sizes.contains(&0) {
+        return;
+    }
+    let mut assign = vec![0usize; sizes.len()];
+    let total: usize = sizes.iter().product();
+    for idx in 0..total {
+        visit(&assign, idx);
+        // Increment mixed-radix counter (last position fastest).
+        for pos in (0..sizes.len()).rev() {
+            assign[pos] += 1;
+            if assign[pos] < sizes[pos] {
+                break;
+            }
+            assign[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn single_variable_unary_factor() {
+        let mut g: DiscreteGraph = FactorGraph::new();
+        let v = g.add_var(3);
+        g.add_factor(DiscreteFactor::new(vec![1.0, 2.0, 1.0]), vec![v]).unwrap();
+        let m = SumProduct::marginals(&g).unwrap();
+        assert!(close(&m[0], &[0.25, 0.5, 0.25], 1e-9));
+    }
+
+    #[test]
+    fn chain_matches_brute_force() {
+        // v0 - f(v0,v1) - v1 - f(v1,v2) - v2, binary vars with asymmetric
+        // unary evidence.
+        let mut g: DiscreteGraph = FactorGraph::new();
+        let v0 = g.add_var(2);
+        let v1 = g.add_var(2);
+        let v2 = g.add_var(2);
+        g.add_factor(DiscreteFactor::new(vec![0.8, 0.2]), vec![v0]).unwrap();
+        g.add_factor(DiscreteFactor::new(vec![0.5, 0.5]), vec![v1]).unwrap();
+        g.add_factor(DiscreteFactor::new(vec![0.3, 0.7]), vec![v2]).unwrap();
+        // Agreement potential.
+        let agree = DiscreteFactor::new(vec![0.9, 0.1, 0.1, 0.9]);
+        g.add_factor(agree.clone(), vec![v0, v1]).unwrap();
+        g.add_factor(agree, vec![v1, v2]).unwrap();
+
+        let bp = SumProduct::marginals(&g).unwrap();
+        let bf = SumProduct::marginals_brute_force(&g).unwrap();
+        for (a, b) in bp.iter().zip(&bf) {
+            assert!(close(a, b, 1e-9), "bp {a:?} vs brute {b:?}");
+        }
+    }
+
+    #[test]
+    fn ternary_factor_matches_brute_force() {
+        let mut g: DiscreteGraph = FactorGraph::new();
+        let v0 = g.add_var(2);
+        let v1 = g.add_var(3);
+        let v2 = g.add_var(2);
+        let table: Vec<f64> = (0..12).map(|i| 1.0 + (i as f64 * 0.37) % 1.0).collect();
+        g.add_factor(DiscreteFactor::new(table), vec![v0, v1, v2]).unwrap();
+        let bp = SumProduct::marginals(&g).unwrap();
+        let bf = SumProduct::marginals_brute_force(&g).unwrap();
+        for (a, b) in bp.iter().zip(&bf) {
+            assert!(close(a, b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn disconnected_components_independent() {
+        let mut g: DiscreteGraph = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(2);
+        g.add_factor(DiscreteFactor::new(vec![1.0, 3.0]), vec![a]).unwrap();
+        g.add_factor(DiscreteFactor::new(vec![1.0, 1.0]), vec![b]).unwrap();
+        let m = SumProduct::marginals(&g).unwrap();
+        assert!(close(&m[0], &[0.25, 0.75], 1e-9));
+        assert!(close(&m[1], &[0.5, 0.5], 1e-9));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g: DiscreteGraph = FactorGraph::new();
+        let vs: Vec<VarId> = (0..3).map(|_| g.add_var(2)).collect();
+        let pair = DiscreteFactor::new(vec![1.0, 0.5, 0.5, 1.0]);
+        g.add_factor(pair.clone(), vec![vs[0], vs[1]]).unwrap();
+        g.add_factor(pair.clone(), vec![vs[1], vs[2]]).unwrap();
+        g.add_factor(pair, vec![vs[2], vs[0]]).unwrap();
+        assert_eq!(SumProduct::marginals(&g), Err(SumProductError::NotAForest));
+    }
+
+    #[test]
+    fn bad_table_rejected() {
+        let mut g: DiscreteGraph = FactorGraph::new();
+        let v = g.add_var(3);
+        g.add_factor(DiscreteFactor::new(vec![1.0, 2.0]), vec![v]).unwrap();
+        assert!(matches!(
+            SumProduct::marginals(&g),
+            Err(SumProductError::BadTable { factor: 0, expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn negative_entry_rejected() {
+        let mut g: DiscreteGraph = FactorGraph::new();
+        let v = g.add_var(2);
+        g.add_factor(DiscreteFactor::new(vec![1.0, -2.0]), vec![v]).unwrap();
+        assert!(matches!(
+            SumProduct::marginals(&g),
+            Err(SumProductError::InvalidEntry { factor: 0 })
+        ));
+    }
+
+    #[test]
+    fn zero_mass_rejected() {
+        let mut g: DiscreteGraph = FactorGraph::new();
+        let v = g.add_var(2);
+        g.add_factor(DiscreteFactor::new(vec![0.0, 0.0]), vec![v]).unwrap();
+        assert_eq!(
+            SumProduct::marginals(&g),
+            Err(SumProductError::ZeroPartition)
+        );
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        let mut g: DiscreteGraph = FactorGraph::new();
+        g.add_var(0);
+        assert_eq!(
+            SumProduct::marginals(&g),
+            Err(SumProductError::EmptyDomain { var: 0 })
+        );
+    }
+
+    #[test]
+    fn flat_index_row_major() {
+        assert_eq!(flat_index(&[2, 3], &[0, 0]), 0);
+        assert_eq!(flat_index(&[2, 3], &[0, 2]), 2);
+        assert_eq!(flat_index(&[2, 3], &[1, 0]), 3);
+        assert_eq!(flat_index(&[2, 3], &[1, 2]), 5);
+    }
+
+    #[test]
+    fn for_each_assignment_visits_all() {
+        let mut seen = Vec::new();
+        for_each_assignment(&[2, 3], |assign, idx| {
+            seen.push((assign.to_vec(), idx));
+        });
+        assert_eq!(seen.len(), 6);
+        // Flat indices are sequential and consistent with flat_index.
+        for (i, (assign, idx)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(flat_index(&[2, 3], assign), i);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_star_graph_matches_brute_force(
+            k in 2usize..4,
+            leaves in 1usize..4,
+            seed in 0u64..1000,
+        ) {
+            // Star: one hub variable connected to each leaf via a pairwise
+            // factor with pseudo-random entries.
+            let mut g: DiscreteGraph = FactorGraph::new();
+            let hub = g.add_var(k);
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) + 0.05
+            };
+            for _ in 0..leaves {
+                let leaf = g.add_var(k);
+                let table: Vec<f64> = (0..k * k).map(|_| next()).collect();
+                g.add_factor(DiscreteFactor::new(table), vec![hub, leaf]).unwrap();
+            }
+            let bp = SumProduct::marginals(&g).unwrap();
+            let bf = SumProduct::marginals_brute_force(&g).unwrap();
+            for (a, b) in bp.iter().zip(&bf) {
+                prop_assert!(close(a, b, 1e-7), "bp {:?} vs bf {:?}", a, b);
+            }
+        }
+
+        #[test]
+        fn prop_marginals_are_distributions(
+            k in 1usize..5, n in 1usize..6, seed in 0u64..1000,
+        ) {
+            let mut g: DiscreteGraph = FactorGraph::new();
+            let mut state = seed.wrapping_add(17);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) + 0.01
+            };
+            let vars: Vec<VarId> = (0..n).map(|_| g.add_var(k)).collect();
+            for &v in &vars {
+                let table: Vec<f64> = (0..k).map(|_| next()).collect();
+                g.add_factor(DiscreteFactor::new(table), vec![v]).unwrap();
+            }
+            // Chain factors keep it a tree.
+            for w in vars.windows(2) {
+                let table: Vec<f64> = (0..k * k).map(|_| next()).collect();
+                g.add_factor(DiscreteFactor::new(table), vec![w[0], w[1]]).unwrap();
+            }
+            let m = SumProduct::marginals(&g).unwrap();
+            for dist in m {
+                let total: f64 = dist.iter().sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                prop_assert!(dist.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! ASCII bird's-eye-view rendering.
+//!
+//! Character legend (painted in increasing priority):
+//! `.` LIDAR return · `( )` range rings · `+` model prediction ·
+//! `#` human label · `!` missing (visible but unlabeled) object ·
+//! `E` the ego vehicle at the origin.
+
+use crate::FrameLayers;
+use loa_geom::{Box3, Vec2};
+
+/// ASCII rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct AsciiOptions {
+    /// Rendered x range (meters, ego frame): `[x_min, x_max]`.
+    pub x_range: (f64, f64),
+    /// Rendered y range.
+    pub y_range: (f64, f64),
+    /// Grid columns.
+    pub width: usize,
+    /// Grid rows.
+    pub height: usize,
+    /// Radii of range rings, meters.
+    pub rings: &'static [f64],
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions {
+            x_range: (-20.0, 60.0),
+            y_range: (-30.0, 30.0),
+            width: 100,
+            height: 45,
+            rings: &[10.0, 20.0, 40.0],
+        }
+    }
+}
+
+struct Grid {
+    cells: Vec<char>,
+    width: usize,
+    height: usize,
+    opts: AsciiOptions,
+}
+
+impl Grid {
+    fn new(opts: AsciiOptions) -> Grid {
+        Grid {
+            cells: vec![' '; opts.width * opts.height],
+            width: opts.width,
+            height: opts.height,
+            opts,
+        }
+    }
+
+    fn to_cell(&self, p: Vec2) -> Option<(usize, usize)> {
+        let (x0, x1) = self.opts.x_range;
+        let (y0, y1) = self.opts.y_range;
+        if p.x < x0 || p.x > x1 || p.y < y0 || p.y > y1 {
+            return None;
+        }
+        let col = ((p.x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+        // +y is left in the ego frame; render it upward (row 0 at top).
+        let row = ((y1 - p.y) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+        Some((row.min(self.height - 1), col.min(self.width - 1)))
+    }
+
+    fn plot(&mut self, p: Vec2, c: char) {
+        if let Some((row, col)) = self.to_cell(p) {
+            self.cells[row * self.width + col] = c;
+        }
+    }
+
+    fn draw_box(&mut self, bbox: &Box3, c: char) {
+        // Trace the footprint outline densely enough for the grid.
+        let corners = bbox.bev_corners();
+        for i in 0..4 {
+            let a = corners[i];
+            let b = corners[(i + 1) % 4];
+            let steps = (a.distance(b) * 2.0).ceil().max(2.0) as usize;
+            for s in 0..=steps {
+                self.plot(a.lerp(b, s as f64 / steps as f64), c);
+            }
+        }
+    }
+
+    fn draw_ring(&mut self, radius: f64) {
+        let steps = (radius * 8.0).ceil().max(16.0) as usize;
+        for s in 0..steps {
+            let theta = s as f64 / steps as f64 * std::f64::consts::TAU;
+            let p = Vec2::new(radius * theta.cos(), radius * theta.sin());
+            if let Some((row, col)) = self.to_cell(p) {
+                if self.cells[row * self.width + col] == ' ' {
+                    self.cells[row * self.width + col] = if p.y >= 0.0 { '(' } else { ')' };
+                }
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for row in 0..self.height {
+            for col in 0..self.width {
+                out.push(self.cells[row * self.width + col]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render one frame's layers as an ASCII BEV plot.
+pub fn render_frame_ascii(layers: &FrameLayers, opts: AsciiOptions) -> String {
+    let mut grid = Grid::new(opts);
+    // Paint in increasing priority.
+    for p in &layers.points {
+        grid.plot(*p, '.');
+    }
+    for r in opts.rings {
+        grid.draw_ring(*r);
+    }
+    for b in &layers.model {
+        grid.draw_box(b, '+');
+    }
+    for b in &layers.human {
+        grid.draw_box(b, '#');
+    }
+    for b in &layers.missing {
+        grid.draw_box(b, '!');
+    }
+    grid.plot(Vec2::ZERO, 'E');
+    grid.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loa_geom::Box3;
+
+    fn layers_with(missing: Vec<Box3>, human: Vec<Box3>, model: Vec<Box3>) -> FrameLayers {
+        FrameLayers { human, model, missing, points: vec![] }
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let s = render_frame_ascii(&FrameLayers::default(), AsciiOptions::default());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 45);
+        assert!(lines.iter().all(|l| l.chars().count() == 100));
+    }
+
+    #[test]
+    fn ego_marker_present() {
+        let s = render_frame_ascii(&FrameLayers::default(), AsciiOptions::default());
+        assert!(s.contains('E'));
+    }
+
+    #[test]
+    fn layers_use_expected_glyphs() {
+        let car = Box3::on_ground(20.0, 0.0, 0.0, 4.5, 1.9, 1.6, 0.0);
+        let s = render_frame_ascii(
+            &layers_with(
+                vec![car],
+                vec![car.translated(loa_geom::Vec3::new(0.0, 10.0, 0.0))],
+                vec![car.translated(loa_geom::Vec3::new(0.0, -10.0, 0.0))],
+            ),
+            AsciiOptions::default(),
+        );
+        assert!(s.contains('!'), "missing glyph");
+        assert!(s.contains('#'), "human glyph");
+        assert!(s.contains('+'), "model glyph");
+    }
+
+    #[test]
+    fn priority_missing_over_model() {
+        // Same box as model and missing: the '!' must win.
+        let car = Box3::on_ground(20.0, 0.0, 0.0, 4.5, 1.9, 1.6, 0.0);
+        let s = render_frame_ascii(
+            &layers_with(vec![car], vec![], vec![car]),
+            AsciiOptions::default(),
+        );
+        assert!(s.contains('!'));
+    }
+
+    #[test]
+    fn out_of_range_boxes_ignored() {
+        let far = Box3::on_ground(500.0, 500.0, 0.0, 4.5, 1.9, 1.6, 0.0);
+        let s = render_frame_ascii(
+            &layers_with(vec![far], vec![], vec![]),
+            AsciiOptions::default(),
+        );
+        assert!(!s.contains('!'));
+    }
+
+    #[test]
+    fn rings_drawn() {
+        let s = render_frame_ascii(&FrameLayers::default(), AsciiOptions::default());
+        assert!(s.contains('('));
+        assert!(s.contains(')'));
+    }
+}

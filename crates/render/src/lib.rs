@@ -1,0 +1,94 @@
+//! Bird's-eye-view rendering of perception scenes.
+//!
+//! The paper's figures are BEV LIDAR plots: concentric range rings around
+//! the sensor, reflected points as dots, human labels in orange, model
+//! predictions and errors highlighted. This crate reproduces those plots
+//! in two forms:
+//!
+//! * [`ascii`] — terminal-friendly character grids (what the `figures`
+//!   reproduction binary prints),
+//! * [`svg`] — standalone SVG documents for inclusion in reports.
+
+pub mod ascii;
+pub mod svg;
+
+pub use ascii::{render_frame_ascii, AsciiOptions};
+pub use svg::{render_frame_svg, SvgOptions};
+
+use loa_data::{Frame, LidarConfig};
+use loa_geom::Box3;
+
+/// What to draw for one frame, resolved from a [`Frame`].
+#[derive(Debug, Clone, Default)]
+pub struct FrameLayers {
+    /// Human labels.
+    pub human: Vec<Box3>,
+    /// Model detections.
+    pub model: Vec<Box3>,
+    /// Ground-truth boxes that are visible but unlabeled (the errors the
+    /// figures highlight).
+    pub missing: Vec<Box3>,
+    /// LIDAR returns (BEV positions).
+    pub points: Vec<loa_geom::Vec2>,
+}
+
+impl FrameLayers {
+    /// Extract drawable layers from a frame. `lidar` controls the point
+    /// simulation used for the dot layer (None = no points).
+    pub fn from_frame(frame: &Frame, lidar: Option<&LidarConfig>) -> FrameLayers {
+        let human: Vec<Box3> = frame.human_labels.iter().map(|l| l.bbox).collect();
+        let model: Vec<Box3> = frame.detections.iter().map(|d| d.bbox).collect();
+        let missing: Vec<Box3> = frame
+            .gt
+            .iter()
+            .filter(|g| {
+                g.visible
+                    && !frame.human_labels.iter().any(|l| l.gt_track == g.track)
+            })
+            .map(|g| g.bbox)
+            .collect();
+        let points = lidar
+            .map(|cfg| {
+                let boxes: Vec<Box3> = frame.gt.iter().map(|g| g.bbox).collect();
+                loa_data::lidar::scan(&boxes, cfg, true)
+                    .points
+                    .into_iter()
+                    .map(|p| p.position)
+                    .collect()
+            })
+            .unwrap_or_default();
+        FrameLayers { human, model, missing, points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loa_data::{generate_scene, DatasetProfile};
+
+    #[test]
+    fn layers_extracted_from_generated_frame() {
+        let mut cfg = DatasetProfile::LyftLike.scene_config();
+        cfg.world.duration = 3.0;
+        cfg.lidar.beam_count = 240;
+        let scene = generate_scene(&cfg, "render-test", 3);
+        let frame = &scene.frames[5];
+        let layers = FrameLayers::from_frame(frame, Some(&cfg.lidar));
+        assert_eq!(layers.human.len(), frame.human_labels.len());
+        assert_eq!(layers.model.len(), frame.detections.len());
+        assert!(!layers.points.is_empty());
+        // Missing = visible gt without a label.
+        let visible = frame.visible_gt().count();
+        assert!(layers.missing.len() <= visible);
+    }
+
+    #[test]
+    fn no_lidar_no_points() {
+        let mut cfg = DatasetProfile::LyftLike.scene_config();
+        cfg.world.duration = 2.0;
+        cfg.lidar.beam_count = 180;
+        let scene = generate_scene(&cfg, "render-test-2", 4);
+        let layers = FrameLayers::from_frame(&scene.frames[0], None);
+        assert!(layers.points.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! SVG bird's-eye-view rendering, matching the paper's figure style:
+//! white background, grey range rings, orange human labels, black model
+//! boxes, red missing objects.
+
+use crate::FrameLayers;
+use loa_geom::Box3;
+use std::fmt::Write as _;
+
+/// SVG rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    pub x_range: (f64, f64),
+    pub y_range: (f64, f64),
+    /// Pixels per meter.
+    pub scale: f64,
+    pub rings: &'static [f64],
+    /// Dark style (the paper's internal-dataset figures use black
+    /// backgrounds).
+    pub dark: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            x_range: (-20.0, 60.0),
+            y_range: (-30.0, 30.0),
+            scale: 10.0,
+            rings: &[10.0, 20.0, 40.0],
+            dark: false,
+        }
+    }
+}
+
+impl SvgOptions {
+    fn px(&self) -> (f64, f64) {
+        (
+            (self.x_range.1 - self.x_range.0) * self.scale,
+            (self.y_range.1 - self.y_range.0) * self.scale,
+        )
+    }
+
+    /// Ego-frame point → SVG pixel coordinates (y up → SVG y down).
+    fn map(&self, p: loa_geom::Vec2) -> (f64, f64) {
+        (
+            (p.x - self.x_range.0) * self.scale,
+            (self.y_range.1 - p.y) * self.scale,
+        )
+    }
+}
+
+fn polygon_points(opts: &SvgOptions, bbox: &Box3) -> String {
+    bbox.bev_corners()
+        .iter()
+        .map(|&c| {
+            let (x, y) = opts.map(c);
+            format!("{x:.1},{y:.1}")
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Render one frame's layers as a standalone SVG document.
+pub fn render_frame_svg(layers: &FrameLayers, opts: SvgOptions) -> String {
+    let (w, h) = opts.px();
+    let (bg, ring, point) = if opts.dark {
+        ("#000000", "#333333", "#888888")
+    } else {
+        ("#ffffff", "#dddddd", "#999999")
+    };
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="{bg}"/>"#);
+    // Range rings centered on the ego.
+    let (ex, ey) = opts.map(loa_geom::Vec2::ZERO);
+    for r in opts.rings {
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{ex:.1}" cy="{ey:.1}" r="{:.1}" fill="none" stroke="{ring}" stroke-width="1"/>"#,
+            r * opts.scale
+        );
+    }
+    for p in &layers.points {
+        let (x, y) = opts.map(*p);
+        let _ = writeln!(svg, r#"<circle cx="{x:.1}" cy="{y:.1}" r="1" fill="{point}"/>"#);
+    }
+    for b in &layers.model {
+        let _ = writeln!(
+            svg,
+            r##"<polygon points="{}" fill="none" stroke="#222222" stroke-width="1.5"/>"##,
+            polygon_points(&opts, b)
+        );
+    }
+    for b in &layers.human {
+        let _ = writeln!(
+            svg,
+            r##"<polygon points="{}" fill="none" stroke="#ff8c00" stroke-width="2"/>"##,
+            polygon_points(&opts, b)
+        );
+    }
+    for b in &layers.missing {
+        let _ = writeln!(
+            svg,
+            r##"<polygon points="{}" fill="none" stroke="#e00000" stroke-width="2.5"/>"##,
+            polygon_points(&opts, b)
+        );
+    }
+    // The ego vehicle.
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#1060ff"/>"##,
+        ex - 2.3 * opts.scale / 2.0,
+        ey - 1.0 * opts.scale / 2.0,
+        2.3 * opts.scale,
+        1.0 * opts.scale
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loa_geom::Box3;
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let car = Box3::on_ground(20.0, 5.0, 0.0, 4.5, 1.9, 1.6, 0.4);
+        let layers = FrameLayers {
+            human: vec![car],
+            model: vec![car.translated(loa_geom::Vec3::new(1.0, -8.0, 0.0))],
+            missing: vec![car.translated(loa_geom::Vec3::new(10.0, 0.0, 0.0))],
+            points: vec![loa_geom::Vec2::new(15.0, 2.0)],
+        };
+        let svg = render_frame_svg(&layers, SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polygon").count(), 3);
+        assert!(svg.contains("#ff8c00"), "human stroke color");
+        assert!(svg.contains("#e00000"), "missing stroke color");
+        // Balanced tags.
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn dark_mode_changes_background() {
+        let light = render_frame_svg(&FrameLayers::default(), SvgOptions::default());
+        let dark = render_frame_svg(
+            &FrameLayers::default(),
+            SvgOptions { dark: true, ..Default::default() },
+        );
+        assert!(light.contains("#ffffff"));
+        assert!(dark.contains("#000000"));
+    }
+
+    #[test]
+    fn coordinates_map_into_canvas() {
+        let opts = SvgOptions::default();
+        let (w, h) = opts.px();
+        let (x, y) = opts.map(loa_geom::Vec2::new(0.0, 0.0));
+        assert!(x >= 0.0 && x <= w);
+        assert!(y >= 0.0 && y <= h);
+        // +y (left) maps to smaller SVG y (up).
+        let (_, y_left) = opts.map(loa_geom::Vec2::new(0.0, 10.0));
+        assert!(y_left < y);
+    }
+}

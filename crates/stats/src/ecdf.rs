@@ -1,0 +1,113 @@
+//! Empirical CDF — used by the evaluation harness for tail probabilities
+//! (e.g. "how extreme is this track's score among the training scores")
+//! and available to users as a non-parametric severity transform.
+
+use crate::{validate_sample, FitError};
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over a finite sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Build from a sample (non-empty, finite values).
+    pub fn fit(samples: &[f64]) -> Result<Self, FitError> {
+        validate_sample(samples)?;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        Ok(EmpiricalCdf { sorted })
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)` under the empirical distribution. NaN input maps to 0.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X > x)` — the upper-tail probability.
+    pub fn tail(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Two-sided extremeness: `2·min(cdf, tail)`, in `[0, 1]`; values near
+    /// 0 are extreme in either direction. A non-parametric alternative to
+    /// the KDE relative likelihood.
+    pub fn centrality(&self, x: f64) -> f64 {
+        (2.0 * self.cdf(x).min(self.tail(x))).clamp(0.0, 1.0)
+    }
+
+    /// The value at a given quantile (type-7 interpolation).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::summary::quantile(&self.sorted, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_on_known_sample() {
+        let e = EmpiricalCdf::fit(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.cdf(0.0), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(100.0), 1.0);
+        assert_eq!(e.tail(2.5), 0.5);
+    }
+
+    #[test]
+    fn centrality_extremes() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let e = EmpiricalCdf::fit(&xs).unwrap();
+        assert!(e.centrality(50.0) > 0.9);
+        assert!(e.centrality(-10.0) < 1e-12);
+        assert!(e.centrality(1000.0) < 1e-12);
+    }
+
+    #[test]
+    fn quantile_passthrough() {
+        let e = EmpiricalCdf::fit(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(4.0));
+        assert_eq!(e.quantile(0.5), Some(2.5));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(EmpiricalCdf::fit(&[]).is_err());
+        assert!(EmpiricalCdf::fit(&[f64::NAN]).is_err());
+        let e = EmpiricalCdf::fit(&[1.0]).unwrap();
+        assert_eq!(e.cdf(f64::NAN), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_monotone(
+            xs in proptest::collection::vec(-100.0f64..100.0, 1..60),
+            q1 in -150.0f64..150.0,
+            q2 in -150.0f64..150.0,
+        ) {
+            let e = EmpiricalCdf::fit(&xs).unwrap();
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(e.cdf(lo) <= e.cdf(hi) + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&e.cdf(q1)));
+            prop_assert!((0.0..=1.0).contains(&e.centrality(q1)));
+        }
+    }
+}

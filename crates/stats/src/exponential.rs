@@ -1,0 +1,133 @@
+//! Exponential distribution — a parametric alternative for non-negative,
+//! decaying features (e.g. time-gap between observations, distance-based
+//! severity priors like the Table 2 Distance feature).
+
+use crate::summary::Welford;
+use crate::{validate_sample, Density1d, FitError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted exponential distribution `p(x) = λ e^{−λx}` on `x ≥ 0`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Maximum-likelihood fit: `λ = 1 / mean`. Samples must be
+    /// non-negative; a degenerate all-zero sample gets a large rate.
+    pub fn fit(samples: &[f64]) -> Result<Self, FitError> {
+        validate_sample(samples)?;
+        if samples.iter().any(|&x| x < 0.0) {
+            return Err(FitError::NonFiniteSample);
+        }
+        let mean = Welford::from_slice(samples).mean();
+        let rate = if mean > 0.0 { 1.0 / mean } else { 1e6 };
+        Ok(Exponential { rate })
+    }
+
+    /// Construct from a rate parameter (positive, finite).
+    pub fn from_rate(rate: f64) -> Result<Self, FitError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(FitError::NonFiniteSample);
+        }
+        Ok(Exponential { rate })
+    }
+
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Survival function `P(X > x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        if !x.is_finite() || x < 0.0 {
+            return 1.0;
+        }
+        (-self.rate * x).exp()
+    }
+}
+
+impl Density1d for Exponential {
+    fn density(&self, x: f64) -> f64 {
+        if !x.is_finite() || x < 0.0 {
+            return 0.0;
+        }
+        self.rate * (-self.rate * x).exp()
+    }
+
+    fn max_density(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_recovers_rate() {
+        // Deterministic sample with mean 4 → rate 0.25.
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 9) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let e = Exponential::fit(&xs).unwrap();
+        assert!((e.rate() - 1.0 / mean).abs() < 1e-12);
+        assert!((e.mean() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_closed_form() {
+        let e = Exponential::from_rate(2.0).unwrap();
+        assert!((e.density(0.0) - 2.0).abs() < 1e-12);
+        assert!((e.density(1.0) - 2.0 * (-2.0f64).exp()).abs() < 1e-12);
+        assert_eq!(e.density(-1.0), 0.0);
+        assert_eq!(e.max_density(), 2.0);
+        assert!((e.relative_likelihood(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_function() {
+        let e = Exponential::from_rate(1.0).unwrap();
+        assert!((e.survival(0.0) - 1.0).abs() < 1e-12);
+        assert!((e.survival(1.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert_eq!(e.survival(-5.0), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Exponential::fit(&[]).is_err());
+        assert!(Exponential::fit(&[1.0, -2.0]).is_err());
+        assert!(Exponential::fit(&[f64::NAN]).is_err());
+        assert!(Exponential::from_rate(0.0).is_err());
+        assert!(Exponential::from_rate(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn degenerate_zero_sample() {
+        let e = Exponential::fit(&[0.0; 5]).unwrap();
+        assert!(e.rate() > 1e5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_density_monotone_decreasing(rate in 0.01f64..10.0) {
+            let e = Exponential::from_rate(rate).unwrap();
+            let mut prev = e.density(0.0);
+            for i in 1..20 {
+                let cur = e.density(i as f64 * 0.3);
+                prop_assert!(cur <= prev + 1e-15);
+                prev = cur;
+            }
+        }
+
+        #[test]
+        fn prop_survival_in_unit_interval(rate in 0.01f64..10.0, x in 0.0f64..100.0) {
+            let e = Exponential::from_rate(rate).unwrap();
+            let s = e.survival(x);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Parametric Gaussian distribution — a cheap alternative to KDE when the
+//! feature is known to be unimodal (the paper lets users override the
+//! default estimator per feature).
+
+use crate::summary::Welford;
+use crate::{validate_sample, Density1d, FitError};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// A fitted normal distribution.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Gaussian {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Gaussian {
+    /// Fit by maximum likelihood (sample mean and sample standard
+    /// deviation). A degenerate (constant) sample gets a small positive
+    /// spread scaled to the data magnitude, mirroring the KDE fallback.
+    pub fn fit(samples: &[f64]) -> Result<Self, FitError> {
+        validate_sample(samples)?;
+        let w = Welford::from_slice(samples);
+        let mut std_dev = w.std_dev();
+        if std_dev <= 0.0 {
+            std_dev = 1e-3 * w.mean().abs().max(1.0);
+        }
+        Ok(Gaussian { mean: w.mean(), std_dev })
+    }
+
+    /// Construct from parameters (`std_dev` must be positive and finite).
+    pub fn from_params(mean: f64, std_dev: f64) -> Result<Self, FitError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev <= 0.0 {
+            return Err(FitError::NonFiniteSample);
+        }
+        Ok(Gaussian { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Standard score of `x`.
+    pub fn z_score(&self, x: f64) -> f64 {
+        (x - self.mean) / self.std_dev
+    }
+}
+
+impl Density1d for Gaussian {
+    fn density(&self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return 0.0;
+        }
+        let z = self.z_score(x);
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * PI).sqrt())
+    }
+
+    fn max_density(&self) -> f64 {
+        1.0 / (self.std_dev * (2.0 * PI).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_recovers_parameters() {
+        // 1050 = 50 · 21, so every residue 0..20 appears exactly 50 times
+        // and the mean is exactly zero.
+        let xs: Vec<f64> = (0..1050).map(|i| (i % 21) as f64 - 10.0).collect();
+        let g = Gaussian::fit(&xs).unwrap();
+        assert!(g.mean().abs() < 1e-9);
+        assert!(g.std_dev() > 5.0 && g.std_dev() < 7.0);
+    }
+
+    #[test]
+    fn density_closed_form() {
+        let g = Gaussian::from_params(0.0, 1.0).unwrap();
+        assert!((g.density(0.0) - 0.3989422804014327).abs() < 1e-12);
+        assert!((g.density(1.0) - 0.24197072451914337).abs() < 1e-12);
+        assert!((g.max_density() - g.density(0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relative_likelihood_at_mean_is_one() {
+        let g = Gaussian::from_params(5.0, 2.0).unwrap();
+        assert!((g.relative_likelihood(5.0) - 1.0).abs() < 1e-12);
+        assert!(g.relative_likelihood(15.0) < g.relative_likelihood(7.0));
+    }
+
+    #[test]
+    fn constant_sample_fallback() {
+        let g = Gaussian::fit(&[4.0; 10]).unwrap();
+        assert!(g.std_dev() > 0.0);
+        assert!((g.relative_likelihood(4.0) - 1.0).abs() < 1e-9);
+        assert!(g.relative_likelihood(5.0) < 1e-6);
+    }
+
+    #[test]
+    fn from_params_validation() {
+        assert!(Gaussian::from_params(0.0, 0.0).is_err());
+        assert!(Gaussian::from_params(0.0, -1.0).is_err());
+        assert!(Gaussian::from_params(f64::NAN, 1.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric_around_mean(
+            mean in -100.0f64..100.0, std in 0.1f64..10.0, d in 0.0f64..20.0,
+        ) {
+            let g = Gaussian::from_params(mean, std).unwrap();
+            let left = g.density(mean - d);
+            let right = g.density(mean + d);
+            prop_assert!((left - right).abs() < 1e-12 * g.max_density().max(1.0));
+        }
+
+        #[test]
+        fn prop_density_decreases_away_from_mean(
+            mean in -10.0f64..10.0, std in 0.5f64..5.0,
+        ) {
+            let g = Gaussian::from_params(mean, std).unwrap();
+            let mut prev = g.density(mean);
+            for i in 1..10 {
+                let cur = g.density(mean + i as f64 * std / 2.0);
+                prop_assert!(cur <= prev);
+                prev = cur;
+            }
+        }
+    }
+}

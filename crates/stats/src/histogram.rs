@@ -1,0 +1,183 @@
+//! Histogram densities with automatic binning.
+//!
+//! A histogram is the coarsest density estimator Fixy offers; it is mainly
+//! useful as an ablation against KDE and for integer-valued features (e.g.,
+//! the track-length Count feature) where kernel smoothing is unnatural.
+
+use crate::summary::iqr;
+use crate::{validate_sample, Density1d, FitError};
+use serde::{Deserialize, Serialize};
+
+/// How to choose the number of histogram bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BinningRule {
+    /// Freedman–Diaconis: bin width `2·IQR·n^(−1/3)` (robust default).
+    #[default]
+    FreedmanDiaconis,
+    /// Sturges: `⌈log2 n⌉ + 1` bins.
+    Sturges,
+    /// Fixed bin count (≥ 1).
+    Fixed(usize),
+}
+
+/// A fitted histogram density with uniform bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    start: f64,
+    bin_width: f64,
+    /// Per-bin densities (counts normalized by `n · bin_width`).
+    densities: Vec<f64>,
+    max_density: f64,
+    n: usize,
+}
+
+impl Histogram {
+    /// Fit with the default binning rule.
+    pub fn fit(samples: &[f64]) -> Result<Self, FitError> {
+        Self::fit_with(samples, BinningRule::default())
+    }
+
+    /// Fit with an explicit binning rule.
+    pub fn fit_with(samples: &[f64], rule: BinningRule) -> Result<Self, FitError> {
+        validate_sample(samples)?;
+        let n = samples.len();
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(0.0);
+
+        let bins = match rule {
+            BinningRule::Fixed(b) => b.max(1),
+            BinningRule::Sturges => (n as f64).log2().ceil() as usize + 1,
+            BinningRule::FreedmanDiaconis => {
+                let width = 2.0 * iqr(samples) * (n as f64).powf(-1.0 / 3.0);
+                if width > 0.0 && span > 0.0 {
+                    ((span / width).ceil() as usize).clamp(1, 10_000)
+                } else {
+                    1
+                }
+            }
+        };
+
+        // A degenerate span (all samples equal) gets one narrow bin.
+        let bin_width = if span > 0.0 { span / bins as f64 } else { 1e-3 };
+        let start = if span > 0.0 { min } else { min - bin_width / 2.0 };
+
+        let mut counts = vec![0usize; bins];
+        for &x in samples {
+            let idx = (((x - start) / bin_width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let norm = 1.0 / (n as f64 * bin_width);
+        let densities: Vec<f64> = counts.iter().map(|&c| c as f64 * norm).collect();
+        let max_density = densities.iter().copied().fold(0.0f64, f64::max);
+        Ok(Histogram { start, bin_width, densities, max_density, n })
+    }
+
+    pub fn bins(&self) -> usize {
+        self.densities.len()
+    }
+
+    pub fn sample_count(&self) -> usize {
+        self.n
+    }
+
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+}
+
+impl Density1d for Histogram {
+    fn density(&self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return 0.0;
+        }
+        let end = self.start + self.bin_width * self.densities.len() as f64;
+        if x < self.start || x > end {
+            return 0.0;
+        }
+        let idx = (((x - self.start) / self.bin_width) as usize).min(self.densities.len() - 1);
+        self.densities[idx]
+    }
+
+    fn max_density(&self) -> f64 {
+        self.max_density
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_sample_flat_histogram() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 100.0).collect(); // [0, 10)
+        let h = Histogram::fit_with(&xs, BinningRule::Fixed(10)).unwrap();
+        assert_eq!(h.bins(), 10);
+        // Uniform density over [0, ~10] should be ≈ 0.1 everywhere.
+        for x in [0.5, 3.5, 7.5, 9.5] {
+            assert!((h.density(x) - 0.1).abs() < 0.02, "density({x}) = {}", h.density(x));
+        }
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 100) as f64 * 0.1).collect();
+        let h = Histogram::fit(&xs).unwrap();
+        let total: f64 =
+            h.densities.iter().map(|d| d * h.bin_width).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_density_is_zero() {
+        let h = Histogram::fit(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(h.density(-100.0), 0.0);
+        assert_eq!(h.density(100.0), 0.0);
+        assert_eq!(h.density(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn constant_sample_single_spike() {
+        let h = Histogram::fit(&[5.0; 20]).unwrap();
+        assert!(h.relative_likelihood(5.0) > 0.99);
+        assert!(h.relative_likelihood(6.0) < 1e-6);
+    }
+
+    #[test]
+    fn sturges_bin_count() {
+        let xs: Vec<f64> = (0..128).map(|i| i as f64).collect();
+        let h = Histogram::fit_with(&xs, BinningRule::Sturges).unwrap();
+        assert_eq!(h.bins(), 8); // log2(128) = 7, + 1
+    }
+
+    #[test]
+    fn rejects_invalid_samples() {
+        assert!(matches!(Histogram::fit(&[]), Err(FitError::EmptySample)));
+        assert!(matches!(
+            Histogram::fit(&[1.0, f64::INFINITY]),
+            Err(FitError::NonFiniteSample)
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_density_nonnegative_and_bounded(
+            xs in proptest::collection::vec(-100.0f64..100.0, 1..100),
+            q in -200.0f64..200.0,
+        ) {
+            let h = Histogram::fit(&xs).unwrap();
+            prop_assert!(h.density(q) >= 0.0);
+            prop_assert!(h.density(q) <= h.max_density() + 1e-12);
+        }
+
+        #[test]
+        fn prop_mass_conservation(
+            xs in proptest::collection::vec(-50.0f64..50.0, 2..200),
+        ) {
+            let h = Histogram::fit(&xs).unwrap();
+            let total: f64 = h.densities.iter().map(|d| d * h.bin_width).sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Multivariate kernel density estimation with a diagonal bandwidth matrix.
+//!
+//! Section 5 of the paper allows *"scalar or vector valued features"*. For
+//! vector features (e.g., the 2D velocity vector, or joint
+//! (volume, distance)), `KdeNd` fits an independent per-dimension bandwidth
+//! and evaluates a product kernel.
+
+use crate::bandwidth::BandwidthRule;
+use crate::kernel::Kernel;
+use crate::{FitError, P_FLOOR};
+use serde::{Deserialize, Serialize};
+
+/// A multivariate (product-kernel, diagonal-bandwidth) KDE.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KdeNd {
+    dim: usize,
+    /// Row-major sample matrix (n × dim).
+    samples: Vec<f64>,
+    kernel: Kernel,
+    bandwidths: Vec<f64>,
+    max_density: f64,
+}
+
+impl KdeNd {
+    /// Fit with the default kernel and per-dimension Silverman bandwidths
+    /// (each scaled by the standard `n^(−1/(d+4))` multivariate exponent is
+    /// approximated by the univariate rule — adequate for the low
+    /// dimensions used here).
+    pub fn fit(samples: &[Vec<f64>]) -> Result<Self, FitError> {
+        Self::fit_with(samples, Kernel::default(), BandwidthRule::default())
+    }
+
+    /// Fit with an explicit kernel and bandwidth rule.
+    pub fn fit_with(
+        samples: &[Vec<f64>],
+        kernel: Kernel,
+        rule: BandwidthRule,
+    ) -> Result<Self, FitError> {
+        let first = samples.first().ok_or(FitError::EmptySample)?;
+        let dim = first.len();
+        if dim == 0 {
+            return Err(FitError::DimensionMismatch { expected: 1, got: 0 });
+        }
+        for s in samples {
+            if s.len() != dim {
+                return Err(FitError::DimensionMismatch { expected: dim, got: s.len() });
+            }
+            if s.iter().any(|x| !x.is_finite()) {
+                return Err(FitError::NonFiniteSample);
+            }
+        }
+        let n = samples.len();
+        let mut flat = Vec::with_capacity(n * dim);
+        for s in samples {
+            flat.extend_from_slice(s);
+        }
+        let mut bandwidths = Vec::with_capacity(dim);
+        let mut column = Vec::with_capacity(n);
+        for d in 0..dim {
+            column.clear();
+            column.extend((0..n).map(|i| flat[i * dim + d]));
+            bandwidths.push(rule.resolve(&column).value());
+        }
+        let mut kde = KdeNd { dim, samples: flat, kernel, bandwidths, max_density: 0.0 };
+        kde.max_density = (0..n)
+            .map(|i| kde.density(&kde.samples[i * kde.dim..(i + 1) * kde.dim]))
+            .fold(0.0f64, f64::max);
+        Ok(kde)
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len() / self.dim
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn bandwidths(&self) -> &[f64] {
+        &self.bandwidths
+    }
+
+    /// Joint density at `x` (must have the fitted dimension; returns 0 for
+    /// mismatched or non-finite input).
+    pub fn density(&self, x: &[f64]) -> f64 {
+        if x.len() != self.dim || x.iter().any(|v| !v.is_finite()) {
+            return 0.0;
+        }
+        let n = self.len();
+        let mut acc = 0.0;
+        'outer: for i in 0..n {
+            let row = &self.samples[i * self.dim..(i + 1) * self.dim];
+            let mut prod = 1.0;
+            for d in 0..self.dim {
+                let u = (x[d] - row[d]) / self.bandwidths[d];
+                let k = self.kernel.eval(u);
+                if k == 0.0 {
+                    continue 'outer;
+                }
+                prod *= k / self.bandwidths[d];
+            }
+            acc += prod;
+        }
+        acc / n as f64
+    }
+
+    /// The maximum density over the training samples (the normalizer).
+    pub fn max_density(&self) -> f64 {
+        self.max_density
+    }
+
+    /// Relative likelihood in `[P_FLOOR, 1]`.
+    pub fn relative_likelihood(&self, x: &[f64]) -> f64 {
+        if self.max_density <= 0.0 {
+            return P_FLOOR;
+        }
+        (self.density(x) / self.max_density).clamp(P_FLOOR, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand_distr::Normal;
+
+    fn gaussian_cloud(n: usize, cx: f64, cy: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dx = Normal::new(cx, 1.0).unwrap();
+        let dy = Normal::new(cy, 2.0).unwrap();
+        (0..n).map(|_| vec![dx.sample(&mut rng), dy.sample(&mut rng)]).collect()
+    }
+
+    #[test]
+    fn fit_validates_input() {
+        assert!(matches!(KdeNd::fit(&[]), Err(FitError::EmptySample)));
+        assert!(matches!(
+            KdeNd::fit(&[vec![1.0, 2.0], vec![3.0]]),
+            Err(FitError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            KdeNd::fit(&[vec![1.0, f64::NAN]]),
+            Err(FitError::NonFiniteSample)
+        ));
+        assert!(matches!(
+            KdeNd::fit(&[vec![]]),
+            Err(FitError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn density_peaks_at_cloud_center() {
+        let cloud = gaussian_cloud(800, 3.0, -2.0, 5);
+        let kde = KdeNd::fit(&cloud).unwrap();
+        let at_center = kde.density(&[3.0, -2.0]);
+        let far = kde.density(&[30.0, 20.0]);
+        assert!(at_center > 100.0 * far.max(1e-300));
+        assert!(kde.relative_likelihood(&[3.0, -2.0]) > 0.5);
+    }
+
+    #[test]
+    fn mismatched_query_dimension_is_zero() {
+        let kde = KdeNd::fit(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        assert_eq!(kde.density(&[0.0]), 0.0);
+        assert_eq!(kde.density(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(kde.density(&[f64::NAN, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_agrees_with_kde1d() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 17) as f64 * 0.7).collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let nd = KdeNd::fit(&rows).unwrap();
+        let one = crate::Kde1d::fit(&xs).unwrap();
+        use crate::Density1d;
+        for q in [0.0, 2.0, 5.0, 11.0] {
+            assert!(
+                (nd.density(&[q]) - one.density(q)).abs() < 1e-9,
+                "at {q}: {} vs {}",
+                nd.density(&[q]),
+                one.density(q)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_density_nonnegative(
+            pts in proptest::collection::vec(
+                (-10.0f64..10.0, -10.0f64..10.0), 2..40),
+            qx in -20.0f64..20.0, qy in -20.0f64..20.0,
+        ) {
+            let rows: Vec<Vec<f64>> = pts.iter().map(|&(x, y)| vec![x, y]).collect();
+            let kde = KdeNd::fit(&rows).unwrap();
+            prop_assert!(kde.density(&[qx, qy]) >= 0.0);
+            let rl = kde.relative_likelihood(&[qx, qy]);
+            prop_assert!((P_FLOOR..=1.0).contains(&rl));
+        }
+    }
+}

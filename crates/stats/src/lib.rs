@@ -1,0 +1,156 @@
+//! Statistics substrate for the Fixy / Learned Observation Assertions
+//! reproduction.
+//!
+//! Section 5 of the paper: *"Fixy takes a function that accepts a list of
+//! scalars/vectors and returns a fitted distribution. By default, Fixy uses
+//! a kernel density estimator (KDE) to learn feature distributions over the
+//! features."* This crate provides that fitting machinery:
+//!
+//! * [`Kde1d`] — Gaussian/Epanechnikov/Tophat kernel density estimation with
+//!   Scott/Silverman bandwidth selection (the "default hyperparameters" the
+//!   paper says work in all cases they tried),
+//! * [`BinnedKde`] — a grid-accelerated KDE for large training sets,
+//! * [`Histogram`] — Freedman–Diaconis / Sturges histogram densities,
+//! * [`Gaussian`], [`Bernoulli`], [`Categorical`] — parametric alternatives
+//!   users can substitute for the default KDE,
+//! * [`KdeNd`] — diagonal-bandwidth multivariate KDE for vector features,
+//! * [`summary`] — Welford accumulators and quantiles.
+//!
+//! Every distribution implements [`Density1d`], whose
+//! [`relative_likelihood`](Density1d::relative_likelihood) maps a feature
+//! value to `(0, 1]` by normalizing the density by the fitted maximum — the
+//! probability-like quantity the LOA scoring semantics (Section 6) take the
+//! log of.
+
+pub mod bandwidth;
+pub mod discrete;
+pub mod ecdf;
+pub mod exponential;
+pub mod gaussian;
+pub mod histogram;
+pub mod kde;
+pub mod kde_nd;
+pub mod kernel;
+pub mod summary;
+
+pub use bandwidth::{Bandwidth, BandwidthRule};
+pub use discrete::{Bernoulli, Categorical};
+pub use ecdf::EmpiricalCdf;
+pub use exponential::Exponential;
+pub use gaussian::Gaussian;
+pub use histogram::Histogram;
+pub use kde::{BinnedKde, Kde1d};
+pub use kde_nd::KdeNd;
+pub use kernel::Kernel;
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest relative likelihood a fitted distribution reports for finite
+/// inputs. Keeps `ln(p)` finite; AOF zeroing is the only source of true
+/// zeros in LOA scoring.
+pub const P_FLOOR: f64 = 1e-9;
+
+/// Errors from fitting a distribution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitError {
+    /// The training sample was empty.
+    EmptySample,
+    /// The training sample contained NaN or infinite values.
+    NonFiniteSample,
+    /// A dimension mismatch in multivariate fitting.
+    DimensionMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::EmptySample => write!(f, "cannot fit a distribution to an empty sample"),
+            FitError::NonFiniteSample => {
+                write!(f, "training sample contains NaN or infinite values")
+            }
+            FitError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted one-dimensional density.
+///
+/// The LOA scoring semantics need a probability-like value in `(0, 1]` per
+/// feature evaluation; [`relative_likelihood`](Self::relative_likelihood)
+/// provides it as `density(x) / max_density`, floored at [`P_FLOOR`].
+pub trait Density1d {
+    /// Probability density at `x` (non-negative; integrates to ~1).
+    fn density(&self, x: f64) -> f64;
+
+    /// The maximum density value attained by the fitted distribution
+    /// (estimated at fit time).
+    fn max_density(&self) -> f64;
+
+    /// Relative likelihood in `[P_FLOOR, 1]`: density normalized by the
+    /// fitted mode. Non-finite inputs map to the floor.
+    fn relative_likelihood(&self, x: f64) -> f64 {
+        if !x.is_finite() || self.max_density() <= 0.0 {
+            return P_FLOOR;
+        }
+        (self.density(x) / self.max_density()).clamp(P_FLOOR, 1.0)
+    }
+}
+
+/// Validate that a training sample is non-empty and finite.
+pub(crate) fn validate_sample(samples: &[f64]) -> Result<(), FitError> {
+    if samples.is_empty() {
+        return Err(FitError::EmptySample);
+    }
+    if samples.iter().any(|x| !x.is_finite()) {
+        return Err(FitError::NonFiniteSample);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Flat;
+    impl Density1d for Flat {
+        fn density(&self, x: f64) -> f64 {
+            if (0.0..=1.0).contains(&x) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn max_density(&self) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn relative_likelihood_default_impl() {
+        let d = Flat;
+        assert_eq!(d.relative_likelihood(0.5), 1.0);
+        assert_eq!(d.relative_likelihood(2.0), P_FLOOR);
+        assert_eq!(d.relative_likelihood(f64::NAN), P_FLOOR);
+        assert_eq!(d.relative_likelihood(f64::INFINITY), P_FLOOR);
+    }
+
+    #[test]
+    fn fit_error_display() {
+        assert!(FitError::EmptySample.to_string().contains("empty"));
+        assert!(FitError::NonFiniteSample.to_string().contains("NaN"));
+        assert!(FitError::DimensionMismatch { expected: 2, got: 3 }
+            .to_string()
+            .contains("expected 2"));
+    }
+
+    #[test]
+    fn validate_sample_gates() {
+        assert_eq!(validate_sample(&[]), Err(FitError::EmptySample));
+        assert_eq!(validate_sample(&[1.0, f64::NAN]), Err(FitError::NonFiniteSample));
+        assert_eq!(validate_sample(&[1.0, 2.0]), Ok(()));
+    }
+}

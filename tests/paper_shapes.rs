@@ -1,0 +1,68 @@
+//! The paper's headline result *shapes*, asserted end to end on shrunken
+//! datasets. Absolute numbers differ (our substrate is a simulator), but
+//! who wins and by roughly what factor must hold:
+//!
+//! * Table 3: Fixy ≥ conf-ordered MA ≥ rand-ordered MA (Lyft-like),
+//! * Section 8.2: substantial recall on the audited scene; top-10 hits in
+//!   most scenes with errors,
+//! * Section 8.3: missing observation ranked at/near the top,
+//! * Section 8.4: Fixy beats uncertainty sampling for model errors,
+//! * Section 8.1: online phase far below the 5-second budget.
+
+use fixy::eval::{
+    run_missing_obs_experiment, run_model_error_experiment, run_recall_experiment,
+    run_runtime_experiment, run_scene_level_recall, run_table3, Table3Config,
+};
+
+#[test]
+fn table3_ordering_shape() {
+    let result = run_table3(&Table3Config {
+        n_train: 4,
+        n_eval_lyft: 10,
+        n_eval_internal: 4,
+        base_seed: 20_000,
+        fast: true,
+    });
+    let fixy = result.row("Fixy", "Lyft").unwrap().p10.expect("fixy p10");
+    let rand = result.row("Ad-hoc MA (rand)", "Lyft").unwrap().p10.expect("rand p10");
+    // The paper's 2×-over-random headline, with slack for the small sample.
+    assert!(
+        fixy >= rand,
+        "Fixy {fixy:.2} must not trail random ordering {rand:.2}"
+    );
+    assert!(fixy > 0.2, "Fixy P@10 {fixy:.2} implausibly low");
+}
+
+#[test]
+fn recall_shape() {
+    let r = run_recall_experiment(21_000, 3, true);
+    assert!(r.total_missing >= 5);
+    assert!(r.recall >= 0.4, "recall {:.2}", r.recall);
+
+    let slr = run_scene_level_recall(22_000, 3, 6, true);
+    assert!(slr.scenes_with_errors >= 3);
+    assert!(slr.hit_fraction().unwrap() >= 0.5);
+}
+
+#[test]
+fn missing_obs_shape() {
+    let r = run_missing_obs_experiment(23_000, 2, 3);
+    assert!(r.n_cases >= 2);
+    assert!(r.fixy_mean_rank <= 3.0, "mean rank {:.1}", r.fixy_mean_rank);
+    assert!(r.fixy_mean_rank <= r.random_mean_rank);
+}
+
+#[test]
+fn model_errors_shape() {
+    let r = run_model_error_experiment(24_000, 3, 4, true);
+    let fixy = r.fixy_p10.expect("fixy");
+    let unc = r.uncertainty_p10.expect("uncertainty");
+    assert!(fixy > unc, "Fixy {fixy:.2} vs uncertainty {unc:.2}");
+}
+
+#[test]
+fn runtime_shape() {
+    let r = run_runtime_experiment(25_000, 1);
+    assert!(r.under_five_seconds(), "online {:.0} ms", r.online_ms);
+    assert!((r.scene_seconds - 15.0).abs() < 1e-9);
+}

@@ -1,0 +1,126 @@
+//! End-to-end pipeline integration tests: generate → corrupt → learn →
+//! assemble → compile → score → rank, across crate boundaries.
+
+use fixy::data::{generate_scene, DatasetProfile, ObservationSource, SceneConfig};
+use fixy::prelude::*;
+
+fn small_cfg() -> SceneConfig {
+    let mut cfg = DatasetProfile::LyftLike.scene_config();
+    cfg.world.duration = 6.0;
+    cfg.lidar.beam_count = 300;
+    cfg
+}
+
+fn train_library(finder_features: &FeatureSet, n: usize, seed: u64) -> FeatureLibrary {
+    let cfg = small_cfg();
+    let train: Vec<_> =
+        (0..n).map(|i| generate_scene(&cfg, &format!("pl-train-{i}"), seed + i as u64)).collect();
+    Learner::new().fit(finder_features, &train).expect("fit")
+}
+
+#[test]
+fn full_missing_track_pipeline() {
+    let finder = MissingTrackFinder::default();
+    let library = train_library(&finder.feature_set(), 3, 9000);
+    let cfg = small_cfg();
+
+    let mut total_candidates = 0usize;
+    for seed in 0..3 {
+        let data = generate_scene(&cfg, &format!("pl-eval-{seed}"), 9100 + seed);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        let ranked = finder.rank(&scene, &library).expect("rank");
+        total_candidates += ranked.len();
+        // Structural invariants of the output.
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score, "ranking must be sorted");
+        }
+        for c in &ranked {
+            assert!(c.score.is_finite());
+            assert!(c.score <= 0.0);
+            assert!(c.n_obs > 0);
+            let track = scene.track(c.track);
+            assert!(!scene.track_has_source(track, ObservationSource::Human));
+        }
+    }
+    assert!(total_candidates > 0, "pipeline should surface candidates");
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let finder = MissingTrackFinder::default();
+    let library1 = train_library(&finder.feature_set(), 2, 9500);
+    let library2 = train_library(&finder.feature_set(), 2, 9500);
+    let cfg = small_cfg();
+    let data = generate_scene(&cfg, "pl-det", 9999);
+    let scene = Scene::assemble(&data, &AssemblyConfig::default());
+    let r1 = finder.rank(&scene, &library1).expect("rank");
+    let r2 = finder.rank(&scene, &library2).expect("rank");
+    assert_eq!(r1.len(), r2.len());
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.track, b.track);
+        assert!((a.score - b.score).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn library_survives_serialization() {
+    // A fitted library can be persisted and reloaded without changing any
+    // ranking — required for the offline/online split in deployment.
+    let finder = MissingTrackFinder::default();
+    let library = train_library(&finder.feature_set(), 2, 9700);
+    let json = serde_json::to_string(&library).expect("serialize");
+    let reloaded: FeatureLibrary = serde_json::from_str(&json).expect("deserialize");
+
+    let cfg = small_cfg();
+    let data = generate_scene(&cfg, "pl-serde", 9800);
+    let scene = Scene::assemble(&data, &AssemblyConfig::default());
+    let r1 = finder.rank(&scene, &library).expect("rank");
+    let r2 = finder.rank(&scene, &reloaded).expect("rank");
+    assert_eq!(r1.len(), r2.len());
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.track, b.track);
+        assert!((a.score - b.score).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn scene_roundtrips_through_disk() {
+    let cfg = small_cfg();
+    let data = generate_scene(&cfg, "pl-io", 9901);
+    let dir = std::env::temp_dir().join("fixy_pipeline_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scene.json");
+    fixy::data::io::save_scene(&data, &path).expect("save");
+    let loaded = fixy::data::io::load_scene(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    // Assembling the loaded scene gives the identical structure.
+    let s1 = Scene::assemble(&data, &AssemblyConfig::default());
+    let s2 = Scene::assemble(&loaded, &AssemblyConfig::default());
+    assert_eq!(s1.observations.len(), s2.observations.len());
+    assert_eq!(s1.bundles.len(), s2.bundles.len());
+    assert_eq!(s1.tracks.len(), s2.tracks.len());
+}
+
+#[test]
+fn all_three_applications_run_on_one_scene() {
+    let cfg = small_cfg();
+    let train: Vec<_> =
+        (0..3).map(|i| generate_scene(&cfg, &format!("pl3-train-{i}"), 9600 + i)).collect();
+    let data = generate_scene(&cfg, "pl3-eval", 9650);
+
+    let mt = MissingTrackFinder::default();
+    let mo = MissingObsFinder::default();
+    let me = ModelErrorFinder::default();
+
+    let mt_lib = Learner::new().fit(&mt.feature_set(), &train).expect("fit mt");
+    let mo_lib = Learner::new().fit(&mo.feature_set(), &train).expect("fit mo");
+    let me_lib = Learner::new().fit(&me.feature_set(), &train).expect("fit me");
+
+    let scene = Scene::assemble(&data, &AssemblyConfig::default());
+    let model_scene = Scene::assemble(&data, &AssemblyConfig::model_only());
+
+    mt.rank(&scene, &mt_lib).expect("missing tracks");
+    mo.rank(&scene, &mo_lib).expect("missing obs");
+    me.rank(&model_scene, &me_lib, &Default::default()).expect("model errors");
+}
