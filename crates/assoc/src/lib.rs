@@ -24,5 +24,5 @@ pub mod union_find;
 
 pub use bundler::{bundle_frame, BundleGroup, Bundler, IouBundler};
 pub use matching::{greedy_match, hungarian_match, Match};
-pub use tracker::{build_tracks, TrackerConfig, TrackPath};
+pub use tracker::{build_tracks, TrackPath, TrackerConfig};
 pub use union_find::UnionFind;

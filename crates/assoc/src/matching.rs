@@ -245,11 +245,7 @@ mod tests {
 
     #[test]
     fn matching_is_one_to_one() {
-        let scores = vec![
-            vec![0.9, 0.9, 0.9],
-            vec![0.9, 0.9, 0.9],
-            vec![0.9, 0.9, 0.9],
-        ];
+        let scores = vec![vec![0.9, 0.9, 0.9], vec![0.9, 0.9, 0.9], vec![0.9, 0.9, 0.9]];
         for matcher in [greedy_match, hungarian_match] {
             let ms = matcher(&scores, 0.5);
             assert_eq!(ms.len(), 3);

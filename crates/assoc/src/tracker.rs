@@ -162,13 +162,7 @@ mod tests {
     #[test]
     fn every_item_in_exactly_one_track() {
         let frames: Vec<Vec<Box3>> = (0..6)
-            .map(|i| {
-                vec![
-                    car(10.0 + i as f64, 0.0),
-                    car(30.0 - i as f64, 4.0),
-                    car(50.0, -4.0),
-                ]
-            })
+            .map(|i| vec![car(10.0 + i as f64, 0.0), car(30.0 - i as f64, 4.0), car(50.0, -4.0)])
             .collect();
         let tracks = build_tracks(&frames, &TrackerConfig::default());
         let mut seen = std::collections::BTreeSet::new();
@@ -197,8 +191,10 @@ mod tests {
         let frames: Vec<Vec<Box3>> = (0..8)
             .map(|i| vec![car(10.0 + i as f64, 0.0), car(20.0 - i as f64, 15.0)])
             .collect();
-        let greedy = build_tracks(&frames, &TrackerConfig { use_hungarian: false, ..Default::default() });
-        let hung = build_tracks(&frames, &TrackerConfig { use_hungarian: true, ..Default::default() });
+        let greedy =
+            build_tracks(&frames, &TrackerConfig { use_hungarian: false, ..Default::default() });
+        let hung =
+            build_tracks(&frames, &TrackerConfig { use_hungarian: true, ..Default::default() });
         assert_eq!(greedy.len(), hung.len());
     }
 

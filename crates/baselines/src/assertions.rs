@@ -19,8 +19,7 @@ pub fn consistency_assertion(scene: &Scene, min_frames: usize) -> Vec<TrackIdx> 
         .tracks
         .iter()
         .filter(|t| {
-            t.bundles.len() >= min_frames
-                && !scene.track_has_source(t, ObservationSource::Human)
+            t.bundles.len() >= min_frames && !scene.track_has_source(t, ObservationSource::Human)
         })
         .map(|t| t.idx)
         .collect()
@@ -68,8 +67,10 @@ pub fn flicker_assertion(scene: &Scene, max_span_frames: u32) -> BTreeSet<ObsIdx
         };
         for segment in &segments {
             let seg_first = scene.bundle(track.bundles[segment[0]]).frame.0;
-            let seg_last =
-                scene.bundle(track.bundles[*segment.last().expect("non-empty")]).frame.0;
+            let seg_last = scene
+                .bundle(track.bundles[*segment.last().expect("non-empty")])
+                .frame
+                .0;
             let seg_rapid = seg_last - seg_first < max_span_frames;
             // A short segment flickers when it is not the whole story of
             // the track (there are other segments) or the track itself is
@@ -179,7 +180,12 @@ mod tests {
         for track in &scene.tracks {
             let obs = scene.track_obs(track);
             let any_flagged = obs.iter().any(|o| flagged.contains(o));
-            assert_eq!(any_flagged, track.bundles.len() == 1, "track len {}", track.bundles.len());
+            assert_eq!(
+                any_flagged,
+                track.bundles.len() == 1,
+                "track len {}",
+                track.bundles.len()
+            );
         }
     }
 
@@ -192,8 +198,7 @@ mod tests {
             if track.bundles.len() < 2 {
                 continue;
             }
-            let frames: Vec<u32> =
-                track.bundles.iter().map(|&b| scene.bundle(b).frame.0).collect();
+            let frames: Vec<u32> = track.bundles.iter().map(|&b| scene.bundle(b).frame.0).collect();
             let span = frames.last().unwrap() - frames.first().unwrap() + 1;
             let has_gap = frames.windows(2).any(|w| w[1] - w[0] > 1);
             let obs = scene.track_obs(track);
@@ -238,7 +243,15 @@ mod tests {
                 continue;
             }
             data.frames[i as usize].detections.push(loa_data::Detection {
-                bbox: loa_geom::Box3::on_ground(10.0 + i as f64 * 0.5, 0.0, 0.0, 4.5, 1.9, 1.6, 0.0),
+                bbox: loa_geom::Box3::on_ground(
+                    10.0 + i as f64 * 0.5,
+                    0.0,
+                    0.0,
+                    4.5,
+                    1.9,
+                    1.6,
+                    0.0,
+                ),
                 class: loa_data::ObjectClass::Car,
                 confidence: 0.8,
                 provenance: loa_data::DetectionProvenance::Clutter,
@@ -292,7 +305,10 @@ mod tests {
         let a = appear_assertion(&scene);
         let f = flicker_assertion(&scene, 2);
         let m = multibox_assertion(&scene, 0.1);
-        assert_eq!(all.len(), a.union(&f).cloned().collect::<BTreeSet<_>>().union(&m).count());
+        assert_eq!(
+            all.len(),
+            a.union(&f).cloned().collect::<BTreeSet<_>>().union(&m).count()
+        );
         assert!(a.is_subset(&all) && f.is_subset(&all) && m.is_subset(&all));
     }
 }

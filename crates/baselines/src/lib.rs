@@ -12,11 +12,12 @@
 
 pub mod assertions;
 pub mod ordering;
+pub mod ranker;
 pub mod uncertainty;
 
 pub use assertions::{
-    appear_assertion, consistency_assertion, flicker_assertion, multibox_assertion,
-    AdHocAssertions,
+    appear_assertion, consistency_assertion, flicker_assertion, multibox_assertion, AdHocAssertions,
 };
 pub use ordering::{order_by_confidence, order_randomly};
+pub use ranker::MaExcludedModelErrors;
 pub use uncertainty::{uncertainty_sample_obs, uncertainty_sample_tracks};

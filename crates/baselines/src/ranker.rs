@@ -1,0 +1,42 @@
+//! The Section 8.4 model-error protocol as a [`SceneRanker`]: deploy
+//! the three ad-hoc assertions first, exclude what they flag, and rank
+//! the remaining tracks with inverted AOFs. Shared by the evaluation
+//! harness and the CLI's batch mode so the protocol is defined once.
+
+use crate::assertions::AdHocAssertions;
+use fixy_core::apps::ModelErrorFinder;
+use fixy_core::rank::TrackCandidate;
+use fixy_core::{AssemblyConfig, FeatureLibrary, FixyError, ObsIdx, Scene, SceneRanker};
+use loa_data::SceneData;
+use std::collections::BTreeSet;
+
+/// Model-error ranking with ad-hoc-assertion pre-exclusion.
+#[derive(Debug, Clone, Default)]
+pub struct MaExcludedModelErrors {
+    pub finder: ModelErrorFinder,
+    pub assertions: AdHocAssertions,
+}
+
+impl MaExcludedModelErrors {
+    /// The observations the ad-hoc assertions flag in `scene` (the set
+    /// [`rank_scene`](SceneRanker::rank_scene) excludes).
+    pub fn excluded(&self, scene: &Scene) -> BTreeSet<ObsIdx> {
+        self.assertions.flag_all(scene)
+    }
+}
+
+impl SceneRanker for MaExcludedModelErrors {
+    fn assembly(&self) -> AssemblyConfig {
+        AssemblyConfig::model_only()
+    }
+
+    fn rank_scene(
+        &self,
+        _data: &SceneData,
+        scene: &Scene,
+        library: &FeatureLibrary,
+    ) -> Result<Vec<TrackCandidate>, FixyError> {
+        let excluded = self.excluded(scene);
+        self.finder.rank(scene, library, &excluded)
+    }
+}

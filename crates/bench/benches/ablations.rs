@@ -24,19 +24,15 @@ fn bench_kernels_and_bandwidths(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_kde_knobs");
     for kernel in [Kernel::Gaussian, Kernel::Epanechnikov, Kernel::Tophat] {
         let kde = Kde1d::fit_with(&xs, kernel, BandwidthRule::Silverman).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("eval_kernel", kernel.name()),
-            &kde,
-            |b, kde| {
-                b.iter(|| {
-                    let mut acc = 0.0;
-                    for q in 0..200 {
-                        acc += kde.density(black_box(q as f64 * 0.1));
-                    }
-                    black_box(acc)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("eval_kernel", kernel.name()), &kde, |b, kde| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in 0..200 {
+                    acc += kde.density(black_box(q as f64 * 0.1));
+                }
+                black_box(acc)
+            })
+        });
     }
     for (name, rule) in [
         ("silverman", BandwidthRule::Silverman),

@@ -32,10 +32,8 @@ fn bench_bundling(c: &mut Criterion) {
         let model = boxes(n, 0.3);
         group.bench_with_input(BenchmarkId::new("bundle_frame", n), &n, |b, _| {
             b.iter(|| {
-                let bundles = bundle_frame(
-                    &[black_box(&human), black_box(&model)],
-                    &IouBundler::default(),
-                );
+                let bundles =
+                    bundle_frame(&[black_box(&human), black_box(&model)], &IouBundler::default());
                 black_box(bundles.len())
             })
         });

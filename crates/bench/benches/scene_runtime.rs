@@ -11,8 +11,9 @@ use std::hint::black_box;
 fn setup() -> (SceneData, FeatureLibrary, MissingTrackFinder) {
     let cfg = DatasetProfile::InternalLike.scene_config();
     let finder = MissingTrackFinder::default();
-    let train: Vec<_> =
-        (0..2).map(|i| generate_scene(&cfg, &format!("bench-train-{i}"), 42 + i)).collect();
+    let train: Vec<_> = (0..2)
+        .map(|i| generate_scene(&cfg, &format!("bench-train-{i}"), 42 + i))
+        .collect();
     let library = Learner::new().fit(&finder.feature_set(), &train).expect("fit");
     let data = generate_scene(&cfg, "bench-eval", 4242);
     (data, library, finder)
@@ -56,14 +57,16 @@ fn bench_scene_runtime(c: &mut Criterion) {
 fn bench_offline_learning(c: &mut Criterion) {
     let cfg = DatasetProfile::InternalLike.scene_config();
     let finder = MissingTrackFinder::default();
-    let train: Vec<_> =
-        (0..2).map(|i| generate_scene(&cfg, &format!("bench-fit-{i}"), 77 + i)).collect();
+    let train: Vec<_> = (0..2)
+        .map(|i| generate_scene(&cfg, &format!("bench-fit-{i}"), 77 + i))
+        .collect();
     let mut group = c.benchmark_group("offline");
     group.sample_size(10);
     group.bench_function("learn_distributions_2_scenes", |b| {
         b.iter(|| {
-            let library =
-                Learner::new().fit(&finder.feature_set(), black_box(&train)).expect("fit");
+            let library = Learner::new()
+                .fit(&finder.feature_set(), black_box(&train))
+                .expect("fit");
             black_box(library.len())
         })
     });

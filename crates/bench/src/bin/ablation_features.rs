@@ -36,9 +36,7 @@ fn main() {
     let library = Learner::new().fit(&full, &train).expect("fit");
 
     let eval_scenes: Vec<_> = (0..n_eval)
-        .map(|i| {
-            generate_scene(&scene_cfg, &format!("ab-eval-{i}"), options.seed + 700 + i as u64)
-        })
+        .map(|i| generate_scene(&scene_cfg, &format!("ab-eval-{i}"), options.seed + 700 + i as u64))
         .collect();
 
     let mut table = Table::new(vec!["Configuration", "P@10 (missing tracks)"]);
@@ -92,7 +90,11 @@ fn main() {
     let mut table = Table::new(vec!["Configuration", "P@10 (model errors)"]);
     for (name, set, lib) in [
         ("default (no track-length factor)", me.feature_set(), &me_default_lib),
-        ("with inverted track-length", me.feature_set_with_track_length(), &me_tl_lib),
+        (
+            "with inverted track-length",
+            me.feature_set_with_track_length(),
+            &me_tl_lib,
+        ),
     ] {
         let per_scene: Vec<Option<f64>> = eval_scenes
             .iter()
@@ -146,7 +148,11 @@ fn main() {
     let mut table = Table::new(vec!["Configuration", "P@10 (model errors)"]);
     for (name, set, lib) in [
         ("default (marginal features)", me.feature_set(), &me_default_lib),
-        ("with joint (speed, yaw-rate) KDE", me_joint_set.clone(), &me_joint_lib),
+        (
+            "with joint (speed, yaw-rate) KDE",
+            me_joint_set.clone(),
+            &me_joint_lib,
+        ),
     ] {
         let per_scene: Vec<Option<f64>> = eval_scenes
             .iter()

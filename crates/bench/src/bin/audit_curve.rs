@@ -17,7 +17,10 @@ fn main() {
     eprintln!("Sweeping audit budgets over {n_scenes} Lyft-like scenes…");
     let result = run_audit_curve(options.seed, n_train, n_scenes, &budgets, options.fast);
 
-    println!("\nAudit-efficiency: recall of all {} injected missing tracks", result.total_errors);
+    println!(
+        "\nAudit-efficiency: recall of all {} injected missing tracks",
+        result.total_errors
+    );
     println!("as a function of the per-scene audit budget k.\n");
     let mut headers = vec!["Method".to_string()];
     headers.extend(budgets.iter().map(|k| format!("k={k}")));

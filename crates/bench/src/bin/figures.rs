@@ -78,13 +78,7 @@ fn main() {
     println!("variables (observations):");
     for &o in &obs {
         let ob = scene.obs(o);
-        println!(
-            "  ω{} — frame {:>2} {:?} {}",
-            o.0,
-            ob.frame.0,
-            ob.source,
-            ob.class
-        );
+        println!("  ω{} — frame {:>2} {:?} {}", o.0, ob.frame.0, ob.source, ob.class);
     }
     println!("factors (feature distributions):");
     for f in factors {

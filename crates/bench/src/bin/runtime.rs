@@ -12,7 +12,10 @@ fn main() {
     eprintln!("Timing the end-to-end pipeline on a 15 s Internal-like scene…");
     let result = run_runtime_experiment(options.seed, 4);
     println!("\nSection 8.1 — runtime:");
-    println!("  scene duration:   {:.0} s ({} frames)", result.scene_seconds, result.frames);
+    println!(
+        "  scene duration:   {:.0} s ({} frames)",
+        result.scene_seconds, result.frames
+    );
     println!("  observations:     {}", result.observations);
     println!("  offline learning: {:.1} ms", result.offline_ms);
     println!(

@@ -10,7 +10,7 @@ fixy — Learned Observation Assertions (SIGMOD 2022 reproduction)
 USAGE:
     fixy generate --profile <lyft|internal> --scenes <N> [--seed <S>] --out <DIR> [--duration <SECS>]
     fixy learn    --data <DIR> [--app <APP>] --out <FILE>
-    fixy rank     --scene <FILE> --library <FILE> [--app <APP>] [--top <K>] [--grade]
+    fixy rank     --scene <FILE|DIR> --library <FILE> [--app <APP>] [--top <K>] [--grade]
     fixy render   --scene <FILE> [--frame <N>] [--svg <FILE>]
     fixy help
 
@@ -67,6 +67,8 @@ pub struct LearnArgs {
 /// `fixy rank`.
 #[derive(Debug, Clone)]
 pub struct RankArgs {
+    /// One scene file, or a directory of scenes (batch mode: every
+    /// `.json` scene is ranked in parallel through the scene pipeline).
     pub scene: PathBuf,
     pub library: PathBuf,
     pub app: App,
@@ -245,9 +247,10 @@ mod tests {
 
     #[test]
     fn generate_duration_override() {
-        let cmd =
-            parse(&argv("generate --profile internal --scenes 1 --out /tmp/x --duration 5"))
-                .unwrap();
+        let cmd = parse(&argv(
+            "generate --profile internal --scenes 1 --out /tmp/x --duration 5",
+        ))
+        .unwrap();
         match cmd {
             Command::Generate(g) => assert_eq!(g.duration, Some(5.0)),
             other => panic!("{other:?}"),

@@ -139,8 +139,8 @@ mod tests {
                 && bundle.obs.iter().any(|&o| {
                     let obs = scene.obs(o);
                     obs.source == ObservationSource::Model && {
-                        let det =
-                            &scenario.scene.frames[obs.frame.0 as usize].detections[obs.source_index];
+                        let det = &scenario.scene.frames[obs.frame.0 as usize].detections
+                            [obs.source_index];
                         matches!(
                             det.provenance,
                             loa_data::DetectionProvenance::TrueObject(t) if t == missing.track

@@ -64,10 +64,8 @@ impl ModelErrorFinder {
     /// ablation.
     pub fn feature_set_with_track_length(&self) -> FeatureSet {
         let mut set = self.feature_set();
-        set.features.insert(
-            3,
-            BoundFeature::new(Arc::new(TrackLengthFeature), Aof::Invert),
-        );
+        set.features
+            .insert(3, BoundFeature::new(Arc::new(TrackLengthFeature), Aof::Invert));
         set
     }
 
@@ -139,15 +137,19 @@ mod tests {
             totals.push(ranked.len());
             for (pos, c) in ranked.iter().enumerate() {
                 let track = scene.track(c.track);
-                let ghostly = scene.track_obs(track).iter().filter(|&&o| {
-                    let obs = scene.obs(o);
-                    obs.source == ObservationSource::Model
-                        && matches!(
-                            data.frames[obs.frame.0 as usize].detections[obs.source_index]
-                                .provenance,
-                            DetectionProvenance::PersistentGhost(_)
-                        )
-                }).count();
+                let ghostly = scene
+                    .track_obs(track)
+                    .iter()
+                    .filter(|&&o| {
+                        let obs = scene.obs(o);
+                        obs.source == ObservationSource::Model
+                            && matches!(
+                                data.frames[obs.frame.0 as usize].detections[obs.source_index]
+                                    .provenance,
+                                DetectionProvenance::PersistentGhost(_)
+                            )
+                    })
+                    .count();
                 if ghostly * 2 > c.n_obs {
                     ghost_positions.push(pos);
                 }
@@ -177,8 +179,7 @@ mod tests {
         assert!(!ranked.is_empty());
         // Exclude every observation of the top track; it must disappear.
         let top = ranked[0].track;
-        let excluded: BTreeSet<ObsIdx> =
-            scene.track_obs(scene.track(top)).into_iter().collect();
+        let excluded: BTreeSet<ObsIdx> = scene.track_obs(scene.track(top)).into_iter().collect();
         let ranked2 = finder.rank(&scene, &lib, &excluded).unwrap();
         assert!(ranked2.iter().all(|c| c.track != top));
     }
@@ -200,10 +201,7 @@ mod tests {
         let ranked = finder.rank(&scene, &lib, &BTreeSet::new()).unwrap();
         // Among the top 5 there should be at least one candidate with mean
         // confidence above 0.8 — an error uncertainty sampling would skip.
-        let high_conf_top = ranked
-            .iter()
-            .take(5)
-            .any(|c| c.mean_confidence.unwrap_or(0.0) > 0.8);
+        let high_conf_top = ranked.iter().take(5).any(|c| c.mean_confidence.unwrap_or(0.0) > 0.8);
         assert!(high_conf_top, "top-5: {:?}", &ranked[..ranked.len().min(5)]);
     }
 }

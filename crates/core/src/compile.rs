@@ -96,9 +96,7 @@ pub fn compile_scene(
     // Validate upfront so the loop below cannot fail halfway.
     for bf in features.learned() {
         if library.get(bf.feature.name()).is_none() {
-            return Err(FixyError::MissingDistribution {
-                feature: bf.feature.name().to_string(),
-            });
+            return Err(FixyError::MissingDistribution { feature: bf.feature.name().to_string() });
         }
     }
 
@@ -111,23 +109,18 @@ pub fn compile_scene(
     for (feature_index, bf) in features.features.iter().enumerate() {
         let feature = bf.feature.as_ref();
         let model = feature.probability_model();
-        let dist = if model == ProbabilityModel::Manual {
-            None
-        } else {
-            library.get(feature.name())
-        };
+        let dist =
+            if model == ProbabilityModel::Manual { None } else { library.get(feature.name()) };
         for_each_target(scene, feature.kind(), |target, edge_obs| {
             let p = match model {
                 ProbabilityModel::Manual => match feature.value(scene, &target) {
                     Some(v) => v.x,
                     None => return,
                 },
-                ProbabilityModel::LearnedJointKde => {
-                    match feature.vector_value(scene, &target) {
-                        Some(v) => dist.expect("validated above").probability_vector(&v),
-                        None => return,
-                    }
-                }
+                ProbabilityModel::LearnedJointKde => match feature.vector_value(scene, &target) {
+                    Some(v) => dist.expect("validated above").probability_vector(&v),
+                    None => return,
+                },
                 _ => match feature.value(scene, &target) {
                     Some(v) => dist.expect("validated above").probability(&v),
                     None => return,

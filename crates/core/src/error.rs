@@ -50,6 +50,8 @@ mod tests {
         assert!(e.to_string().contains("empty"));
         let e = FixyError::MissingDistribution { feature: "x".into() };
         assert!(e.to_string().contains("x"));
-        assert!(FixyError::InvalidScene("no frames".into()).to_string().contains("no frames"));
+        assert!(FixyError::InvalidScene("no frames".into())
+            .to_string()
+            .contains("no frames"));
     }
 }

@@ -126,7 +126,9 @@ mod tests {
             ],
             vec![0, 1],
         );
-        let v = ModelOnlyFeature.value(&scene, &FeatureTarget::Bundle(&bundle)).unwrap();
+        let v = ModelOnlyFeature
+            .value(&scene, &FeatureTarget::Bundle(&bundle))
+            .unwrap();
         assert_eq!(v.x, 1.0);
     }
 
@@ -139,7 +141,9 @@ mod tests {
             ],
             vec![0, 1],
         );
-        let v = ModelOnlyFeature.value(&scene, &FeatureTarget::Bundle(&bundle)).unwrap();
+        let v = ModelOnlyFeature
+            .value(&scene, &FeatureTarget::Bundle(&bundle))
+            .unwrap();
         assert_eq!(v.x, 0.0);
     }
 
@@ -152,7 +156,9 @@ mod tests {
             ],
             vec![0, 1],
         );
-        let v = ClassAgreementFeature.value(&scene, &FeatureTarget::Bundle(&bundle)).unwrap();
+        let v = ClassAgreementFeature
+            .value(&scene, &FeatureTarget::Bundle(&bundle))
+            .unwrap();
         assert_eq!(v.x, 1.0);
 
         let (scene, bundle) = scene_with(
@@ -162,16 +168,16 @@ mod tests {
             ],
             vec![0, 1],
         );
-        let v = ClassAgreementFeature.value(&scene, &FeatureTarget::Bundle(&bundle)).unwrap();
+        let v = ClassAgreementFeature
+            .value(&scene, &FeatureTarget::Bundle(&bundle))
+            .unwrap();
         assert_eq!(v.x, 0.0);
     }
 
     #[test]
     fn class_agreement_skips_singletons() {
-        let (scene, bundle) = scene_with(
-            vec![obs(0, ObservationSource::Model, ObjectClass::Car)],
-            vec![0],
-        );
+        let (scene, bundle) =
+            scene_with(vec![obs(0, ObservationSource::Model, ObjectClass::Car)], vec![0]);
         assert!(ClassAgreementFeature
             .value(&scene, &FeatureTarget::Bundle(&bundle))
             .is_none());

@@ -144,9 +144,7 @@ mod tests {
     fn volume_is_class_conditional_product() {
         let scene = empty_scene();
         let o = obs((4.0, 2.0, 1.5), 10.0);
-        let v = VolumeFeature
-            .value(&scene, &FeatureTarget::Obs(&o))
-            .unwrap();
+        let v = VolumeFeature.value(&scene, &FeatureTarget::Obs(&o)).unwrap();
         assert!((v.x - 12.0).abs() < 1e-12);
         assert_eq!(v.class, Some(ObjectClass::Car));
     }
@@ -176,9 +174,7 @@ mod tests {
     fn aspect_ratio_value() {
         let scene = empty_scene();
         let o = obs((4.0, 2.0, 1.5), 10.0);
-        let v = AspectRatioFeature
-            .value(&scene, &FeatureTarget::Obs(&o))
-            .unwrap();
+        let v = AspectRatioFeature.value(&scene, &FeatureTarget::Obs(&o)).unwrap();
         assert!((v.x - 2.0).abs() < 1e-12);
         assert_eq!(v.class, Some(ObjectClass::Car));
     }

@@ -101,9 +101,16 @@ mod tests {
             })
             .collect();
         let bundles: Vec<Bundle> = (0..n_obs)
-            .map(|i| Bundle { idx: BundleIdx(i), frame: FrameId(i as u32), obs: vec![ObsIdx(i)] })
+            .map(|i| Bundle {
+                idx: BundleIdx(i),
+                frame: FrameId(i as u32),
+                obs: vec![ObsIdx(i)],
+            })
             .collect();
-        let track = Track { idx: TrackIdx(0), bundles: (0..n_obs).map(BundleIdx).collect() };
+        let track = Track {
+            idx: TrackIdx(0),
+            bundles: (0..n_obs).map(BundleIdx).collect(),
+        };
         let scene = Scene {
             observations,
             bundles,
@@ -137,7 +144,9 @@ mod tests {
     #[test]
     fn track_length_counts_observations() {
         let (scene, track) = scene_with_track(7);
-        let v = TrackLengthFeature.value(&scene, &FeatureTarget::Track(&track)).unwrap();
+        let v = TrackLengthFeature
+            .value(&scene, &FeatureTarget::Track(&track))
+            .unwrap();
         assert_eq!(v.x, 7.0);
         assert_eq!(
             TrackLengthFeature.probability_model(),

@@ -27,10 +27,7 @@ const MIN_CLASS_SAMPLES: usize = 8;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum FittedDistribution {
     /// Per-class KDEs with a pooled fallback (class-conditional features).
-    ClassConditional {
-        per_class: BTreeMap<ObjectClass, Kde1d>,
-        pooled: Kde1d,
-    },
+    ClassConditional { per_class: BTreeMap<ObjectClass, Kde1d>, pooled: Kde1d },
     /// A single pooled KDE.
     Kde(Kde1d),
     /// A histogram (integer-ish features).
@@ -161,9 +158,7 @@ impl Learner {
                     });
                 }
                 if vectors.is_empty() {
-                    return Err(FixyError::NoTrainingData {
-                        feature: feature.name().to_string(),
-                    });
+                    return Err(FixyError::NoTrainingData { feature: feature.name().to_string() });
                 }
                 FittedDistribution::Joint(KdeNd::fit(&vectors).map_err(|e| FixyError::Fit {
                     feature: feature.name().to_string(),
@@ -179,9 +174,7 @@ impl Learner {
                     });
                 }
                 if values.is_empty() {
-                    return Err(FixyError::NoTrainingData {
-                        feature: feature.name().to_string(),
-                    });
+                    return Err(FixyError::NoTrainingData { feature: feature.name().to_string() });
                 }
                 fit_values(feature.name(), feature.probability_model(), &values)?
             };
@@ -242,7 +235,9 @@ mod tests {
         let mut cfg = DatasetProfile::LyftLike.scene_config();
         cfg.world.duration = 5.0;
         cfg.lidar.beam_count = 240;
-        (0..n).map(|i| generate_scene(&cfg, &format!("train-{i}"), 1000 + i as u64)).collect()
+        (0..n)
+            .map(|i| generate_scene(&cfg, &format!("train-{i}"), 1000 + i as u64))
+            .collect()
     }
 
     #[test]
@@ -337,10 +332,7 @@ mod tests {
         let absurd = dist.probability_vector(&[60.0, 3.0]);
         assert!(plausible > 10.0 * absurd, "{plausible} vs {absurd}");
         // Scalar lookup on a joint distribution degrades to the floor.
-        assert_eq!(
-            dist.probability(&FeatureValue::scalar(8.0)),
-            loa_stats::P_FLOOR
-        );
+        assert_eq!(dist.probability(&FeatureValue::scalar(8.0)), loa_stats::P_FLOOR);
     }
 
     #[test]
@@ -358,8 +350,7 @@ mod tests {
         )]);
         let library = Learner::new().fit(&features, &scenes).unwrap();
         let scene = Scene::assemble(&scenes[0], &AssemblyConfig::default());
-        let compiled =
-            crate::compile::compile_scene(&scene, &features, &library).unwrap();
+        let compiled = crate::compile::compile_scene(&scene, &features, &library).unwrap();
         let n_transitions: usize =
             scene.tracks.iter().map(|t| t.bundles.len().saturating_sub(1)).sum();
         assert_eq!(compiled.graph.factor_count(), n_transitions);

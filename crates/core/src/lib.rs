@@ -51,6 +51,7 @@ pub mod error;
 pub mod feature;
 pub mod features;
 pub mod learner;
+pub mod pipeline;
 pub mod rank;
 pub mod scene;
 pub mod score;
@@ -59,6 +60,7 @@ pub use aof::Aof;
 pub use error::FixyError;
 pub use feature::{BoundFeature, Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
 pub use learner::{FeatureLibrary, FittedDistribution, Learner};
+pub use pipeline::{merge_ranked, BatchCandidate, RankedScene, ScenePipeline, SceneRanker};
 pub use scene::{AssemblyConfig, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx};
 
 /// Convenience prelude for downstream users.
@@ -67,6 +69,7 @@ pub mod prelude {
     pub use crate::apps::{MissingObsFinder, MissingTrackFinder, ModelErrorFinder};
     pub use crate::feature::{Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
     pub use crate::learner::{FeatureLibrary, Learner};
+    pub use crate::pipeline::{BatchCandidate, RankedScene, ScenePipeline, SceneRanker};
     pub use crate::rank::{BundleCandidate, TrackCandidate};
     pub use crate::scene::{
         AssemblyConfig, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx,

@@ -1,0 +1,299 @@
+//! The scene batch engine: parallel fan-out of the online phase.
+//!
+//! The paper's runtime bound (Section 8.1, "< 5 s per 15 s scene on one
+//! core") is per scene, but deployments audit *corpora*: hundreds of
+//! recorded drives per day. Scenes are independent — assembly, factor
+//! graph compilation, and scoring never look across scene boundaries —
+//! so the batch engine fans each scene out to a worker against one
+//! shared, immutable [`FeatureLibrary`] and merges the ranked candidates
+//! deterministically.
+//!
+//! ```text
+//!  SceneData ──┐
+//!  SceneData ──┼─► assemble ─► compile ─► score ─► rank ──┐
+//!  SceneData ──┘        (rayon fan-out, shared library)    ├─► merge
+//!                                                          ┘   (scene id, then score)
+//! ```
+//!
+//! Determinism is a contract, not an accident: the parallel path yields
+//! results byte-identical to the sequential path (`tests/pipeline.rs`
+//! locks this in), because per-scene work is pure and the merge orders
+//! by `(scene id, score desc, track idx)` — never by completion time.
+
+use crate::apps::{MissingTrackFinder, ModelErrorFinder};
+use crate::error::FixyError;
+use crate::learner::FeatureLibrary;
+use crate::rank::TrackCandidate;
+use crate::scene::{AssemblyConfig, Scene};
+use loa_data::SceneData;
+use rayon::prelude::*;
+use std::collections::BTreeSet;
+
+/// An application that can rank one assembled scene — the unit of work
+/// the pipeline fans out. Implemented by the track-level finders; custom
+/// protocols (e.g. excluding ad-hoc-assertion hits first, as in the
+/// Section 8.4 evaluation) implement it over their own state.
+pub trait SceneRanker: Sync {
+    /// How scenes should be assembled for this application.
+    fn assembly(&self) -> AssemblyConfig {
+        AssemblyConfig::default()
+    }
+
+    /// Rank one assembled scene against the shared library.
+    fn rank_scene(
+        &self,
+        data: &SceneData,
+        scene: &Scene,
+        library: &FeatureLibrary,
+    ) -> Result<Vec<TrackCandidate>, FixyError>;
+}
+
+impl SceneRanker for MissingTrackFinder {
+    fn rank_scene(
+        &self,
+        _data: &SceneData,
+        scene: &Scene,
+        library: &FeatureLibrary,
+    ) -> Result<Vec<TrackCandidate>, FixyError> {
+        self.rank(scene, library)
+    }
+}
+
+impl SceneRanker for ModelErrorFinder {
+    fn assembly(&self) -> AssemblyConfig {
+        AssemblyConfig::model_only()
+    }
+
+    fn rank_scene(
+        &self,
+        _data: &SceneData,
+        scene: &Scene,
+        library: &FeatureLibrary,
+    ) -> Result<Vec<TrackCandidate>, FixyError> {
+        self.rank(scene, library, &BTreeSet::new())
+    }
+}
+
+/// One scene's journey through the pipeline: the raw data, the assembled
+/// scene, and the ranked candidates.
+#[derive(Debug, Clone)]
+pub struct RankedScene {
+    /// Position in the input batch.
+    pub index: usize,
+    /// `SceneData::id`, the deterministic merge key.
+    pub id: String,
+    pub data: SceneData,
+    pub scene: Scene,
+    /// Sorted by descending score, then track index (see `rank`).
+    pub candidates: Vec<TrackCandidate>,
+}
+
+/// One candidate of the merged batch worklist.
+#[derive(Debug, Clone)]
+pub struct BatchCandidate {
+    pub scene_index: usize,
+    pub scene_id: String,
+    pub candidate: TrackCandidate,
+}
+
+/// The batch engine. Construct with [`ScenePipeline::new`], then feed
+/// any iterator of [`SceneData`] to [`run`](ScenePipeline::run) /
+/// [`run_merged`](ScenePipeline::run_merged) /
+/// [`process`](ScenePipeline::process).
+#[derive(Debug, Clone)]
+pub struct ScenePipeline<R> {
+    ranker: R,
+    assembly: AssemblyConfig,
+    parallel: bool,
+}
+
+impl<R: SceneRanker> ScenePipeline<R> {
+    /// A parallel pipeline using the ranker's preferred assembly.
+    pub fn new(ranker: R) -> Self {
+        let assembly = ranker.assembly();
+        ScenePipeline { ranker, assembly, parallel: true }
+    }
+
+    /// Override the assembly configuration.
+    pub fn with_assembly(mut self, assembly: AssemblyConfig) -> Self {
+        self.assembly = assembly;
+        self
+    }
+
+    /// Disable the fan-out: process scenes one by one on the calling
+    /// thread. Same results, no parallelism — the reference path for
+    /// determinism tests and the baseline for the `pipeline` bench.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    fn process_scene(
+        &self,
+        index: usize,
+        data: SceneData,
+        library: &FeatureLibrary,
+    ) -> Result<RankedScene, FixyError> {
+        let scene = Scene::assemble(&data, &self.assembly);
+        let candidates = self.ranker.rank_scene(&data, &scene, library)?;
+        Ok(RankedScene { index, id: data.id.clone(), data, scene, candidates })
+    }
+
+    /// Assemble, compile, score, and rank every scene, returning
+    /// per-scene results in input order. The first scene error aborts
+    /// the batch.
+    pub fn run(
+        &self,
+        library: &FeatureLibrary,
+        scenes: impl IntoIterator<Item = SceneData>,
+    ) -> Result<Vec<RankedScene>, FixyError> {
+        self.process(library, scenes, |ranked| ranked)
+    }
+
+    /// Like [`run`](ScenePipeline::run), but map each [`RankedScene`]
+    /// through `post` inside the worker (hit resolution, metric
+    /// extraction, …) so per-scene state is dropped before the batch
+    /// collects. Results keep input order.
+    pub fn process<T, F>(
+        &self,
+        library: &FeatureLibrary,
+        scenes: impl IntoIterator<Item = SceneData>,
+        post: F,
+    ) -> Result<Vec<T>, FixyError>
+    where
+        T: Send,
+        F: Fn(RankedScene) -> T + Sync + Send,
+    {
+        let indexed: Vec<(usize, SceneData)> = scenes.into_iter().enumerate().collect();
+        if self.parallel {
+            indexed
+                .into_par_iter()
+                .map(|(i, data)| self.process_scene(i, data, library).map(&post))
+                .collect()
+        } else {
+            indexed
+                .into_iter()
+                .map(|(i, data)| self.process_scene(i, data, library).map(&post))
+                .collect()
+        }
+    }
+
+    /// Run the batch and merge all candidates into one deterministic
+    /// worklist: stable by scene id, then by each scene's ranking
+    /// (score descending, track index tiebreak).
+    pub fn run_merged(
+        &self,
+        library: &FeatureLibrary,
+        scenes: impl IntoIterator<Item = SceneData>,
+    ) -> Result<Vec<BatchCandidate>, FixyError> {
+        Ok(merge_ranked(self.run(library, scenes)?))
+    }
+}
+
+/// Deterministic merge of per-scene rankings: scenes ordered by id
+/// (input index as tiebreak for duplicate ids), candidates within a
+/// scene keeping their score-descending order.
+pub fn merge_ranked(mut ranked: Vec<RankedScene>) -> Vec<BatchCandidate> {
+    ranked.sort_by(|a, b| a.id.cmp(&b.id).then(a.index.cmp(&b.index)));
+    ranked
+        .into_iter()
+        .flat_map(|r| {
+            let (index, id) = (r.index, r.id);
+            r.candidates.into_iter().map(move |candidate| BatchCandidate {
+                scene_index: index,
+                scene_id: id.clone(),
+                candidate,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::Learner;
+    use loa_data::{generate_scene, DatasetProfile};
+
+    fn small_batch(n: usize, seed: u64) -> Vec<SceneData> {
+        let mut cfg = DatasetProfile::LyftLike.scene_config();
+        cfg.world.duration = 4.0;
+        cfg.lidar.beam_count = 240;
+        (0..n)
+            .map(|i| generate_scene(&cfg, &format!("pipe-{i}"), seed + i as u64))
+            .collect()
+    }
+
+    fn library(train: &[SceneData]) -> FeatureLibrary {
+        let finder = MissingTrackFinder::default();
+        Learner::new().fit(&finder.feature_set(), train).expect("fit")
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let train = small_batch(2, 100);
+        let lib = library(&train);
+        let batch = small_batch(4, 300);
+
+        let par = ScenePipeline::new(MissingTrackFinder::default())
+            .run_merged(&lib, batch.clone())
+            .expect("parallel run");
+        let seq = ScenePipeline::new(MissingTrackFinder::default())
+            .sequential()
+            .run_merged(&lib, batch)
+            .expect("sequential run");
+
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.scene_id, b.scene_id);
+            assert_eq!(a.candidate.track, b.candidate.track);
+            assert!(a.candidate.score.to_bits() == b.candidate.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let train = small_batch(2, 100);
+        let lib = library(&train);
+        let out = ScenePipeline::new(MissingTrackFinder::default())
+            .run(&lib, Vec::new())
+            .expect("empty batch");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_orders_by_scene_id_then_rank() {
+        let train = small_batch(2, 100);
+        let lib = library(&train);
+        // Feed scenes in reverse-id order; the merge must reorder by id.
+        let mut batch = small_batch(3, 300);
+        batch.reverse();
+        let merged = ScenePipeline::new(MissingTrackFinder::default())
+            .run_merged(&lib, batch)
+            .expect("run");
+        let mut last: Option<(&str, f64)> = None;
+        for bc in &merged {
+            if let Some((id, score)) = last {
+                assert!(
+                    bc.scene_id.as_str() >= id,
+                    "scene ids must be non-decreasing in the merge"
+                );
+                if bc.scene_id == id {
+                    assert!(bc.candidate.score <= score, "within-scene order is score desc");
+                }
+            }
+            last = Some((&bc.scene_id, bc.candidate.score));
+        }
+    }
+
+    #[test]
+    fn process_hook_sees_every_scene() {
+        let train = small_batch(2, 100);
+        let lib = library(&train);
+        let batch = small_batch(5, 700);
+        let ids: Vec<String> = batch.iter().map(|s| s.id.clone()).collect();
+        let seen: Vec<String> = ScenePipeline::new(MissingTrackFinder::default())
+            .process(&lib, batch, |r| r.id)
+            .expect("process");
+        assert_eq!(seen, ids, "process keeps input order");
+    }
+}

@@ -181,11 +181,7 @@ impl Scene {
             for members in frame_bundles {
                 let idx = BundleIdx(bundles.len());
                 let rep = representative_box(&observations, &members);
-                bundles.push(Bundle {
-                    idx,
-                    frame: FrameId(f as u32),
-                    obs: members,
-                });
+                bundles.push(Bundle { idx, frame: FrameId(f as u32), obs: members });
                 reps.push(rep);
                 ids.push(idx);
             }
@@ -200,15 +196,17 @@ impl Scene {
             .enumerate()
             .map(|(i, path)| Track {
                 idx: TrackIdx(i),
-                bundles: path
-                    .entries
-                    .into_iter()
-                    .map(|(f, b)| bundle_lookup[f][b])
-                    .collect(),
+                bundles: path.entries.into_iter().map(|(f, b)| bundle_lookup[f][b]).collect(),
             })
             .collect();
 
-        Scene { observations, bundles, tracks, frame_dt: data.frame_dt, n_frames }
+        Scene {
+            observations,
+            bundles,
+            tracks,
+            frame_dt: data.frame_dt,
+            n_frames,
+        }
     }
 
     /// The observation an index refers to.
@@ -435,8 +433,7 @@ mod tests {
             let b = scene.bundle_representative(scene.bundle(pair[1]));
             let frames_apart =
                 (scene.bundle(pair[1]).frame.0 - scene.bundle(pair[0]).frame.0) as f64;
-            let speed =
-                a.world_center.distance(b.world_center) / (frames_apart * scene.frame_dt);
+            let speed = a.world_center.distance(b.world_center) / (frames_apart * scene.frame_dt);
             assert!(speed < 40.0, "implausible world speed {speed}");
         }
     }
@@ -460,10 +457,7 @@ mod tests {
         for t in &scene.tracks {
             let class = scene.track_class(t);
             let members = scene.track_obs(t);
-            let count = members
-                .iter()
-                .filter(|&&o| scene.obs(o).class == class)
-                .count();
+            let count = members.iter().filter(|&&o| scene.obs(o).class == class).count();
             // Majority class covers at least half (ties possible).
             assert!(count * 2 >= members.len());
         }

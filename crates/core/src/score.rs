@@ -241,10 +241,8 @@ mod tests {
     fn inverted_aof_flips_ranking() {
         let scene = worked_example_scene();
         let likely = FeatureSet::new(vec![BoundFeature::plain(Arc::new(FixedObs(0.9)))]);
-        let unlikely = FeatureSet::new(vec![BoundFeature::new(
-            Arc::new(FixedObs(0.9)),
-            Aof::Invert,
-        )]);
+        let unlikely =
+            FeatureSet::new(vec![BoundFeature::new(Arc::new(FixedObs(0.9)), Aof::Invert)]);
         let library = FeatureLibrary::default();
         let e1 = ScoreEngine::new(&scene, &likely, &library).unwrap();
         let e2 = ScoreEngine::new(&scene, &unlikely, &library).unwrap();

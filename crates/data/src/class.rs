@@ -31,12 +31,8 @@ impl ObjectClass {
     ];
 
     /// The four classes the paper's evaluation reports on.
-    pub const EVALUATED: [ObjectClass; 4] = [
-        ObjectClass::Car,
-        ObjectClass::Truck,
-        ObjectClass::Pedestrian,
-        ObjectClass::Motorcycle,
-    ];
+    pub const EVALUATED: [ObjectClass; 4] =
+        [ObjectClass::Car, ObjectClass::Truck, ObjectClass::Pedestrian, ObjectClass::Motorcycle];
 
     /// Stable dense index (categorical distributions, arrays).
     pub fn index(self) -> usize {

@@ -190,7 +190,11 @@ pub fn run_detector(
                 swapped
             } else if rng.gen_bool(profile.class_confusion_rate) {
                 let opts = g.class.confusable_with();
-                if opts.is_empty() { g.class } else { opts[rng.gen_range(0..opts.len())] }
+                if opts.is_empty() {
+                    g.class
+                } else {
+                    opts[rng.gen_range(0..opts.len())]
+                }
             } else {
                 g.class
             };
@@ -274,11 +278,8 @@ pub fn run_detector(
         // The ghost's base extent is clearly implausible for its class:
         // either squashed or blown up. Per-frame jitter on top makes the
         // volume inconsistent frame to frame.
-        let base_scale = if rng.gen_bool(0.5) {
-            rng.gen_range(0.40..0.62)
-        } else {
-            rng.gen_range(1.5..2.3)
-        };
+        let base_scale =
+            if rng.gen_bool(0.5) { rng.gen_range(0.40..0.62) } else { rng.gen_range(1.5..2.3) };
         let mut pos = random_position(rng);
         let mut yaw = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
         let mut frames_hit = Vec::new();
@@ -325,10 +326,8 @@ pub fn run_detector(
 }
 
 fn noisy_box(gt: &Box3, profile: &DetectorProfile, gross: bool, rng: &mut impl Rng) -> Box3 {
-    let center_noise =
-        Normal::new(0.0, profile.center_noise_std.max(1e-9)).expect("positive std");
-    let size_noise =
-        Normal::new(1.0, profile.size_noise_rel_std.max(1e-9)).expect("positive std");
+    let center_noise = Normal::new(0.0, profile.center_noise_std.max(1e-9)).expect("positive std");
+    let size_noise = Normal::new(1.0, profile.size_noise_rel_std.max(1e-9)).expect("positive std");
     let yaw_noise = Normal::new(0.0, profile.yaw_noise_std.max(1e-9)).expect("positive std");
 
     let (mut dx, mut dy) = (center_noise.sample(rng), center_noise.sample(rng));
@@ -596,7 +595,11 @@ mod tests {
         let mut internal_gap = 0.0;
         for seed in 0..8 {
             let mut frames = mk_frames(80, 3, 150);
-            run_detector(&mut frames, &DetectorProfile::lyft_like(), &mut StdRng::seed_from_u64(seed));
+            run_detector(
+                &mut frames,
+                &DetectorProfile::lyft_like(),
+                &mut StdRng::seed_from_u64(seed),
+            );
             lyft_gap += mean_conf(&frames, false) - mean_conf(&frames, true);
             let mut frames = mk_frames(80, 3, 150);
             run_detector(
@@ -632,11 +635,8 @@ mod tests {
 
     #[test]
     fn empty_scene_is_noop() {
-        let outcome = run_detector(
-            &mut [],
-            &DetectorProfile::lyft_like(),
-            &mut StdRng::seed_from_u64(0),
-        );
+        let outcome =
+            run_detector(&mut [], &DetectorProfile::lyft_like(), &mut StdRng::seed_from_u64(0));
         assert!(outcome.ghost_tracks.is_empty());
     }
 

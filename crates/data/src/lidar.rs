@@ -95,7 +95,7 @@ pub fn scan(boxes: &[Box3], cfg: &LidarConfig, keep_points: bool) -> ScanResult 
             if let Some(t) = ray_polygon_entry(dir, poly.vertices()) {
                 if t <= cfg.max_range {
                     crossers.push((t, i));
-                    if best.map_or(true, |(bt, _)| t < bt) {
+                    if best.is_none_or(|(bt, _)| t < bt) {
                         best = Some((t, i));
                     }
                 }
@@ -127,9 +127,8 @@ pub fn scan(boxes: &[Box3], cfg: &LidarConfig, keep_points: bool) -> ScanResult 
             let ring_factor = if range < 1.0 {
                 cfg.vertical_rings as f64
             } else {
-                (cfg.vertical_rings as f64 * (boxes[i].size.height / 1.5)
-                    * (15.0 / range).min(1.0))
-                .max(1.0)
+                (cfg.vertical_rings as f64 * (boxes[i].size.height / 1.5) * (15.0 / range).min(1.0))
+                    .max(1.0)
             };
             let pts = (hits[i] as f64 * ring_factor).round() as u32;
             let occlusion = if in_fov_beams[i] > 0 {

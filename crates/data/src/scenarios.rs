@@ -106,13 +106,7 @@ fn strip_track_labels(scene: &mut SceneData, track: TrackId, class: ObjectClass)
         .push(MissingTrack { track, class, visible_frames });
 }
 
-fn assemble(
-    world: World,
-    duration: f64,
-    dt: f64,
-    seed: u64,
-    id: &str,
-) -> SceneData {
+fn assemble(world: World, duration: f64, dt: f64, seed: u64, id: &str) -> SceneData {
     let lidar = LidarConfig::default();
     let mut frames = simulate_frames(&world, &lidar, duration, dt);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -216,8 +210,7 @@ pub fn occluded_motorcycle(seed: u64) -> Scenario {
         focus_track: Some(moto_track),
         focus_frames,
         description:
-            "Motorcycle occluded by traffic, visible <1 s, missed by human labels (Figure 4)"
-                .into(),
+            "Motorcycle occluded by traffic, visible <1 s, missed by human labels (Figure 4)".into(),
     }
 }
 
@@ -241,13 +234,12 @@ pub fn trailing_car_missing_label(seed: u64) -> Scenario {
     let world = World { ego: EgoMotion { speed: 7.0, yaw_rate: 0.0 }, actors };
     let mut scene = assemble(world, 8.0, 0.2, seed, "figure6-trailing-car");
     // Drop exactly the first frame's label for the trailing car.
-    let first_labeled = scene.frames.iter().position(|f| {
-        f.human_labels.iter().any(|l| l.gt_track == car_track)
-    });
+    let first_labeled = scene
+        .frames
+        .iter()
+        .position(|f| f.human_labels.iter().any(|l| l.gt_track == car_track));
     if let Some(idx) = first_labeled {
-        scene.frames[idx]
-            .human_labels
-            .retain(|l| l.gt_track != car_track);
+        scene.frames[idx].human_labels.retain(|l| l.gt_track != car_track);
         scene.injected.missing_boxes.push(MissingBox {
             track: car_track,
             class: ObjectClass::Car,
@@ -310,8 +302,7 @@ pub fn ghost_track(seed: u64) -> Scenario {
         focus_track: None,
         focus_frames: frames_hit,
         description:
-            "Persistent model ghost: overlapping but inconsistent predictions (Figures 5/9)"
-                .into(),
+            "Persistent model ghost: overlapping but inconsistent predictions (Figures 5/9)".into(),
     }
 }
 
@@ -356,8 +347,8 @@ pub fn person_truck_bundle(seed: u64) -> Scenario {
         scene,
         focus_track: Some(ped_track),
         focus_frames: vec![FrameId(frame_idx as u32)],
-        description:
-            "Person and truck boxes overlap but are inconsistent in volume (Figure 7)".into(),
+        description: "Person and truck boxes overlap but are inconsistent in volume (Figure 7)"
+            .into(),
     }
 }
 
@@ -394,8 +385,7 @@ pub fn missing_cars_in_motion(seed: u64) -> Scenario {
         scene,
         focus_track: Some(missing[0]),
         focus_frames: vec![FrameId(8)],
-        description: "Several cars in motion near the AV missed by human labels (Figure 8)"
-            .into(),
+        description: "Several cars in motion near the AV missed by human labels (Figure 8)".into(),
     }
 }
 

@@ -241,7 +241,10 @@ mod tests {
             .iter()
             .map(|s| s.frames.iter().map(|f| f.human_labels.len()).sum())
             .collect();
-        assert!(counts.windows(2).any(|w| w[0] != w[1]), "scenes identical: {counts:?}");
+        assert!(
+            counts.windows(2).any(|w| w[0] != w[1]),
+            "scenes identical: {counts:?}"
+        );
     }
 
     #[test]

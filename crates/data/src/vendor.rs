@@ -13,9 +13,7 @@
 //! * **class flips** — rare, between confusable classes.
 
 use crate::class::ObjectClass;
-use crate::types::{
-    ClassFlip, Frame, FrameId, LabeledBox, MissingBox, MissingTrack, TrackId,
-};
+use crate::types::{ClassFlip, Frame, FrameId, LabeledBox, MissingBox, MissingTrack, TrackId};
 use loa_geom::{normalize_angle, Box3, Size3, Vec3};
 use rand::prelude::*;
 use rand_distr::{Distribution, Normal};
@@ -118,8 +116,7 @@ pub fn label_scene(
             continue;
         }
         let difficulty = track_difficulty(st);
-        let p_miss = (profile.track_miss_base
-            + profile.track_miss_difficulty_weight * difficulty)
+        let p_miss = (profile.track_miss_base + profile.track_miss_difficulty_weight * difficulty)
             .clamp(0.0, 0.95);
         if rng.gen_bool(p_miss) {
             missed.insert(track);
@@ -140,8 +137,8 @@ pub fn label_scene(
     }
 
     // Emit labels frame by frame.
-    let center_jitter = Normal::new(0.0, profile.center_jitter_std.max(1e-9))
-        .expect("positive std");
+    let center_jitter =
+        Normal::new(0.0, profile.center_jitter_std.max(1e-9)).expect("positive std");
     let yaw_jitter = Normal::new(0.0, profile.yaw_jitter_std.max(1e-9)).expect("positive std");
     for frame in frames.iter_mut() {
         let mut labels = Vec::new();
@@ -168,13 +165,8 @@ pub fn label_scene(
                     labeled_class,
                 });
             }
-            let bbox = jitter_box(
-                &g.bbox,
-                &center_jitter,
-                profile.size_jitter_rel_std,
-                &yaw_jitter,
-                rng,
-            );
+            let bbox =
+                jitter_box(&g.bbox, &center_jitter, profile.size_jitter_rel_std, &yaw_jitter, rng);
             labels.push(LabeledBox { bbox, class: labeled_class, gt_track: g.track });
         }
         frame.human_labels = labels;
@@ -189,8 +181,7 @@ fn track_difficulty(st: &TrackStats) -> f64 {
     let occ_term = st.mean_occlusion;
     let dist_term = (st.min_distance / 80.0).clamp(0.0, 1.0);
     let brevity_term = (-(st.visible_frames.len() as f64) / 20.0).exp();
-    (0.40 * point_term + 0.25 * occ_term + 0.15 * dist_term + 0.20 * brevity_term)
-        .clamp(0.0, 1.0)
+    (0.40 * point_term + 0.25 * occ_term + 0.15 * dist_term + 0.20 * brevity_term).clamp(0.0, 1.0)
 }
 
 fn collect_track_stats(frames: &[Frame]) -> BTreeMap<TrackId, TrackStats> {
@@ -228,8 +219,7 @@ fn jitter_box(
     yaw_jitter: &Normal<f64>,
     rng: &mut impl Rng,
 ) -> Box3 {
-    let size_jitter =
-        Normal::new(1.0, size_rel_std.max(1e-9)).expect("positive std");
+    let size_jitter = Normal::new(1.0, size_rel_std.max(1e-9)).expect("positive std");
     let cx = bbox.center.x + center_jitter.sample(rng);
     let cy = bbox.center.y + center_jitter.sample(rng);
     let cz = bbox.center.z + 0.3 * center_jitter.sample(rng);
@@ -342,8 +332,7 @@ mod tests {
                     g.occlusion = 0.7;
                 }
             }
-            let out =
-                label_scene(&mut hard, &profile, &mut StdRng::seed_from_u64(seed + 10_000));
+            let out = label_scene(&mut hard, &profile, &mut StdRng::seed_from_u64(seed + 10_000));
             if !out.missing_tracks.is_empty() {
                 hard_missed += 1;
             }

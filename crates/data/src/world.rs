@@ -90,7 +90,15 @@ impl Actor {
     /// The actor's world-frame box at time `t`.
     pub fn world_box_at(&self, t: f64) -> Box3 {
         let (pos, yaw) = self.motion.pose_at(t);
-        Box3::on_ground(pos.x, pos.y, 0.0, self.dims.length, self.dims.width, self.dims.height, yaw)
+        Box3::on_ground(
+            pos.x,
+            pos.y,
+            0.0,
+            self.dims.length,
+            self.dims.width,
+            self.dims.height,
+            yaw,
+        )
     }
 }
 
@@ -226,10 +234,7 @@ fn spawn_actor(
     // Spawn location: along the ego path with lateral offset. Road lanes at
     // |y| <= 7, sidewalks beyond.
     let x = rng.gen_range(-20.0..path_len + 40.0);
-    let is_vru = matches!(
-        class,
-        ObjectClass::Pedestrian | ObjectClass::Bicycle
-    );
+    let is_vru = matches!(class, ObjectClass::Pedestrian | ObjectClass::Bicycle);
     let y = if is_vru {
         // Sidewalks, occasionally crossing.
         let side = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
@@ -308,10 +313,7 @@ mod tests {
 
     #[test]
     fn constant_velocity_speed_matches() {
-        let m = Motion::ConstantVelocity {
-            start: Vec2::ZERO,
-            velocity: Vec2::new(3.0, 4.0),
-        };
+        let m = Motion::ConstantVelocity { start: Vec2::ZERO, velocity: Vec2::new(3.0, 4.0) };
         let (p, yaw) = m.pose_at(2.0);
         assert!((p - Vec2::new(6.0, 8.0)).norm() < 1e-12);
         assert!((yaw - (4.0f64).atan2(3.0)).abs() < 1e-12);
@@ -449,10 +451,7 @@ mod tests {
             track: TrackId(0),
             class: ObjectClass::Car,
             dims: Size3::new(4.0, 2.0, 1.5),
-            motion: Motion::ConstantVelocity {
-                start: Vec2::ZERO,
-                velocity: Vec2::new(5.0, 0.0),
-            },
+            motion: Motion::ConstantVelocity { start: Vec2::ZERO, velocity: Vec2::new(5.0, 0.0) },
         };
         let b = actor.world_box_at(2.0);
         let (zmin, _) = b.z_interval();

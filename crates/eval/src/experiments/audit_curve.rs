@@ -83,8 +83,7 @@ pub fn run_audit_curve(
                     let mut set = BTreeSet::new();
                     for &t in order.iter().take(k) {
                         if is_missing_track_hit(&data, &scene, t) {
-                            if let Some((actor, _)) =
-                                resolve_track(&data, &scene, t).majority_actor
+                            if let Some((actor, _)) = resolve_track(&data, &scene, t).majority_actor
                             {
                                 set.insert(actor);
                             }
@@ -115,9 +114,11 @@ pub fn run_audit_curve(
                 .iter()
                 .enumerate()
                 .map(|(bi, &k)| {
-                    let found: usize =
-                        recoveries.iter().map(|r| r.per_method[m][bi].len()).sum();
-                    (k, if total_errors > 0 { found as f64 / total_errors as f64 } else { 0.0 })
+                    let found: usize = recoveries.iter().map(|r| r.per_method[m][bi].len()).sum();
+                    (
+                        k,
+                        if total_errors > 0 { found as f64 / total_errors as f64 } else { 0.0 },
+                    )
                 })
                 .collect();
             AuditCurve { method: name.to_string(), points }

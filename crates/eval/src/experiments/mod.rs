@@ -7,46 +7,17 @@ pub mod recall;
 pub mod runtime;
 pub mod table3;
 
-use std::sync::Mutex;
+use rayon::prelude::*;
 
-/// Map a function over items in parallel (scenes are independent), keeping
-/// input order. Uses a crossbeam work-stealing queue over scoped threads.
+/// Map a function over items in parallel (scenes are independent),
+/// keeping input order.
 pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
-    F: Fn(T) -> R + Sync,
+    F: Fn(T) -> R + Sync + Send,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let queue = crossbeam::queue::SegQueue::new();
-    for (i, item) in items.into_iter().enumerate() {
-        queue.push((i, item));
-    }
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| {
-                while let Some((i, item)) = queue.pop() {
-                    let r = f(item);
-                    results.lock().expect("no panics while holding lock")[i] = Some(r);
-                }
-            });
-        }
-    })
-    .expect("worker threads do not panic");
-    results
-        .into_inner()
-        .expect("all workers joined")
-        .into_iter()
-        .map(|r| r.expect("every index produced"))
-        .collect()
+    items.into_par_iter().map(f).collect()
 }
 
 /// Shrink a scene config for fast test runs.

@@ -11,7 +11,7 @@ use crate::metrics::{mean_of, precision_at_k};
 use crate::resolve::is_model_error_hit;
 use fixy_core::prelude::*;
 use fixy_core::Learner;
-use loa_baselines::{uncertainty_sample_tracks, AdHocAssertions};
+use loa_baselines::{uncertainty_sample_tracks, MaExcludedModelErrors};
 use loa_data::{generate_scene, DatasetProfile};
 use serde::{Deserialize, Serialize};
 
@@ -51,40 +51,42 @@ pub fn run_model_error_experiment(
         uncertainty: Vec<bool>,
         max_hit_conf: Option<f64>,
     }
-    let outcomes: Vec<SceneOutcome> = parallel_map(seeds, |s| {
-        let data = generate_scene(&scene_cfg, &format!("me-eval-{s}"), s);
-        let scene = Scene::assemble(&data, &AssemblyConfig::model_only());
+    let scenes = parallel_map(seeds, |s| generate_scene(&scene_cfg, &format!("me-eval-{s}"), s));
+    let ranker = MaExcludedModelErrors::default();
+    let assertions = ranker.assertions;
+    let outcomes: Vec<SceneOutcome> = ScenePipeline::new(ranker)
+        .process(&library, scenes, |r| {
+            let (data, scene) = (&r.data, &r.scene);
+            let fixy: Vec<bool> = r
+                .candidates
+                .iter()
+                .map(|c| is_model_error_hit(data, scene, c.track))
+                .collect();
+            let max_hit_conf = r
+                .candidates
+                .iter()
+                .take(10)
+                .filter(|c| is_model_error_hit(data, scene, c.track))
+                .filter_map(|c| c.mean_confidence)
+                .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.max(c))));
 
-        // Exclude what the ad-hoc assertions already find.
-        let excluded = AdHocAssertions::default().flag_all(&scene);
-        let ranked = finder.rank(&scene, &library, &excluded).expect("library fits");
-        let fixy: Vec<bool> = ranked
-            .iter()
-            .map(|c| is_model_error_hit(&data, &scene, c.track))
-            .collect();
-        let max_hit_conf = ranked
-            .iter()
-            .take(10)
-            .filter(|c| is_model_error_hit(&data, &scene, c.track))
-            .filter_map(|c| c.mean_confidence)
-            .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.max(c))));
+            // Uncertainty sampling over the same candidate universe
+            // (tracks not flagged by the MAs). The assertions run a
+            // second time here — the ranker already excluded them
+            // during ranking — which is the accepted cost of keeping
+            // the pipeline's per-scene output to ranked candidates;
+            // the scans are linear and cheap next to compile+score.
+            let excluded = assertions.flag_all(scene);
+            let unc_tracks = uncertainty_sample_tracks(scene, 0.5);
+            let uncertainty: Vec<bool> = unc_tracks
+                .iter()
+                .filter(|&&t| !scene.track_obs(scene.track(t)).iter().any(|o| excluded.contains(o)))
+                .map(|&t| is_model_error_hit(data, scene, t))
+                .collect();
 
-        // Uncertainty sampling over the same candidate universe (tracks
-        // not flagged by the MAs).
-        let unc_tracks = uncertainty_sample_tracks(&scene, 0.5);
-        let uncertainty: Vec<bool> = unc_tracks
-            .iter()
-            .filter(|&&t| {
-                !scene
-                    .track_obs(scene.track(t))
-                    .iter()
-                    .any(|o| excluded.contains(o))
-            })
-            .map(|&t| is_model_error_hit(&data, &scene, t))
-            .collect();
-
-        SceneOutcome { fixy, uncertainty, max_hit_conf }
-    });
+            SceneOutcome { fixy, uncertainty, max_hit_conf }
+        })
+        .expect("library fits");
 
     let fixy_p10 = mean_of(
         &outcomes
@@ -103,7 +105,12 @@ pub fn run_model_error_experiment(
         .filter_map(|o| o.max_hit_conf)
         .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.max(c))));
 
-    ModelErrorResult { scenes: outcomes.len(), fixy_p10, uncertainty_p10, max_hit_confidence }
+    ModelErrorResult {
+        scenes: outcomes.len(),
+        fixy_p10,
+        uncertainty_p10,
+        max_hit_confidence,
+    }
 }
 
 #[cfg(test)]
@@ -125,10 +132,7 @@ mod tests {
     fn fixy_surfaces_high_confidence_errors() {
         let result = run_model_error_experiment(131, 3, 4, true);
         if let Some(conf) = result.max_hit_confidence {
-            assert!(
-                conf > 0.5,
-                "expected at least one confident error, max {conf:.2}"
-            );
+            assert!(conf > 0.5, "expected at least one confident error, max {conf:.2}");
         }
     }
 }

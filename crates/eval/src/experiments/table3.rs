@@ -57,9 +57,7 @@ pub struct Table3Result {
 
 impl Table3Result {
     pub fn row(&self, method: &str, dataset: &str) -> Option<&Table3Row> {
-        self.rows
-            .iter()
-            .find(|r| r.method == method && r.dataset == dataset)
+        self.rows.iter().find(|r| r.method == method && r.dataset == dataset)
     }
 }
 
@@ -98,42 +96,50 @@ pub fn run_table3(cfg: &Table3Config) -> Table3Result {
             .fit(&finder.feature_set(), &train)
             .expect("training scenes produce feature values");
 
-        // Online phase, one evaluation scene per seed, in parallel.
-        let eval_seeds: Vec<u64> =
-            (0..n_eval).map(|i| cfg.base_seed + 10_000 + i as u64).collect();
-        let per_scene: Vec<ScenePrecision> = parallel_map(eval_seeds, |seed| {
-            let data =
-                generate_scene(&scene_cfg, &format!("{}-eval-{seed}", profile.name()), seed);
-            // Paper protocol: precision is measured across scenes where
-            // errors were discovered.
-            if data.injected.missing_tracks.is_empty() {
-                return ScenePrecision { fixy: None, ma_rand: None, ma_conf: None };
-            }
-            let scene = Scene::assemble(&data, &AssemblyConfig::default());
-
-            let fixy_ranked = finder.rank(&scene, &library).expect("library fits features");
-            let fixy: Vec<bool> = fixy_ranked
-                .iter()
-                .map(|c| is_missing_track_hit(&data, &scene, c.track))
-                .collect();
-
-            let flagged = consistency_assertion(&scene, 3);
-            let rand_order = order_randomly(&flagged, seed ^ 0x5EED);
-            let ma_rand: Vec<bool> = rand_order
-                .iter()
-                .map(|&t| is_missing_track_hit(&data, &scene, t))
-                .collect();
-            let conf_order = order_by_confidence(&scene, &flagged);
-            let ma_conf: Vec<bool> = conf_order
-                .iter()
-                .map(|&t| is_missing_track_hit(&data, &scene, t))
-                .collect();
-
-            ScenePrecision { fixy: Some(fixy), ma_rand: Some(ma_rand), ma_conf: Some(ma_conf) }
+        // Online phase: generate the evaluation scenes, then fan them
+        // through the batch engine; the baselines run in the per-scene
+        // post hook against the same assembled scene.
+        let eval_seeds: Vec<u64> = (0..n_eval).map(|i| cfg.base_seed + 10_000 + i as u64).collect();
+        let scenes = parallel_map(eval_seeds.clone(), |seed| {
+            generate_scene(&scene_cfg, &format!("{}-eval-{seed}", profile.name()), seed)
         });
+        let per_scene: Vec<ScenePrecision> = ScenePipeline::new(finder.clone())
+            .process(&library, scenes, |r| {
+                // Paper protocol: precision is measured across scenes
+                // where errors were discovered.
+                if r.data.injected.missing_tracks.is_empty() {
+                    return ScenePrecision { fixy: None, ma_rand: None, ma_conf: None };
+                }
+                let (data, scene) = (&r.data, &r.scene);
+                let fixy: Vec<bool> = r
+                    .candidates
+                    .iter()
+                    .map(|c| is_missing_track_hit(data, scene, c.track))
+                    .collect();
 
-        let scenes_with_errors =
-            per_scene.iter().filter(|s| s.fixy.is_some()).count();
+                let flagged = consistency_assertion(scene, 3);
+                // `process` keeps input order, so `r.index` recovers the
+                // scene's generation seed exactly.
+                let rand_order = order_randomly(&flagged, eval_seeds[r.index] ^ 0x5EED);
+                let ma_rand: Vec<bool> = rand_order
+                    .iter()
+                    .map(|&t| is_missing_track_hit(data, scene, t))
+                    .collect();
+                let conf_order = order_by_confidence(scene, &flagged);
+                let ma_conf: Vec<bool> = conf_order
+                    .iter()
+                    .map(|&t| is_missing_track_hit(data, scene, t))
+                    .collect();
+
+                ScenePrecision {
+                    fixy: Some(fixy),
+                    ma_rand: Some(ma_rand),
+                    ma_conf: Some(ma_conf),
+                }
+            })
+            .expect("library fits features");
+
+        let scenes_with_errors = per_scene.iter().filter(|s| s.fixy.is_some()).count();
 
         #[derive(Clone, Copy)]
         enum Method {
@@ -217,10 +223,7 @@ mod tests {
         let rand = result.row("Ad-hoc MA (rand)", "Lyft").unwrap().p10;
         match (fixy, rand) {
             (Some(f), Some(r)) => {
-                assert!(
-                    f >= r - 0.05,
-                    "Fixy P@10 {f:.2} should not trail rand-MA {r:.2}"
-                );
+                assert!(f >= r - 0.05, "Fixy P@10 {f:.2} should not trail rand-MA {r:.2}");
             }
             _ => panic!("both methods should produce precision values"),
         }

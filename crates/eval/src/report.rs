@@ -9,7 +9,10 @@ pub struct Table {
 
 impl Table {
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {

@@ -84,11 +84,9 @@ pub fn resolve_track(data: &SceneData, scene: &Scene, track: TrackIdx) -> TrackR
 pub fn is_missing_track_hit(data: &SceneData, scene: &Scene, track: TrackIdx) -> bool {
     let res = resolve_track(data, scene, track);
     match res.majority_actor {
-        Some((actor, count)) if 2 * count > res.n_model_obs => data
-            .injected
-            .missing_tracks
-            .iter()
-            .any(|m| m.track == actor),
+        Some((actor, count)) if 2 * count > res.n_model_obs => {
+            data.injected.missing_tracks.iter().any(|m| m.track == actor)
+        }
         _ => false,
     }
 }
@@ -101,11 +99,7 @@ pub fn is_model_error_hit(data: &SceneData, scene: &Scene, track: TrackIdx) -> b
 }
 
 /// Coarse classification of a flagged track.
-pub fn resolve_track_candidate(
-    data: &SceneData,
-    scene: &Scene,
-    track: TrackIdx,
-) -> CandidateTruth {
+pub fn resolve_track_candidate(data: &SceneData, scene: &Scene, track: TrackIdx) -> CandidateTruth {
     if is_missing_track_hit(data, scene, track) {
         return CandidateTruth::MissingTrack;
     }

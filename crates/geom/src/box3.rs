@@ -192,8 +192,12 @@ mod tests {
         let b = Box3::new(Vec3::ZERO, Size3::new(4.0, 2.0, 1.0), 0.0);
         let cs = b.bev_corners();
         // Length along x, width along y.
-        assert!(cs.iter().any(|c| (c.x - 2.0).abs() < 1e-12 && (c.y - 1.0).abs() < 1e-12));
-        assert!(cs.iter().any(|c| (c.x + 2.0).abs() < 1e-12 && (c.y + 1.0).abs() < 1e-12));
+        assert!(cs
+            .iter()
+            .any(|c| (c.x - 2.0).abs() < 1e-12 && (c.y - 1.0).abs() < 1e-12));
+        assert!(cs
+            .iter()
+            .any(|c| (c.x + 2.0).abs() < 1e-12 && (c.y + 1.0).abs() < 1e-12));
     }
 
     #[test]
@@ -222,8 +226,9 @@ mod tests {
     #[test]
     fn validity_gate() {
         assert!(unit_box().is_valid());
-        assert!(!Box3::new(Vec3::new(f64::NAN, 0.0, 0.0), Size3::new(1.0, 1.0, 1.0), 0.0)
-            .is_valid());
+        assert!(
+            !Box3::new(Vec3::new(f64::NAN, 0.0, 0.0), Size3::new(1.0, 1.0, 1.0), 0.0).is_valid()
+        );
         assert!(!Box3::new(Vec3::ZERO, Size3::new(0.0, 1.0, 1.0), 0.0).is_valid());
         assert!(!Box3::new(Vec3::ZERO, Size3::new(-1.0, 1.0, 1.0), 0.0).is_valid());
         assert!(!Box3::new(Vec3::ZERO, Size3::new(1.0, 1.0, 1.0), f64::INFINITY).is_valid());

@@ -64,10 +64,7 @@ impl ConvexPolygon {
         }
         let a = signed_area(&self.vertices);
         if a.abs() < GEOM_EPS {
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Vec2::ZERO, |acc, &v| acc + v);
+            let sum = self.vertices.iter().fold(Vec2::ZERO, |acc, &v| acc + v);
             return sum / n as f64;
         }
         let mut cx = 0.0;
@@ -312,11 +309,8 @@ mod tests {
 
     #[test]
     fn triangle_area_and_centroid() {
-        let tri = ConvexPolygon::new(vec![
-            Vec2::new(0.0, 0.0),
-            Vec2::new(2.0, 0.0),
-            Vec2::new(0.0, 2.0),
-        ]);
+        let tri =
+            ConvexPolygon::new(vec![Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0), Vec2::new(0.0, 2.0)]);
         assert!((tri.area() - 2.0).abs() < 1e-12);
         let c = tri.centroid();
         assert!((c.x - 2.0 / 3.0).abs() < 1e-12);

@@ -58,7 +58,12 @@ impl<V, F> Default for FactorGraph<V, F> {
 
 impl<V, F> FactorGraph<V, F> {
     pub fn new() -> Self {
-        FactorGraph { vars: Vec::new(), factors: Vec::new(), scopes: Vec::new(), incident: Vec::new() }
+        FactorGraph {
+            vars: Vec::new(),
+            factors: Vec::new(),
+            scopes: Vec::new(),
+            incident: Vec::new(),
+        }
     }
 
     /// Pre-allocate for an expected node count.
@@ -257,14 +262,8 @@ mod tests {
         let mut g: FactorGraph<(), ()> = FactorGraph::new();
         let v = g.add_var(());
         assert_eq!(g.add_factor((), vec![]), Err(GraphError::EmptyScope));
-        assert_eq!(
-            g.add_factor((), vec![VarId(7)]),
-            Err(GraphError::UnknownVariable(7))
-        );
-        assert_eq!(
-            g.add_factor((), vec![v, v]),
-            Err(GraphError::DuplicateInScope(0))
-        );
+        assert_eq!(g.add_factor((), vec![VarId(7)]), Err(GraphError::UnknownVariable(7)));
+        assert_eq!(g.add_factor((), vec![v, v]), Err(GraphError::DuplicateInScope(0)));
         assert!(g.add_factor((), vec![v]).is_ok());
     }
 

@@ -71,7 +71,11 @@ pub fn normalized_log_score(probabilities: impl IntoIterator<Item = f64>) -> Com
     if zeroed {
         return ComponentScore { score: None, factor_count: count, zeroed: true };
     }
-    ComponentScore { score: Some(sum / count as f64), factor_count: count, zeroed: false }
+    ComponentScore {
+        score: Some(sum / count as f64),
+        factor_count: count,
+        zeroed: false,
+    }
 }
 
 impl<V, F> FactorGraph<V, F> {

@@ -170,9 +170,7 @@ impl SumProduct {
 
     /// Brute-force marginals by enumerating every joint assignment.
     /// Exponential; test/verification use only.
-    pub fn marginals_brute_force(
-        graph: &DiscreteGraph,
-    ) -> Result<Vec<Vec<f64>>, SumProductError> {
+    pub fn marginals_brute_force(graph: &DiscreteGraph) -> Result<Vec<Vec<f64>>, SumProductError> {
         validate(graph)?;
         let sizes: Vec<usize> = graph.var_ids().map(|v| *graph.var(v)).collect();
         let mut marginals: Vec<Vec<f64>> = sizes.iter().map(|&k| vec![0.0; k]).collect();
@@ -212,11 +210,7 @@ fn validate(graph: &DiscreteGraph) -> Result<(), SumProductError> {
         let expected: usize = graph.scope(f).iter().map(|&v| *graph.var(v)).product();
         let table = &graph.factor(f).table;
         if table.len() != expected {
-            return Err(SumProductError::BadTable {
-                factor: f.0,
-                expected,
-                got: table.len(),
-            });
+            return Err(SumProductError::BadTable { factor: f.0, expected, got: table.len() });
         }
         if table.iter().any(|&x| x < 0.0 || !x.is_finite()) {
             return Err(SumProductError::InvalidEntry { factor: f.0 });
@@ -288,7 +282,8 @@ mod tests {
     fn single_variable_unary_factor() {
         let mut g: DiscreteGraph = FactorGraph::new();
         let v = g.add_var(3);
-        g.add_factor(DiscreteFactor::new(vec![1.0, 2.0, 1.0]), vec![v]).unwrap();
+        g.add_factor(DiscreteFactor::new(vec![1.0, 2.0, 1.0]), vec![v])
+            .unwrap();
         let m = SumProduct::marginals(&g).unwrap();
         assert!(close(&m[0], &[0.25, 0.5, 0.25], 1e-9));
     }
@@ -381,10 +376,7 @@ mod tests {
         let mut g: DiscreteGraph = FactorGraph::new();
         let v = g.add_var(2);
         g.add_factor(DiscreteFactor::new(vec![0.0, 0.0]), vec![v]).unwrap();
-        assert_eq!(
-            SumProduct::marginals(&g),
-            Err(SumProductError::ZeroPartition)
-        );
+        assert_eq!(SumProduct::marginals(&g), Err(SumProductError::ZeroPartition));
     }
 
     #[test]

@@ -174,20 +174,16 @@ mod tests {
     fn priority_missing_over_model() {
         // Same box as model and missing: the '!' must win.
         let car = Box3::on_ground(20.0, 0.0, 0.0, 4.5, 1.9, 1.6, 0.0);
-        let s = render_frame_ascii(
-            &layers_with(vec![car], vec![], vec![car]),
-            AsciiOptions::default(),
-        );
+        let s =
+            render_frame_ascii(&layers_with(vec![car], vec![], vec![car]), AsciiOptions::default());
         assert!(s.contains('!'));
     }
 
     #[test]
     fn out_of_range_boxes_ignored() {
         let far = Box3::on_ground(500.0, 500.0, 0.0, 4.5, 1.9, 1.6, 0.0);
-        let s = render_frame_ascii(
-            &layers_with(vec![far], vec![], vec![]),
-            AsciiOptions::default(),
-        );
+        let s =
+            render_frame_ascii(&layers_with(vec![far], vec![], vec![]), AsciiOptions::default());
         assert!(!s.contains('!'));
     }
 

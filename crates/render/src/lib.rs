@@ -41,10 +41,7 @@ impl FrameLayers {
         let missing: Vec<Box3> = frame
             .gt
             .iter()
-            .filter(|g| {
-                g.visible
-                    && !frame.human_labels.iter().any(|l| l.gt_track == g.track)
-            })
+            .filter(|g| g.visible && !frame.human_labels.iter().any(|l| l.gt_track == g.track))
             .map(|g| g.bbox)
             .collect();
         let points = lidar

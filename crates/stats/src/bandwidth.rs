@@ -51,11 +51,7 @@ impl BandwidthRule {
                 let w = Welford::from_slice(samples);
                 let sigma = w.std_dev();
                 let iqr_scaled = iqr(samples) / 1.34;
-                let spread = if iqr_scaled > 0.0 {
-                    sigma.min(iqr_scaled)
-                } else {
-                    sigma
-                };
+                let spread = if iqr_scaled > 0.0 { sigma.min(iqr_scaled) } else { sigma };
                 0.9 * spread * (samples.len() as f64).powf(-0.2)
             }
         };
@@ -64,10 +60,7 @@ impl BandwidthRule {
         } else {
             // Degenerate sample: all points equal (or a bad Fixed value).
             // Scale a floor bandwidth to the data's magnitude.
-            let scale = samples
-                .iter()
-                .fold(0.0f64, |acc, x| acc.max(x.abs()))
-                .max(1.0);
+            let scale = samples.iter().fold(0.0f64, |acc, x| acc.max(x.abs())).max(1.0);
             Bandwidth(1e-3 * scale)
         }
     }

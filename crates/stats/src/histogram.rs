@@ -124,8 +124,7 @@ mod tests {
     fn density_integrates_to_one() {
         let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 100) as f64 * 0.1).collect();
         let h = Histogram::fit(&xs).unwrap();
-        let total: f64 =
-            h.densities.iter().map(|d| d * h.bin_width).sum();
+        let total: f64 = h.densities.iter().map(|d| d * h.bin_width).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 

@@ -47,11 +47,7 @@ impl Kde1d {
         };
         // The density mode is (for these kernels) attained near a sample
         // point; evaluating at every sample gives the normalizer.
-        kde.max_density = kde
-            .samples
-            .iter()
-            .map(|&x| kde.density(x))
-            .fold(0.0f64, f64::max);
+        kde.max_density = kde.samples.iter().map(|&x| kde.density(x)).fold(0.0f64, f64::max);
         Ok(kde)
     }
 
@@ -145,9 +141,7 @@ impl BinnedKde {
         let hi = kde.samples().last().copied().unwrap_or(0.0) + radius;
         let span = (hi - lo).max(f64::MIN_POSITIVE);
         let step = span / (bins - 1) as f64;
-        let densities: Vec<f64> = (0..bins)
-            .map(|i| kde.density(lo + i as f64 * step))
-            .collect();
+        let densities: Vec<f64> = (0..bins).map(|i| kde.density(lo + i as f64 * step)).collect();
         let max_density = densities.iter().copied().fold(0.0f64, f64::max);
         BinnedKde { grid_start: lo, grid_step: step, densities, max_density }
     }
@@ -208,16 +202,9 @@ mod tests {
         let xs = normal_sample(5000, 10.0, 2.0, 42);
         let kde = Kde1d::fit(&xs).unwrap();
         // Compare against the true N(10, 2²) density at a few points.
-        for (x, truth) in [
-            (10.0, 0.19947),
-            (12.0, 0.12099),
-            (6.0, 0.02700),
-        ] {
+        for (x, truth) in [(10.0, 0.19947), (12.0, 0.12099), (6.0, 0.02700)] {
             let est = kde.density(x);
-            assert!(
-                (est - truth).abs() < 0.02,
-                "density({x}) = {est}, want ≈ {truth}"
-            );
+            assert!((est - truth).abs() < 0.02, "density({x}) = {est}, want ≈ {truth}");
         }
     }
 

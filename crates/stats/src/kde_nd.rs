@@ -133,7 +133,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let dx = Normal::new(cx, 1.0).unwrap();
         let dy = Normal::new(cy, 2.0).unwrap();
-        (0..n).map(|_| vec![dx.sample(&mut rng), dy.sample(&mut rng)]).collect()
+        (0..n)
+            .map(|_| vec![dx.sample(&mut rng), dy.sample(&mut rng)])
+            .collect()
     }
 
     #[test]

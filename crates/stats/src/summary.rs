@@ -18,7 +18,13 @@ pub struct Welford {
 
 impl Welford {
     pub fn new() -> Self {
-        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one observation.
@@ -80,9 +86,8 @@ impl Welford {
         let n = self.count + other.count;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.count as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * self.count as f64 * other.count as f64 / n as f64;
         Welford {
             count: n,
             mean,

@@ -50,13 +50,21 @@ fn main() {
                 .filter(|c| is_missing_track_hit(&data, &scene, c.track))
                 .count();
             let _ = hits;
-            Scored { id: data.id.clone(), priority, candidates: ranked.len(), true_errors }
+            Scored {
+                id: data.id.clone(),
+                priority,
+                candidates: ranked.len(),
+                true_errors,
+            }
         })
         .collect();
 
     scored.sort_by(|a, b| b.priority.partial_cmp(&a.priority).expect("finite"));
 
-    println!("{:<12} {:>9} {:>11} {:>13}  selected?", "scene", "priority", "candidates", "true errors");
+    println!(
+        "{:<12} {:>9} {:>11} {:>13}  selected?",
+        "scene", "priority", "candidates", "true errors"
+    );
     let mut selected_errors = 0usize;
     let mut total_errors = 0usize;
     for (i, s) in scored.iter().enumerate() {

@@ -25,9 +25,7 @@ fn main() {
 
     // --- Part 1: a truck the vendor missed (Figure 1) ----------------------
     let track_finder = MissingTrackFinder::default();
-    let library = Learner::new()
-        .fit(&track_finder.feature_set(), &train)
-        .expect("fit");
+    let library = Learner::new().fit(&track_finder.feature_set(), &train).expect("fit");
 
     let scenario = missing_truck(7);
     let scene = Scene::assemble(&scenario.scene, &AssemblyConfig::default());
@@ -57,9 +55,7 @@ fn main() {
 
     // --- Part 2: a missing label within a track (Figure 6) -----------------
     let obs_finder = MissingObsFinder::default();
-    let obs_library = Learner::new()
-        .fit(&obs_finder.feature_set(), &train)
-        .expect("fit");
+    let obs_library = Learner::new().fit(&obs_finder.feature_set(), &train).expect("fit");
     let scenario = trailing_car_missing_label(11);
     let scene = Scene::assemble(&scenario.scene, &AssemblyConfig::default());
     let ranked = obs_finder.rank(&scene, &obs_library).expect("rank");

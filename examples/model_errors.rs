@@ -36,12 +36,18 @@ fn main() {
     // Step 1: the ad-hoc assertions fire on flicker/appear/multibox.
     let assertions = AdHocAssertions::default();
     let excluded = assertions.flag_all(&scene);
-    println!("Ad-hoc assertions flag {} observations (excluded from Fixy's search).", excluded.len());
+    println!(
+        "Ad-hoc assertions flag {} observations (excluded from Fixy's search).",
+        excluded.len()
+    );
 
     // Step 2: Fixy ranks the remaining tracks by inverted likelihood.
     let ranked = finder.rank(&scene, &library, &excluded).expect("rank");
     println!("\nFixy's top 10 suspicious tracks:");
-    println!("{:<6} {:<12} {:<8} {:>6} {:>7} {:>7}", "rank", "class", "score", "#obs", "conf", "error?");
+    println!(
+        "{:<6} {:<12} {:<8} {:>6} {:>7} {:>7}",
+        "rank", "class", "score", "#obs", "conf", "error?"
+    );
     for (i, c) in ranked.iter().take(10).enumerate() {
         let hit = is_model_error_hit(&data, &scene, c.track);
         println!(
@@ -50,7 +56,9 @@ fn main() {
             c.class.to_string(),
             c.score,
             c.n_obs,
-            c.mean_confidence.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+            c.mean_confidence
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into()),
             if hit { "YES" } else { "no" },
         );
     }
@@ -82,11 +90,7 @@ fn main() {
         .iter()
         .take(10)
         .filter(|c| is_model_error_hit(&data, &scene, c.track))
-        .max_by(|a, b| {
-            a.mean_confidence
-                .partial_cmp(&b.mean_confidence)
-                .expect("finite")
-        })
+        .max_by(|a, b| a.mean_confidence.partial_cmp(&b.mean_confidence).expect("finite"))
     {
         println!(
             "Highest-confidence error Fixy surfaced: {:.0}% model confidence — \

@@ -48,7 +48,10 @@ fn main() {
 
     let ranked = finder.rank(&scene, &library).expect("library matches features");
     println!("\nAudit worklist (top 10 potential missing labels):");
-    println!("{:<6} {:<12} {:<8} {:>6} {:>8}", "rank", "class", "score", "#obs", "conf");
+    println!(
+        "{:<6} {:<12} {:<8} {:>6} {:>8}",
+        "rank", "class", "score", "#obs", "conf"
+    );
     for (i, c) in ranked.iter().take(10).enumerate() {
         println!(
             "{:<6} {:<12} {:<8.3} {:>6} {:>8}",
@@ -56,7 +59,9 @@ fn main() {
             c.class.to_string(),
             c.score,
             c.n_obs,
-            c.mean_confidence.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+            c.mean_confidence
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 

@@ -32,9 +32,8 @@ fn engine_score_matches_manual_graph_computation() {
         let obs = scene.track_obs(track);
         let vars = compiled.vars_of(&obs);
         let factors = compiled.graph.component_factors(&vars, ScopeMode::Within);
-        let manual = normalized_log_score(
-            factors.iter().map(|&f| compiled.graph.factor(f).probability),
-        );
+        let manual =
+            normalized_log_score(factors.iter().map(|&f| compiled.graph.factor(f).probability));
         assert_eq!(engine_score.factor_count, manual.factor_count);
         match (engine_score.score, manual.score) {
             (Some(a), Some(b)) => assert!((a - b).abs() < 1e-12),
@@ -57,11 +56,7 @@ fn bundling_respects_geometry() {
 
 #[test]
 fn matching_algorithms_agree_on_separable_input() {
-    let scores = vec![
-        vec![0.9, 0.0, 0.0],
-        vec![0.0, 0.8, 0.0],
-        vec![0.0, 0.0, 0.7],
-    ];
+    let scores = vec![vec![0.9, 0.0, 0.0], vec![0.0, 0.8, 0.0], vec![0.0, 0.0, 0.7]];
     assert_eq!(greedy_match(&scores, 0.5), hungarian_match(&scores, 0.5));
 }
 
@@ -80,7 +75,11 @@ fn kde_probability_feeds_scoring_consistently() {
 #[test]
 fn every_figure_scenario_renders() {
     for (name, scenario) in all_scenarios(77) {
-        let frame_id = scenario.focus_frames.first().copied().unwrap_or(fixy::data::FrameId(0));
+        let frame_id = scenario
+            .focus_frames
+            .first()
+            .copied()
+            .unwrap_or(fixy::data::FrameId(0));
         let frame = &scenario.scene.frames[frame_id.0 as usize];
         let layers = FrameLayers::from_frame(frame, None);
         let ascii = render_frame_ascii(&layers, AsciiOptions::default());

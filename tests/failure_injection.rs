@@ -21,7 +21,10 @@ fn empty_frame(i: u32) -> Frame {
 fn stats_reject_bad_samples() {
     assert!(matches!(Kde1d::fit(&[]), Err(FitError::EmptySample)));
     assert!(matches!(Kde1d::fit(&[f64::NAN]), Err(FitError::NonFiniteSample)));
-    assert!(matches!(Histogram::fit(&[f64::INFINITY]), Err(FitError::NonFiniteSample)));
+    assert!(matches!(
+        Histogram::fit(&[f64::INFINITY]),
+        Err(FitError::NonFiniteSample)
+    ));
     assert!(matches!(Gaussian::fit(&[]), Err(FitError::EmptySample)));
 }
 
@@ -80,9 +83,7 @@ fn empty_scene_flows_through_pipeline_without_panicking() {
     cfg.lidar.beam_count = 240;
     let train = fixy::data::generate_scene(&cfg, "fi-train", 7);
     let finder = MissingTrackFinder::default();
-    let library = Learner::new()
-        .fit(&finder.feature_set(), &[train])
-        .expect("fit");
+    let library = Learner::new().fit(&finder.feature_set(), &[train]).expect("fit");
     let ranked = finder.rank(&scene, &library).expect("rank on empty scene");
     assert!(ranked.is_empty());
 }

@@ -13,8 +13,9 @@ fn small_cfg() -> SceneConfig {
 
 fn train_library(finder_features: &FeatureSet, n: usize, seed: u64) -> FeatureLibrary {
     let cfg = small_cfg();
-    let train: Vec<_> =
-        (0..n).map(|i| generate_scene(&cfg, &format!("pl-train-{i}"), seed + i as u64)).collect();
+    let train: Vec<_> = (0..n)
+        .map(|i| generate_scene(&cfg, &format!("pl-train-{i}"), seed + i as u64))
+        .collect();
     Learner::new().fit(finder_features, &train).expect("fit")
 }
 
@@ -103,10 +104,68 @@ fn scene_roundtrips_through_disk() {
 }
 
 #[test]
+fn scene_pipeline_parallel_is_byte_identical_to_sequential() {
+    // The batch engine's core contract: fanning scenes out to workers
+    // must not change a single bit of any score or the merge order.
+    let finder = MissingTrackFinder::default();
+    let library = train_library(&finder.feature_set(), 2, 8800);
+    let cfg = small_cfg();
+    let batch: Vec<_> = (0..8)
+        .map(|i| generate_scene(&cfg, &format!("sp-batch-{i}"), 8900 + i))
+        .collect();
+
+    let parallel = ScenePipeline::new(MissingTrackFinder::default())
+        .run_merged(&library, batch.clone())
+        .expect("parallel run");
+    let sequential = ScenePipeline::new(MissingTrackFinder::default())
+        .sequential()
+        .run_merged(&library, batch)
+        .expect("sequential run");
+
+    assert!(!parallel.is_empty(), "batch should surface candidates");
+    assert_eq!(parallel.len(), sequential.len());
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.scene_id, s.scene_id);
+        assert_eq!(p.scene_index, s.scene_index);
+        assert_eq!(p.candidate.track, s.candidate.track);
+        assert_eq!(
+            p.candidate.score.to_bits(),
+            s.candidate.score.to_bits(),
+            "scores must match bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn scene_pipeline_empty_and_single_scene() {
+    let finder = MissingTrackFinder::default();
+    let library = train_library(&finder.feature_set(), 2, 8700);
+    let pipeline = ScenePipeline::new(MissingTrackFinder::default());
+
+    // Empty batch: empty worklist, no error.
+    let empty = pipeline.run_merged(&library, Vec::new()).expect("empty batch");
+    assert!(empty.is_empty());
+
+    // Single scene: the batch result equals the direct single-scene rank.
+    let cfg = small_cfg();
+    let data = generate_scene(&cfg, "sp-single", 8750);
+    let scene = Scene::assemble(&data, &AssemblyConfig::default());
+    let direct = finder.rank(&scene, &library).expect("rank");
+    let batched = pipeline.run_merged(&library, vec![data]).expect("single batch");
+    assert_eq!(batched.len(), direct.len());
+    for (b, d) in batched.iter().zip(&direct) {
+        assert_eq!(b.scene_id, "sp-single");
+        assert_eq!(b.candidate.track, d.track);
+        assert_eq!(b.candidate.score.to_bits(), d.score.to_bits());
+    }
+}
+
+#[test]
 fn all_three_applications_run_on_one_scene() {
     let cfg = small_cfg();
-    let train: Vec<_> =
-        (0..3).map(|i| generate_scene(&cfg, &format!("pl3-train-{i}"), 9600 + i)).collect();
+    let train: Vec<_> = (0..3)
+        .map(|i| generate_scene(&cfg, &format!("pl3-train-{i}"), 9600 + i))
+        .collect();
     let data = generate_scene(&cfg, "pl3-eval", 9650);
 
     let mt = MissingTrackFinder::default();
@@ -122,5 +181,6 @@ fn all_three_applications_run_on_one_scene() {
 
     mt.rank(&scene, &mt_lib).expect("missing tracks");
     mo.rank(&scene, &mo_lib).expect("missing obs");
-    me.rank(&model_scene, &me_lib, &Default::default()).expect("model errors");
+    me.rank(&model_scene, &me_lib, &Default::default())
+        .expect("model errors");
 }

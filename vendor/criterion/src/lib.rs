@@ -1,0 +1,324 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`bench_with_input`] / [`sample_size`], [`Bencher::iter`] /
+//! [`iter_batched`], [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — measured with
+//! plain wall-clock timing (median over `sample_size` samples).
+//!
+//! Set `CRITERION_JSON=/path/to/out.json` to append one JSON record per
+//! benchmark: `{"id": ..., "median_ns": ..., "samples": ...}` — used to
+//! snapshot perf baselines in-repo.
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Loop-iteration result sink that defeats dead-code elimination.
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `group/function` or `group/function/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: None }
+    }
+}
+
+/// How `iter_batched` amortizes setup; ignored by this stub's timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Median duration per iteration, filled by the measurement loop.
+    sample_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { sample_ns: Vec::with_capacity(samples), iters_per_sample: 1 }
+    }
+
+    fn run_sampled<F: FnMut() -> Duration>(&mut self, samples: usize, mut one_sample: F) {
+        // Warm-up: one untimed run.
+        let warm = one_sample();
+        // Pick an iteration count so each sample takes ≥ ~1ms, capped to
+        // keep total runtime bounded.
+        let per_iter_ns = warm.as_nanos().max(1) as f64;
+        self.iters_per_sample = ((1_000_000.0 / per_iter_ns).ceil() as u64).clamp(1, 10_000);
+        for _ in 0..samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                total += one_sample();
+            }
+            self.sample_ns
+                .push(total.as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+    }
+
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let samples = self.sample_ns.capacity().max(1);
+        self.run_sampled(samples, || {
+            let t = Instant::now();
+            black_box(routine());
+            t.elapsed()
+        });
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let samples = self.sample_ns.capacity().max(1);
+        self.run_sampled(samples, || {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        });
+    }
+
+    pub fn iter_batched_ref<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> R,
+    {
+        let samples = self.sample_ns.capacity().max(1);
+        self.run_sampled(samples, || {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            t.elapsed()
+        });
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.sample_ns.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.sample_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(full_id: &str, samples: usize, median_ns: f64) {
+    println!(
+        "{full_id:<55} time: {:>12}   ({samples} samples)",
+        human_time(median_ns)
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(
+                f,
+                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"samples\":{}}}",
+                full_id.replace('"', "'"),
+                median_ns,
+                samples
+            );
+        }
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    /// `cargo bench -- <filter>` substring filter.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { sample_size: 20, filter }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into().render();
+        if self.should_run(&full) {
+            let mut b = Bencher::new(self.sample_size);
+            f(&mut b);
+            report(&full, self.sample_size, b.median_ns());
+        }
+        self
+    }
+}
+
+/// Named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, full: String, mut f: F) {
+        if self.criterion.should_run(&full) {
+            let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+            let mut b = Bencher::new(samples);
+            f(&mut b);
+            report(&full, samples, b.median_ns());
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().render());
+        self.run(full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().render());
+        self.run(full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filter: None, ..Criterion::default() };
+        c.sample_size(5);
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        let mut hits = 0u32;
+        group.bench_function("noop", |b| {
+            hits += 1;
+            b.iter(|| black_box(2 + 2))
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+        assert_eq!(hits, 1);
+    }
+}

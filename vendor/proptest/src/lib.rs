@@ -1,0 +1,419 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `name(pattern in strategy, ...)` bindings and
+//! an optional `#![proptest_config(ProptestConfig::with_cases(N))]`
+//! header, range strategies over ints and floats, tuple strategies,
+//! [`collection::vec`], [`any`]`::<bool>()`, and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports
+//! its values and the deterministic per-test seed instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of `Value` from the deterministic test RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let r = (rng.next_u64() as i128).rem_euclid(span);
+                    (self.start as i128 + r) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    let r = (rng.next_u64() as i128).rem_euclid(span);
+                    (*self.start() as i128 + r) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.start() + (rng.next_f64() as $t) * (self.end() - self.start())
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident : $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+
+    /// Always yields a clone of the given value (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`crate::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, reasonably sized values.
+            (rng.next_f64() - 0.5) * 2e6
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The canonical strategy for a type: `any::<bool>()` etc.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Inclusive.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-`proptest!` configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Failure payload produced by `prop_assert!`.
+    pub type TestCaseError = String;
+
+    /// Deterministic xoshiro256++ RNG seeded from the test name (plus an
+    /// optional `PROPTEST_SEED` env override for reproducing failures).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> Self {
+            let mut seed: u64 = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x10A_F1C5_0BA5_E11E);
+            for b in name.bytes() {
+                seed = seed.wrapping_mul(0x100000001B3) ^ b as u64;
+            }
+            let mut sm = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Define deterministic randomized property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        message
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {{
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left_val = &$left;
+        let right_val = &$right;
+        if !(left_val == right_val) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({:?} != {:?})",
+                stringify!($left),
+                stringify!($right),
+                left_val,
+                right_val
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+    /// Alias module mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(x in -5.0f64..5.0, n in 1usize..10, k in 0u64..=3) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(k <= 3);
+        }
+
+        #[test]
+        fn vec_sizes(v in collection::vec(0i64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            prop_assert!(v.iter().all(|&x| (0..100).contains(&x)));
+        }
+
+        #[test]
+        fn tuples_and_dependent(cols in 1usize..5, k in 1..=4usize, pair in (0.0f64..1.0, 0u32..9)) {
+            prop_assert!((1..=4).contains(&k));
+            prop_assert!(cols < 5);
+            prop_assert!(pair.0 < 1.0);
+            prop_assert_eq!(pair.1.min(8), pair.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

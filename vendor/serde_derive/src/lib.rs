@@ -1,0 +1,496 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stub.
+//!
+//! The offline build container has neither `syn` nor `quote`, so this
+//! macro parses the derive input with a small hand-rolled token walker
+//! and emits the generated impl as a source string (`str::parse` into a
+//! `TokenStream`). It supports exactly the shapes this workspace derives
+//! on: named-field structs, tuple/newtype structs, unit structs, plain
+//! generic parameters, and enums with unit / tuple / struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    ty: String,
+}
+
+enum Body {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: T, ... }`
+    NamedStruct(Vec<Field>),
+    /// `struct S(T, ...);` — field count only.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 1; // '#'
+        if i < tokens.len() {
+            i += 1; // the [...] group
+        }
+    }
+    i
+}
+
+/// Skip `pub` / `pub(crate)` etc. starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Collect the type-parameter names of `<A, B: Bound, const N: usize>`;
+/// returns (names, index just past the closing `>`).
+fn parse_generics(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    let mut names = Vec::new();
+    if i >= tokens.len() || !is_punct(&tokens[i], '<') {
+        return (names, i);
+    }
+    i += 1;
+    let mut depth = 1usize;
+    let mut expect_name = true;
+    while i < tokens.len() && depth > 0 {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_name = true,
+                ':' | '=' if depth == 1 => expect_name = false,
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 1 && expect_name => {
+                let s = id.to_string();
+                if s != "const" {
+                    names.push(s);
+                    expect_name = false;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (names, i)
+}
+
+/// Scan tokens until a comma at angle-bracket depth 0, returning the
+/// consumed tokens rendered as a string. `i` ends past the comma (or at
+/// `tokens.len()`).
+fn scan_type(tokens: &[TokenTree], mut i: usize) -> (String, usize) {
+    let mut depth = 0isize;
+    let mut out = String::new();
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        out.push_str(&tokens[i].to_string());
+        i += 1;
+    }
+    (out, i)
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => break, // malformed; bail with what we have
+        };
+        i += 1;
+        if i < tokens.len() && is_punct(&tokens[i], ':') {
+            i += 1;
+        }
+        let (ty, next) = scan_type(&tokens, i);
+        i = next;
+        fields.push(Field { name, ty });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let (_, next) = scan_type(&tokens, i);
+        i = next;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let mut kind = VariantKind::Unit;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                kind = match g.delimiter() {
+                    Delimiter::Parenthesis => VariantKind::Tuple(count_tuple_fields(g)),
+                    Delimiter::Brace => VariantKind::Struct(parse_named_fields(g)),
+                    _ => VariantKind::Unit,
+                };
+                i += 1;
+            }
+        }
+        // Skip an explicit discriminant and/or the trailing comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // ','
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("serde_derive stub: expected `struct` or `enum`, got {}", tokens[i]);
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other}"),
+    };
+    i += 1;
+
+    let (generics, mut i) = parse_generics(&tokens, i);
+
+    // Skip a where-clause if present (none expected in this workspace).
+    while i < tokens.len()
+        && !matches!(&tokens[i], TokenTree::Group(_))
+        && !is_punct(&tokens[i], ';')
+    {
+        i += 1;
+    }
+
+    let body = if is_enum {
+        match &tokens[i] {
+            TokenTree::Group(g) => Body::Enum(parse_variants(g)),
+            other => panic!("serde_derive stub: expected enum body, got {other}"),
+        }
+    } else if i >= tokens.len() || is_punct(&tokens[i], ';') {
+        Body::UnitStruct
+    } else {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g))
+            }
+            other => panic!("serde_derive stub: unexpected struct body {other}"),
+        }
+    };
+
+    Input { name, generics, body }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl ::serde::{} for {}", trait_name, input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{} for {}<{}>",
+            bounded.join(", "),
+            trait_name,
+            input.name,
+            input.generics.join(", ")
+        )
+    }
+}
+
+fn is_option(ty: &str) -> bool {
+    let t = ty.trim();
+    t.starts_with("Option<")
+        || t.starts_with("Option <")
+        || t.starts_with("std::option::Option<")
+        || t.starts_with("core::option::Option<")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::NamedStruct(fields) => {
+            let mut s = String::from("::serde::Value::Object(vec![");
+            for f in fields {
+                s.push_str(&format!(
+                    "(String::from(\"{0}\"), ::serde::Serialize::to_json_value(&self.{0})),",
+                    f.name
+                ));
+            }
+            s.push_str("])");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let mut s = String::from("::serde::Value::Array(vec![");
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Serialize::to_json_value(&self.{i}),"));
+            }
+            s.push_str("])");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut s = String::from("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                    )),
+                    VariantKind::Tuple(1) => s.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_json_value(f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{0}\"), ::serde::Serialize::to_json_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                             ::serde::Value::Object(vec![{}]))]),",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+
+    let out = format!(
+        "{} {{ fn to_json_value(&self) -> ::serde::Value {{ {} }} }}",
+        impl_header(&input, "Serialize"),
+        body
+    );
+    out.parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+fn gen_named_field_reads(fields: &[Field], target: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        s.push_str(&format!(
+            "{0}: match {target}.get(\"{0}\") {{ \
+               Some(x) => ::serde::Deserialize::from_json_value(x)?, \
+               None => ::serde::missing_field({1}, \"{0}\")?, \
+             }},",
+            f.name,
+            is_option(&f.ty),
+        ));
+    }
+    s
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Body::NamedStruct(fields) => format!(
+            "{{ if v.as_object().is_none() {{ \
+                 return Err(::serde::DeError::custom(\
+                     format!(\"expected object for {name}, got {{v:?}}\"))); }} \
+               Ok({name} {{ {} }}) }}",
+            gen_named_field_reads(fields, "v")
+        ),
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "{{ let a = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for {name}\"))?; \
+                   if a.len() != {n} {{ return Err(::serde::DeError::custom(\
+                     format!(\"expected {n} elements for {name}, got {{}}\", a.len()))); }} \
+                   Ok({name}({})) }}",
+                reads.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut s = String::from("{");
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            if !unit.is_empty() {
+                s.push_str("if let ::serde::Value::Str(s) = v { return match s.as_str() {");
+                for v in &unit {
+                    s.push_str(&format!("\"{0}\" => Ok({name}::{0}),", v.name));
+                }
+                s.push_str(&format!(
+                    "other => Err(::serde::DeError::custom(\
+                       format!(\"unknown {name} variant {{other:?}}\"))), }}; }}"
+                ));
+            }
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => s.push_str(&format!(
+                        "if let Some(inner) = v.get(\"{vn}\") {{ \
+                           return Ok({name}::{vn}(::serde::Deserialize::from_json_value(inner)?)); }}"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&a[{i}])?")
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "if let Some(inner) = v.get(\"{vn}\") {{ \
+                               let a = inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?; \
+                               if a.len() != {n} {{ return Err(::serde::DeError::custom(\
+                                 \"wrong arity for {name}::{vn}\")); }} \
+                               return Ok({name}::{vn}({})); }}",
+                            reads.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => s.push_str(&format!(
+                        "if let Some(inner) = v.get(\"{vn}\") {{ \
+                           return Ok({name}::{vn} {{ {} }}); }}",
+                        gen_named_field_reads(fields, "inner")
+                    )),
+                }
+            }
+            s.push_str(&format!(
+                "Err(::serde::DeError::custom(format!(\"no {name} variant matches {{v:?}}\"))) }}"
+            ));
+            s
+        }
+    };
+
+    let out = format!(
+        "{} {{ fn from_json_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {} }} }}",
+        impl_header(&input, "Deserialize"),
+        body
+    );
+    out.parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
+}
