@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_features-13df630f92664cec.d: crates/bench/src/bin/ablation_features.rs
+
+/root/repo/target/debug/deps/ablation_features-13df630f92664cec: crates/bench/src/bin/ablation_features.rs
+
+crates/bench/src/bin/ablation_features.rs:

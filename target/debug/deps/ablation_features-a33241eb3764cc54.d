@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_features-a33241eb3764cc54.d: crates/bench/src/bin/ablation_features.rs
+
+/root/repo/target/debug/deps/ablation_features-a33241eb3764cc54: crates/bench/src/bin/ablation_features.rs
+
+crates/bench/src/bin/ablation_features.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_features-a7e63dfccd9d2f79.d: crates/bench/src/bin/ablation_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_features-a7e63dfccd9d2f79.rmeta: crates/bench/src/bin/ablation_features.rs Cargo.toml
+
+crates/bench/src/bin/ablation_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/association-89343e33de408508.d: crates/bench/benches/association.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassociation-89343e33de408508.rmeta: crates/bench/benches/association.rs Cargo.toml
+
+crates/bench/benches/association.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_curve-26dbceff2dec156f.d: crates/bench/src/bin/audit_curve.rs
+
+/root/repo/target/debug/deps/audit_curve-26dbceff2dec156f: crates/bench/src/bin/audit_curve.rs
+
+crates/bench/src/bin/audit_curve.rs:

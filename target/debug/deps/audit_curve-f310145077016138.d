@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/audit_curve-f310145077016138.d: crates/bench/src/bin/audit_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaudit_curve-f310145077016138.rmeta: crates/bench/src/bin/audit_curve.rs Cargo.toml
+
+crates/bench/src/bin/audit_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

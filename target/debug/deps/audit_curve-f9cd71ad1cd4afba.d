@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_curve-f9cd71ad1cd4afba.d: crates/bench/src/bin/audit_curve.rs
+
+/root/repo/target/debug/deps/audit_curve-f9cd71ad1cd4afba: crates/bench/src/bin/audit_curve.rs
+
+crates/bench/src/bin/audit_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-c2bdd11a4c9fd17f.d: crates/fixy/../../tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-c2bdd11a4c9fd17f: crates/fixy/../../tests/cross_crate.rs
+
+crates/fixy/../../tests/cross_crate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate-d0d4f8849323d8f8.d: crates/fixy/../../tests/cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate-d0d4f8849323d8f8.rmeta: crates/fixy/../../tests/cross_crate.rs Cargo.toml
+
+crates/fixy/../../tests/cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-e0591150873fb5a8.d: crates/fixy/../../tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-e0591150873fb5a8: crates/fixy/../../tests/cross_crate.rs
+
+crates/fixy/../../tests/cross_crate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-0f1a0dfa63868d65.d: crates/fixy/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-0f1a0dfa63868d65: crates/fixy/../../tests/failure_injection.rs
+
+crates/fixy/../../tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-68fa787e7bdbb13e.d: crates/fixy/../../tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-68fa787e7bdbb13e.rmeta: crates/fixy/../../tests/failure_injection.rs Cargo.toml
+
+crates/fixy/../../tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

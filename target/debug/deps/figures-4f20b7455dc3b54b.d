@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-4f20b7455dc3b54b.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-4f20b7455dc3b54b: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-a3c3cda17cf76012.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-a3c3cda17cf76012: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixy-1490f34982c58203.d: crates/fixy/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixy-1490f34982c58203.rmeta: crates/fixy/src/lib.rs Cargo.toml
+
+crates/fixy/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

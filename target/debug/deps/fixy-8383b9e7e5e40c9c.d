@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixy-8383b9e7e5e40c9c.d: crates/fixy/src/lib.rs
+
+/root/repo/target/debug/deps/libfixy-8383b9e7e5e40c9c.rlib: crates/fixy/src/lib.rs
+
+/root/repo/target/debug/deps/libfixy-8383b9e7e5e40c9c.rmeta: crates/fixy/src/lib.rs
+
+crates/fixy/src/lib.rs:

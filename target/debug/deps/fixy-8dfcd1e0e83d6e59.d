@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixy-8dfcd1e0e83d6e59.d: crates/fixy/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixy-8dfcd1e0e83d6e59.rmeta: crates/fixy/src/lib.rs Cargo.toml
+
+crates/fixy/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixy-ab389bd7d49ee84b.d: crates/fixy/src/lib.rs
+
+/root/repo/target/debug/deps/libfixy-ab389bd7d49ee84b.rlib: crates/fixy/src/lib.rs
+
+/root/repo/target/debug/deps/libfixy-ab389bd7d49ee84b.rmeta: crates/fixy/src/lib.rs
+
+crates/fixy/src/lib.rs:

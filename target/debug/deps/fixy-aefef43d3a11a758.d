@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fixy-aefef43d3a11a758.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/fixy-aefef43d3a11a758: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fixy-c0a9441285799f5e.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/fixy-c0a9441285799f5e: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixy-cbb007dd2d855b7c.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixy-cbb007dd2d855b7c.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

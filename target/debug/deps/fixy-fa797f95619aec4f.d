@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fixy-fa797f95619aec4f.d: crates/fixy/src/lib.rs
+
+/root/repo/target/debug/deps/fixy-fa797f95619aec4f: crates/fixy/src/lib.rs
+
+crates/fixy/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixy_cli-68bc99c11ccebe6a.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libfixy_cli-68bc99c11ccebe6a.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libfixy_cli-68bc99c11ccebe6a.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

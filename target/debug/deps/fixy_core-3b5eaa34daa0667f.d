@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/fixy_core-3b5eaa34daa0667f.d: crates/core/src/lib.rs crates/core/src/aof.rs crates/core/src/apps/mod.rs crates/core/src/apps/missing_obs.rs crates/core/src/apps/missing_tracks.rs crates/core/src/apps/model_errors.rs crates/core/src/compile.rs crates/core/src/error.rs crates/core/src/feature.rs crates/core/src/features/mod.rs crates/core/src/features/bundle_feats.rs crates/core/src/features/obs_feats.rs crates/core/src/features/track_feats.rs crates/core/src/features/transition_feats.rs crates/core/src/learner.rs crates/core/src/pipeline.rs crates/core/src/rank.rs crates/core/src/scene.rs crates/core/src/score.rs
+
+/root/repo/target/debug/deps/libfixy_core-3b5eaa34daa0667f.rlib: crates/core/src/lib.rs crates/core/src/aof.rs crates/core/src/apps/mod.rs crates/core/src/apps/missing_obs.rs crates/core/src/apps/missing_tracks.rs crates/core/src/apps/model_errors.rs crates/core/src/compile.rs crates/core/src/error.rs crates/core/src/feature.rs crates/core/src/features/mod.rs crates/core/src/features/bundle_feats.rs crates/core/src/features/obs_feats.rs crates/core/src/features/track_feats.rs crates/core/src/features/transition_feats.rs crates/core/src/learner.rs crates/core/src/pipeline.rs crates/core/src/rank.rs crates/core/src/scene.rs crates/core/src/score.rs
+
+/root/repo/target/debug/deps/libfixy_core-3b5eaa34daa0667f.rmeta: crates/core/src/lib.rs crates/core/src/aof.rs crates/core/src/apps/mod.rs crates/core/src/apps/missing_obs.rs crates/core/src/apps/missing_tracks.rs crates/core/src/apps/model_errors.rs crates/core/src/compile.rs crates/core/src/error.rs crates/core/src/feature.rs crates/core/src/features/mod.rs crates/core/src/features/bundle_feats.rs crates/core/src/features/obs_feats.rs crates/core/src/features/track_feats.rs crates/core/src/features/transition_feats.rs crates/core/src/learner.rs crates/core/src/pipeline.rs crates/core/src/rank.rs crates/core/src/scene.rs crates/core/src/score.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aof.rs:
+crates/core/src/apps/mod.rs:
+crates/core/src/apps/missing_obs.rs:
+crates/core/src/apps/missing_tracks.rs:
+crates/core/src/apps/model_errors.rs:
+crates/core/src/compile.rs:
+crates/core/src/error.rs:
+crates/core/src/feature.rs:
+crates/core/src/features/mod.rs:
+crates/core/src/features/bundle_feats.rs:
+crates/core/src/features/obs_feats.rs:
+crates/core/src/features/track_feats.rs:
+crates/core/src/features/transition_feats.rs:
+crates/core/src/learner.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rank.rs:
+crates/core/src/scene.rs:
+crates/core/src/score.rs:

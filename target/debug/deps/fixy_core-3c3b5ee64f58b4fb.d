@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/fixy_core-3c3b5ee64f58b4fb.d: crates/core/src/lib.rs crates/core/src/aof.rs crates/core/src/apps/mod.rs crates/core/src/apps/missing_obs.rs crates/core/src/apps/missing_tracks.rs crates/core/src/apps/model_errors.rs crates/core/src/compile.rs crates/core/src/error.rs crates/core/src/feature.rs crates/core/src/features/mod.rs crates/core/src/features/bundle_feats.rs crates/core/src/features/obs_feats.rs crates/core/src/features/track_feats.rs crates/core/src/features/transition_feats.rs crates/core/src/learner.rs crates/core/src/pipeline.rs crates/core/src/rank.rs crates/core/src/scene.rs crates/core/src/score.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixy_core-3c3b5ee64f58b4fb.rmeta: crates/core/src/lib.rs crates/core/src/aof.rs crates/core/src/apps/mod.rs crates/core/src/apps/missing_obs.rs crates/core/src/apps/missing_tracks.rs crates/core/src/apps/model_errors.rs crates/core/src/compile.rs crates/core/src/error.rs crates/core/src/feature.rs crates/core/src/features/mod.rs crates/core/src/features/bundle_feats.rs crates/core/src/features/obs_feats.rs crates/core/src/features/track_feats.rs crates/core/src/features/transition_feats.rs crates/core/src/learner.rs crates/core/src/pipeline.rs crates/core/src/rank.rs crates/core/src/scene.rs crates/core/src/score.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aof.rs:
+crates/core/src/apps/mod.rs:
+crates/core/src/apps/missing_obs.rs:
+crates/core/src/apps/missing_tracks.rs:
+crates/core/src/apps/model_errors.rs:
+crates/core/src/compile.rs:
+crates/core/src/error.rs:
+crates/core/src/feature.rs:
+crates/core/src/features/mod.rs:
+crates/core/src/features/bundle_feats.rs:
+crates/core/src/features/obs_feats.rs:
+crates/core/src/features/track_feats.rs:
+crates/core/src/features/transition_feats.rs:
+crates/core/src/learner.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rank.rs:
+crates/core/src/scene.rs:
+crates/core/src/score.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

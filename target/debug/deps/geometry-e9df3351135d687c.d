@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geometry-e9df3351135d687c.d: crates/bench/benches/geometry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeometry-e9df3351135d687c.rmeta: crates/bench/benches/geometry.rs Cargo.toml
+
+crates/bench/benches/geometry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

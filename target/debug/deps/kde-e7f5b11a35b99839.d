@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kde-e7f5b11a35b99839.d: crates/bench/benches/kde.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkde-e7f5b11a35b99839.rmeta: crates/bench/benches/kde.rs Cargo.toml
+
+crates/bench/benches/kde.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loa_assoc-4a71992c0fef85c3.d: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+/root/repo/target/debug/deps/libloa_assoc-4a71992c0fef85c3.rlib: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+/root/repo/target/debug/deps/libloa_assoc-4a71992c0fef85c3.rmeta: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+crates/assoc/src/lib.rs:
+crates/assoc/src/bundler.rs:
+crates/assoc/src/matching.rs:
+crates/assoc/src/tracker.rs:
+crates/assoc/src/union_find.rs:

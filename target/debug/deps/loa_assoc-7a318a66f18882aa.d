@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loa_assoc-7a318a66f18882aa.d: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+/root/repo/target/debug/deps/loa_assoc-7a318a66f18882aa: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+crates/assoc/src/lib.rs:
+crates/assoc/src/bundler.rs:
+crates/assoc/src/matching.rs:
+crates/assoc/src/tracker.rs:
+crates/assoc/src/union_find.rs:

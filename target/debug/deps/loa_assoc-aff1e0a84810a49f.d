@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loa_assoc-aff1e0a84810a49f.d: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_assoc-aff1e0a84810a49f.rmeta: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs Cargo.toml
+
+crates/assoc/src/lib.rs:
+crates/assoc/src/bundler.rs:
+crates/assoc/src/matching.rs:
+crates/assoc/src/tracker.rs:
+crates/assoc/src/union_find.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

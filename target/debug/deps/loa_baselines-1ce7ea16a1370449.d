@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loa_baselines-1ce7ea16a1370449.d: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs
+
+/root/repo/target/debug/deps/loa_baselines-1ce7ea16a1370449: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assertions.rs:
+crates/baselines/src/ordering.rs:
+crates/baselines/src/ranker.rs:
+crates/baselines/src/uncertainty.rs:

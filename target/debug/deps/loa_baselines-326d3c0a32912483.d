@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loa_baselines-326d3c0a32912483.d: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/uncertainty.rs
+
+/root/repo/target/debug/deps/libloa_baselines-326d3c0a32912483.rlib: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/uncertainty.rs
+
+/root/repo/target/debug/deps/libloa_baselines-326d3c0a32912483.rmeta: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/uncertainty.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assertions.rs:
+crates/baselines/src/ordering.rs:
+crates/baselines/src/uncertainty.rs:

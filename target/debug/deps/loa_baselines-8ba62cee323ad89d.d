@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loa_baselines-8ba62cee323ad89d.d: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_baselines-8ba62cee323ad89d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assertions.rs:
+crates/baselines/src/ordering.rs:
+crates/baselines/src/ranker.rs:
+crates/baselines/src/uncertainty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

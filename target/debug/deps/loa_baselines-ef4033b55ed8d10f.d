@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loa_baselines-ef4033b55ed8d10f.d: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs
+
+/root/repo/target/debug/deps/libloa_baselines-ef4033b55ed8d10f.rlib: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs
+
+/root/repo/target/debug/deps/libloa_baselines-ef4033b55ed8d10f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assertions.rs:
+crates/baselines/src/ordering.rs:
+crates/baselines/src/ranker.rs:
+crates/baselines/src/uncertainty.rs:

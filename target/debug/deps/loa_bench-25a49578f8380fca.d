@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loa_bench-25a49578f8380fca.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libloa_bench-25a49578f8380fca.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libloa_bench-25a49578f8380fca.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

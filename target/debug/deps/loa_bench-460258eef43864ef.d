@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loa_bench-460258eef43864ef.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/loa_bench-460258eef43864ef: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

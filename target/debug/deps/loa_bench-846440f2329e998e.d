@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loa_bench-846440f2329e998e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_bench-846440f2329e998e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loa_bench-9148512e0fc4976f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libloa_bench-9148512e0fc4976f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libloa_bench-9148512e0fc4976f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

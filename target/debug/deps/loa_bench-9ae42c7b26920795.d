@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loa_bench-9ae42c7b26920795.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_bench-9ae42c7b26920795.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/loa_data-25b8ac0f31f12b5d.d: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+/root/repo/target/debug/deps/libloa_data-25b8ac0f31f12b5d.rlib: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+/root/repo/target/debug/deps/libloa_data-25b8ac0f31f12b5d.rmeta: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+crates/data/src/lib.rs:
+crates/data/src/class.rs:
+crates/data/src/detector.rs:
+crates/data/src/io.rs:
+crates/data/src/lidar.rs:
+crates/data/src/scenarios.rs:
+crates/data/src/scene.rs:
+crates/data/src/types.rs:
+crates/data/src/vendor.rs:
+crates/data/src/world.rs:

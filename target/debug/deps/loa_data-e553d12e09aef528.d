@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/loa_data-e553d12e09aef528.d: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_data-e553d12e09aef528.rmeta: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/class.rs:
+crates/data/src/detector.rs:
+crates/data/src/io.rs:
+crates/data/src/lidar.rs:
+crates/data/src/scenarios.rs:
+crates/data/src/scene.rs:
+crates/data/src/types.rs:
+crates/data/src/vendor.rs:
+crates/data/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

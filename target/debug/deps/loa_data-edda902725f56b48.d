@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/loa_data-edda902725f56b48.d: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+/root/repo/target/debug/deps/libloa_data-edda902725f56b48.rlib: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+/root/repo/target/debug/deps/libloa_data-edda902725f56b48.rmeta: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+crates/data/src/lib.rs:
+crates/data/src/class.rs:
+crates/data/src/detector.rs:
+crates/data/src/io.rs:
+crates/data/src/lidar.rs:
+crates/data/src/scenarios.rs:
+crates/data/src/scene.rs:
+crates/data/src/types.rs:
+crates/data/src/vendor.rs:
+crates/data/src/world.rs:

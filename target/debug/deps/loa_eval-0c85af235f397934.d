@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/loa_eval-0c85af235f397934.d: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_eval-0c85af235f397934.rmeta: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/audit_curve.rs:
+crates/eval/src/experiments/missing_obs.rs:
+crates/eval/src/experiments/model_errors.rs:
+crates/eval/src/experiments/recall.rs:
+crates/eval/src/experiments/runtime.rs:
+crates/eval/src/experiments/table3.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/resolve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

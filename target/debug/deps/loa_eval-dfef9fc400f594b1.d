@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/loa_eval-dfef9fc400f594b1.d: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs
+
+/root/repo/target/debug/deps/libloa_eval-dfef9fc400f594b1.rlib: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs
+
+/root/repo/target/debug/deps/libloa_eval-dfef9fc400f594b1.rmeta: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/audit_curve.rs:
+crates/eval/src/experiments/missing_obs.rs:
+crates/eval/src/experiments/model_errors.rs:
+crates/eval/src/experiments/recall.rs:
+crates/eval/src/experiments/runtime.rs:
+crates/eval/src/experiments/table3.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/resolve.rs:

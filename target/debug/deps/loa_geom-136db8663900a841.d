@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loa_geom-136db8663900a841.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+/root/repo/target/debug/deps/loa_geom-136db8663900a841: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/box3.rs:
+crates/geom/src/iou.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/pose.rs:
+crates/geom/src/vec.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loa_geom-2f3737253cd580eb.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+/root/repo/target/debug/deps/libloa_geom-2f3737253cd580eb.rlib: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+/root/repo/target/debug/deps/libloa_geom-2f3737253cd580eb.rmeta: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/box3.rs:
+crates/geom/src/iou.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/pose.rs:
+crates/geom/src/vec.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/loa_geom-7d41ce1d58c251af.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_geom-7d41ce1d58c251af.rmeta: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/box3.rs:
+crates/geom/src/iou.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/pose.rs:
+crates/geom/src/vec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

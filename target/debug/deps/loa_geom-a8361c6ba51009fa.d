@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/loa_geom-a8361c6ba51009fa.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+/root/repo/target/debug/deps/libloa_geom-a8361c6ba51009fa.rlib: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+/root/repo/target/debug/deps/libloa_geom-a8361c6ba51009fa.rmeta: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/box3.rs:
+crates/geom/src/iou.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/pose.rs:
+crates/geom/src/vec.rs:

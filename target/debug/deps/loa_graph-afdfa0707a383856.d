@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/loa_graph-afdfa0707a383856.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_graph-afdfa0707a383856.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/score.rs:
+crates/graph/src/sum_product.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

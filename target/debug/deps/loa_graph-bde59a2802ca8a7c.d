@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/loa_graph-bde59a2802ca8a7c.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+/root/repo/target/debug/deps/loa_graph-bde59a2802ca8a7c: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/score.rs:
+crates/graph/src/sum_product.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loa_graph-e2e031bf5176443f.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+/root/repo/target/debug/deps/libloa_graph-e2e031bf5176443f.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+/root/repo/target/debug/deps/libloa_graph-e2e031bf5176443f.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/score.rs:
+crates/graph/src/sum_product.rs:

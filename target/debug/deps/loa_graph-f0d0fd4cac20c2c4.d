@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loa_graph-f0d0fd4cac20c2c4.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+/root/repo/target/debug/deps/libloa_graph-f0d0fd4cac20c2c4.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+/root/repo/target/debug/deps/libloa_graph-f0d0fd4cac20c2c4.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/score.rs:
+crates/graph/src/sum_product.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loa_render-364f527a57bd3ad3.d: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+/root/repo/target/debug/deps/libloa_render-364f527a57bd3ad3.rlib: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+/root/repo/target/debug/deps/libloa_render-364f527a57bd3ad3.rmeta: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+crates/render/src/lib.rs:
+crates/render/src/ascii.rs:
+crates/render/src/svg.rs:

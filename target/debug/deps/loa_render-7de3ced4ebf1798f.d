@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loa_render-7de3ced4ebf1798f.d: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+/root/repo/target/debug/deps/loa_render-7de3ced4ebf1798f: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+crates/render/src/lib.rs:
+crates/render/src/ascii.rs:
+crates/render/src/svg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loa_render-adef13469bd34c65.d: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+/root/repo/target/debug/deps/libloa_render-adef13469bd34c65.rlib: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+/root/repo/target/debug/deps/libloa_render-adef13469bd34c65.rmeta: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+crates/render/src/lib.rs:
+crates/render/src/ascii.rs:
+crates/render/src/svg.rs:

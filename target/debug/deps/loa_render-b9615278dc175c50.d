@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/loa_render-b9615278dc175c50.d: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_render-b9615278dc175c50.rmeta: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs Cargo.toml
+
+crates/render/src/lib.rs:
+crates/render/src/ascii.rs:
+crates/render/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/loa_stats-395822f71f94e6ff.d: crates/stats/src/lib.rs crates/stats/src/bandwidth.rs crates/stats/src/discrete.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/gaussian.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/kde_nd.rs crates/stats/src/kernel.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloa_stats-395822f71f94e6ff.rmeta: crates/stats/src/lib.rs crates/stats/src/bandwidth.rs crates/stats/src/discrete.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/gaussian.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/kde_nd.rs crates/stats/src/kernel.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/bandwidth.rs:
+crates/stats/src/discrete.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/exponential.rs:
+crates/stats/src/gaussian.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kde.rs:
+crates/stats/src/kde_nd.rs:
+crates/stats/src/kernel.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

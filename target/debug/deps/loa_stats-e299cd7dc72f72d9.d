@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/loa_stats-e299cd7dc72f72d9.d: crates/stats/src/lib.rs crates/stats/src/bandwidth.rs crates/stats/src/discrete.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/gaussian.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/kde_nd.rs crates/stats/src/kernel.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/loa_stats-e299cd7dc72f72d9: crates/stats/src/lib.rs crates/stats/src/bandwidth.rs crates/stats/src/discrete.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/gaussian.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/kde_nd.rs crates/stats/src/kernel.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bandwidth.rs:
+crates/stats/src/discrete.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/exponential.rs:
+crates/stats/src/gaussian.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kde.rs:
+crates/stats/src/kde_nd.rs:
+crates/stats/src/kernel.rs:
+crates/stats/src/summary.rs:

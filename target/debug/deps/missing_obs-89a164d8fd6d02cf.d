@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/missing_obs-89a164d8fd6d02cf.d: crates/bench/src/bin/missing_obs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmissing_obs-89a164d8fd6d02cf.rmeta: crates/bench/src/bin/missing_obs.rs Cargo.toml
+
+crates/bench/src/bin/missing_obs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

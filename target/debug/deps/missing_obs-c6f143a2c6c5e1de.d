@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/missing_obs-c6f143a2c6c5e1de.d: crates/bench/src/bin/missing_obs.rs
+
+/root/repo/target/debug/deps/missing_obs-c6f143a2c6c5e1de: crates/bench/src/bin/missing_obs.rs
+
+crates/bench/src/bin/missing_obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/missing_obs-edf112f4932dbc8e.d: crates/bench/src/bin/missing_obs.rs
+
+/root/repo/target/debug/deps/missing_obs-edf112f4932dbc8e: crates/bench/src/bin/missing_obs.rs
+
+crates/bench/src/bin/missing_obs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_errors-3a11eb56dbedef89.d: crates/bench/src/bin/model_errors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_errors-3a11eb56dbedef89.rmeta: crates/bench/src/bin/model_errors.rs Cargo.toml
+
+crates/bench/src/bin/model_errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_errors-84aed593b8eff8f4.d: crates/bench/src/bin/model_errors.rs
+
+/root/repo/target/debug/deps/model_errors-84aed593b8eff8f4: crates/bench/src/bin/model_errors.rs
+
+crates/bench/src/bin/model_errors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_errors-d44b26a616add6bb.d: crates/bench/src/bin/model_errors.rs
+
+/root/repo/target/debug/deps/model_errors-d44b26a616add6bb: crates/bench/src/bin/model_errors.rs
+
+crates/bench/src/bin/model_errors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_errors-e936462035eb0d5d.d: crates/bench/src/bin/model_errors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_errors-e936462035eb0d5d.rmeta: crates/bench/src/bin/model_errors.rs Cargo.toml
+
+crates/bench/src/bin/model_errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-32a7e609e88288d6.d: crates/fixy/../../tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-32a7e609e88288d6.rmeta: crates/fixy/../../tests/paper_shapes.rs Cargo.toml
+
+crates/fixy/../../tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-d42b505958ed5ffd.d: crates/fixy/../../tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-d42b505958ed5ffd: crates/fixy/../../tests/paper_shapes.rs
+
+crates/fixy/../../tests/paper_shapes.rs:

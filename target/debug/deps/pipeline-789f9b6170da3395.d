@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-789f9b6170da3395.d: crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-789f9b6170da3395.rmeta: crates/bench/benches/pipeline.rs Cargo.toml
+
+crates/bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

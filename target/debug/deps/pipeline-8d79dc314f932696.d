@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-8d79dc314f932696.d: crates/fixy/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-8d79dc314f932696: crates/fixy/../../tests/pipeline.rs
+
+crates/fixy/../../tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-aa106b9adad75142.d: crates/fixy/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-aa106b9adad75142: crates/fixy/../../tests/pipeline.rs
+
+crates/fixy/../../tests/pipeline.rs:

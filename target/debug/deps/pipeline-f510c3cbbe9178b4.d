@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-f510c3cbbe9178b4.d: crates/fixy/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-f510c3cbbe9178b4.rmeta: crates/fixy/../../tests/pipeline.rs Cargo.toml
+
+crates/fixy/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-9e521db0d1d11ab6.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-9e521db0d1d11ab6: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

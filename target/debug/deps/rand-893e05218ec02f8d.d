@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-893e05218ec02f8d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-893e05218ec02f8d: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_distr-31822a3731811f5f.d: vendor/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_distr-31822a3731811f5f.rmeta: vendor/rand_distr/src/lib.rs Cargo.toml
+
+vendor/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

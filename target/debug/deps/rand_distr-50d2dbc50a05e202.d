@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-50d2dbc50a05e202.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-50d2dbc50a05e202: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

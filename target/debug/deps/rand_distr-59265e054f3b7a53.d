@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-59265e054f3b7a53.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-59265e054f3b7a53.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-59265e054f3b7a53.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-150bcdae29e03eda.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-150bcdae29e03eda: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

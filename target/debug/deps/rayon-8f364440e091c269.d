@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-8f364440e091c269.d: vendor/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-8f364440e091c269.rmeta: vendor/rayon/src/lib.rs Cargo.toml
+
+vendor/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

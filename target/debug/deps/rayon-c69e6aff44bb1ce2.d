@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-c69e6aff44bb1ce2.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-c69e6aff44bb1ce2.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-c69e6aff44bb1ce2.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recall-5d196084afefb3c6.d: crates/bench/src/bin/recall.rs
+
+/root/repo/target/debug/deps/recall-5d196084afefb3c6: crates/bench/src/bin/recall.rs
+
+crates/bench/src/bin/recall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recall-935f5bfb6bead435.d: crates/bench/src/bin/recall.rs
+
+/root/repo/target/debug/deps/recall-935f5bfb6bead435: crates/bench/src/bin/recall.rs
+
+crates/bench/src/bin/recall.rs:

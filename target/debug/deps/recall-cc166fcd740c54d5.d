@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recall-cc166fcd740c54d5.d: crates/bench/src/bin/recall.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecall-cc166fcd740c54d5.rmeta: crates/bench/src/bin/recall.rs Cargo.toml
+
+crates/bench/src/bin/recall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

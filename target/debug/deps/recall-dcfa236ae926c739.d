@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recall-dcfa236ae926c739.d: crates/bench/src/bin/recall.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecall-dcfa236ae926c739.rmeta: crates/bench/src/bin/recall.rs Cargo.toml
+
+crates/bench/src/bin/recall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

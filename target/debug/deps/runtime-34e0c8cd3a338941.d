@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-34e0c8cd3a338941.d: crates/bench/src/bin/runtime.rs
+
+/root/repo/target/debug/deps/runtime-34e0c8cd3a338941: crates/bench/src/bin/runtime.rs
+
+crates/bench/src/bin/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-4f66325c5f485a0c.d: crates/bench/src/bin/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-4f66325c5f485a0c.rmeta: crates/bench/src/bin/runtime.rs Cargo.toml
+
+crates/bench/src/bin/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

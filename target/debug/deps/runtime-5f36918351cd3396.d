@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-5f36918351cd3396.d: crates/bench/src/bin/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-5f36918351cd3396.rmeta: crates/bench/src/bin/runtime.rs Cargo.toml
+
+crates/bench/src/bin/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

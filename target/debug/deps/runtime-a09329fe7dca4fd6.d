@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-a09329fe7dca4fd6.d: crates/bench/src/bin/runtime.rs
+
+/root/repo/target/debug/deps/runtime-a09329fe7dca4fd6: crates/bench/src/bin/runtime.rs
+
+crates/bench/src/bin/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scene_runtime-0ee1aa01bc74e2e0.d: crates/bench/benches/scene_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscene_runtime-0ee1aa01bc74e2e0.rmeta: crates/bench/benches/scene_runtime.rs Cargo.toml
+
+crates/bench/benches/scene_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-330c65e194938a2c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-330c65e194938a2c: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-4d07fde27cdc0f62.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4d07fde27cdc0f62.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4d07fde27cdc0f62.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-84bdfe8a20bc9999.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-84bdfe8a20bc9999.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-84bdfe8a20bc9999.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-8aa88c1a2a5ef183.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-8aa88c1a2a5ef183: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-b16cec74cf9a20e3.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b16cec74cf9a20e3.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b16cec74cf9a20e3.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1d6f988f16784f28.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1d6f988f16784f28: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-bf7f298704deddbe.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-bf7f298704deddbe: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-a0f12ea54378855b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-a0f12ea54378855b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

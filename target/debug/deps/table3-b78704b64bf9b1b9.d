@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b78704b64bf9b1b9.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b78704b64bf9b1b9: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

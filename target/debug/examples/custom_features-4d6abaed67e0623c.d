@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_features-4d6abaed67e0623c.d: crates/fixy/../../examples/custom_features.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_features-4d6abaed67e0623c.rmeta: crates/fixy/../../examples/custom_features.rs Cargo.toml
+
+crates/fixy/../../examples/custom_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

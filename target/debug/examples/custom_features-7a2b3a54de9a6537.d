@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_features-7a2b3a54de9a6537.d: crates/fixy/../../examples/custom_features.rs
+
+/root/repo/target/debug/examples/custom_features-7a2b3a54de9a6537: crates/fixy/../../examples/custom_features.rs
+
+crates/fixy/../../examples/custom_features.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_selection-4fe7110c1b63b2e8.d: crates/fixy/../../examples/data_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_selection-4fe7110c1b63b2e8.rmeta: crates/fixy/../../examples/data_selection.rs Cargo.toml
+
+crates/fixy/../../examples/data_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_selection-9dbec5fd85450e84.d: crates/fixy/../../examples/data_selection.rs
+
+/root/repo/target/debug/examples/data_selection-9dbec5fd85450e84: crates/fixy/../../examples/data_selection.rs
+
+crates/fixy/../../examples/data_selection.rs:

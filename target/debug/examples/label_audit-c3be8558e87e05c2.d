@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/label_audit-c3be8558e87e05c2.d: crates/fixy/../../examples/label_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblabel_audit-c3be8558e87e05c2.rmeta: crates/fixy/../../examples/label_audit.rs Cargo.toml
+
+crates/fixy/../../examples/label_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/label_audit-e47f477dde0095ce.d: crates/fixy/../../examples/label_audit.rs
+
+/root/repo/target/debug/examples/label_audit-e47f477dde0095ce: crates/fixy/../../examples/label_audit.rs
+
+crates/fixy/../../examples/label_audit.rs:

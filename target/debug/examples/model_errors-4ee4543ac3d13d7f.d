@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_errors-4ee4543ac3d13d7f.d: crates/fixy/../../examples/model_errors.rs
+
+/root/repo/target/debug/examples/model_errors-4ee4543ac3d13d7f: crates/fixy/../../examples/model_errors.rs
+
+crates/fixy/../../examples/model_errors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_errors-9c167ab9d3303348.d: crates/fixy/../../examples/model_errors.rs
+
+/root/repo/target/debug/examples/model_errors-9c167ab9d3303348: crates/fixy/../../examples/model_errors.rs
+
+crates/fixy/../../examples/model_errors.rs:

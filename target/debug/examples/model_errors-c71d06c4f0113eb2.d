@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_errors-c71d06c4f0113eb2.d: crates/fixy/../../examples/model_errors.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_errors-c71d06c4f0113eb2.rmeta: crates/fixy/../../examples/model_errors.rs Cargo.toml
+
+crates/fixy/../../examples/model_errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-8bebcd76eebefd34.d: crates/fixy/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-8bebcd76eebefd34.rmeta: crates/fixy/../../examples/quickstart.rs Cargo.toml
+
+crates/fixy/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

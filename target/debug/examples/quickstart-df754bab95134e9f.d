@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-df754bab95134e9f.d: crates/fixy/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-df754bab95134e9f: crates/fixy/../../examples/quickstart.rs
+
+crates/fixy/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_features-45bbc3031f24d466.d: crates/bench/src/bin/ablation_features.rs
+
+/root/repo/target/release/deps/ablation_features-45bbc3031f24d466: crates/bench/src/bin/ablation_features.rs
+
+crates/bench/src/bin/ablation_features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_features-d210e63056256954.d: crates/bench/src/bin/ablation_features.rs
+
+/root/repo/target/release/deps/ablation_features-d210e63056256954: crates/bench/src/bin/ablation_features.rs
+
+crates/bench/src/bin/ablation_features.rs:

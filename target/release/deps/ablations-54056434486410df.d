@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-54056434486410df.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-54056434486410df: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/association-6be8913050192abd.d: crates/bench/benches/association.rs
+
+/root/repo/target/release/deps/association-6be8913050192abd: crates/bench/benches/association.rs
+
+crates/bench/benches/association.rs:

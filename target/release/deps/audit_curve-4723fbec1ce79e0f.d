@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit_curve-4723fbec1ce79e0f.d: crates/bench/src/bin/audit_curve.rs
+
+/root/repo/target/release/deps/audit_curve-4723fbec1ce79e0f: crates/bench/src/bin/audit_curve.rs
+
+crates/bench/src/bin/audit_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit_curve-e6bf4592cbaf7323.d: crates/bench/src/bin/audit_curve.rs
+
+/root/repo/target/release/deps/audit_curve-e6bf4592cbaf7323: crates/bench/src/bin/audit_curve.rs
+
+crates/bench/src/bin/audit_curve.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b9e090759af39530.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b9e090759af39530.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b9e090759af39530.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-d091cedca750fc0d.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-d091cedca750fc0d: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-066c9419747ef04c.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-066c9419747ef04c: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

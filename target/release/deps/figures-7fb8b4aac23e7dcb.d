@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-7fb8b4aac23e7dcb.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-7fb8b4aac23e7dcb: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

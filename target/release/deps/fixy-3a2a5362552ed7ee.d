@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fixy-3a2a5362552ed7ee.d: crates/fixy/src/lib.rs
+
+/root/repo/target/release/deps/fixy-3a2a5362552ed7ee: crates/fixy/src/lib.rs
+
+crates/fixy/src/lib.rs:

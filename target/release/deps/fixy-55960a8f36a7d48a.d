@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fixy-55960a8f36a7d48a.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/fixy-55960a8f36a7d48a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

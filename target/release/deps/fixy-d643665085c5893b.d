@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fixy-d643665085c5893b.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/fixy-d643665085c5893b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

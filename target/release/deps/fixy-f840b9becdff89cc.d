@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fixy-f840b9becdff89cc.d: crates/fixy/src/lib.rs
+
+/root/repo/target/release/deps/libfixy-f840b9becdff89cc.rlib: crates/fixy/src/lib.rs
+
+/root/repo/target/release/deps/libfixy-f840b9becdff89cc.rmeta: crates/fixy/src/lib.rs
+
+crates/fixy/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fixy_cli-b50c8b1f97976024.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/fixy_cli-b50c8b1f97976024: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/fixy_core-df48569e9762e1c0.d: crates/core/src/lib.rs crates/core/src/aof.rs crates/core/src/apps/mod.rs crates/core/src/apps/missing_obs.rs crates/core/src/apps/missing_tracks.rs crates/core/src/apps/model_errors.rs crates/core/src/compile.rs crates/core/src/error.rs crates/core/src/feature.rs crates/core/src/features/mod.rs crates/core/src/features/bundle_feats.rs crates/core/src/features/obs_feats.rs crates/core/src/features/track_feats.rs crates/core/src/features/transition_feats.rs crates/core/src/learner.rs crates/core/src/pipeline.rs crates/core/src/rank.rs crates/core/src/scene.rs crates/core/src/score.rs
+
+/root/repo/target/release/deps/fixy_core-df48569e9762e1c0: crates/core/src/lib.rs crates/core/src/aof.rs crates/core/src/apps/mod.rs crates/core/src/apps/missing_obs.rs crates/core/src/apps/missing_tracks.rs crates/core/src/apps/model_errors.rs crates/core/src/compile.rs crates/core/src/error.rs crates/core/src/feature.rs crates/core/src/features/mod.rs crates/core/src/features/bundle_feats.rs crates/core/src/features/obs_feats.rs crates/core/src/features/track_feats.rs crates/core/src/features/transition_feats.rs crates/core/src/learner.rs crates/core/src/pipeline.rs crates/core/src/rank.rs crates/core/src/scene.rs crates/core/src/score.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aof.rs:
+crates/core/src/apps/mod.rs:
+crates/core/src/apps/missing_obs.rs:
+crates/core/src/apps/missing_tracks.rs:
+crates/core/src/apps/model_errors.rs:
+crates/core/src/compile.rs:
+crates/core/src/error.rs:
+crates/core/src/feature.rs:
+crates/core/src/features/mod.rs:
+crates/core/src/features/bundle_feats.rs:
+crates/core/src/features/obs_feats.rs:
+crates/core/src/features/track_feats.rs:
+crates/core/src/features/transition_feats.rs:
+crates/core/src/learner.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/rank.rs:
+crates/core/src/scene.rs:
+crates/core/src/score.rs:

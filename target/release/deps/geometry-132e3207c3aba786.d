@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/geometry-132e3207c3aba786.d: crates/bench/benches/geometry.rs
+
+/root/repo/target/release/deps/geometry-132e3207c3aba786: crates/bench/benches/geometry.rs
+
+crates/bench/benches/geometry.rs:

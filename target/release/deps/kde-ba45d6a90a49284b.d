@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kde-ba45d6a90a49284b.d: crates/bench/benches/kde.rs
+
+/root/repo/target/release/deps/kde-ba45d6a90a49284b: crates/bench/benches/kde.rs
+
+crates/bench/benches/kde.rs:

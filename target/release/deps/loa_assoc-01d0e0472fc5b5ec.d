@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/loa_assoc-01d0e0472fc5b5ec.d: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+/root/repo/target/release/deps/libloa_assoc-01d0e0472fc5b5ec.rlib: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+/root/repo/target/release/deps/libloa_assoc-01d0e0472fc5b5ec.rmeta: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+crates/assoc/src/lib.rs:
+crates/assoc/src/bundler.rs:
+crates/assoc/src/matching.rs:
+crates/assoc/src/tracker.rs:
+crates/assoc/src/union_find.rs:

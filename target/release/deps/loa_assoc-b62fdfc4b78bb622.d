@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/loa_assoc-b62fdfc4b78bb622.d: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+/root/repo/target/release/deps/loa_assoc-b62fdfc4b78bb622: crates/assoc/src/lib.rs crates/assoc/src/bundler.rs crates/assoc/src/matching.rs crates/assoc/src/tracker.rs crates/assoc/src/union_find.rs
+
+crates/assoc/src/lib.rs:
+crates/assoc/src/bundler.rs:
+crates/assoc/src/matching.rs:
+crates/assoc/src/tracker.rs:
+crates/assoc/src/union_find.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/loa_baselines-58c59c0466b363ab.d: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs
+
+/root/repo/target/release/deps/libloa_baselines-58c59c0466b363ab.rlib: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs
+
+/root/repo/target/release/deps/libloa_baselines-58c59c0466b363ab.rmeta: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/ranker.rs crates/baselines/src/uncertainty.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assertions.rs:
+crates/baselines/src/ordering.rs:
+crates/baselines/src/ranker.rs:
+crates/baselines/src/uncertainty.rs:

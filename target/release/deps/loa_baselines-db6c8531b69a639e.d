@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/loa_baselines-db6c8531b69a639e.d: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/uncertainty.rs
+
+/root/repo/target/release/deps/loa_baselines-db6c8531b69a639e: crates/baselines/src/lib.rs crates/baselines/src/assertions.rs crates/baselines/src/ordering.rs crates/baselines/src/uncertainty.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/assertions.rs:
+crates/baselines/src/ordering.rs:
+crates/baselines/src/uncertainty.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loa_bench-8d50847ee2155a8b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/loa_bench-8d50847ee2155a8b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/loa_bench-e6d54c570609388f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libloa_bench-e6d54c570609388f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libloa_bench-e6d54c570609388f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/loa_data-cd3c75b864e86891.d: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+/root/repo/target/release/deps/loa_data-cd3c75b864e86891: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+crates/data/src/lib.rs:
+crates/data/src/class.rs:
+crates/data/src/detector.rs:
+crates/data/src/io.rs:
+crates/data/src/lidar.rs:
+crates/data/src/scenarios.rs:
+crates/data/src/scene.rs:
+crates/data/src/types.rs:
+crates/data/src/vendor.rs:
+crates/data/src/world.rs:

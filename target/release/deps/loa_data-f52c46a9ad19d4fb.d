@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/loa_data-f52c46a9ad19d4fb.d: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+/root/repo/target/release/deps/libloa_data-f52c46a9ad19d4fb.rlib: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+/root/repo/target/release/deps/libloa_data-f52c46a9ad19d4fb.rmeta: crates/data/src/lib.rs crates/data/src/class.rs crates/data/src/detector.rs crates/data/src/io.rs crates/data/src/lidar.rs crates/data/src/scenarios.rs crates/data/src/scene.rs crates/data/src/types.rs crates/data/src/vendor.rs crates/data/src/world.rs
+
+crates/data/src/lib.rs:
+crates/data/src/class.rs:
+crates/data/src/detector.rs:
+crates/data/src/io.rs:
+crates/data/src/lidar.rs:
+crates/data/src/scenarios.rs:
+crates/data/src/scene.rs:
+crates/data/src/types.rs:
+crates/data/src/vendor.rs:
+crates/data/src/world.rs:

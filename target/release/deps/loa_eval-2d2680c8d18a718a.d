@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/loa_eval-2d2680c8d18a718a.d: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs
+
+/root/repo/target/release/deps/libloa_eval-2d2680c8d18a718a.rlib: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs
+
+/root/repo/target/release/deps/libloa_eval-2d2680c8d18a718a.rmeta: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/audit_curve.rs:
+crates/eval/src/experiments/missing_obs.rs:
+crates/eval/src/experiments/model_errors.rs:
+crates/eval/src/experiments/recall.rs:
+crates/eval/src/experiments/runtime.rs:
+crates/eval/src/experiments/table3.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/resolve.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/loa_eval-37ef619751de224b.d: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs
+
+/root/repo/target/release/deps/loa_eval-37ef619751de224b: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/audit_curve.rs crates/eval/src/experiments/missing_obs.rs crates/eval/src/experiments/model_errors.rs crates/eval/src/experiments/recall.rs crates/eval/src/experiments/runtime.rs crates/eval/src/experiments/table3.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/resolve.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/audit_curve.rs:
+crates/eval/src/experiments/missing_obs.rs:
+crates/eval/src/experiments/model_errors.rs:
+crates/eval/src/experiments/recall.rs:
+crates/eval/src/experiments/runtime.rs:
+crates/eval/src/experiments/table3.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/resolve.rs:

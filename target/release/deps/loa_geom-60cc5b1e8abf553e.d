@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/loa_geom-60cc5b1e8abf553e.d: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+/root/repo/target/release/deps/loa_geom-60cc5b1e8abf553e: crates/geom/src/lib.rs crates/geom/src/angle.rs crates/geom/src/box3.rs crates/geom/src/iou.rs crates/geom/src/polygon.rs crates/geom/src/pose.rs crates/geom/src/vec.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/angle.rs:
+crates/geom/src/box3.rs:
+crates/geom/src/iou.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/pose.rs:
+crates/geom/src/vec.rs:

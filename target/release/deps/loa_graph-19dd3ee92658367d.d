@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/loa_graph-19dd3ee92658367d.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+/root/repo/target/release/deps/libloa_graph-19dd3ee92658367d.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+/root/repo/target/release/deps/libloa_graph-19dd3ee92658367d.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/score.rs:
+crates/graph/src/sum_product.rs:

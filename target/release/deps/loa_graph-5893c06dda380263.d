@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/loa_graph-5893c06dda380263.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+/root/repo/target/release/deps/loa_graph-5893c06dda380263: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/score.rs crates/graph/src/sum_product.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/score.rs:
+crates/graph/src/sum_product.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/loa_render-2c37714a23ae0219.d: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+/root/repo/target/release/deps/libloa_render-2c37714a23ae0219.rlib: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+/root/repo/target/release/deps/libloa_render-2c37714a23ae0219.rmeta: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+crates/render/src/lib.rs:
+crates/render/src/ascii.rs:
+crates/render/src/svg.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/loa_render-556165baf5db8385.d: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+/root/repo/target/release/deps/loa_render-556165baf5db8385: crates/render/src/lib.rs crates/render/src/ascii.rs crates/render/src/svg.rs
+
+crates/render/src/lib.rs:
+crates/render/src/ascii.rs:
+crates/render/src/svg.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/loa_stats-b4b85e06808e7666.d: crates/stats/src/lib.rs crates/stats/src/bandwidth.rs crates/stats/src/discrete.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/gaussian.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/kde_nd.rs crates/stats/src/kernel.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libloa_stats-b4b85e06808e7666.rlib: crates/stats/src/lib.rs crates/stats/src/bandwidth.rs crates/stats/src/discrete.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/gaussian.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/kde_nd.rs crates/stats/src/kernel.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libloa_stats-b4b85e06808e7666.rmeta: crates/stats/src/lib.rs crates/stats/src/bandwidth.rs crates/stats/src/discrete.rs crates/stats/src/ecdf.rs crates/stats/src/exponential.rs crates/stats/src/gaussian.rs crates/stats/src/histogram.rs crates/stats/src/kde.rs crates/stats/src/kde_nd.rs crates/stats/src/kernel.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bandwidth.rs:
+crates/stats/src/discrete.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/exponential.rs:
+crates/stats/src/gaussian.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kde.rs:
+crates/stats/src/kde_nd.rs:
+crates/stats/src/kernel.rs:
+crates/stats/src/summary.rs:

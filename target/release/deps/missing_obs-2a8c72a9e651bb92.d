@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/missing_obs-2a8c72a9e651bb92.d: crates/bench/src/bin/missing_obs.rs
+
+/root/repo/target/release/deps/missing_obs-2a8c72a9e651bb92: crates/bench/src/bin/missing_obs.rs
+
+crates/bench/src/bin/missing_obs.rs:

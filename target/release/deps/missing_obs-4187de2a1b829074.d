@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/missing_obs-4187de2a1b829074.d: crates/bench/src/bin/missing_obs.rs
+
+/root/repo/target/release/deps/missing_obs-4187de2a1b829074: crates/bench/src/bin/missing_obs.rs
+
+crates/bench/src/bin/missing_obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_errors-bebc64226f269e6b.d: crates/bench/src/bin/model_errors.rs
+
+/root/repo/target/release/deps/model_errors-bebc64226f269e6b: crates/bench/src/bin/model_errors.rs
+
+crates/bench/src/bin/model_errors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_errors-ddc6e430ef3008da.d: crates/bench/src/bin/model_errors.rs
+
+/root/repo/target/release/deps/model_errors-ddc6e430ef3008da: crates/bench/src/bin/model_errors.rs
+
+crates/bench/src/bin/model_errors.rs:

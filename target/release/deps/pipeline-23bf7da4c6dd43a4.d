@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-23bf7da4c6dd43a4.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-23bf7da4c6dd43a4: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

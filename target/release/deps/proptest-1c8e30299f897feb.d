@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-1c8e30299f897feb.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-1c8e30299f897feb: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

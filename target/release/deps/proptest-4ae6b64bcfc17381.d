@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-4ae6b64bcfc17381.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4ae6b64bcfc17381.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4ae6b64bcfc17381.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-8adf57157bd0140c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-8adf57157bd0140c: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c38b81d66c54fc2d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c38b81d66c54fc2d.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c38b81d66c54fc2d.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-583daf88b486d052.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-583daf88b486d052.rlib: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-583daf88b486d052.rmeta: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

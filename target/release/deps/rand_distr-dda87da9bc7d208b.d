@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_distr-dda87da9bc7d208b.d: vendor/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/rand_distr-dda87da9bc7d208b: vendor/rand_distr/src/lib.rs
+
+vendor/rand_distr/src/lib.rs:

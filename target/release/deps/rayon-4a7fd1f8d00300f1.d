@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-4a7fd1f8d00300f1.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-4a7fd1f8d00300f1: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-fc941643d7e38bd8.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-fc941643d7e38bd8.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-fc941643d7e38bd8.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

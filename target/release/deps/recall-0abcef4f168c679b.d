@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recall-0abcef4f168c679b.d: crates/bench/src/bin/recall.rs
+
+/root/repo/target/release/deps/recall-0abcef4f168c679b: crates/bench/src/bin/recall.rs
+
+crates/bench/src/bin/recall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recall-c206df5f1669194a.d: crates/bench/src/bin/recall.rs
+
+/root/repo/target/release/deps/recall-c206df5f1669194a: crates/bench/src/bin/recall.rs
+
+crates/bench/src/bin/recall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime-067d1a50bc5391ae.d: crates/bench/src/bin/runtime.rs
+
+/root/repo/target/release/deps/runtime-067d1a50bc5391ae: crates/bench/src/bin/runtime.rs
+
+crates/bench/src/bin/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime-9f3a5defab67bd13.d: crates/bench/src/bin/runtime.rs
+
+/root/repo/target/release/deps/runtime-9f3a5defab67bd13: crates/bench/src/bin/runtime.rs
+
+crates/bench/src/bin/runtime.rs:

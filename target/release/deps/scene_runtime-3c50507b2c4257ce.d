@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scene_runtime-3c50507b2c4257ce.d: crates/bench/benches/scene_runtime.rs
+
+/root/repo/target/release/deps/scene_runtime-3c50507b2c4257ce: crates/bench/benches/scene_runtime.rs
+
+crates/bench/benches/scene_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/seed_scan-4f853e2000450752.d: crates/eval/tests/seed_scan.rs
+
+/root/repo/target/release/deps/seed_scan-4f853e2000450752: crates/eval/tests/seed_scan.rs
+
+crates/eval/tests/seed_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-46012109ce9b2cf5.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-46012109ce9b2cf5: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b8c327584e9c34f7.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b8c327584e9c34f7.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b8c327584e9c34f7.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-07b7d7042d7e16b9.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-07b7d7042d7e16b9.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

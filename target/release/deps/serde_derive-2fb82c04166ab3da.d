@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2fb82c04166ab3da.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-2fb82c04166ab3da: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

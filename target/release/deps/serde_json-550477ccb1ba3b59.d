@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-550477ccb1ba3b59.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-550477ccb1ba3b59: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

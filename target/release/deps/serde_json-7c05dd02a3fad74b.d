@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-7c05dd02a3fad74b.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7c05dd02a3fad74b.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7c05dd02a3fad74b.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

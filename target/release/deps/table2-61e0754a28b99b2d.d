@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-61e0754a28b99b2d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-61e0754a28b99b2d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-905b690d1c5b1ba4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-905b690d1c5b1ba4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-143677151b977e4d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-143677151b977e4d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-b035f53aa9d013f0.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-b035f53aa9d013f0: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

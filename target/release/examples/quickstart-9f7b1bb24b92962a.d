@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9f7b1bb24b92962a.d: crates/fixy/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9f7b1bb24b92962a: crates/fixy/../../examples/quickstart.rs
+
+crates/fixy/../../examples/quickstart.rs:

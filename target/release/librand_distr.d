@@ -1,0 +1,1 @@
+/root/repo/target/release/librand_distr.rlib: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand_distr/src/lib.rs

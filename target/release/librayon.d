@@ -1,0 +1,1 @@
+/root/repo/target/release/librayon.rlib: /root/repo/vendor/rayon/src/lib.rs
