@@ -26,6 +26,8 @@ impl MaExcludedModelErrors {
 }
 
 impl SceneRanker for MaExcludedModelErrors {
+    type Candidate = TrackCandidate;
+
     fn assembly(&self) -> AssemblyConfig {
         AssemblyConfig::model_only()
     }

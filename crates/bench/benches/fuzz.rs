@@ -1,0 +1,52 @@
+//! Procedural fuzzer throughput: corpus generation and the full
+//! injection-recall conformance run at batch scale.
+//!
+//! The conformance harness is meant to gate every PR on a 200+-scene
+//! corpus, so both halves — composing/injecting scenes and ranking them
+//! through the five per-kind pipelines — need to stay cheap. `corpus`
+//! isolates generation; `conformance` measures the end-to-end
+//! experiment (generation + library fits + five `ScenePipeline` runs +
+//! oracle resolution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loa_data::fuzz::ScenarioFuzzer;
+use loa_eval::{run_injection_recall, InjectionRecallConfig};
+use std::hint::black_box;
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_corpus");
+    group.sample_size(10);
+    for n_scenes in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("generate", n_scenes), &n_scenes, |b, &n| {
+            let fuzzer = ScenarioFuzzer::new(7);
+            b.iter(|| {
+                let corpus = fuzzer.corpus(black_box(n));
+                let errors: usize = corpus
+                    .iter()
+                    .map(|s| s.injected.label_error_count() + s.injected.ghost_tracks.len())
+                    .sum();
+                black_box((corpus.len(), errors))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conformance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_conformance");
+    group.sample_size(10);
+    for n_scenes in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("end_to_end", n_scenes), &n_scenes, |b, &n| {
+            let config = InjectionRecallConfig { seed: 7, n_scenes: n, top_k: 10, n_train: 6 };
+            b.iter(|| {
+                let result = run_injection_recall(black_box(&config));
+                assert!(result.is_perfect(), "conformance regressed during bench");
+                black_box(result.total_injected())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus_generation, bench_conformance);
+criterion_main!(benches);

@@ -11,10 +11,16 @@ USAGE:
     fixy generate --profile <lyft|internal> --scenes <N> [--seed <S>] --out <DIR> [--duration <SECS>]
     fixy learn    --data <DIR> [--app <APP>] --out <FILE>
     fixy rank     --scene <FILE|DIR> --library <FILE> [--app <APP>] [--top <K>] [--grade]
+    fixy fuzz     [--seed <S>] [--scenes <N>] [--top-k <K>] [--train <N>]
     fixy render   --scene <FILE> [--frame <N>] [--svg <FILE>]
     fixy help
 
 APPS: missing-tracks (default), missing-obs, model-errors
+
+fuzz runs the injection-recall conformance harness: a seeded procedural
+corpus with known injected errors is ranked through the scene pipeline,
+and every injected error must appear in the top-K of its scene's
+worklist. Exits non-zero (printing the failing seed) otherwise.
 ";
 
 /// Which application pipeline to use.
@@ -77,6 +83,15 @@ pub struct RankArgs {
     pub grade: bool,
 }
 
+/// `fixy fuzz`.
+#[derive(Debug, Clone)]
+pub struct FuzzArgs {
+    pub seed: u64,
+    pub scenes: usize,
+    pub top_k: usize,
+    pub train: usize,
+}
+
 /// `fixy render`.
 #[derive(Debug, Clone)]
 pub struct RenderArgs {
@@ -91,6 +106,7 @@ pub enum Command {
     Generate(GenerateArgs),
     Learn(LearnArgs),
     Rank(RankArgs),
+    Fuzz(FuzzArgs),
     Render(RenderArgs),
     Help,
 }
@@ -203,6 +219,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 grade: flags.switches.contains("grade"),
             }))
         }
+        "fuzz" => {
+            let flags = collect_flags(rest, &[])?;
+            Ok(Command::Fuzz(FuzzArgs {
+                seed: flags.parse_num("seed", 7u64)?,
+                scenes: flags.parse_num("scenes", 200usize)?,
+                top_k: flags.parse_num("top-k", 10usize)?,
+                train: flags.parse_num("train", 6usize)?,
+            }))
+        }
         "render" => {
             let flags = collect_flags(rest, &[])?;
             Ok(Command::Render(RenderArgs {
@@ -302,6 +327,29 @@ mod tests {
     fn bad_numbers_rejected() {
         assert!(parse(&argv("generate --profile lyft --scenes many --out x")).is_err());
         assert!(parse(&argv("rank --scene s --library l --top ten")).is_err());
+        assert!(parse(&argv("fuzz --seed banana")).is_err());
+    }
+
+    #[test]
+    fn fuzz_defaults_and_overrides() {
+        match parse(&argv("fuzz")).unwrap() {
+            Command::Fuzz(f) => {
+                assert_eq!(f.seed, 7);
+                assert_eq!(f.scenes, 200);
+                assert_eq!(f.top_k, 10);
+                assert_eq!(f.train, 6);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("fuzz --seed 3 --scenes 12 --top-k 5 --train 2")).unwrap() {
+            Command::Fuzz(f) => {
+                assert_eq!(f.seed, 3);
+                assert_eq!(f.scenes, 12);
+                assert_eq!(f.top_k, 5);
+                assert_eq!(f.train, 2);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{App, GenerateArgs, LearnArgs, RankArgs, RenderArgs};
+use crate::args::{App, FuzzArgs, GenerateArgs, LearnArgs, RankArgs, RenderArgs};
 use crate::CliError;
 use fixy_core::prelude::*;
 use fixy_core::{FeatureSet, Learner};
@@ -94,6 +94,60 @@ pub fn learn(args: LearnArgs) -> Result<String, CliError> {
     ))
 }
 
+/// `fixy fuzz`: the injection-recall conformance harness. A seeded
+/// fuzzed corpus with known typed errors is ranked through the scene
+/// pipeline per error kind; every injected error must appear in the
+/// top-k of its scene's worklist. Anything less is an error (non-zero
+/// exit) whose message pins the failing seed for exact reproduction.
+pub fn fuzz(args: FuzzArgs) -> Result<String, CliError> {
+    let config = loa_eval::InjectionRecallConfig {
+        seed: args.seed,
+        n_scenes: args.scenes,
+        top_k: args.top_k,
+        n_train: args.train.max(1),
+    };
+    let result = loa_eval::run_injection_recall(&config);
+    let report = result.report();
+    if result.is_perfect() {
+        Ok(report)
+    } else {
+        Err(CliError::Invalid(report))
+    }
+}
+
+/// `fixy rank` batch mode for the bundle-level missing-obs app.
+fn rank_batch_missing_obs(
+    scenes: Vec<SceneData>,
+    library: &FeatureLibrary,
+    top: usize,
+) -> Result<String, CliError> {
+    let n_scenes = scenes.len();
+    let mut ranked = ScenePipeline::new(MissingObsFinder::default())
+        .run(library, scenes)
+        .map_err(CliError::from)?;
+    sort_ranked_scenes(&mut ranked);
+    let mut out = String::new();
+    let _ = writeln!(out, "scene                          rank  frame  class        score");
+    let mut total = 0usize;
+    for r in &ranked {
+        total += r.candidates.len();
+        for (i, c) in r.candidates.iter().take(top).enumerate() {
+            let bundle = r.scene.bundle(c.bundle);
+            let _ = writeln!(
+                out,
+                "{:<30} {:<5} {:<6} {:<12} {:.3}",
+                r.id,
+                i + 1,
+                bundle.frame.0,
+                c.class.to_string(),
+                c.score
+            );
+        }
+    }
+    let _ = writeln!(out, "{total} candidate(s) across {n_scenes} scene(s)");
+    Ok(out)
+}
+
 /// `fixy rank` in batch mode: rank every scene in a directory through
 /// the parallel scene pipeline and print one merged worklist (stable by
 /// scene id, then per-scene rank).
@@ -110,15 +164,10 @@ fn rank_batch(args: &RankArgs, library: &FeatureLibrary) -> Result<String, CliEr
         App::ModelErrors => ScenePipeline::new(loa_baselines::MaExcludedModelErrors::default())
             .run(library, scenes)
             .map_err(CliError::from)?,
-        App::MissingObs => {
-            return Err(CliError::Invalid(
-                "batch ranking supports track-level apps (missing-tracks, model-errors); \
-                 run missing-obs per scene"
-                    .to_string(),
-            ))
-        }
+        // Bundle-level candidates take a different worklist shape.
+        App::MissingObs => return rank_batch_missing_obs(scenes, library, args.top),
     };
-    ranked.sort_by(|a, b| a.id.cmp(&b.id).then(a.index.cmp(&b.index)));
+    sort_ranked_scenes(&mut ranked);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -409,9 +458,8 @@ mod tests {
         ids.sort();
         assert_eq!(printed, ids, "batch worklist is ordered by scene id");
 
-        // missing-obs has no track-level batch mode: with a correctly
-        // fitted missing-obs library (so the app/library check passes),
-        // the batch branch itself must reject the directory.
+        // missing-obs batch mode: bundle-level candidates flow through
+        // the same generalized pipeline with their own worklist shape.
         let mo_lib = dir.join("mo.json");
         run(parse(&argv(&format!(
             "learn --data {} --app missing-obs --out {}",
@@ -420,19 +468,37 @@ mod tests {
         )))
         .unwrap())
         .unwrap();
-        let err = run(parse(&argv(&format!(
+        let out = run(parse(&argv(&format!(
             "rank --scene {} --library {} --app missing-obs",
             data_dir.display(),
             mo_lib.display()
         )))
         .unwrap())
-        .unwrap_err();
-        assert!(
-            err.to_string().contains("batch ranking supports track-level apps"),
-            "{err}"
-        );
+        .unwrap();
+        assert!(out.contains("across 3 scene(s)"), "{out}");
+        assert!(out.contains("frame"), "{out}");
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fuzz_conformance_smoke() {
+        // A small fixed-seed corpus through the conformance harness: the
+        // report must show a PASS and the run must be deterministic.
+        let out =
+            run(parse(&argv("fuzz --seed 7 --scenes 4 --top-k 10 --train 2")).unwrap()).unwrap();
+        assert!(out.contains("injection-recall conformance: seed 7"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+        let again =
+            run(parse(&argv("fuzz --seed 7 --scenes 4 --top-k 10 --train 2")).unwrap()).unwrap();
+        assert_eq!(out, again, "same seed must produce the identical report");
+
+        // An impossible top-k fails with the seed in the message.
+        let err =
+            run(parse(&argv("fuzz --seed 7 --scenes 2 --top-k 0 --train 2")).unwrap()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("FAIL"), "{msg}");
+        assert!(msg.contains("--seed 7"), "{msg}");
     }
 
     #[test]

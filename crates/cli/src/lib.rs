@@ -27,6 +27,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
         Command::Generate(g) => commands::generate(g),
         Command::Learn(l) => commands::learn(l),
         Command::Rank(r) => commands::rank(r),
+        Command::Fuzz(f) => commands::fuzz(f),
         Command::Render(r) => commands::render(r),
         Command::Help => Ok(args::USAGE.to_string()),
     }

@@ -3,12 +3,22 @@
 //!
 //! * [`MissingTrackFinder`] — tracks entirely missed by human labelers,
 //! * [`MissingObsFinder`] — missing labels within human-labeled tracks,
-//! * [`ModelErrorFinder`] — erroneous ML model predictions (inverted AOF).
+//! * [`ModelErrorFinder`] — erroneous ML model predictions (inverted AOF),
+//!
+//! plus the label-audit extensions covering the rest of the fuzzer's
+//! error taxonomy:
+//!
+//! * [`LabelAuditFinder`] — human-labeled tracks with implausible labels
+//!   (gross class swaps),
+//! * [`BundleAuditFinder`] — bundles whose members disagree wildly
+//!   (inconsistent bundles).
 
+mod audit;
 mod missing_obs;
 mod missing_tracks;
 mod model_errors;
 
+pub use audit::{BundleAuditFinder, LabelAuditFinder};
 pub use missing_obs::MissingObsFinder;
 pub use missing_tracks::MissingTrackFinder;
 pub use model_errors::ModelErrorFinder;

@@ -81,6 +81,50 @@ impl Feature for ClassAgreementFeature {
     }
 }
 
+/// Learned KDE over the log volume ratio (max/min) of a bundle's member
+/// boxes. Matched human/model observations of one object agree on volume
+/// to within calibration noise, so the historical distribution
+/// concentrates near 0; a bundle whose members disagree wildly (the
+/// Figure 7 person-under-a-truck-box shape) lands far in the tail.
+/// Singleton bundles contribute no factor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VolumeRatioFeature;
+
+impl Feature for VolumeRatioFeature {
+    fn name(&self) -> &str {
+        "volume_ratio"
+    }
+
+    fn kind(&self) -> FeatureKind {
+        FeatureKind::Bundle
+    }
+
+    fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
+        match target {
+            FeatureTarget::Bundle(bundle) => {
+                if bundle.obs.len() < 2 {
+                    return None;
+                }
+                let volumes = bundle.obs.iter().map(|&o| scene.obs(o).bbox.volume());
+                let (mut min, mut max) = (f64::INFINITY, 0.0f64);
+                for v in volumes {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                if min <= 0.0 {
+                    return None;
+                }
+                Some(FeatureValue::scalar((max / min).ln()))
+            }
+            _ => None,
+        }
+    }
+
+    fn description(&self) -> &str {
+        "Log max/min volume ratio within a bundle"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,7 @@
 //! | `yaw_rate` | Trans. | Absolute heading change rate | learned KDE |
 //! | `motion_vector` | Trans. | Joint speed / heading-change distribution | learned joint KDE |
 //! | `track_length` | Track | Observations per track | learned histogram |
+//! | `volume_ratio` | Bundle | Log max/min volume ratio within a bundle | learned KDE |
 //!
 //! Each is a handful of lines — the paper's claim that *"each feature
 //! required fewer than 6 lines of code"* holds here for the value
@@ -25,7 +26,7 @@ mod obs_feats;
 mod track_feats;
 mod transition_feats;
 
-pub use bundle_feats::{ClassAgreementFeature, ModelOnlyFeature};
+pub use bundle_feats::{ClassAgreementFeature, ModelOnlyFeature, VolumeRatioFeature};
 pub use obs_feats::{AspectRatioFeature, DistanceFeature, VolumeFeature};
 pub use track_feats::{CountFeature, TrackLengthFeature};
 pub use transition_feats::{MotionVectorFeature, VelocityFeature, YawRateFeature};

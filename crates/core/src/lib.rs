@@ -42,7 +42,11 @@
 //!
 //! * [`apps::MissingTrackFinder`] — tracks humans missed entirely,
 //! * [`apps::MissingObsFinder`] — missing labels within labeled tracks,
-//! * [`apps::ModelErrorFinder`] — erroneous ML predictions (inverted AOF).
+//! * [`apps::ModelErrorFinder`] — erroneous ML predictions (inverted AOF),
+//! * [`apps::LabelAuditFinder`] — implausibly-labeled human tracks
+//!   (gross class swaps),
+//! * [`apps::BundleAuditFinder`] — bundles with wildly inconsistent
+//!   members.
 
 pub mod aof;
 pub mod apps;
@@ -60,16 +64,22 @@ pub use aof::Aof;
 pub use error::FixyError;
 pub use feature::{BoundFeature, Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
 pub use learner::{FeatureLibrary, FittedDistribution, Learner};
-pub use pipeline::{merge_ranked, BatchCandidate, RankedScene, ScenePipeline, SceneRanker};
+pub use pipeline::{
+    merge_ranked, sort_ranked_scenes, BatchCandidate, RankedScene, ScenePipeline, SceneRanker,
+};
 pub use scene::{AssemblyConfig, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx};
 
 /// Convenience prelude for downstream users.
 pub mod prelude {
     pub use crate::aof::Aof;
-    pub use crate::apps::{MissingObsFinder, MissingTrackFinder, ModelErrorFinder};
+    pub use crate::apps::{
+        BundleAuditFinder, LabelAuditFinder, MissingObsFinder, MissingTrackFinder, ModelErrorFinder,
+    };
     pub use crate::feature::{Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
     pub use crate::learner::{FeatureLibrary, Learner};
-    pub use crate::pipeline::{BatchCandidate, RankedScene, ScenePipeline, SceneRanker};
+    pub use crate::pipeline::{
+        sort_ranked_scenes, BatchCandidate, RankedScene, ScenePipeline, SceneRanker,
+    };
     pub use crate::rank::{BundleCandidate, TrackCandidate};
     pub use crate::scene::{
         AssemblyConfig, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx,

@@ -20,20 +20,27 @@
 //! locks this in), because per-scene work is pure and the merge orders
 //! by `(scene id, score desc, track idx)` — never by completion time.
 
-use crate::apps::{MissingTrackFinder, ModelErrorFinder};
+use crate::apps::{
+    BundleAuditFinder, LabelAuditFinder, MissingObsFinder, MissingTrackFinder, ModelErrorFinder,
+};
 use crate::error::FixyError;
 use crate::learner::FeatureLibrary;
-use crate::rank::TrackCandidate;
+use crate::rank::{BundleCandidate, TrackCandidate};
 use crate::scene::{AssemblyConfig, Scene};
 use loa_data::SceneData;
 use rayon::prelude::*;
 use std::collections::BTreeSet;
 
 /// An application that can rank one assembled scene — the unit of work
-/// the pipeline fans out. Implemented by the track-level finders; custom
-/// protocols (e.g. excluding ad-hoc-assertion hits first, as in the
-/// Section 8.4 evaluation) implement it over their own state.
+/// the pipeline fans out. Implemented by the track-level finders (with
+/// [`TrackCandidate`] output) and the bundle-level finders (with
+/// [`BundleCandidate`] output); custom protocols (e.g. excluding
+/// ad-hoc-assertion hits first, as in the Section 8.4 evaluation)
+/// implement it over their own state.
 pub trait SceneRanker: Sync {
+    /// What one ranked worklist entry is for this application.
+    type Candidate: Send;
+
     /// How scenes should be assembled for this application.
     fn assembly(&self) -> AssemblyConfig {
         AssemblyConfig::default()
@@ -45,10 +52,12 @@ pub trait SceneRanker: Sync {
         data: &SceneData,
         scene: &Scene,
         library: &FeatureLibrary,
-    ) -> Result<Vec<TrackCandidate>, FixyError>;
+    ) -> Result<Vec<Self::Candidate>, FixyError>;
 }
 
 impl SceneRanker for MissingTrackFinder {
+    type Candidate = TrackCandidate;
+
     fn rank_scene(
         &self,
         _data: &SceneData,
@@ -60,6 +69,8 @@ impl SceneRanker for MissingTrackFinder {
 }
 
 impl SceneRanker for ModelErrorFinder {
+    type Candidate = TrackCandidate;
+
     fn assembly(&self) -> AssemblyConfig {
         AssemblyConfig::model_only()
     }
@@ -74,26 +85,69 @@ impl SceneRanker for ModelErrorFinder {
     }
 }
 
+impl SceneRanker for MissingObsFinder {
+    type Candidate = BundleCandidate;
+
+    fn rank_scene(
+        &self,
+        _data: &SceneData,
+        scene: &Scene,
+        library: &FeatureLibrary,
+    ) -> Result<Vec<BundleCandidate>, FixyError> {
+        self.rank(scene, library)
+    }
+}
+
+impl SceneRanker for LabelAuditFinder {
+    type Candidate = TrackCandidate;
+
+    fn assembly(&self) -> AssemblyConfig {
+        AssemblyConfig::human_only()
+    }
+
+    fn rank_scene(
+        &self,
+        _data: &SceneData,
+        scene: &Scene,
+        library: &FeatureLibrary,
+    ) -> Result<Vec<TrackCandidate>, FixyError> {
+        self.rank(scene, library)
+    }
+}
+
+impl SceneRanker for BundleAuditFinder {
+    type Candidate = BundleCandidate;
+
+    fn rank_scene(
+        &self,
+        _data: &SceneData,
+        scene: &Scene,
+        library: &FeatureLibrary,
+    ) -> Result<Vec<BundleCandidate>, FixyError> {
+        self.rank(scene, library)
+    }
+}
+
 /// One scene's journey through the pipeline: the raw data, the assembled
 /// scene, and the ranked candidates.
 #[derive(Debug, Clone)]
-pub struct RankedScene {
+pub struct RankedScene<C = TrackCandidate> {
     /// Position in the input batch.
     pub index: usize,
     /// `SceneData::id`, the deterministic merge key.
     pub id: String,
     pub data: SceneData,
     pub scene: Scene,
-    /// Sorted by descending score, then track index (see `rank`).
-    pub candidates: Vec<TrackCandidate>,
+    /// Sorted by descending score, then element index (see `rank`).
+    pub candidates: Vec<C>,
 }
 
 /// One candidate of the merged batch worklist.
 #[derive(Debug, Clone)]
-pub struct BatchCandidate {
+pub struct BatchCandidate<C = TrackCandidate> {
     pub scene_index: usize,
     pub scene_id: String,
-    pub candidate: TrackCandidate,
+    pub candidate: C,
 }
 
 /// The batch engine. Construct with [`ScenePipeline::new`], then feed
@@ -133,7 +187,7 @@ impl<R: SceneRanker> ScenePipeline<R> {
         index: usize,
         data: SceneData,
         library: &FeatureLibrary,
-    ) -> Result<RankedScene, FixyError> {
+    ) -> Result<RankedScene<R::Candidate>, FixyError> {
         let scene = Scene::assemble(&data, &self.assembly);
         let candidates = self.ranker.rank_scene(&data, &scene, library)?;
         Ok(RankedScene { index, id: data.id.clone(), data, scene, candidates })
@@ -146,7 +200,7 @@ impl<R: SceneRanker> ScenePipeline<R> {
         &self,
         library: &FeatureLibrary,
         scenes: impl IntoIterator<Item = SceneData>,
-    ) -> Result<Vec<RankedScene>, FixyError> {
+    ) -> Result<Vec<RankedScene<R::Candidate>>, FixyError> {
         self.process(library, scenes, |ranked| ranked)
     }
 
@@ -162,7 +216,7 @@ impl<R: SceneRanker> ScenePipeline<R> {
     ) -> Result<Vec<T>, FixyError>
     where
         T: Send,
-        F: Fn(RankedScene) -> T + Sync + Send,
+        F: Fn(RankedScene<R::Candidate>) -> T + Sync + Send,
     {
         let indexed: Vec<(usize, SceneData)> = scenes.into_iter().enumerate().collect();
         if self.parallel {
@@ -185,16 +239,24 @@ impl<R: SceneRanker> ScenePipeline<R> {
         &self,
         library: &FeatureLibrary,
         scenes: impl IntoIterator<Item = SceneData>,
-    ) -> Result<Vec<BatchCandidate>, FixyError> {
+    ) -> Result<Vec<BatchCandidate<R::Candidate>>, FixyError> {
         Ok(merge_ranked(self.run(library, scenes)?))
     }
 }
 
-/// Deterministic merge of per-scene rankings: scenes ordered by id
-/// (input index as tiebreak for duplicate ids), candidates within a
-/// scene keeping their score-descending order.
-pub fn merge_ranked(mut ranked: Vec<RankedScene>) -> Vec<BatchCandidate> {
+/// Order per-scene results by the batch engine's deterministic merge
+/// key: scene id, then input index (tiebreak for duplicate ids). The
+/// single definition of the ordering contract — the merge and every
+/// worklist printer sort through here.
+pub fn sort_ranked_scenes<C>(ranked: &mut [RankedScene<C>]) {
     ranked.sort_by(|a, b| a.id.cmp(&b.id).then(a.index.cmp(&b.index)));
+}
+
+/// Deterministic merge of per-scene rankings: scenes ordered by
+/// [`sort_ranked_scenes`], candidates within a scene keeping their
+/// score-descending order.
+pub fn merge_ranked<C>(mut ranked: Vec<RankedScene<C>>) -> Vec<BatchCandidate<C>> {
+    sort_ranked_scenes(&mut ranked);
     ranked
         .into_iter()
         .flat_map(|r| {

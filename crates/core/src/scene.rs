@@ -93,6 +93,12 @@ impl AssemblyConfig {
     pub fn model_only() -> Self {
         AssemblyConfig { use_human: false, ..Default::default() }
     }
+
+    /// Human-labels-only assembly (the label-audit application scores the
+    /// vendor's own output, so model predictions are excluded).
+    pub fn human_only() -> Self {
+        AssemblyConfig { use_model: false, ..Default::default() }
+    }
 }
 
 /// A fully assembled scene.

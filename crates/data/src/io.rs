@@ -125,13 +125,41 @@ mod tests {
                     "missing_tracks": [],
                     "missing_boxes": [],
                     "class_flips": [],
-                    "ghost_tracks": []
+                    "class_swaps": [],
+                    "ghost_tracks": [],
+                    "inconsistent_bundles": []
                 }
             })
             .to_string(),
         )
         .unwrap();
         assert!(matches!(load_scene(&path), Err(IoError::Invalid(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loads_legacy_scene_without_taxonomy_fields() {
+        // Scene JSON written before the fuzzer's typed taxonomy existed
+        // has no class_swaps / inconsistent_bundles keys; it must still
+        // load, with those records empty.
+        let dir = std::env::temp_dir().join("loa_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        let mut scene = tiny_scene(6);
+        scene.injected.class_swaps.clear();
+        scene.injected.inconsistent_bundles.clear();
+        let mut json = serde_json::to_string(&scene).unwrap();
+        json = json
+            .replace("\"class_swaps\":[],", "")
+            .replace("\"inconsistent_bundles\":[],", "")
+            .replace(",\"inconsistent_bundles\":[]", "");
+        assert!(!json.contains("class_swaps"), "fixture still carries the new field");
+        assert!(!json.contains("inconsistent_bundles"));
+        std::fs::write(&path, json).unwrap();
+        let loaded = load_scene(&path).unwrap();
+        assert_eq!(loaded.frames.len(), scene.frames.len());
+        assert!(loaded.injected.class_swaps.is_empty());
+        assert!(loaded.injected.inconsistent_bundles.is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -23,6 +23,7 @@
 
 pub mod class;
 pub mod detector;
+pub mod fuzz;
 pub mod io;
 pub mod lidar;
 pub mod scenarios;
@@ -33,10 +34,12 @@ pub mod world;
 
 pub use class::ObjectClass;
 pub use detector::DetectorProfile;
+pub use fuzz::{ErrorKind, FuzzProfile, InjectorRegistry, ScenarioFuzzer};
 pub use lidar::{LidarConfig, Visibility};
 pub use scene::{generate_dataset, generate_scene, DatasetProfile, SceneConfig};
 pub use types::{
-    ClassFlip, Detection, DetectionProvenance, Frame, FrameId, GhostId, GtBox, InjectedErrors,
-    LabeledBox, MissingBox, MissingTrack, ObservationSource, SceneData, TrackId,
+    ClassFlip, ClassSwap, Detection, DetectionProvenance, Frame, FrameId, GhostId, GtBox,
+    InconsistentBundle, InjectedErrors, LabeledBox, MissingBox, MissingTrack, ObservationSource,
+    SceneData, TrackId,
 };
 pub use vendor::VendorProfile;

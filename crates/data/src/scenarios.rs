@@ -10,14 +10,29 @@
 //! | [`trailing_car_missing_label`] | Fig. 6 | car trailing the AV, first-frame label missing |
 //! | [`ghost_track`] | Fig. 5 / Fig. 9 | erratic persistent model ghost |
 //! | [`person_truck_bundle`] | Fig. 7 | person and truck boxes overlapping (inconsistent bundle) |
+//! | [`missing_cars_in_motion`] | Fig. 8 | several moving cars near the AV, all unlabeled |
+//!
+//! # Scenario taxonomy
+//!
+//! The [`crate::fuzz`] module generalizes these one-off builders into a
+//! procedural fuzzer whose injector registry spans the full typed error
+//! taxonomy. Each fuzzed error kind descends from the figure(s) its
+//! handcrafted ancestor reproduced:
+//!
+//! | [`crate::fuzz::ErrorKind`] | Audit record | Handcrafted ancestor(s) | Paper figure(s) | Found by |
+//! |---|---|---|---|---|
+//! | `MissingTrack` | [`crate::types::MissingTrack`] | [`missing_truck`], [`occluded_motorcycle`], [`missing_cars_in_motion`] | Figs. 1, 4, 8 | `MissingTrackFinder` |
+//! | `MissingBox` | [`crate::types::MissingBox`] | [`trailing_car_missing_label`] | Fig. 6 | `MissingObsFinder` |
+//! | `ClassSwap` | [`crate::types::ClassSwap`] | — (new: whole-track gross class error) | §8.1 vendor errors | `LabelAuditFinder` |
+//! | `GhostTrack` | ghost span in [`crate::types::InjectedErrors`] | [`ghost_track`] | Figs. 5, 9 | `ModelErrorFinder` |
+//! | `InconsistentBundle` | [`crate::types::InconsistentBundle`] | [`person_truck_bundle`] | Fig. 7 | `BundleAuditFinder` |
 
 use crate::class::ObjectClass;
 use crate::detector::{run_detector, DetectorProfile};
 use crate::lidar::LidarConfig;
 use crate::scene::simulate_frames;
 use crate::types::{
-    Detection, DetectionProvenance, FrameId, InjectedErrors, MissingBox, MissingTrack, SceneData,
-    TrackId,
+    Detection, DetectionProvenance, FrameId, InjectedErrors, MissingBox, SceneData, TrackId,
 };
 use crate::vendor::{label_scene, VendorProfile};
 use crate::world::{Actor, EgoMotion, Motion, World};
@@ -90,21 +105,7 @@ fn background_actors(next_track: &mut u64) -> Vec<Actor> {
     actors
 }
 
-/// Remove the vendor labels of `track` from every frame and record it as an
-/// entirely-missing track.
-fn strip_track_labels(scene: &mut SceneData, track: TrackId, class: ObjectClass) {
-    let mut visible_frames = Vec::new();
-    for frame in &mut scene.frames {
-        frame.human_labels.retain(|l| l.gt_track != track);
-        if frame.gt.iter().any(|g| g.track == track && g.visible) {
-            visible_frames.push(frame.index);
-        }
-    }
-    scene
-        .injected
-        .missing_tracks
-        .push(MissingTrack { track, class, visible_frames });
-}
+use crate::fuzz::strip_track_labels;
 
 fn assemble(world: World, duration: f64, dt: f64, seed: u64, id: &str) -> SceneData {
     let lidar = LidarConfig::default();
@@ -121,6 +122,7 @@ fn assemble(world: World, duration: f64, dt: f64, seed: u64, id: &str) -> SceneD
             missing_boxes: vendor_outcome.missing_boxes,
             class_flips: vendor_outcome.class_flips,
             ghost_tracks: detector_outcome.ghost_tracks,
+            ..Default::default()
         },
     }
 }

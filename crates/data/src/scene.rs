@@ -120,6 +120,7 @@ pub fn generate_scene(cfg: &SceneConfig, id: &str, seed: u64) -> SceneData {
         missing_boxes: vendor_outcome.missing_boxes,
         class_flips: vendor_outcome.class_flips,
         ghost_tracks: detector_outcome.ghost_tracks,
+        ..Default::default()
     };
     SceneData { id: id.to_string(), frame_dt: cfg.frame_dt, frames, injected }
 }

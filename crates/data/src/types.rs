@@ -162,9 +162,35 @@ pub struct ClassFlip {
     pub labeled_class: ObjectClass,
 }
 
+/// A record of one whole-track class swap: the vendor drew correct boxes
+/// for the object but tagged every one of them with a grossly wrong class
+/// (pedestrian labeled as truck). Distinct from the per-frame
+/// [`ClassFlip`], which models rare flips between *confusable* classes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassSwap {
+    pub track: TrackId,
+    pub true_class: ObjectClass,
+    pub labeled_class: ObjectClass,
+    /// Frames whose label carries the swapped class.
+    pub frames: Vec<FrameId>,
+}
+
+/// A record of one injected inconsistent bundle (Figure 7): a spurious
+/// model box stacked on a human label of the same object in one frame,
+/// overlapping it in BEV but wildly inconsistent in volume (and class).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InconsistentBundle {
+    /// The ground-truth actor whose label the spurious box overlaps.
+    pub track: TrackId,
+    pub frame: FrameId,
+    pub true_class: ObjectClass,
+    /// Class reported by the spurious model box.
+    pub spurious_class: ObjectClass,
+}
+
 /// Everything the generator injected — the exact audit the paper needed
 /// expert auditors for.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct InjectedErrors {
     /// Tracks the vendor missed entirely (Section 8.2's target).
     pub missing_tracks: Vec<MissingTrack>,
@@ -172,15 +198,62 @@ pub struct InjectedErrors {
     pub missing_boxes: Vec<MissingBox>,
     /// Vendor class flips.
     pub class_flips: Vec<ClassFlip>,
+    /// Whole-track class swaps (the fuzzer's typed label error).
+    pub class_swaps: Vec<ClassSwap>,
     /// Persistent ghost tracks injected into the detector output
     /// (Section 8.4's target), with their frame spans.
     pub ghost_tracks: Vec<(GhostId, Vec<FrameId>)>,
+    /// Injected inconsistent bundles (Figure 7's error shape).
+    pub inconsistent_bundles: Vec<InconsistentBundle>,
+}
+
+// Hand-written for backward compatibility: scene JSON written before the
+// fuzzer's typed taxonomy existed has no `class_swaps` /
+// `inconsistent_bundles` keys; those records default to empty instead of
+// failing the load. The original four fields stay required.
+impl serde::Deserialize for InjectedErrors {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        fn required<T: serde::Deserialize>(
+            v: &serde::Value,
+            field: &'static str,
+        ) -> Result<T, serde::DeError> {
+            match v.get(field) {
+                Some(x) => T::from_json_value(x),
+                None => Err(serde::DeError::custom(format!("missing field `{field}`"))),
+            }
+        }
+        fn optional<T: serde::Deserialize + Default>(
+            v: &serde::Value,
+            field: &str,
+        ) -> Result<T, serde::DeError> {
+            match v.get(field) {
+                Some(x) => T::from_json_value(x),
+                None => Ok(T::default()),
+            }
+        }
+        if v.as_object().is_none() {
+            return Err(serde::DeError::custom(format!(
+                "expected object for InjectedErrors, got {v:?}"
+            )));
+        }
+        Ok(InjectedErrors {
+            missing_tracks: required(v, "missing_tracks")?,
+            missing_boxes: required(v, "missing_boxes")?,
+            class_flips: required(v, "class_flips")?,
+            class_swaps: optional(v, "class_swaps")?,
+            ghost_tracks: required(v, "ghost_tracks")?,
+            inconsistent_bundles: optional(v, "inconsistent_bundles")?,
+        })
+    }
 }
 
 impl InjectedErrors {
     /// Total number of injected vendor label errors.
     pub fn label_error_count(&self) -> usize {
-        self.missing_tracks.len() + self.missing_boxes.len() + self.class_flips.len()
+        self.missing_tracks.len()
+            + self.missing_boxes.len()
+            + self.class_flips.len()
+            + self.class_swaps.len()
     }
 
     /// Whether the scene contains any vendor label error.

@@ -1,0 +1,457 @@
+//! The injection-recall conformance experiment: the paper's recall
+//! oracle (Section 8.2) generalized over the full fuzzed error taxonomy.
+//!
+//! A [`ScenarioFuzzer`] corpus carries a *known, typed* error set per
+//! scene. For each [`ErrorKind`] the matching application ranks every
+//! scene through the [`ScenePipeline`] batch engine, and every injected
+//! error must appear in the top-`k` of its scene's worklist:
+//!
+//! | Error kind | Application | Worklist entry |
+//! |---|---|---|
+//! | missing-track | `MissingTrackFinder` | model-only track of the actor |
+//! | missing-box | `MissingObsFinder` | model-only bundle at the dropped frame |
+//! | class-swap | `LabelAuditFinder` | the implausibly-labeled human track |
+//! | ghost-track | `ModelErrorFinder` | the erratic model-only track |
+//! | inconsistent-bundle | `BundleAuditFinder` | the mixed bundle at the frame |
+//!
+//! The result is a conformance verdict, not a statistic: the fuzzer only
+//! injects errors that are observable by construction, so anything below
+//! 100% recall is a regression in the engine (or an eligibility bug in
+//! an injector) — and the report pins the seed so the failure replays
+//! exactly.
+
+use fixy_core::prelude::*;
+use fixy_core::Learner;
+use loa_data::fuzz::{ErrorKind, ScenarioFuzzer};
+use loa_data::{DetectionProvenance, FrameId, ObservationSource, SceneData, TrackId};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the conformance run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InjectionRecallConfig {
+    /// Corpus seed — the same seed always produces the identical corpus
+    /// and report.
+    pub seed: u64,
+    /// Fuzzed scenes in the corpus.
+    pub n_scenes: usize,
+    /// Every injected error must rank in the top-`k` of its scene.
+    pub top_k: usize,
+    /// Clean training scenes for the feature libraries.
+    pub n_train: usize,
+}
+
+impl Default for InjectionRecallConfig {
+    fn default() -> Self {
+        InjectionRecallConfig { seed: 7, n_scenes: 200, top_k: 10, n_train: 6 }
+    }
+}
+
+/// One injected error's verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorOutcome {
+    /// [`ErrorKind::name`].
+    pub kind: String,
+    pub scene_id: String,
+    /// Human-readable target ("track 12", "track 3 @ frame 17").
+    pub target: String,
+    /// Rank in the scene's worklist (0-based), if found within top-k.
+    pub rank: Option<usize>,
+}
+
+/// Per-kind aggregate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KindRecall {
+    pub kind: String,
+    pub injected: usize,
+    pub found: usize,
+}
+
+impl KindRecall {
+    pub fn recall(&self) -> Option<f64> {
+        if self.injected == 0 {
+            None
+        } else {
+            Some(self.found as f64 / self.injected as f64)
+        }
+    }
+}
+
+/// The conformance result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InjectionRecallResult {
+    pub config: InjectionRecallConfig,
+    pub per_kind: Vec<KindRecall>,
+    /// Every injected error that missed the top-k, for reproduction.
+    pub misses: Vec<ErrorOutcome>,
+}
+
+impl InjectionRecallResult {
+    pub fn total_injected(&self) -> usize {
+        self.per_kind.iter().map(|k| k.injected).sum()
+    }
+
+    pub fn total_found(&self) -> usize {
+        self.per_kind.iter().map(|k| k.found).sum()
+    }
+
+    /// Overall recall over all injected errors.
+    pub fn recall(&self) -> f64 {
+        let total = self.total_injected();
+        if total == 0 {
+            1.0
+        } else {
+            self.total_found() as f64 / total as f64
+        }
+    }
+
+    /// The conformance verdict: the corpus actually injected errors and
+    /// every one of them ranked in top-k. An empty corpus (or a broken
+    /// injector registry yielding zero injections) is a failure, not a
+    /// vacuous pass — a gate that verified nothing must not stay green.
+    pub fn is_perfect(&self) -> bool {
+        self.total_injected() > 0 && self.misses.is_empty()
+    }
+
+    /// Deterministic plain-text report (same seed ⇒ identical string).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut table =
+            crate::report::Table::new(vec!["error kind", "injected", "in top-k", "recall"]);
+        for k in &self.per_kind {
+            table.row(vec![
+                k.kind.clone(),
+                k.injected.to_string(),
+                k.found.to_string(),
+                crate::report::pct_opt(k.recall()),
+            ]);
+        }
+        table.row(vec![
+            "TOTAL".to_string(),
+            self.total_injected().to_string(),
+            self.total_found().to_string(),
+            crate::report::pct(self.recall()),
+        ]);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "injection-recall conformance: seed {}, {} scenes, top-{}",
+            self.config.seed, self.config.n_scenes, self.config.top_k
+        );
+        out.push_str(&table.render());
+        if self.total_injected() == 0 {
+            let _ = writeln!(
+                out,
+                "FAIL: corpus injected no errors — nothing was verified (increase --scenes)"
+            );
+        } else if self.is_perfect() {
+            let _ = writeln!(
+                out,
+                "PASS: all injected errors ranked in the top-{}",
+                self.config.top_k
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "FAIL: {} injected error(s) missing from the top-{} (reproduce with --seed {}):",
+                self.misses.len(),
+                self.config.top_k,
+                self.config.seed
+            );
+            for m in &self.misses {
+                let _ = writeln!(out, "  {} in {}: {}", m.kind, m.scene_id, m.target);
+            }
+        }
+        out
+    }
+}
+
+/// Which actor a model-only track detects, by majority provenance.
+fn majority_actor(data: &SceneData, scene: &Scene, track: TrackIdx) -> Option<TrackId> {
+    crate::resolve::resolve_track(data, scene, track)
+        .majority_actor
+        .map(|(actor, _)| actor)
+}
+
+/// Whether a candidate track is majority-composed of the given ghost's
+/// detections.
+fn is_ghost_track(
+    data: &SceneData,
+    scene: &Scene,
+    track: TrackIdx,
+    ghost: loa_data::GhostId,
+) -> bool {
+    let t = scene.track(track);
+    let obs = scene.track_obs(t);
+    let ghostly = obs
+        .iter()
+        .filter(|&&o| {
+            let ob = scene.obs(o);
+            ob.source == ObservationSource::Model
+                && data.frames[ob.frame.0 as usize].detections[ob.source_index].provenance
+                    == DetectionProvenance::PersistentGhost(ghost)
+        })
+        .count();
+    2 * ghostly > obs.len()
+}
+
+/// Whether a bundle contains a model detection of the given actor.
+fn bundle_has_detection_of(
+    data: &SceneData,
+    scene: &Scene,
+    bundle: BundleIdx,
+    track: TrackId,
+    frame: FrameId,
+) -> bool {
+    let b = scene.bundle(bundle);
+    b.frame == frame
+        && b.obs.iter().any(|&o| {
+            let ob = scene.obs(o);
+            ob.source == ObservationSource::Model
+                && data.frames[ob.frame.0 as usize].detections[ob.source_index].provenance
+                    == DetectionProvenance::TrueObject(track)
+        })
+}
+
+/// Whether a bundle contains the human label of the given actor.
+fn bundle_has_label_of(
+    data: &SceneData,
+    scene: &Scene,
+    bundle: BundleIdx,
+    track: TrackId,
+    frame: FrameId,
+) -> bool {
+    let b = scene.bundle(bundle);
+    b.frame == frame
+        && b.obs.iter().any(|&o| {
+            let ob = scene.obs(o);
+            ob.source == ObservationSource::Human
+                && data.frames[ob.frame.0 as usize].human_labels[ob.source_index].gt_track == track
+        })
+}
+
+/// Whether a track contains any human label of the given actor.
+fn track_has_label_of(data: &SceneData, scene: &Scene, track: TrackIdx, target: TrackId) -> bool {
+    let t = scene.track(track);
+    scene.track_obs(t).iter().any(|&o| {
+        let ob = scene.obs(o);
+        ob.source == ObservationSource::Human
+            && data.frames[ob.frame.0 as usize].human_labels[ob.source_index].gt_track == target
+    })
+}
+
+/// Run the conformance experiment. Feeds the fuzzed corpus through one
+/// [`ScenePipeline`] per error kind and checks every injected error
+/// against the top-k of its scene's worklist.
+pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallResult {
+    let fuzzer = ScenarioFuzzer::new(config.seed);
+    let train = fuzzer.training_corpus(config.n_train);
+    let corpus = fuzzer.corpus(config.n_scenes);
+    let k = config.top_k;
+
+    let mt = MissingTrackFinder::default();
+    let mo = MissingObsFinder::default();
+    let me = ModelErrorFinder::default();
+    let la = LabelAuditFinder::default();
+    let ba = BundleAuditFinder;
+
+    let mt_lib = Learner::new()
+        .fit(&mt.feature_set(), &train)
+        .expect("fit missing-track");
+    let mo_lib = Learner::new()
+        .fit(&mo.feature_set(), &train)
+        .expect("fit missing-obs");
+    let me_lib = Learner::new()
+        .fit(&me.feature_set(), &train)
+        .expect("fit model-error");
+    let la_lib = Learner::new()
+        .fit(&la.feature_set(), &train)
+        .expect("fit label-audit");
+    // Bundle consistency is learned from matched human+model bundles.
+    let ba_lib = Learner { assembly: AssemblyConfig::default() }
+        .fit(&ba.feature_set(), &train)
+        .expect("fit bundle-audit");
+
+    let mut outcomes: Vec<ErrorOutcome> = Vec::new();
+
+    // --- missing-track ----------------------------------------------------
+    let per_scene = ScenePipeline::new(mt.clone())
+        .process(&mt_lib, corpus.clone(), |r| {
+            let mut out = Vec::new();
+            for m in &r.data.injected.missing_tracks {
+                let rank = r
+                    .candidates
+                    .iter()
+                    .take(k)
+                    .position(|c| majority_actor(&r.data, &r.scene, c.track) == Some(m.track));
+                out.push(ErrorOutcome {
+                    kind: ErrorKind::MissingTrack.name().to_string(),
+                    scene_id: r.id.clone(),
+                    target: format!("track {}", m.track.0),
+                    rank,
+                });
+            }
+            out
+        })
+        .expect("missing-track pipeline");
+    outcomes.extend(per_scene.into_iter().flatten());
+
+    // --- missing-box ------------------------------------------------------
+    let per_scene = ScenePipeline::new(mo.clone())
+        .process(&mo_lib, corpus.clone(), |r| {
+            let mut out = Vec::new();
+            for m in &r.data.injected.missing_boxes {
+                let rank = r.candidates.iter().take(k).position(|c| {
+                    bundle_has_detection_of(&r.data, &r.scene, c.bundle, m.track, m.frame)
+                });
+                out.push(ErrorOutcome {
+                    kind: ErrorKind::MissingBox.name().to_string(),
+                    scene_id: r.id.clone(),
+                    target: format!("track {} @ frame {}", m.track.0, m.frame.0),
+                    rank,
+                });
+            }
+            out
+        })
+        .expect("missing-box pipeline");
+    outcomes.extend(per_scene.into_iter().flatten());
+
+    // --- class-swap -------------------------------------------------------
+    let per_scene = ScenePipeline::new(la.clone())
+        .process(&la_lib, corpus.clone(), |r| {
+            let mut out = Vec::new();
+            for s in &r.data.injected.class_swaps {
+                let rank = r
+                    .candidates
+                    .iter()
+                    .take(k)
+                    .position(|c| track_has_label_of(&r.data, &r.scene, c.track, s.track));
+                out.push(ErrorOutcome {
+                    kind: ErrorKind::ClassSwap.name().to_string(),
+                    scene_id: r.id.clone(),
+                    target: format!(
+                        "track {} ({} as {})",
+                        s.track.0, s.true_class, s.labeled_class
+                    ),
+                    rank,
+                });
+            }
+            out
+        })
+        .expect("class-swap pipeline");
+    outcomes.extend(per_scene.into_iter().flatten());
+
+    // --- ghost-track ------------------------------------------------------
+    let per_scene = ScenePipeline::new(me.clone())
+        .process(&me_lib, corpus.clone(), |r| {
+            let mut out = Vec::new();
+            for (ghost, span) in &r.data.injected.ghost_tracks {
+                let rank = r
+                    .candidates
+                    .iter()
+                    .take(k)
+                    .position(|c| is_ghost_track(&r.data, &r.scene, c.track, *ghost));
+                out.push(ErrorOutcome {
+                    kind: ErrorKind::GhostTrack.name().to_string(),
+                    scene_id: r.id.clone(),
+                    target: format!("ghost {} ({} frames)", ghost.0, span.len()),
+                    rank,
+                });
+            }
+            out
+        })
+        .expect("ghost-track pipeline");
+    outcomes.extend(per_scene.into_iter().flatten());
+
+    // --- inconsistent-bundle ----------------------------------------------
+    let per_scene = ScenePipeline::new(ba.clone())
+        .process(&ba_lib, corpus, |r| {
+            let mut out = Vec::new();
+            for ib in &r.data.injected.inconsistent_bundles {
+                let rank = r.candidates.iter().take(k).position(|c| {
+                    bundle_has_label_of(&r.data, &r.scene, c.bundle, ib.track, ib.frame)
+                });
+                out.push(ErrorOutcome {
+                    kind: ErrorKind::InconsistentBundle.name().to_string(),
+                    scene_id: r.id.clone(),
+                    target: format!("track {} @ frame {}", ib.track.0, ib.frame.0),
+                    rank,
+                });
+            }
+            out
+        })
+        .expect("inconsistent-bundle pipeline");
+    outcomes.extend(per_scene.into_iter().flatten());
+
+    // --- aggregate (stable kind order) ------------------------------------
+    let per_kind: Vec<KindRecall> = ErrorKind::ALL
+        .iter()
+        .map(|kind| {
+            let name = kind.name();
+            let of_kind: Vec<&ErrorOutcome> = outcomes.iter().filter(|o| o.kind == name).collect();
+            KindRecall {
+                kind: name.to_string(),
+                injected: of_kind.len(),
+                found: of_kind.iter().filter(|o| o.rank.is_some()).count(),
+            }
+        })
+        .collect();
+    let misses: Vec<ErrorOutcome> = outcomes.into_iter().filter(|o| o.rank.is_none()).collect();
+
+    InjectionRecallResult { config: config.clone(), per_kind, misses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_has_perfect_recall() {
+        let config = InjectionRecallConfig { seed: 7, n_scenes: 8, top_k: 10, n_train: 3 };
+        let result = run_injection_recall(&config);
+        assert!(result.total_injected() > 0, "corpus injected nothing");
+        assert!(
+            result.is_perfect(),
+            "missed {} of {}:\n{}",
+            result.total_injected() - result.total_found(),
+            result.total_injected(),
+            result.report()
+        );
+        assert!((result.recall() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus_is_not_a_pass() {
+        let config = InjectionRecallConfig { seed: 7, n_scenes: 0, top_k: 10, n_train: 2 };
+        let result = run_injection_recall(&config);
+        assert_eq!(result.total_injected(), 0);
+        assert!(!result.is_perfect(), "a gate that verified nothing must not pass");
+        assert!(
+            result.report().contains("nothing was verified"),
+            "{}",
+            result.report()
+        );
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let config = InjectionRecallConfig { seed: 11, n_scenes: 3, top_k: 10, n_train: 2 };
+        let a = run_injection_recall(&config).report();
+        let b = run_injection_recall(&config).report();
+        assert_eq!(a, b);
+        assert!(a.contains("injection-recall conformance: seed 11"));
+    }
+
+    #[test]
+    fn impossible_top_k_reports_misses() {
+        // top_k = 0 can never contain anything: every injected error must
+        // be reported as a miss, and the report must carry the seed.
+        let config = InjectionRecallConfig { seed: 13, n_scenes: 3, top_k: 0, n_train: 2 };
+        let result = run_injection_recall(&config);
+        assert!(result.total_injected() > 0);
+        assert_eq!(result.total_found(), 0);
+        assert!(!result.is_perfect());
+        let report = result.report();
+        assert!(report.contains("FAIL"), "{report}");
+        assert!(report.contains("--seed 13"), "{report}");
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment runners, one per table/figure of Section 8.
 
 pub mod audit_curve;
+pub mod injection_recall;
 pub mod missing_obs;
 pub mod model_errors;
 pub mod recall;

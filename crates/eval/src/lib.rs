@@ -20,6 +20,9 @@ pub mod resolve;
 
 pub use experiments::{
     audit_curve::{run_audit_curve, AuditCurve, AuditCurveResult},
+    injection_recall::{
+        run_injection_recall, InjectionRecallConfig, InjectionRecallResult, KindRecall,
+    },
     missing_obs::{run_missing_obs_experiment, MissingObsResult},
     model_errors::{run_model_error_experiment, ModelErrorResult},
     recall::{run_recall_experiment, run_scene_level_recall, RecallResult, SceneLevelRecall},

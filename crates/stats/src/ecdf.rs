@@ -109,5 +109,22 @@ mod tests {
             prop_assert!((0.0..=1.0).contains(&e.cdf(q1)));
             prop_assert!((0.0..=1.0).contains(&e.centrality(q1)));
         }
+
+        #[test]
+        fn prop_cdf_reaches_bounds(
+            xs in proptest::collection::vec(-100.0f64..100.0, 1..60),
+        ) {
+            // Below every sample the CDF is exactly 0; at and above the
+            // maximum it is exactly 1; tail is its complement.
+            let e = EmpiricalCdf::fit(&xs).unwrap();
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(e.cdf(min - 1.0), 0.0);
+            prop_assert_eq!(e.cdf(max), 1.0);
+            prop_assert_eq!(e.cdf(max + 1.0), 1.0);
+            prop_assert!((e.tail(max) - 0.0).abs() < 1e-12);
+            prop_assert!((e.cdf(min) - e.cdf(min - 1.0) - 1.0 / xs.len() as f64).abs() < 1e-12
+                || xs.iter().filter(|&&x| x == min).count() > 1);
+        }
     }
 }

@@ -178,5 +178,21 @@ mod tests {
             let total: f64 = h.densities.iter().map(|d| d * h.bin_width).sum();
             prop_assert!((total - 1.0).abs() < 1e-6);
         }
+
+        #[test]
+        fn prop_bin_counts_sum_to_sample_count(
+            xs in proptest::collection::vec(-50.0f64..50.0, 1..200),
+        ) {
+            // Densities are counts normalized by n·width: recovering the
+            // integer counts must partition the sample exactly.
+            let h = Histogram::fit(&xs).unwrap();
+            let counts: usize = h
+                .densities
+                .iter()
+                .map(|d| (d * h.n as f64 * h.bin_width).round() as usize)
+                .sum();
+            prop_assert_eq!(counts, h.sample_count());
+            prop_assert_eq!(h.sample_count(), xs.len());
+        }
     }
 }

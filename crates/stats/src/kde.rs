@@ -334,5 +334,26 @@ mod tests {
             let binned = BinnedKde::from_kde(&kde);
             prop_assert!(binned.density(q) <= binned.max_density() + 1e-12);
         }
+
+        #[test]
+        fn prop_kde_integrates_to_one(
+            xs in proptest::collection::vec(-40.0f64..40.0, 2..50),
+        ) {
+            // A KDE is a density: for any sample, the trapezoid integral
+            // over the full kernel support must be ≈ 1.
+            let kde = Kde1d::fit(&xs).unwrap();
+            let radius = kde.kernel().support_radius() * kde.bandwidth_value();
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min) - radius;
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max) + radius;
+            let n = 4000;
+            let dx = (hi - lo) / n as f64;
+            let mut sum = 0.0;
+            for i in 0..=n {
+                let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+                sum += w * kde.density(lo + i as f64 * dx);
+            }
+            sum *= dx;
+            prop_assert!((sum - 1.0).abs() < 2e-2, "integral {sum}");
+        }
     }
 }

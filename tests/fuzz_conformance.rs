@@ -1,0 +1,79 @@
+//! The injection-recall conformance gate (the acceptance bar of the
+//! scenario-fuzzer subsystem): a 200-scene fixed-seed fuzzed corpus runs
+//! through the `ScenePipeline` batch engine and **every** injected error
+//! must rank in the top-10 of its scene's worklist — the paper's recall
+//! oracle, held at 100% because the fuzzer only injects errors that are
+//! observable by construction.
+//!
+//! This is the test every future PR runs against: a regression anywhere
+//! in assembly, learning, compilation, scoring, or ranking that hides a
+//! known injected error fails here with the exact seed to replay.
+
+use fixy::data::fuzz::{ErrorKind, ScenarioFuzzer};
+use fixy::eval::{run_injection_recall, InjectionRecallConfig};
+
+/// `fixy fuzz --seed 7 --scenes 200 --top-k 10` — the acceptance run.
+#[test]
+fn seed7_200_scenes_top10_has_full_recall() {
+    let config = InjectionRecallConfig { seed: 7, n_scenes: 200, top_k: 10, n_train: 6 };
+    let result = run_injection_recall(&config);
+
+    // The corpus must exercise every kind of the taxonomy…
+    for kr in &result.per_kind {
+        assert!(
+            kr.injected > 0,
+            "error kind {} never injected across 200 scenes",
+            kr.kind
+        );
+    }
+    assert!(
+        result.total_injected() > 500,
+        "corpus too thin: {}",
+        result.total_injected()
+    );
+
+    // …and every injected error must be in its scene's top-10.
+    assert!(
+        result.is_perfect(),
+        "injection recall below 100%:\n{}",
+        result.report()
+    );
+    assert!((result.recall() - 1.0).abs() < 1e-12);
+    assert!(result.report().contains("PASS"));
+}
+
+/// The same seed always produces the identical corpus…
+#[test]
+fn same_seed_produces_identical_corpus() {
+    let a = ScenarioFuzzer::new(7).corpus(5);
+    let b = ScenarioFuzzer::new(7).corpus(5);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            serde_json::to_string(x).unwrap(),
+            serde_json::to_string(y).unwrap(),
+            "corpus scene {} differs between runs",
+            x.id
+        );
+    }
+}
+
+/// …and the identical report.
+#[test]
+fn same_seed_produces_identical_report() {
+    let config = InjectionRecallConfig { seed: 7, n_scenes: 6, top_k: 10, n_train: 2 };
+    let a = run_injection_recall(&config).report();
+    let b = run_injection_recall(&config).report();
+    assert_eq!(a, b);
+}
+
+/// The registry-driven taxonomy covers all five error kinds and each is
+/// reachable from a small corpus.
+#[test]
+fn taxonomy_reachable_from_small_corpus() {
+    let fuzzer = ScenarioFuzzer::new(7);
+    let corpus = fuzzer.corpus(12);
+    for kind in ErrorKind::ALL {
+        let total: usize = corpus.iter().map(|s| kind.count_in(&s.injected)).sum();
+        assert!(total > 0, "{kind} unreachable in 12 scenes");
+    }
+}

@@ -161,6 +161,69 @@ fn scene_pipeline_empty_and_single_scene() {
 }
 
 #[test]
+fn fuzzed_batch_is_byte_identical_across_runs_and_vs_sequential() {
+    // The fuzzer's corpus through the batch engine: repeated parallel
+    // runs and the sequential reference must agree bit-for-bit, and
+    // regenerating the corpus from the same seed must too — the
+    // conformance harness depends on this reproducibility.
+    use fixy::data::fuzz::ScenarioFuzzer;
+
+    let fuzzer = ScenarioFuzzer::new(7);
+    let train = fuzzer.training_corpus(2);
+    let finder = MissingTrackFinder::default();
+    let library = Learner::new().fit(&finder.feature_set(), &train).expect("fit");
+    let batch = fuzzer.corpus(6);
+
+    let runs: Vec<Vec<BatchCandidate>> = (0..2)
+        .map(|_| {
+            ScenePipeline::new(MissingTrackFinder::default())
+                .run_merged(&library, fuzzer.corpus(6))
+                .expect("parallel run")
+        })
+        .collect();
+    let sequential = ScenePipeline::new(MissingTrackFinder::default())
+        .sequential()
+        .run_merged(&library, batch)
+        .expect("sequential run");
+
+    assert!(!sequential.is_empty(), "fuzzed batch should surface candidates");
+    for run in &runs {
+        assert_eq!(run.len(), sequential.len());
+        for (p, s) in run.iter().zip(&sequential) {
+            assert_eq!(p.scene_id, s.scene_id);
+            assert_eq!(p.scene_index, s.scene_index);
+            assert_eq!(p.candidate.track, s.candidate.track);
+            assert_eq!(
+                p.candidate.score.to_bits(),
+                s.candidate.score.to_bits(),
+                "scores must match bit-for-bit"
+            );
+        }
+    }
+}
+
+#[test]
+fn bundle_level_pipeline_matches_direct_rank() {
+    // The generalized SceneRanker: a bundle-level app through the batch
+    // engine equals its direct per-scene ranking.
+    let finder = MissingObsFinder::default();
+    let library = train_library(&finder.feature_set(), 2, 8600);
+    let cfg = small_cfg();
+    let data = generate_scene(&cfg, "sp-bundle", 8650);
+
+    let scene = Scene::assemble(&data, &AssemblyConfig::default());
+    let direct = finder.rank(&scene, &library).expect("rank");
+    let batched = ScenePipeline::new(MissingObsFinder::default())
+        .run_merged(&library, vec![data])
+        .expect("bundle batch");
+    assert_eq!(batched.len(), direct.len());
+    for (b, d) in batched.iter().zip(&direct) {
+        assert_eq!(b.candidate.bundle, d.bundle);
+        assert_eq!(b.candidate.score.to_bits(), d.score.to_bits());
+    }
+}
+
+#[test]
 fn all_three_applications_run_on_one_scene() {
     let cfg = small_cfg();
     let train: Vec<_> = (0..3)
