@@ -13,6 +13,7 @@ USAGE:
     fixy rank     --scene <FILE|DIR> --library <FILE> [--app <APP>] [--top <K>] [--grade]
     fixy fuzz     [--seed <S>] [--scenes <N>] [--top-k <K>] [--train <N>]
     fixy render   --scene <FILE> [--frame <N>] [--svg <FILE>]
+    fixy bench-record --json <FILE> [--out <FILE>] [--note <TEXT>]
     fixy help
 
 APPS: missing-tracks (default), missing-obs, model-errors
@@ -21,6 +22,11 @@ fuzz runs the injection-recall conformance harness: a seeded procedural
 corpus with known injected errors is ranked through the scene pipeline,
 and every injected error must appear in the top-K of its scene's
 worklist. Exits non-zero (printing the failing seed) otherwise.
+
+bench-record merges a CRITERION_JSON lines file (written by
+`CRITERION_JSON=<FILE> cargo bench -p loa_bench`) into the repo's bench
+snapshot file (default BENCH_pipeline.json) as a new dated snapshot with
+toolchain and host metadata — see scripts/bench_record.sh.
 ";
 
 /// Which application pipeline to use.
@@ -100,6 +106,17 @@ pub struct RenderArgs {
     pub svg: Option<PathBuf>,
 }
 
+/// `fixy bench-record`.
+#[derive(Debug, Clone)]
+pub struct BenchRecordArgs {
+    /// The CRITERION_JSON lines file produced by the bench harness.
+    pub json: PathBuf,
+    /// The snapshot file to merge into.
+    pub out: PathBuf,
+    /// Free-form host note recorded with the snapshot.
+    pub note: Option<String>,
+}
+
 /// A parsed command.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -108,6 +125,7 @@ pub enum Command {
     Rank(RankArgs),
     Fuzz(FuzzArgs),
     Render(RenderArgs),
+    BenchRecord(BenchRecordArgs),
     Help,
 }
 
@@ -234,6 +252,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 scene: PathBuf::from(flags.required("scene")?),
                 frame: flags.parse_num("frame", 0usize)?,
                 svg: flags.optional("svg").map(PathBuf::from),
+            }))
+        }
+        "bench-record" => {
+            let flags = collect_flags(rest, &[])?;
+            Ok(Command::BenchRecord(BenchRecordArgs {
+                json: PathBuf::from(flags.required("json")?),
+                out: PathBuf::from(flags.optional("out").unwrap_or("BENCH_pipeline.json")),
+                note: flags.optional("note").map(String::from),
             }))
         }
         other => Err(ParseError(format!("unknown command '{other}'"))),

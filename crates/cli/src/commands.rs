@@ -351,6 +351,126 @@ pub fn render(args: RenderArgs) -> Result<String, CliError> {
     ))
 }
 
+/// Convert days since the Unix epoch to `YYYY-MM-DD` (civil-from-days,
+/// Howard Hinnant's algorithm) — keeps the CLI free of clock crates.
+fn civil_date(days_since_epoch: i64) -> String {
+    let z = days_since_epoch + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    civil_date(secs.div_euclid(86_400))
+}
+
+/// `fixy bench-record`: merge a `CRITERION_JSON` lines file into the
+/// repo's bench snapshot file as a new dated snapshot.
+///
+/// The snapshot file is the v2 trajectory format:
+/// `{"schema": "fixy-bench-snapshot/v2", "snapshots": [...]}`, each
+/// snapshot carrying `recorded`/`toolchain`/`host` metadata plus the
+/// bench medians. A v1 single-snapshot file is migrated in place (its
+/// one record becomes the first trajectory point). Re-running a bench
+/// within one lines file keeps the last median per id.
+pub fn bench_record(args: crate::args::BenchRecordArgs) -> Result<String, CliError> {
+    use serde::Value;
+
+    // Parse the lines file: one {"id", "median_ns", "samples"} per line,
+    // last occurrence of an id wins.
+    let lines = std::fs::read_to_string(&args.json)?;
+    let mut ids: Vec<String> = Vec::new();
+    let mut by_id: std::collections::BTreeMap<String, Value> = std::collections::BTreeMap::new();
+    for line in lines.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let record = serde_json::parse_value(line)?;
+        let id = record
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| CliError::Invalid(format!("bench record without id: {line}")))?
+            .to_string();
+        if by_id.insert(id.clone(), record).is_none() {
+            ids.push(id);
+        }
+    }
+    if ids.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "no bench records in {} — run CRITERION_JSON={} cargo bench -p loa_bench first",
+            args.json.display(),
+            args.json.display()
+        )));
+    }
+    let benches: Vec<Value> = ids.iter().map(|id| by_id[id].clone()).collect();
+
+    // Snapshot metadata.
+    let toolchain = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    let mut host = vec![(String::from("cpus"), Value::UInt(cpus as u64))];
+    if let Some(note) = &args.note {
+        host.push((String::from("note"), Value::Str(note.clone())));
+    }
+    let snapshot = Value::Object(vec![
+        (String::from("recorded"), Value::Str(today())),
+        (String::from("toolchain"), Value::Str(toolchain)),
+        (String::from("host"), Value::Object(host)),
+        (String::from("benches"), Value::Array(benches)),
+    ]);
+
+    // Load the existing trajectory (migrating v1 in place) and append.
+    let mut snapshots: Vec<Value> = match std::fs::read_to_string(&args.out) {
+        Ok(existing) => {
+            let v = serde_json::parse_value(&existing)?;
+            match v.get("snapshots").and_then(Value::as_array) {
+                Some(list) => list.to_vec(),
+                // v1: the whole file is one snapshot — keep it as the
+                // trajectory's first point, minus the schema field.
+                None => {
+                    let fields: Vec<(String, Value)> = v
+                        .as_object()
+                        .map(|o| o.iter().filter(|(k, _)| k != "schema").cloned().collect())
+                        .unwrap_or_default();
+                    vec![Value::Object(fields)]
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(CliError::Io(e)),
+    };
+    snapshots.push(snapshot);
+    let n_snapshots = snapshots.len();
+
+    let merged = Value::Object(vec![
+        (
+            String::from("schema"),
+            Value::Str(String::from("fixy-bench-snapshot/v2")),
+        ),
+        (String::from("snapshots"), Value::Array(snapshots)),
+    ]);
+    std::fs::write(&args.out, format!("{}\n", serde_json::to_string_pretty(&merged)?))?;
+    Ok(format!(
+        "recorded {} bench medians into {} ({} snapshots)\n",
+        ids.len(),
+        args.out.display(),
+        n_snapshots
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use crate::args::parse;
@@ -578,6 +698,82 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("no .json scenes"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_record_migrates_v1_and_appends() {
+        let dir = tmp_dir("bench_record");
+        let lines = dir.join("criterion.jsonl");
+        let out = dir.join("bench.json");
+        // Seed a v1 single-snapshot file.
+        std::fs::write(
+            &out,
+            r#"{"schema":"fixy-bench-snapshot/v1","recorded":"2026-07-30","toolchain":"rustc x","host":{"cpus":1},"benches":[{"id":"a/b","median_ns":5.0,"samples":10}]}"#,
+        )
+        .unwrap();
+        // Two records for one id: the re-run median must win.
+        std::fs::write(
+            &lines,
+            "{\"id\":\"a/b\",\"median_ns\":3.0,\"samples\":10}\n{\"id\":\"a/b\",\"median_ns\":2.0,\"samples\":10}\n{\"id\":\"c/d\",\"median_ns\":7.5,\"samples\":5}\n",
+        )
+        .unwrap();
+        let cmd = parse(&argv(&format!(
+            "bench-record --json {} --out {} --note unit-test",
+            lines.display(),
+            out.display()
+        )))
+        .unwrap();
+        let msg = run(cmd).unwrap();
+        assert!(msg.contains("2 bench medians"), "{msg}");
+        assert!(msg.contains("2 snapshots"), "{msg}");
+
+        let merged = serde_json::parse_value(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(
+            merged.get("schema").and_then(serde::Value::as_str),
+            Some("fixy-bench-snapshot/v2")
+        );
+        let snapshots = merged.get("snapshots").and_then(serde::Value::as_array).unwrap();
+        assert_eq!(snapshots.len(), 2);
+        // First point is the migrated v1 snapshot.
+        assert_eq!(
+            snapshots[0].get("recorded").and_then(serde::Value::as_str),
+            Some("2026-07-30")
+        );
+        // Second point carries the merged medians with last-wins dedupe.
+        let benches = snapshots[1].get("benches").and_then(serde::Value::as_array).unwrap();
+        assert_eq!(benches.len(), 2);
+        assert_eq!(benches[0].get("id").and_then(serde::Value::as_str), Some("a/b"));
+        assert!(matches!(
+            benches[0].get("median_ns"),
+            Some(serde::Value::Float(x)) if (*x - 2.0).abs() < 1e-9
+        ));
+        let host = snapshots[1].get("host").unwrap();
+        assert_eq!(host.get("note").and_then(serde::Value::as_str), Some("unit-test"));
+
+        // Appending again grows the trajectory without disturbing history.
+        let cmd = parse(&argv(&format!(
+            "bench-record --json {} --out {}",
+            lines.display(),
+            out.display()
+        )))
+        .unwrap();
+        run(cmd).unwrap();
+        let merged = serde_json::parse_value(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(
+            merged
+                .get("snapshots")
+                .and_then(serde::Value::as_array)
+                .unwrap()
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn civil_date_formats() {
+        assert_eq!(super::civil_date(0), "1970-01-01");
+        assert_eq!(super::civil_date(19_723), "2024-01-01");
+        assert_eq!(super::civil_date(20_665), "2026-07-31");
     }
 
     #[test]

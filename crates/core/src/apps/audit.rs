@@ -69,10 +69,9 @@ impl LabelAuditFinder {
         let features = self.feature_set();
         let engine = ScoreEngine::new(scene, &features, library)?;
         let mut candidates = Vec::new();
-        for track in &scene.tracks {
-            let score = engine.score_track(track.idx);
+        for (track, score) in engine.score_all_tracks() {
             if let Some(s) = score.score {
-                candidates.push(track_candidate(scene, track.idx, s));
+                candidates.push(track_candidate(scene, track, s));
             }
         }
         sort_track_candidates(&mut candidates);
@@ -112,19 +111,14 @@ impl BundleAuditFinder {
         }
 
         let mut candidates = Vec::new();
-        for bundle in &scene.bundles {
+        for (idx, score) in engine.score_all_bundles() {
+            let bundle = scene.bundle(idx);
             if bundle.obs.len() < 2 {
                 continue;
             }
-            let score = engine.score_bundle(bundle.idx);
-            if let (Some(s), Some(track)) = (score.score, bundle_track[bundle.idx.0]) {
+            if let (Some(s), Some(track)) = (score.score, bundle_track[idx.0]) {
                 let rep = scene.bundle_representative(bundle);
-                candidates.push(BundleCandidate {
-                    bundle: bundle.idx,
-                    track,
-                    score: s,
-                    class: rep.class,
-                });
+                candidates.push(BundleCandidate { bundle: idx, track, score: s, class: rep.class });
             }
         }
         sort_bundle_candidates(&mut candidates);

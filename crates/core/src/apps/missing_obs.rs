@@ -58,9 +58,9 @@ impl MissingObsFinder {
         }
 
         let mut candidates = Vec::new();
-        for bundle in &scene.bundles {
+        for (idx, score) in engine.score_all_bundles() {
             // Track-level AOF: zero any track without a human proposal.
-            let Some(track_idx) = bundle_track[bundle.idx.0] else {
+            let Some(track_idx) = bundle_track[idx.0] else {
                 continue;
             };
             let track = scene.track(track_idx);
@@ -70,11 +70,11 @@ impl MissingObsFinder {
             // Bundle-level AOF: zero any bundle with a human proposal —
             // the model_only factor does this inside the score, so a
             // zeroed score simply never yields a candidate.
-            let score = engine.score_bundle(bundle.idx);
             if let Some(s) = score.score {
+                let bundle = scene.bundle(idx);
                 let rep = scene.bundle_representative(bundle);
                 candidates.push(BundleCandidate {
-                    bundle: bundle.idx,
+                    bundle: idx,
                     track: track_idx,
                     score: s,
                     class: rep.class,

@@ -60,10 +60,9 @@ impl MissingTrackFinder {
         let features = self.feature_set();
         let engine = ScoreEngine::new(scene, &features, library)?;
         let mut candidates = Vec::new();
-        for track in &scene.tracks {
-            let score = engine.score_track(track.idx);
+        for (track, score) in engine.score_all_tracks() {
             if let Some(s) = score.score {
-                candidates.push(track_candidate(scene, track.idx, s));
+                candidates.push(track_candidate(scene, track, s));
             }
         }
         sort_track_candidates(&mut candidates);

@@ -83,16 +83,17 @@ impl ModelErrorFinder {
         let features = self.feature_set();
         let engine = ScoreEngine::new(scene, &features, library)?;
         let mut candidates = Vec::new();
-        for track in &scene.tracks {
+        for (idx, score) in engine.score_all_tracks() {
+            let Some(s) = score.score else {
+                continue;
+            };
+            let track = scene.track(idx);
             let obs = scene.track_obs(track);
             let n_excluded = obs.iter().filter(|o| excluded.contains(o)).count();
             if 2 * n_excluded > obs.len() {
                 continue;
             }
-            let score = engine.score_track(track.idx);
-            if let Some(s) = score.score {
-                candidates.push(track_candidate(scene, track.idx, s));
-            }
+            candidates.push(track_candidate(scene, idx, s));
         }
         sort_track_candidates(&mut candidates);
         Ok(candidates)

@@ -11,7 +11,7 @@ use crate::error::FixyError;
 use crate::feature::{FeatureKind, FeatureSet, FeatureTarget, ProbabilityModel};
 use crate::learner::FeatureLibrary;
 use crate::scene::{ObsIdx, Scene};
-use loa_graph::{FactorGraph, VarId};
+use loa_graph::{ComponentIndex, FactorGraph, VarId};
 use serde::{Deserialize, Serialize};
 
 /// One compiled factor: which feature produced it and the AOF-transformed
@@ -27,12 +27,17 @@ pub struct FactorInfo {
 /// The factor graph of a compiled scene: variables are observations.
 pub type SceneGraph = FactorGraph<ObsIdx, FactorInfo>;
 
-/// A compiled scene: the graph plus the observation → variable mapping.
+/// A compiled scene: the graph, the observation → variable mapping, and
+/// the connected-component index built once at compile time (candidates
+/// that form whole components — tracks, bundles under their app's feature
+/// set — score as a slice lookup + fold through it).
 #[derive(Debug, Clone)]
 pub struct CompiledScene {
     pub graph: SceneGraph,
     /// `vars[i]` is the graph variable for `scene.observations[i]`.
     pub vars: Vec<VarId>,
+    /// Connected components of `graph`, grouped with their factors.
+    pub components: ComponentIndex,
 }
 
 impl CompiledScene {
@@ -93,10 +98,19 @@ pub fn compile_scene(
     features: &FeatureSet,
     library: &FeatureLibrary,
 ) -> Result<CompiledScene, FixyError> {
-    // Validate upfront so the loop below cannot fail halfway.
+    // Validate upfront so the loop below cannot fail halfway. Scalar
+    // learned features additionally need a prepared form — absent exactly
+    // when the library entry is a joint fit under a scalar feature's name
+    // (a library/feature-set mismatch).
     for bf in features.learned() {
-        if library.get(bf.feature.name()).is_none() {
-            return Err(FixyError::MissingDistribution { feature: bf.feature.name().to_string() });
+        let name = bf.feature.name();
+        let present = if bf.feature.probability_model() == ProbabilityModel::LearnedJointKde {
+            library.get(name).is_some()
+        } else {
+            library.get_prepared(name).is_some()
+        };
+        if !present {
+            return Err(FixyError::MissingDistribution { feature: name.to_string() });
         }
     }
 
@@ -106,11 +120,18 @@ pub fn compile_scene(
     );
     let vars: Vec<VarId> = scene.observations.iter().map(|o| graph.add_var(o.idx)).collect();
 
+    let mut scope: Vec<VarId> = Vec::new();
     for (feature_index, bf) in features.features.iter().enumerate() {
         let feature = bf.feature.as_ref();
         let model = feature.probability_model();
-        let dist =
-            if model == ProbabilityModel::Manual { None } else { library.get(feature.name()) };
+        // Scalar features evaluate the query-optimized prepared grids;
+        // joint features evaluate the fitted KdeNd directly (it is
+        // already windowed — the library keeps no duplicate of it).
+        let (prepared, joint) = match model {
+            ProbabilityModel::Manual => (None, None),
+            ProbabilityModel::LearnedJointKde => (None, library.get(feature.name())),
+            _ => (library.get_prepared(feature.name()), None),
+        };
         for_each_target(scene, feature.kind(), |target, edge_obs| {
             let p = match model {
                 ProbabilityModel::Manual => match feature.value(scene, &target) {
@@ -118,23 +139,25 @@ pub fn compile_scene(
                     None => return,
                 },
                 ProbabilityModel::LearnedJointKde => match feature.vector_value(scene, &target) {
-                    Some(v) => dist.expect("validated above").probability_vector(&v),
+                    Some(v) => joint.expect("validated above").probability_vector(&v),
                     None => return,
                 },
                 _ => match feature.value(scene, &target) {
-                    Some(v) => dist.expect("validated above").probability(&v),
+                    Some(v) => prepared.expect("validated above").probability(&v),
                     None => return,
                 },
             };
             let probability = bf.aof.apply(p);
-            let scope: Vec<VarId> = edge_obs.iter().map(|o| vars[o.0]).collect();
+            scope.clear();
+            scope.extend(edge_obs.iter().map(|o| vars[o.0]));
             graph
-                .add_factor(FactorInfo { feature_index, probability }, scope)
+                .add_factor_from_slice(FactorInfo { feature_index, probability }, &scope)
                 .expect("scene indices are in range by construction");
         });
     }
 
-    Ok(CompiledScene { graph, vars })
+    let components = graph.component_index();
+    Ok(CompiledScene { graph, vars, components })
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use crate::error::FixyError;
 use crate::feature::{FeatureSet, FeatureValue, ProbabilityModel};
 use crate::scene::{AssemblyConfig, Scene};
 use loa_data::{ObjectClass, SceneData};
-use loa_stats::{Bernoulli, Density1d, Histogram, Kde1d, KdeNd};
+use loa_stats::{Bernoulli, BinnedKde, Density1d, Histogram, Kde1d, KdeNd};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -78,12 +78,118 @@ impl FittedDistribution {
             FittedDistribution::Joint(kde) => kde.len(),
         }
     }
+
+    /// Build the query-optimized scoring form, or `None` when the fitted
+    /// form already is one (joint KDEs: rows sorted, windowed evaluation
+    /// — duplicating the sample matrix would buy nothing), so the library
+    /// never stores a second copy.
+    pub fn prepare(&self) -> Option<PreparedDistribution> {
+        match self {
+            FittedDistribution::ClassConditional { per_class, pooled } => {
+                Some(PreparedDistribution::ClassConditional {
+                    per_class: per_class
+                        .iter()
+                        .map(|(&class, kde)| (class, BinnedKde::prepare(kde)))
+                        .collect(),
+                    pooled: BinnedKde::prepare(pooled),
+                })
+            }
+            FittedDistribution::Kde(kde) => {
+                Some(PreparedDistribution::Kde(BinnedKde::prepare(kde)))
+            }
+            FittedDistribution::Histogram(h) => Some(PreparedDistribution::Histogram(h.clone())),
+            FittedDistribution::Bernoulli(b) => Some(PreparedDistribution::Bernoulli(*b)),
+            FittedDistribution::Joint(_) => None,
+        }
+    }
+}
+
+/// The query-optimized scoring form of a [`FittedDistribution`] — the
+/// canonical representation the online phase evaluates for scalar
+/// features.
+///
+/// KDE variants are precompiled onto probability grids
+/// ([`BinnedKde::prepare`]): an evaluation is a bin lookup plus a linear
+/// interpolation instead of an `O(window)` kernel sum, which is what makes
+/// scene scoring cheap enough to sweep fleets of scenes (Section 8.1's
+/// "nine minutes for 1,000 scenes" regime). Histograms and Bernoullis are
+/// already `O(1)` and pass through. Joint KDEs have no separate prepared
+/// form: the fitted [`KdeNd`] is already query-optimized (rows sorted by
+/// the first dimension, truncated-kernel window binary-searched), so the
+/// compile path evaluates it directly rather than duplicating its sample
+/// matrix.
+///
+/// Prepared forms are built deterministically from the fitted state, so a
+/// library deserialized from disk prepares to bit-identical grids — the
+/// sequential and parallel pipelines score through identical numbers
+/// whether the library was just fit or loaded.
+#[derive(Debug, Clone)]
+pub enum PreparedDistribution {
+    /// Per-class grids with a pooled fallback.
+    ClassConditional { per_class: BTreeMap<ObjectClass, BinnedKde>, pooled: BinnedKde },
+    /// A single pooled grid.
+    Kde(BinnedKde),
+    /// Histograms are already constant-time lookups.
+    Histogram(Histogram),
+    /// Bernoullis are already constant-time lookups.
+    Bernoulli(Bernoulli),
+}
+
+impl PreparedDistribution {
+    /// Relative likelihood of a feature value in `(0, 1]` — mirrors
+    /// [`FittedDistribution::probability`] through the prepared forms.
+    pub fn probability(&self, value: &FeatureValue) -> f64 {
+        match self {
+            PreparedDistribution::ClassConditional { per_class, pooled } => {
+                if let Some(class) = value.class {
+                    if let Some(grid) = per_class.get(&class) {
+                        return grid.relative_likelihood(value.x);
+                    }
+                }
+                pooled.relative_likelihood(value.x)
+            }
+            PreparedDistribution::Kde(grid) => grid.relative_likelihood(value.x),
+            PreparedDistribution::Histogram(h) => h.relative_likelihood(value.x),
+            PreparedDistribution::Bernoulli(b) => b.relative_likelihood(value.x),
+        }
+    }
 }
 
 /// The fitted distributions, keyed by feature name.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Every insert also builds the feature's [`PreparedDistribution`], and
+/// deserializing a library rebuilds all prepared forms — so by the time a
+/// library reaches the scoring path (sequential or fanned out across the
+/// [`ScenePipeline`](crate::pipeline::ScenePipeline) workers), the
+/// query-optimized grids exist exactly once, shared immutably.
+#[derive(Debug, Clone, Default)]
 pub struct FeatureLibrary {
     map: BTreeMap<String, FittedDistribution>,
+    /// Query-optimized forms, keyed identically to `map`. Never
+    /// serialized: rebuilt deterministically from the fitted state.
+    prepared: BTreeMap<String, PreparedDistribution>,
+}
+
+/// Only the fitted state persists (same wire format as the former derived
+/// impl); prepared grids are rebuilt deterministically on load.
+impl Serialize for FeatureLibrary {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(String::from("map"), self.map.to_json_value())])
+    }
+}
+
+impl Deserialize for FeatureLibrary {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map: BTreeMap<String, FittedDistribution> = match v.get("map") {
+            Some(m) => Deserialize::from_json_value(m)?,
+            None => return Err(serde::DeError::custom("FeatureLibrary: missing field `map`")),
+        };
+        let prepared = map
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.prepare()?)))
+            .collect();
+        Ok(FeatureLibrary { map, prepared })
+    }
 }
 
 impl FeatureLibrary {
@@ -91,7 +197,26 @@ impl FeatureLibrary {
         self.map.get(feature)
     }
 
+    /// The query-optimized form of a feature's distribution — what the
+    /// compile/score path evaluates for scalar features. Joint features
+    /// have none (the fitted [`KdeNd`] is already query-optimized); they
+    /// evaluate through [`get`](Self::get).
+    pub fn get_prepared(&self, feature: &str) -> Option<&PreparedDistribution> {
+        self.prepared.get(feature)
+    }
+
     pub fn insert(&mut self, feature: String, dist: FittedDistribution) {
+        match dist.prepare() {
+            Some(prepared) => {
+                self.prepared.insert(feature.clone(), prepared);
+            }
+            // A joint fit overwriting a scalar entry must also evict the
+            // scalar's prepared grid, or lookups would keep scoring
+            // through the stale distribution.
+            None => {
+                self.prepared.remove(&feature);
+            }
+        }
         self.map.insert(feature, dist);
     }
 
@@ -357,6 +482,79 @@ mod tests {
         for f in compiled.graph.factor_ids() {
             let p = compiled.graph.factor(f).probability;
             assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn prepared_tracks_fitted_across_random_queries() {
+        let scenes = training_scenes(2);
+        let library = Learner::new().fit(&FeatureSet::paper_default(), &scenes).unwrap();
+        // Deterministic pseudo-random sweep of queries and class
+        // conditioning over both learned features.
+        let classes = ObjectClass::ALL;
+        for i in 0..512 {
+            let x = ((i * 2654435761u64) % 20000) as f64 / 100.0;
+            let class_idx = (i as usize * 7) % classes.len();
+            let v = if i % 3 == 0 {
+                FeatureValue::scalar(x)
+            } else {
+                FeatureValue::class_conditional(x, classes[class_idx])
+            };
+            for name in ["volume", "velocity"] {
+                let exact = library.get(name).unwrap().probability(&v);
+                let fast = library.get_prepared(name).unwrap().probability(&v);
+                // Grid interpolation error is bounded by a couple of
+                // percent of the mode-normalized likelihood.
+                assert!(
+                    (exact - fast).abs() <= 0.03 + 1e-9,
+                    "{name} at {v:?}: exact {exact} vs prepared {fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn joint_overwrite_evicts_stale_prepared_entry() {
+        // Overwriting a scalar entry with a joint fit must drop the old
+        // prepared grid: joints have no prepared form, and a stale grid
+        // would silently score through the replaced distribution (and
+        // diverge from a serde-reloaded copy of the same library).
+        let mut library = FeatureLibrary::default();
+        let kde = loa_stats::Kde1d::fit(&[1.0, 2.0, 3.0]).unwrap();
+        library.insert("f".into(), FittedDistribution::Kde(kde));
+        assert!(library.get_prepared("f").is_some());
+        let joint = loa_stats::KdeNd::fit(&[vec![0.0, 1.0], vec![2.0, 0.5]]).unwrap();
+        library.insert("f".into(), FittedDistribution::Joint(joint));
+        assert!(library.get_prepared("f").is_none(), "stale prepared grid survived");
+        assert!(matches!(library.get("f"), Some(FittedDistribution::Joint(_))));
+    }
+
+    #[test]
+    fn prepared_forms_rebuild_bit_identical_after_serde() {
+        // The fit/load determinism contract: a deserialized library must
+        // score through byte-identical numbers, because the prepared grids
+        // are rebuilt from the identical fitted state.
+        let scenes = training_scenes(1);
+        let library = Learner::new().fit(&FeatureSet::paper_default(), &scenes).unwrap();
+        let json = serde_json::to_string(&library).unwrap();
+        let back: FeatureLibrary = serde_json::from_str(&json).unwrap();
+        for name in ["volume", "velocity"] {
+            let a = library.get_prepared(name).unwrap();
+            let b = back.get_prepared(name).unwrap();
+            for i in 0..400 {
+                let x = i as f64 * 0.5;
+                for v in [
+                    FeatureValue::scalar(x),
+                    FeatureValue::class_conditional(x, ObjectClass::Car),
+                    FeatureValue::class_conditional(x, ObjectClass::Pedestrian),
+                ] {
+                    assert_eq!(
+                        a.probability(&v).to_bits(),
+                        b.probability(&v).to_bits(),
+                        "{name} diverges at {v:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -63,7 +63,7 @@ pub mod score;
 pub use aof::Aof;
 pub use error::FixyError;
 pub use feature::{BoundFeature, Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
-pub use learner::{FeatureLibrary, FittedDistribution, Learner};
+pub use learner::{FeatureLibrary, FittedDistribution, Learner, PreparedDistribution};
 pub use pipeline::{
     merge_ranked, sort_ranked_scenes, BatchCandidate, RankedScene, ScenePipeline, SceneRanker,
 };
@@ -76,7 +76,7 @@ pub mod prelude {
         BundleAuditFinder, LabelAuditFinder, MissingObsFinder, MissingTrackFinder, ModelErrorFinder,
     };
     pub use crate::feature::{Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
-    pub use crate::learner::{FeatureLibrary, Learner};
+    pub use crate::learner::{FeatureLibrary, Learner, PreparedDistribution};
     pub use crate::pipeline::{
         sort_ranked_scenes, BatchCandidate, RankedScene, ScenePipeline, SceneRanker,
     };

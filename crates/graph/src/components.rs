@@ -1,0 +1,235 @@
+//! Connected-component index over a factor graph.
+//!
+//! Scoring candidates (tracks, bundles) against a compiled scene used to
+//! rebuild the candidate's factor set from scratch — two `BTreeSet`s per
+//! candidate. But under the compilation semantics (Section 4.3) a
+//! candidate's observations almost always form exactly one connected
+//! component of the graph, and a component's factor set never changes
+//! after compilation. [`ComponentIndex`] computes it once per compiled
+//! scene — union-find over the factor scopes, then one counting-sort pass
+//! into CSR arenas — so scoring a component is a slice lookup plus a fold.
+
+use crate::graph::{FactorGraph, FactorId, VarId};
+use serde::{Deserialize, Serialize};
+
+/// Index of a connected component within a [`ComponentIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ComponentId(pub usize);
+
+/// Variables and factors of every connected component, in CSR layout.
+///
+/// Component ids are assigned in ascending order of each component's
+/// smallest variable id, so the index is deterministic for a given graph.
+/// Within a component, both the variable and the factor lists are sorted
+/// ascending.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentIndex {
+    /// Component of each variable (indexed by `VarId`).
+    comp_of_var: Vec<ComponentId>,
+    var_offsets: Vec<usize>,
+    var_arena: Vec<VarId>,
+    factor_offsets: Vec<usize>,
+    factor_arena: Vec<FactorId>,
+}
+
+impl ComponentIndex {
+    /// Build the index: union-find over factor scopes (`O(E α(V))`), then
+    /// counting sorts of variables and factors into the arenas.
+    pub fn new<V, F>(graph: &FactorGraph<V, F>) -> Self {
+        let n = graph.var_count();
+        let mut parent: Vec<usize> = (0..n).collect();
+
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+
+        for f in graph.factor_ids() {
+            let scope = graph.scope(f);
+            let root = find(&mut parent, scope[0].0);
+            for &v in &scope[1..] {
+                let r = find(&mut parent, v.0);
+                parent[r] = root;
+            }
+        }
+
+        // Dense component ids in first-seen (= smallest-variable) order.
+        let mut comp_of_root: Vec<usize> = vec![usize::MAX; n];
+        let mut comp_of_var: Vec<ComponentId> = Vec::with_capacity(n);
+        let mut count = 0usize;
+        for v in 0..n {
+            let root = find(&mut parent, v);
+            if comp_of_root[root] == usize::MAX {
+                comp_of_root[root] = count;
+                count += 1;
+            }
+            comp_of_var.push(ComponentId(comp_of_root[root]));
+        }
+
+        // Counting sort: variables into per-component runs.
+        let mut var_offsets = vec![0usize; count + 1];
+        for c in &comp_of_var {
+            var_offsets[c.0 + 1] += 1;
+        }
+        for i in 1..=count {
+            var_offsets[i] += var_offsets[i - 1];
+        }
+        let mut cursor = var_offsets.clone();
+        let mut var_arena = vec![VarId(0); n];
+        for v in 0..n {
+            let c = comp_of_var[v].0;
+            var_arena[cursor[c]] = VarId(v);
+            cursor[c] += 1;
+        }
+
+        // Counting sort: factors into per-component runs. A factor's scope
+        // lies in exactly one component by construction (its scope edges
+        // are what the union-find merged).
+        let m = graph.factor_count();
+        let mut factor_offsets = vec![0usize; count + 1];
+        for f in graph.factor_ids() {
+            let c = comp_of_var[graph.scope(f)[0].0].0;
+            factor_offsets[c + 1] += 1;
+        }
+        for i in 1..=count {
+            factor_offsets[i] += factor_offsets[i - 1];
+        }
+        let mut cursor = factor_offsets.clone();
+        let mut factor_arena = vec![FactorId(0); m];
+        for f in graph.factor_ids() {
+            let c = comp_of_var[graph.scope(f)[0].0].0;
+            factor_arena[cursor[c]] = f;
+            cursor[c] += 1;
+        }
+
+        ComponentIndex {
+            comp_of_var,
+            var_offsets,
+            var_arena,
+            factor_offsets,
+            factor_arena,
+        }
+    }
+
+    /// Number of connected components.
+    pub fn len(&self) -> usize {
+        self.var_offsets.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The component a variable belongs to.
+    pub fn component_of(&self, v: VarId) -> ComponentId {
+        self.comp_of_var[v.0]
+    }
+
+    /// The variables of a component, ascending.
+    pub fn vars(&self, c: ComponentId) -> &[VarId] {
+        &self.var_arena[self.var_offsets[c.0]..self.var_offsets[c.0 + 1]]
+    }
+
+    /// The factors of a component, ascending.
+    pub fn factors(&self, c: ComponentId) -> &[FactorId] {
+        &self.factor_arena[self.factor_offsets[c.0]..self.factor_offsets[c.0 + 1]]
+    }
+
+    /// Iterate over component ids.
+    pub fn ids(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        (0..self.len()).map(ComponentId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pseudo_random_graph(n: usize, extra_edges: usize) -> FactorGraph<usize, usize> {
+        let mut g: FactorGraph<usize, usize> = FactorGraph::new();
+        let vars: Vec<VarId> = (0..n).map(|i| g.add_var(i)).collect();
+        for e in 0..extra_edges {
+            let a = vars[(e * 7 + 1) % n];
+            let b = vars[(e * 13 + 3) % n];
+            if a != b {
+                g.add_factor(e, vec![a, b]).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn index_matches_connected_components() {
+        let g = pseudo_random_graph(17, 9);
+        let index = ComponentIndex::new(&g);
+        let comps = g.connected_components();
+        assert_eq!(index.len(), comps.len());
+        // connected_components reports components in smallest-var order,
+        // matching the index's id assignment.
+        for (i, comp) in comps.iter().enumerate() {
+            assert_eq!(index.vars(ComponentId(i)), comp.as_slice());
+            for &v in comp {
+                assert_eq!(index.component_of(v), ComponentId(i));
+            }
+        }
+    }
+
+    #[test]
+    fn factors_partition_and_match_within_scope() {
+        let g = pseudo_random_graph(20, 12);
+        let index = ComponentIndex::new(&g);
+        let mut seen = vec![false; g.factor_count()];
+        for c in index.ids() {
+            let vars = index.vars(c);
+            for &f in index.factors(c) {
+                assert!(!seen[f.0], "factor listed twice");
+                seen[f.0] = true;
+                for &v in g.scope(f) {
+                    assert!(vars.binary_search(&v).is_ok(), "scope var outside component");
+                }
+            }
+            // The component's factor list is exactly its Within factors.
+            let within = g.component_factors(vars, crate::ScopeMode::Within);
+            assert_eq!(index.factors(c), within.as_slice());
+        }
+        assert!(seen.iter().all(|&s| s), "factor missing from every component");
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g: FactorGraph<(), ()> = FactorGraph::new();
+        let index = ComponentIndex::new(&g);
+        assert_eq!(index.len(), 0);
+        assert!(index.is_empty());
+
+        let mut g: FactorGraph<u32, ()> = FactorGraph::new();
+        let a = g.add_var(0);
+        let b = g.add_var(1);
+        let index = ComponentIndex::new(&g);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.vars(index.component_of(a)), &[a]);
+        assert_eq!(index.vars(index.component_of(b)), &[b]);
+        assert!(index.factors(index.component_of(a)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_partitions_vars_and_factors(
+            n in 1usize..24, extra_edges in 0usize..14,
+        ) {
+            let g = pseudo_random_graph(n, extra_edges);
+            let index = ComponentIndex::new(&g);
+            let total_vars: usize = index.ids().map(|c| index.vars(c).len()).sum();
+            prop_assert_eq!(total_vars, g.var_count());
+            let total_factors: usize = index.ids().map(|c| index.factors(c).len()).sum();
+            prop_assert_eq!(total_factors, g.factor_count());
+            for v in g.var_ids() {
+                prop_assert!(index.vars(index.component_of(v)).binary_search(&v).is_ok());
+            }
+        }
+    }
+}

@@ -40,12 +40,21 @@ impl std::error::Error for GraphError {}
 ///
 /// Bipartiteness is structural: edges only ever connect a factor to a
 /// variable, so the invariant cannot be violated by construction.
+///
+/// Factor scopes live in one flat CSR arena (`scope_offsets` +
+/// `scope_arena`) rather than a `Vec<Vec<VarId>>`: scopes are written once
+/// at `add_factor` time and then only ever read, so the flat layout trades
+/// nothing and keeps the per-factor slices contiguous in one allocation —
+/// the scoring sweep walks them cache-linearly.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FactorGraph<V, F> {
     vars: Vec<V>,
     factors: Vec<F>,
-    /// Scope of each factor (edges factor → variables).
-    scopes: Vec<Vec<VarId>>,
+    /// CSR offsets into `scope_arena`: factor `i`'s scope is
+    /// `scope_arena[scope_offsets[i]..scope_offsets[i + 1]]`.
+    scope_offsets: Vec<usize>,
+    /// All factor scopes, concatenated in factor order.
+    scope_arena: Vec<VarId>,
     /// Reverse adjacency (variable → incident factors).
     incident: Vec<Vec<FactorId>>,
 }
@@ -61,17 +70,21 @@ impl<V, F> FactorGraph<V, F> {
         FactorGraph {
             vars: Vec::new(),
             factors: Vec::new(),
-            scopes: Vec::new(),
+            scope_offsets: vec![0],
+            scope_arena: Vec::new(),
             incident: Vec::new(),
         }
     }
 
     /// Pre-allocate for an expected node count.
     pub fn with_capacity(vars: usize, factors: usize) -> Self {
+        let mut scope_offsets = Vec::with_capacity(factors + 1);
+        scope_offsets.push(0);
         FactorGraph {
             vars: Vec::with_capacity(vars),
             factors: Vec::with_capacity(factors),
-            scopes: Vec::with_capacity(factors),
+            scope_offsets,
+            scope_arena: Vec::with_capacity(2 * factors),
             incident: Vec::with_capacity(vars),
         }
     }
@@ -89,6 +102,16 @@ impl<V, F> FactorGraph<V, F> {
     /// The scope must be non-empty, reference existing variables, and not
     /// repeat a variable.
     pub fn add_factor(&mut self, payload: F, scope: Vec<VarId>) -> Result<FactorId, GraphError> {
+        self.add_factor_from_slice(payload, &scope)
+    }
+
+    /// [`add_factor`](Self::add_factor) without requiring an owned scope —
+    /// the scope is copied straight into the CSR arena.
+    pub fn add_factor_from_slice(
+        &mut self,
+        payload: F,
+        scope: &[VarId],
+    ) -> Result<FactorId, GraphError> {
         if scope.is_empty() {
             return Err(GraphError::EmptyScope);
         }
@@ -102,10 +125,11 @@ impl<V, F> FactorGraph<V, F> {
         }
         let id = FactorId(self.factors.len());
         self.factors.push(payload);
-        for v in &scope {
+        for v in scope {
             self.incident[v.0].push(id);
         }
-        self.scopes.push(scope);
+        self.scope_arena.extend_from_slice(scope);
+        self.scope_offsets.push(self.scope_arena.len());
         Ok(id)
     }
 
@@ -135,7 +159,7 @@ impl<V, F> FactorGraph<V, F> {
 
     /// The variables a factor touches.
     pub fn scope(&self, id: FactorId) -> &[VarId] {
-        &self.scopes[id.0]
+        &self.scope_arena[self.scope_offsets[id.0]..self.scope_offsets[id.0 + 1]]
     }
 
     /// The factors incident to a variable.
@@ -160,7 +184,7 @@ impl<V, F> FactorGraph<V, F> {
 
     /// Total edge count.
     pub fn edge_count(&self) -> usize {
-        self.scopes.iter().map(Vec::len).sum()
+        self.scope_arena.len()
     }
 
     /// Connected components over the bipartite graph, each reported as the
@@ -181,7 +205,7 @@ impl<V, F> FactorGraph<V, F> {
             while let Some(v) = stack.pop() {
                 comp.push(v);
                 for &f in &self.incident[v.0] {
-                    for &w in &self.scopes[f.0] {
+                    for &w in self.scope(f) {
                         if !seen[w.0] {
                             seen[w.0] = true;
                             stack.push(w);
@@ -207,7 +231,7 @@ impl<V, F> FactorGraph<V, F> {
                 factor_set.extend(self.incident[v.0].iter().copied());
             }
             let nodes = comp.len() + factor_set.len();
-            let edges: usize = factor_set.iter().map(|f| self.scopes[f.0].len()).sum();
+            let edges: usize = factor_set.iter().map(|&f| self.scope(f).len()).sum();
             if nodes != edges + 1 {
                 return false;
             }

@@ -6,9 +6,9 @@
 //! the total number of features that connect to the component"* — so a
 //! 10-observation track and a 100-observation track are comparable.
 
+use crate::components::{ComponentId, ComponentIndex};
 use crate::graph::{FactorGraph, FactorId, VarId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// Which factors count as belonging to a component of variables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -79,22 +79,31 @@ pub fn normalized_log_score(probabilities: impl IntoIterator<Item = f64>) -> Com
 }
 
 impl<V, F> FactorGraph<V, F> {
-    /// The factors belonging to the variable set `component` under `mode`.
+    /// The factors belonging to the variable set `component` under `mode`,
+    /// sorted ascending.
     pub fn component_factors(&self, component: &[VarId], mode: ScopeMode) -> Vec<FactorId> {
-        let members: BTreeSet<VarId> = component.iter().copied().collect();
-        let mut out: BTreeSet<FactorId> = BTreeSet::new();
-        for &v in component {
+        let mut members: Vec<VarId> = component.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        let contains = |w: VarId| members.binary_search(&w).is_ok();
+        let mut out: Vec<FactorId> = Vec::new();
+        for &v in &members {
             for &f in self.incident_factors(v) {
+                let scope = self.scope(f);
+                // Count each factor exactly once: at its first scope
+                // variable that lies in the component (for `Within`, that
+                // is necessarily `scope[0]`).
                 let include = match mode {
-                    ScopeMode::Touching => true,
-                    ScopeMode::Within => self.scope(f).iter().all(|w| members.contains(w)),
+                    ScopeMode::Touching => scope.iter().copied().find(|&w| contains(w)) == Some(v),
+                    ScopeMode::Within => scope[0] == v && scope.iter().all(|&w| contains(w)),
                 };
                 if include {
-                    out.insert(f);
+                    out.push(f);
                 }
             }
         }
-        out.into_iter().collect()
+        out.sort_unstable();
+        out
     }
 
     /// Score a component of variables given a probability accessor for
@@ -107,6 +116,26 @@ impl<V, F> FactorGraph<V, F> {
     ) -> ComponentScore {
         let factors = self.component_factors(component, mode);
         normalized_log_score(factors.iter().map(|&f| probability(self.factor(f))))
+    }
+
+    /// Score one whole connected component through a prebuilt
+    /// [`ComponentIndex`]: a slice lookup plus a fold, no per-candidate
+    /// set building. For a full component `Within` and `Touching` scopes
+    /// coincide (no factor crosses a component boundary), so no mode is
+    /// taken.
+    pub fn score_indexed_component(
+        &self,
+        index: &ComponentIndex,
+        component: ComponentId,
+        probability: impl Fn(&F) -> f64,
+    ) -> ComponentScore {
+        normalized_log_score(index.factors(component).iter().map(|&f| probability(self.factor(f))))
+    }
+
+    /// Build the connected-component index for this graph (see
+    /// [`ComponentIndex`]).
+    pub fn component_index(&self) -> ComponentIndex {
+        ComponentIndex::new(self)
     }
 }
 

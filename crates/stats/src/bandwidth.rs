@@ -27,6 +27,18 @@ pub enum BandwidthRule {
 pub struct Bandwidth(f64);
 
 impl Bandwidth {
+    /// Wrap an already-resolved bandwidth value. Non-finite or
+    /// non-positive values fall back to a unit bandwidth so the result
+    /// is always usable as a divisor.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        if value.is_finite() && value > 0.0 {
+            Bandwidth(value)
+        } else {
+            Bandwidth(1.0)
+        }
+    }
+
     /// The numeric bandwidth value.
     #[inline]
     pub fn value(self) -> f64 {

@@ -45,9 +45,12 @@ impl Kde1d {
             bandwidth: bandwidth.value(),
             max_density: 0.0,
         };
-        // The density mode is (for these kernels) attained near a sample
-        // point; evaluating at every sample gives the normalizer.
-        kde.max_density = kde.samples.iter().map(|&x| kde.density(x)).fold(0.0f64, f64::max);
+        // The normalizer is the density mode. Evaluating at every sample
+        // is exact but O(n · window) — quadratic on dense samples — so it
+        // is estimated from the same binned grid the prepared scoring path
+        // uses, in O(n + grid). The grid resolves the kernel (step ≤ h/8),
+        // keeping the estimate within a fraction of a percent of the mode.
+        kde.max_density = BinnedKde::prepare(&kde).max_density;
         Ok(kde)
     }
 
@@ -62,7 +65,7 @@ impl Kde1d {
 
     /// The resolved bandwidth.
     pub fn bandwidth(&self) -> Bandwidth {
-        BandwidthRule::Fixed(self.bandwidth).resolve(&[0.0])
+        Bandwidth::new(self.bandwidth)
     }
 
     /// The resolved bandwidth as a raw value.
@@ -143,6 +146,92 @@ impl BinnedKde {
         let step = span / (bins - 1) as f64;
         let densities: Vec<f64> = (0..bins).map(|i| kde.density(lo + i as f64 * step)).collect();
         let max_density = densities.iter().copied().fold(0.0f64, f64::max);
+        BinnedKde { grid_start: lo, grid_step: step, densities, max_density }
+    }
+
+    /// Grid steps per bandwidth unit for [`prepare`](Self::prepare): the
+    /// step is at most `h / 8`, so the kernel is always well resolved and
+    /// linear interpolation stays within a fraction of a percent of the
+    /// exact density.
+    const STEPS_PER_BANDWIDTH: f64 = 8.0;
+
+    /// Resolution bounds for [`prepare`](Self::prepare).
+    const MIN_BINS: usize = 64;
+    const MAX_BINS: usize = 32_768;
+
+    /// Build the query-optimized scoring grid in `O(n + grid · kernel)`.
+    ///
+    /// Unlike [`from_kde`](Self::from_kde) — which evaluates the exact
+    /// density at every grid point, `O(grid · window)` — this bins the
+    /// samples onto the grid with linear weights and convolves the binned
+    /// mass with the kernel sampled at grid offsets. The grid resolution
+    /// adapts to the bandwidth (step ≤ h/8, within
+    /// [`MIN_BINS`](Self::MIN_BINS)..=[`MAX_BINS`](Self::MAX_BINS)).
+    ///
+    /// This is the canonical scoring representation: `Kde1d::fit` takes
+    /// its `max_density` from this grid, so exact and prepared relative
+    /// likelihoods share one normalizer and rebuilding the grid from a
+    /// deserialized [`Kde1d`] is bit-identical to building it at fit time.
+    pub fn prepare(kde: &Kde1d) -> Self {
+        let samples = kde.samples();
+        let kernel = kde.kernel();
+        let h = kde.bandwidth_value();
+        let n = samples.len();
+        debug_assert!(n > 0, "Kde1d is never empty");
+        let radius = kernel.support_radius() * h;
+        let lo = samples.first().copied().unwrap_or(0.0) - radius;
+        let hi = samples.last().copied().unwrap_or(0.0) + radius;
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        let ideal = (span * Self::STEPS_PER_BANDWIDTH / h).ceil() as usize + 1;
+        let bins = ideal.clamp(Self::MIN_BINS, Self::MAX_BINS);
+        let step = span / (bins - 1) as f64;
+
+        // Linear binning: each sample splits its unit mass between the two
+        // surrounding grid points.
+        let mut mass = vec![0.0f64; bins];
+        for &x in samples {
+            let pos = ((x - lo) / step).clamp(0.0, (bins - 1) as f64);
+            let j = (pos.floor() as usize).min(bins - 2);
+            let frac = pos - j as f64;
+            mass[j] += 1.0 - frac;
+            mass[j + 1] += frac;
+        }
+
+        // Kernel weights at bin offsets, truncated at the support radius —
+        // the same truncation the exact window sum uses.
+        let k = ((radius / step).ceil() as usize).min(bins - 1);
+        let weights: Vec<f64> = (0..=k).map(|d| kernel.eval(d as f64 * step / h)).collect();
+
+        // Scatter each non-empty bin's mass through the kernel window.
+        let mut densities = vec![0.0f64; bins];
+        for (j, &m) in mass.iter().enumerate() {
+            if m == 0.0 {
+                continue;
+            }
+            densities[j] += m * weights[0];
+            for (d, &w) in weights.iter().enumerate().skip(1) {
+                if j >= d {
+                    densities[j - d] += m * w;
+                }
+                if j + d < bins {
+                    densities[j + d] += m * w;
+                }
+            }
+        }
+        let norm = 1.0 / (n as f64 * h);
+        for d in &mut densities {
+            *d *= norm;
+        }
+
+        let mut max_density = densities.iter().copied().fold(0.0f64, f64::max);
+        if step > h / Self::STEPS_PER_BANDWIDTH {
+            // Resolution was clamped at MAX_BINS (data spread over
+            // thousands of bandwidths): the grid may straddle narrow
+            // modes, so recover the normalizer exactly from the samples.
+            // Windows are tiny in exactly this regime, so this stays
+            // O(n · window) with a small window.
+            max_density = samples.iter().map(|&x| kde.density(x)).fold(max_density, f64::max);
+        }
         BinnedKde { grid_start: lo, grid_step: step, densities, max_density }
     }
 
@@ -319,9 +408,49 @@ mod tests {
         fn prop_max_density_dominates_samples(
             xs in proptest::collection::vec(-50.0f64..50.0, 2..60),
         ) {
+            // max_density is estimated on the prepared grid (step ≤ h/8),
+            // which can undershoot the true mode by a fraction of a
+            // percent — relative_likelihood clamps the excess to 1.
             let kde = Kde1d::fit(&xs).unwrap();
             for &x in kde.samples() {
-                prop_assert!(kde.density(x) <= kde.max_density() + 1e-12);
+                prop_assert!(kde.density(x) <= kde.max_density() * 1.01 + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_prepared_density_tracks_exact(
+            xs in proptest::collection::vec(-50.0f64..50.0, 1..80),
+            qs in proptest::collection::vec(-60.0f64..60.0, 1..20),
+        ) {
+            let kde = Kde1d::fit(&xs).unwrap();
+            let prepared = BinnedKde::prepare(&kde);
+            for q in qs {
+                let exact = kde.density(q);
+                let approx = prepared.density(q);
+                prop_assert!(
+                    (exact - approx).abs() <= 0.02 * kde.max_density() + 1e-9,
+                    "at {q}: exact {exact} vs prepared {approx}"
+                );
+                let rl_gap = (kde.relative_likelihood(q) - prepared.relative_likelihood(q)).abs();
+                prop_assert!(rl_gap <= 0.02 + 1e-9, "relative likelihood gap {rl_gap} at {q}");
+            }
+        }
+
+        #[test]
+        fn prop_prepare_is_deterministic_and_shares_normalizer(
+            xs in proptest::collection::vec(-50.0f64..50.0, 1..60),
+        ) {
+            // Rebuilding the grid from the (serializable) KDE state must be
+            // bit-identical — the fit/load byte-determinism contract — and
+            // the exact KDE's normalizer IS the grid max.
+            let kde = Kde1d::fit(&xs).unwrap();
+            let a = BinnedKde::prepare(&kde);
+            let b = BinnedKde::prepare(&kde);
+            prop_assert_eq!(a.max_density().to_bits(), b.max_density().to_bits());
+            prop_assert_eq!(a.bins(), b.bins());
+            prop_assert_eq!(a.max_density().to_bits(), kde.max_density().to_bits());
+            for q in [-55.0, -10.0, 0.0, 3.7, 49.0] {
+                prop_assert_eq!(a.density(q).to_bits(), b.density(q).to_bits());
             }
         }
 

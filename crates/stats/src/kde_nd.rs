@@ -11,14 +11,59 @@ use crate::{FitError, P_FLOOR};
 use serde::{Deserialize, Serialize};
 
 /// A multivariate (product-kernel, diagonal-bandwidth) KDE.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Rows are kept sorted by their first dimension so evaluation binary-
+/// searches the window of rows whose first coordinate can contribute
+/// (the kernel is truncated at its support radius) instead of scanning
+/// all `n` rows — `O(log n + window)` per query.
+#[derive(Debug, Clone, Serialize)]
 pub struct KdeNd {
     dim: usize,
-    /// Row-major sample matrix (n × dim).
+    /// Row-major sample matrix (n × dim), sorted by the first dimension
+    /// (full-row lexicographic tiebreak, so the order — and therefore
+    /// the float summation order — is deterministic).
     samples: Vec<f64>,
     kernel: Kernel,
     bandwidths: Vec<f64>,
     max_density: f64,
+}
+
+/// Manual impl (same wire format as the derive) because deserialization
+/// must re-establish the sorted-rows invariant the windowed evaluation
+/// depends on: libraries serialized before rows were kept sorted store
+/// them in insertion order, and binary-searching unsorted rows would
+/// silently drop contributing samples.
+impl Deserialize for KdeNd {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        fn field<'a>(v: &'a serde::Value, name: &str) -> Result<&'a serde::Value, serde::DeError> {
+            v.get(name)
+                .ok_or_else(|| serde::DeError::custom(format!("KdeNd: missing field `{name}`")))
+        }
+        let dim: usize = Deserialize::from_json_value(field(v, "dim")?)?;
+        let samples: Vec<f64> = Deserialize::from_json_value(field(v, "samples")?)?;
+        let kernel: Kernel = Deserialize::from_json_value(field(v, "kernel")?)?;
+        let bandwidths: Vec<f64> = Deserialize::from_json_value(field(v, "bandwidths")?)?;
+        let max_density: f64 = Deserialize::from_json_value(field(v, "max_density")?)?;
+        if dim == 0 || !samples.len().is_multiple_of(dim) || bandwidths.len() != dim {
+            return Err(serde::DeError::custom(format!(
+                "KdeNd: inconsistent shape (dim {dim}, {} sample values, {} bandwidths)",
+                samples.len(),
+                bandwidths.len()
+            )));
+        }
+        let n = samples.len() / dim;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            samples[a * dim..(a + 1) * dim]
+                .partial_cmp(&samples[b * dim..(b + 1) * dim])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut sorted = Vec::with_capacity(samples.len());
+        for &i in &order {
+            sorted.extend_from_slice(&samples[i * dim..(i + 1) * dim]);
+        }
+        Ok(KdeNd { dim, samples: sorted, kernel, bandwidths, max_density })
+    }
 }
 
 impl KdeNd {
@@ -50,9 +95,13 @@ impl KdeNd {
             }
         }
         let n = samples.len();
+        // Sort rows by first dimension (full-row lexicographic tiebreak)
+        // so evaluation can binary-search the contributing window.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| samples[a].partial_cmp(&samples[b]).expect("validated finite"));
         let mut flat = Vec::with_capacity(n * dim);
-        for s in samples {
-            flat.extend_from_slice(s);
+        for &i in &order {
+            flat.extend_from_slice(&samples[i]);
         }
         let mut bandwidths = Vec::with_capacity(dim);
         let mut column = Vec::with_capacity(n);
@@ -62,10 +111,45 @@ impl KdeNd {
             bandwidths.push(rule.resolve(&column).value());
         }
         let mut kde = KdeNd { dim, samples: flat, kernel, bandwidths, max_density: 0.0 };
+        // Each evaluation is windowed, so the normalizer sweep is
+        // O(n · window) rather than the old O(n²) full cross product.
         kde.max_density = (0..n)
             .map(|i| kde.density(&kde.samples[i * kde.dim..(i + 1) * kde.dim]))
             .fold(0.0f64, f64::max);
         Ok(kde)
+    }
+
+    /// Index range of rows whose first coordinate lies within the kernel
+    /// support window around `x0`.
+    fn window(&self, x0: f64) -> (usize, usize) {
+        let radius = self.kernel.support_radius() * self.bandwidths[0];
+        let n = self.len();
+        let dim = self.dim;
+        let lo = {
+            let (mut l, mut r) = (0usize, n);
+            while l < r {
+                let m = (l + r) / 2;
+                if self.samples[m * dim] < x0 - radius {
+                    l = m + 1;
+                } else {
+                    r = m;
+                }
+            }
+            l
+        };
+        let hi = {
+            let (mut l, mut r) = (lo, n);
+            while l < r {
+                let m = (l + r) / 2;
+                if self.samples[m * dim] <= x0 + radius {
+                    l = m + 1;
+                } else {
+                    r = m;
+                }
+            }
+            l
+        };
+        (lo, hi)
     }
 
     pub fn dim(&self) -> usize {
@@ -91,8 +175,9 @@ impl KdeNd {
             return 0.0;
         }
         let n = self.len();
+        let (lo, hi) = self.window(x[0]);
         let mut acc = 0.0;
-        'outer: for i in 0..n {
+        'outer: for i in lo..hi {
             let row = &self.samples[i * self.dim..(i + 1) * self.dim];
             let mut prod = 1.0;
             for d in 0..self.dim {
@@ -171,6 +256,93 @@ mod tests {
         assert_eq!(kde.density(&[0.0]), 0.0);
         assert_eq!(kde.density(&[0.0, 0.0, 0.0]), 0.0);
         assert_eq!(kde.density(&[f64::NAN, 0.0]), 0.0);
+    }
+
+    /// Reference implementation: the full product-kernel sum over all
+    /// rows, no windowing.
+    fn brute_force_density(kde: &KdeNd, x: &[f64]) -> f64 {
+        let n = kde.len();
+        let dim = kde.dim();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let mut prod = 1.0;
+            for d in 0..dim {
+                let row = i * dim + d;
+                let u = (x[d] - kde.samples[row]) / kde.bandwidths()[d];
+                prod *= kde.kernel.eval(u) / kde.bandwidths()[d];
+            }
+            acc += prod;
+        }
+        acc / n as f64
+    }
+
+    #[test]
+    fn windowed_density_matches_brute_force() {
+        let cloud = gaussian_cloud(400, 1.0, -1.0, 77);
+        let kde = KdeNd::fit(&cloud).unwrap();
+        for q in [[1.0, -1.0], [3.5, 0.2], [-2.0, 4.0], [40.0, 0.0]] {
+            let windowed = kde.density(&q);
+            let brute = brute_force_density(&kde, &q);
+            // The window truncates the kernel at its support radius, the
+            // same truncation Kde1d uses; beyond it the Gaussian is below
+            // f64 epsilon relative to the peak.
+            assert!(
+                (windowed - brute).abs() <= 1e-9 * brute + 1e-15,
+                "at {q:?}: windowed {windowed} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn deserialize_resorts_legacy_insertion_ordered_rows() {
+        // Libraries written before rows were kept sorted store them in
+        // insertion order; loading one must restore the sorted invariant
+        // or the binary-searched window silently drops samples.
+        let mut rows = gaussian_cloud(60, 5.0, 0.0, 31);
+        rows.extend(gaussian_cloud(40, -6.0, 1.0, 32)); // unsorted on dim 0
+        let kde = KdeNd::fit(&rows).unwrap();
+
+        // Simulate the legacy wire format: same fields, rows unsorted.
+        let mut legacy_flat = Vec::new();
+        for r in &rows {
+            legacy_flat.extend_from_slice(r);
+        }
+        let legacy = serde::Value::Object(vec![
+            (String::from("dim"), serde::Value::UInt(2)),
+            (
+                String::from("samples"),
+                serde::Value::Array(legacy_flat.iter().map(|&x| serde::Value::Float(x)).collect()),
+            ),
+            (String::from("kernel"), Serialize::to_json_value(&kde.kernel)),
+            (
+                String::from("bandwidths"),
+                serde::Value::Array(
+                    kde.bandwidths().iter().map(|&x| serde::Value::Float(x)).collect(),
+                ),
+            ),
+            (String::from("max_density"), serde::Value::Float(kde.max_density())),
+        ]);
+        let loaded = KdeNd::from_json_value(&legacy).unwrap();
+        for q in [[5.0, 0.0], [-6.0, 1.0], [0.0, 0.5]] {
+            assert_eq!(
+                loaded.density(&q).to_bits(),
+                kde.density(&q).to_bits(),
+                "legacy load diverges at {q:?}"
+            );
+        }
+
+        // Malformed shapes are an error, not a panic.
+        let bad = serde::Value::Object(vec![
+            (String::from("dim"), serde::Value::UInt(3)),
+            (
+                String::from("samples"),
+                serde::Value::Array(vec![serde::Value::Float(1.0)]),
+            ),
+            (String::from("kernel"), Serialize::to_json_value(&kde.kernel)),
+            (String::from("bandwidths"), serde::Value::Array(vec![])),
+            (String::from("max_density"), serde::Value::Float(1.0)),
+        ]);
+        assert!(KdeNd::from_json_value(&bad).is_err());
     }
 
     #[test]

@@ -161,6 +161,61 @@ fn scene_pipeline_empty_and_single_scene() {
 }
 
 #[test]
+fn indexed_sweep_matches_generic_component_scoring_bit_for_bit() {
+    // The score engine's fast path (ComponentIndex slice lookup + fold)
+    // and the generic per-candidate path (set rebuild over the graph)
+    // must agree bit-for-bit: both fold the same factors in the same
+    // (ascending id) order. This pins the equivalence the single-sweep
+    // APIs rely on.
+    use fixy::core::score::ScoreEngine;
+    use fixy::graph::ScopeMode;
+
+    let finder = MissingTrackFinder::default();
+    let library = train_library(&finder.feature_set(), 2, 9700);
+    let cfg = small_cfg();
+    let data = generate_scene(&cfg, "pl-sweep", 9777);
+    let scene = Scene::assemble(&data, &AssemblyConfig::default());
+    let features = finder.feature_set();
+    let engine = ScoreEngine::new(&scene, &features, &library).expect("compile");
+
+    let sweep = engine.score_all_tracks();
+    assert_eq!(sweep.len(), scene.tracks.len());
+    for (track, fast) in sweep {
+        let obs = scene.track_obs(scene.track(track));
+        let vars = engine.compiled().vars_of(&obs);
+        let generic = engine
+            .compiled()
+            .graph
+            .score_component(&vars, ScopeMode::Within, |info| info.probability);
+        assert_eq!(fast.factor_count, generic.factor_count, "track {track:?}");
+        assert_eq!(fast.zeroed, generic.zeroed, "track {track:?}");
+        match (fast.score, generic.score) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "track {track:?} diverges")
+            }
+            (a, b) => assert_eq!(a, b, "track {track:?}"),
+        }
+    }
+
+    let bundle_sweep = engine.score_all_bundles();
+    assert_eq!(bundle_sweep.len(), scene.bundles.len());
+    for (bundle, fast) in bundle_sweep {
+        let vars = engine.compiled().vars_of(&scene.bundle(bundle).obs);
+        let generic = engine
+            .compiled()
+            .graph
+            .score_component(&vars, ScopeMode::Within, |info| info.probability);
+        assert_eq!(fast.factor_count, generic.factor_count, "bundle {bundle:?}");
+        match (fast.score, generic.score) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "bundle {bundle:?} diverges")
+            }
+            (a, b) => assert_eq!(a, b, "bundle {bundle:?}"),
+        }
+    }
+}
+
+#[test]
 fn fuzzed_batch_is_byte_identical_across_runs_and_vs_sequential() {
     // The fuzzer's corpus through the batch engine: repeated parallel
     // runs and the sequential reference must agree bit-for-bit, and
