@@ -3,6 +3,13 @@
 //! The paper associates observations greedily by box overlap; the Hungarian
 //! solver is provided for the greedy-vs-optimal ablation bench (and as a
 //! correctness oracle in tests).
+//!
+//! Scores live in a [`ScoreMatrix`]: a flat, possibly-sparse collection of
+//! explicitly scored pairs with known dimensions. Entries never pushed are
+//! *implicitly below threshold* (score 0) — the representation the
+//! spatially-pruned tracker produces, where only candidate pairs whose
+//! AABBs overlap are ever scored. The legacy `&[Vec<f64>]` entry points
+//! remain as thin wrappers that score every pair explicitly.
 
 use serde::{Deserialize, Serialize};
 
@@ -14,67 +21,163 @@ pub struct Match {
     pub score: f64,
 }
 
-/// Greedy maximum-score-first matching.
+/// A flat score matrix between `rows` left items and `cols` right items.
 ///
-/// Sorts all pairs with `score >= min_score` by descending score and takes
-/// each pair whose endpoints are both unused. `scores[i][j]` is the score
-/// between left item `i` and right item `j` (rows may be empty).
-pub fn greedy_match(scores: &[Vec<f64>], min_score: f64) -> Vec<Match> {
-    let mut pairs: Vec<Match> = Vec::new();
-    for (i, row) in scores.iter().enumerate() {
-        for (j, &s) in row.iter().enumerate() {
-            if s >= min_score && s.is_finite() {
-                pairs.push(Match { left: i, right: j, score: s });
+/// Only explicitly [`push`](Self::push)ed pairs carry a score; every
+/// other pair is an implicit 0 (below any positive matching threshold).
+/// For overlap scores this is exact, not an approximation: a pair whose
+/// AABBs do not intersect has IOU exactly 0.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<Match>,
+}
+
+impl ScoreMatrix {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear and set dimensions, keeping the entry allocation.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.entries.clear();
+    }
+
+    /// Record the score of pair `(left, right)`.
+    #[inline]
+    pub fn push(&mut self, left: usize, right: usize, score: f64) {
+        debug_assert!(left < self.rows && right < self.cols);
+        self.entries.push(Match { left, right, score });
+    }
+
+    /// Build a fully-dense matrix from nested rows (every pair explicit).
+    /// Ragged rows are allowed; `cols` becomes the longest row.
+    pub fn from_rows(scores: &[Vec<f64>]) -> Self {
+        let rows = scores.len();
+        let cols = scores.iter().map(Vec::len).max().unwrap_or(0);
+        let mut m = ScoreMatrix { rows, cols, entries: Vec::new() };
+        for (i, row) in scores.iter().enumerate() {
+            for (j, &s) in row.iter().enumerate() {
+                m.push(i, j, s);
             }
         }
+        m
     }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The explicitly scored pairs, in push order.
+    pub fn entries(&self) -> &[Match] {
+        &self.entries
+    }
+
+    /// Materialize as a flat row-major dense matrix (implicit pairs = 0).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut dense = vec![0.0; self.rows * self.cols];
+        for e in &self.entries {
+            dense[e.left * self.cols + e.right] = e.score;
+        }
+        dense
+    }
+}
+
+/// Reusable buffers for [`greedy_match_into`] — the tracker calls the
+/// matcher once per frame and keeps one of these per engine instead of
+/// reallocating.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    pairs: Vec<Match>,
+    used_left: Vec<bool>,
+    used_right: Vec<bool>,
+}
+
+/// Greedy maximum-score-first matching over a [`ScoreMatrix`].
+///
+/// Sorts all explicit pairs with `score >= min_score` by descending score
+/// and takes each pair whose endpoints are both unused.
+pub fn greedy_match_matrix(scores: &ScoreMatrix, min_score: f64) -> Vec<Match> {
+    let mut scratch = MatchScratch::default();
+    let mut out = Vec::new();
+    greedy_match_into(scores, min_score, &mut scratch, &mut out);
+    out
+}
+
+/// [`greedy_match_matrix`] with caller-owned scratch and output buffers
+/// (both are cleared first).
+pub fn greedy_match_into(
+    scores: &ScoreMatrix,
+    min_score: f64,
+    scratch: &mut MatchScratch,
+    out: &mut Vec<Match>,
+) {
+    scratch.pairs.clear();
+    scratch.pairs.extend(
+        scores
+            .entries()
+            .iter()
+            .filter(|m| m.score >= min_score && m.score.is_finite()),
+    );
     // Descending by score; ties broken by indices for determinism.
-    pairs.sort_by(|a, b| {
+    scratch.pairs.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
             .expect("finite scores")
             .then(a.left.cmp(&b.left))
             .then(a.right.cmp(&b.right))
     });
-    let n_left = scores.len();
-    let n_right = scores.iter().map(Vec::len).max().unwrap_or(0);
-    let mut used_left = vec![false; n_left];
-    let mut used_right = vec![false; n_right];
-    let mut out = Vec::new();
-    for m in pairs {
-        if !used_left[m.left] && !used_right[m.right] {
-            used_left[m.left] = true;
-            used_right[m.right] = true;
+    scratch.used_left.clear();
+    scratch.used_left.resize(scores.rows(), false);
+    scratch.used_right.clear();
+    scratch.used_right.resize(scores.cols(), false);
+    out.clear();
+    for &m in &scratch.pairs {
+        if !scratch.used_left[m.left] && !scratch.used_right[m.right] {
+            scratch.used_left[m.left] = true;
+            scratch.used_right[m.right] = true;
             out.push(m);
         }
     }
     out.sort_by_key(|m| (m.left, m.right));
-    out
 }
 
-/// Exact maximum-total-score matching (Hungarian algorithm, O(n³)), with
-/// pairs scoring below `min_score` removed afterwards.
-///
-/// Scores must be finite; rectangular inputs are handled by solving with
-/// the smaller side as rows.
-pub fn hungarian_match(scores: &[Vec<f64>], min_score: f64) -> Vec<Match> {
-    let n = scores.len();
-    let m = scores.iter().map(Vec::len).max().unwrap_or(0);
+/// Greedy matching over nested rows (legacy entry point; scores every
+/// pair explicitly through [`ScoreMatrix::from_rows`]).
+pub fn greedy_match(scores: &[Vec<f64>], min_score: f64) -> Vec<Match> {
+    greedy_match_matrix(&ScoreMatrix::from_rows(scores), min_score)
+}
+
+/// Exact maximum-total-score matching (Hungarian algorithm, O(n³)) over a
+/// [`ScoreMatrix`], with pairs scoring below `min_score` removed
+/// afterwards. Implicit pairs participate with score 0 — identical to the
+/// dense formulation whenever unscored pairs truly score 0 (the overlap
+/// case the sparse tracker produces).
+pub fn hungarian_match_matrix(scores: &ScoreMatrix, min_score: f64) -> Vec<Match> {
+    let n = scores.rows();
+    let m = scores.cols();
     if n == 0 || m == 0 {
         return Vec::new();
     }
-    // Normalize to a dense rectangular matrix (absent entries = 0 score).
-    let dense: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..m).map(|j| scores[i].get(j).copied().unwrap_or(0.0)).collect())
-        .collect();
+    let dense = scores.to_dense();
 
-    type ScoreFn = Box<dyn Fn(usize, usize) -> f64>;
+    // Solve with the smaller side as rows; index arithmetic handles the
+    // transpose on the flat buffer.
     let transpose = n > m;
-    let (rows, cols, at): (usize, usize, ScoreFn) = if transpose {
-        (m, n, Box::new(move |i, j| dense[j][i]))
-    } else {
-        let d = dense.clone();
-        (n, m, Box::new(move |i, j| d[i][j]))
+    let (rows, cols) = if transpose { (m, n) } else { (n, m) };
+    let at = |i: usize, j: usize| -> f64 {
+        if transpose {
+            dense[j * m + i]
+        } else {
+            dense[i * m + j]
+        }
     };
 
     // Minimization form: cost = max_score - score (non-negative).
@@ -147,13 +250,18 @@ pub fn hungarian_match(scores: &[Vec<f64>], min_score: f64) -> Vec<Match> {
             continue;
         }
         let (left, right) = if transpose { (j - 1, i - 1) } else { (i - 1, j - 1) };
-        let s = scores[left].get(right).copied().unwrap_or(0.0);
+        let s = dense[left * m + right];
         if s >= min_score {
             out.push(Match { left, right, score: s });
         }
     }
     out.sort_by_key(|m| (m.left, m.right));
     out
+}
+
+/// Hungarian matching over nested rows (legacy entry point).
+pub fn hungarian_match(scores: &[Vec<f64>], min_score: f64) -> Vec<Match> {
+    hungarian_match_matrix(&ScoreMatrix::from_rows(scores), min_score)
 }
 
 #[cfg(test)]
@@ -193,6 +301,9 @@ mod tests {
         let no_cols: Vec<Vec<f64>> = vec![vec![], vec![]];
         assert!(greedy_match(&no_cols, 0.5).is_empty());
         assert!(hungarian_match(&no_cols, 0.5).is_empty());
+        let empty = ScoreMatrix::new();
+        assert!(greedy_match_matrix(&empty, 0.0).is_empty());
+        assert!(hungarian_match_matrix(&empty, 0.0).is_empty());
     }
 
     #[test]
@@ -259,6 +370,61 @@ mod tests {
         }
     }
 
+    #[test]
+    fn sparse_matrix_equals_dense_when_omissions_are_zero() {
+        // A sparse matrix that skips exactly the zero entries must match
+        // the dense formulation for both matchers — the contract the
+        // spatially-pruned tracker relies on.
+        let dense_rows = vec![vec![0.7, 0.0, 0.2], vec![0.0, 0.0, 0.9], vec![0.3, 0.6, 0.0]];
+        let mut sparse = ScoreMatrix::new();
+        sparse.reset(3, 3);
+        for (i, row) in dense_rows.iter().enumerate() {
+            for (j, &s) in row.iter().enumerate() {
+                if s != 0.0 {
+                    sparse.push(i, j, s);
+                }
+            }
+        }
+        // Greedy equivalence needs a positive threshold (at 0.0 the dense
+        // form admits explicit zero-score pairs the sparse form never
+        // sees); hungarian materializes the identical dense matrix either
+        // way, so it agrees at 0.0 too.
+        for min in [0.1, 0.5] {
+            assert_eq!(
+                greedy_match_matrix(&sparse, min),
+                greedy_match(&dense_rows, min),
+                "greedy at min {min}"
+            );
+        }
+        for min in [0.0, 0.1, 0.5] {
+            assert_eq!(
+                hungarian_match_matrix(&sparse, min),
+                hungarian_match(&dense_rows, min),
+                "hungarian at min {min}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent() {
+        let m = ScoreMatrix::from_rows(&[vec![0.9, 0.8], vec![0.8, 0.1]]);
+        let mut scratch = MatchScratch::default();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            greedy_match_into(&m, 0.05, &mut scratch, &mut out);
+            assert_eq!(out, greedy_match_matrix(&m, 0.05));
+        }
+    }
+
+    #[test]
+    fn to_dense_layout() {
+        let mut m = ScoreMatrix::new();
+        m.reset(2, 3);
+        m.push(0, 2, 0.5);
+        m.push(1, 0, 0.25);
+        assert_eq!(m.to_dense(), vec![0.0, 0.0, 0.5, 0.25, 0.0, 0.0]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -303,6 +469,40 @@ mod tests {
                     prop_assert!(seen_r.insert(m.right));
                 }
             }
+        }
+
+        #[test]
+        fn prop_sparse_skip_zeros_equals_dense(
+            rows in 1usize..6, cols in 1usize..6, seed in 0u64..10_000,
+            min_pct in 1usize..60,
+        ) {
+            // Random matrices with plenty of exact zeros: the sparse
+            // (zeros omitted) and dense paths must agree for both
+            // matchers at any positive threshold (the tracker's regime —
+            // at exactly 0, dense greedy admits zero-score pairs).
+            let mut state = seed.wrapping_add(99);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((state >> 33) % 1000) as f64 / 1000.0;
+                if v < 0.4 { 0.0 } else { v }
+            };
+            let scores: Vec<Vec<f64>> =
+                (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect();
+            let mut sparse = ScoreMatrix::new();
+            sparse.reset(rows, cols);
+            for (i, row) in scores.iter().enumerate() {
+                for (j, &s) in row.iter().enumerate() {
+                    if s != 0.0 {
+                        sparse.push(i, j, s);
+                    }
+                }
+            }
+            let min = min_pct as f64 / 100.0;
+            prop_assert_eq!(greedy_match_matrix(&sparse, min), greedy_match(&scores, min));
+            prop_assert_eq!(
+                hungarian_match_matrix(&sparse, min),
+                hungarian_match(&scores, min)
+            );
         }
     }
 }

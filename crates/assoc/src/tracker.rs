@@ -4,9 +4,20 @@
 //! overlap between nearby frames — the paper's *"associated observations
 //! within a track by box overlap across time"*. A configurable frame gap
 //! lets tracks survive single-frame dropouts (real detectors flicker).
+//!
+//! The per-frame assignment is spatially pruned: active tracks only score
+//! against items whose AABBs overlap their last box (a necessary
+//! condition for any IOU above a positive threshold), collected through a
+//! [`BevGrid`] built over the frame's items. Scores land in a sparse
+//! [`ScoreMatrix`] — unscored pairs have IOU exactly 0, below any
+//! positive threshold — so the matching is identical to the retained
+//! dense reference, [`build_tracks_brute`], which the equivalence
+//! proptests check against. All per-frame buffers live in a
+//! [`TrackerScratch`] reused across frames and scenes.
 
-use crate::matching::{greedy_match, hungarian_match};
-use loa_geom::{iou_bev, Box3};
+use crate::bundler::PreparedBox;
+use crate::matching::{greedy_match_into, hungarian_match_matrix, MatchScratch, ScoreMatrix};
+use loa_geom::{iou_bev, iou_bev_prepared, BevGrid, Box3};
 use serde::{Deserialize, Serialize};
 
 /// Track-builder parameters.
@@ -27,6 +38,10 @@ impl Default for TrackerConfig {
         TrackerConfig { iou_threshold: 0.05, max_gap: 2, use_hungarian: false }
     }
 }
+
+/// Below this many track×item pairs the per-frame assignment prunes by a
+/// flat AABB sweep; from here up the [`BevGrid`] pays for its build.
+const GRID_MIN_PAIRS: usize = 4096;
 
 /// A built track: `(frame_index, item_index)` entries in frame order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,29 +64,182 @@ impl TrackPath {
     }
 }
 
+/// An active (extendable) track during the sweep.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    track_idx: usize,
+    last_frame: usize,
+    last_box: Box3,
+    /// Cached footprint geometry of `last_box` — each frame scores this
+    /// track against several items, so corners/area are computed once per
+    /// extension instead of once per pair.
+    prepared: PreparedBox,
+}
+
+/// Reusable per-frame buffers for [`build_tracks_with`]: the active-track
+/// list, the item grid, the sparse score matrix, and the matcher scratch.
+/// One of these lives in each `AssemblyEngine`; a warm tracker allocates
+/// only for the output paths themselves.
+#[derive(Debug, Clone, Default)]
+pub struct TrackerScratch {
+    active: Vec<Active>,
+    item_prepared: Vec<PreparedBox>,
+    item_aabbs: Vec<loa_geom::Aabb2>,
+    grid: BevGrid,
+    candidates: Vec<u32>,
+    matrix: ScoreMatrix,
+    matcher: MatchScratch,
+    matches: Vec<crate::matching::Match>,
+    item_taken: Vec<bool>,
+}
+
 /// Build tracks over per-frame item boxes.
 ///
 /// Every item lands in exactly one track; items that never match anything
 /// become singleton tracks. Tracks are returned sorted by first entry.
 pub fn build_tracks(frames: &[Vec<Box3>], cfg: &TrackerConfig) -> Vec<TrackPath> {
-    struct Active {
-        track_idx: usize,
-        last_frame: usize,
-        last_box: Box3,
+    build_tracks_with(frames, cfg, &mut TrackerScratch::default())
+}
+
+/// [`build_tracks`] with caller-owned scratch, reused across calls.
+pub fn build_tracks_with(
+    frames: &[Vec<Box3>],
+    cfg: &TrackerConfig,
+    scratch: &mut TrackerScratch,
+) -> Vec<TrackPath> {
+    let mut tracks: Vec<TrackPath> = Vec::new();
+    scratch.active.clear();
+    // Spatial pruning is exact only for positive thresholds: at ≤ 0 the
+    // matcher admits zero-IOU (non-overlapping) pairs the grid would
+    // hide, so fall back to scoring every pair.
+    let prune = cfg.iou_threshold > 0.0;
+
+    for (f, items) in frames.iter().enumerate() {
+        // Expire tracks that are too old to extend.
+        scratch.active.retain(|a| f - a.last_frame <= cfg.max_gap as usize);
+
+        if items.is_empty() {
+            continue;
+        }
+
+        // Sparse score matrix: active tracks × current items, scoring
+        // only spatially-plausible pairs. Small assignments prune by a
+        // flat AABB sweep; large ones (fleet-scale frames) go through
+        // the grid. Both push the identical AABB-intersecting entry set,
+        // in the identical (track, item-ascending) order.
+        scratch.matrix.reset(scratch.active.len(), items.len());
+        if prune && scratch.active.len() * items.len() < GRID_MIN_PAIRS {
+            scratch.item_prepared.clear();
+            scratch.item_prepared.extend(items.iter().map(PreparedBox::new));
+            for (a, active) in scratch.active.iter().enumerate() {
+                let pa = &active.prepared;
+                for (j, pj) in scratch.item_prepared.iter().enumerate() {
+                    if pa.aabb.intersects(&pj.aabb) {
+                        scratch.matrix.push(
+                            a,
+                            j,
+                            iou_bev_prepared(&pa.corners, pa.area, &pj.corners, pj.area),
+                        );
+                    }
+                }
+            }
+        } else if prune {
+            scratch.item_prepared.clear();
+            scratch.item_prepared.extend(items.iter().map(PreparedBox::new));
+            scratch.item_aabbs.clear();
+            scratch
+                .item_aabbs
+                .extend(scratch.item_prepared.iter().map(|p| p.aabb));
+            scratch.grid.build(&scratch.item_aabbs);
+            for (a, active) in scratch.active.iter().enumerate() {
+                let pa = active.prepared;
+                scratch.grid.query_into(&pa.aabb, &mut scratch.candidates);
+                for &cand in &scratch.candidates {
+                    let j = cand as usize;
+                    let pj = &scratch.item_prepared[j];
+                    scratch.matrix.push(
+                        a,
+                        j,
+                        iou_bev_prepared(&pa.corners, pa.area, &pj.corners, pj.area),
+                    );
+                }
+            }
+        } else {
+            for (a, active) in scratch.active.iter().enumerate() {
+                for (j, item) in items.iter().enumerate() {
+                    scratch.matrix.push(a, j, iou_bev(&active.last_box, item));
+                }
+            }
+        }
+        if cfg.use_hungarian {
+            scratch.matches = hungarian_match_matrix(&scratch.matrix, cfg.iou_threshold);
+        } else {
+            greedy_match_into(
+                &scratch.matrix,
+                cfg.iou_threshold,
+                &mut scratch.matcher,
+                &mut scratch.matches,
+            );
+        }
+
+        // On the pruned paths every item's geometry was already prepared
+        // above; reuse it rather than recomputing per match.
+        let item_prepared = |scratch: &TrackerScratch, i: usize| {
+            if prune {
+                scratch.item_prepared[i]
+            } else {
+                PreparedBox::new(&items[i])
+            }
+        };
+        scratch.item_taken.clear();
+        scratch.item_taken.resize(items.len(), false);
+        for i in 0..scratch.matches.len() {
+            let m = scratch.matches[i];
+            let prepared = item_prepared(scratch, m.right);
+            let a = &mut scratch.active[m.left];
+            tracks[a.track_idx].entries.push((f, m.right));
+            a.last_frame = f;
+            a.last_box = items[m.right];
+            a.prepared = prepared;
+            scratch.item_taken[m.right] = true;
+        }
+        for i in 0..items.len() {
+            if !scratch.item_taken[i] {
+                let track_idx = tracks.len();
+                let mut entries = Vec::with_capacity(8);
+                entries.push((f, i));
+                tracks.push(TrackPath { entries });
+                let prepared = item_prepared(scratch, i);
+                scratch.active.push(Active {
+                    track_idx,
+                    last_frame: f,
+                    last_box: items[i],
+                    prepared,
+                });
+            }
+        }
     }
+
+    tracks.sort_by_key(|t| t.entries.first().copied());
+    tracks
+}
+
+/// The retained dense all-pairs reference (the seed implementation) — the
+/// oracle the equivalence proptests hold [`build_tracks`] to.
+pub fn build_tracks_brute(frames: &[Vec<Box3>], cfg: &TrackerConfig) -> Vec<TrackPath> {
+    use crate::matching::{greedy_match, hungarian_match};
 
     let mut tracks: Vec<TrackPath> = Vec::new();
     let mut active: Vec<Active> = Vec::new();
 
     for (f, items) in frames.iter().enumerate() {
-        // Expire tracks that are too old to extend.
         active.retain(|a| f - a.last_frame <= cfg.max_gap as usize);
 
         if items.is_empty() {
             continue;
         }
 
-        // Score matrix: active tracks × current items.
+        // Dense score matrix: active tracks × current items.
         let scores: Vec<Vec<f64>> = active
             .iter()
             .map(|a| items.iter().map(|b| iou_bev(&a.last_box, b)).collect())
@@ -94,7 +262,12 @@ pub fn build_tracks(frames: &[Vec<Box3>], cfg: &TrackerConfig) -> Vec<TrackPath>
             if !taken {
                 let track_idx = tracks.len();
                 tracks.push(TrackPath { entries: vec![(f, i)] });
-                active.push(Active { track_idx, last_frame: f, last_box: items[i] });
+                active.push(Active {
+                    track_idx,
+                    last_frame: f,
+                    last_box: items[i],
+                    prepared: PreparedBox::new(&items[i]),
+                });
             }
         }
     }
@@ -205,6 +378,62 @@ mod tests {
         assert!(build_tracks(&empty_frames, &TrackerConfig::default()).is_empty());
     }
 
+    #[test]
+    fn scratch_reuse_across_scenes_is_clean() {
+        let mut scratch = TrackerScratch::default();
+        let cfg = TrackerConfig::default();
+        let a = moving_car_frames(6);
+        let b: Vec<Vec<Box3>> = (0..4).map(|i| vec![car(50.0 + i as f64, 20.0)]).collect();
+        let first = build_tracks_with(&a, &cfg, &mut scratch);
+        let second = build_tracks_with(&b, &cfg, &mut scratch);
+        assert_eq!(first, build_tracks(&a, &cfg), "first scene through warm scratch");
+        assert_eq!(
+            second,
+            build_tracks(&b, &cfg),
+            "second scene must not see stale state"
+        );
+    }
+
+    #[test]
+    fn zero_threshold_falls_back_to_dense_and_matches_brute() {
+        // iou_threshold = 0 admits zero-score pairs; the pruned path would
+        // diverge, so the tracker must take the dense path and agree with
+        // the brute reference exactly.
+        let frames: Vec<Vec<Box3>> = (0..5)
+            .map(|i| vec![car(10.0 + 30.0 * i as f64, 0.0), car(-40.0, 25.0)])
+            .collect();
+        let cfg = TrackerConfig { iou_threshold: 0.0, ..Default::default() };
+        assert_eq!(build_tracks(&frames, &cfg), build_tracks_brute(&frames, &cfg));
+    }
+
+    /// Deterministic pseudo-random per-frame box clouds with objects that
+    /// drift, vanish, and reappear.
+    fn random_frames(seed: u64, n_frames: usize, n_objects: usize, spread: f64) -> Vec<Vec<Box3>> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(3);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 10_000) as f64 / 10_000.0
+        };
+        let bases: Vec<(f64, f64, f64)> = (0..n_objects)
+            .map(|_| ((next() - 0.5) * spread, (next() - 0.5) * spread, next() * 2.0))
+            .collect();
+        (0..n_frames)
+            .map(|f| {
+                bases
+                    .iter()
+                    .enumerate()
+                    .filter(|(o, _)| {
+                        // Deterministic dropouts.
+                        (f * 7 + o * 13) % 11 != 0
+                    })
+                    .map(|(_, &(x, y, v))| car(x + v * f as f64, y))
+                    .collect()
+            })
+            .collect()
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -243,6 +472,31 @@ mod tests {
             let tracks = build_tracks(&frames, &TrackerConfig::default());
             prop_assert_eq!(tracks.len(), 1);
             prop_assert_eq!(tracks[0].len(), 10);
+        }
+
+        #[test]
+        fn prop_indexed_equals_brute_force(
+            seed in 0u64..5_000,
+            n_frames in 0usize..10,
+            n_objects in 0usize..10,
+            spread in 3.0f64..60.0,
+            threshold in 0.01f64..0.6,
+            max_gap in 1u32..4,
+            hungarian_sel in 0u8..2,
+        ) {
+            let hungarian = hungarian_sel == 1;
+            // Dense clouds (heavy overlap, crossings, dropouts) and sparse
+            // ones: the spatially-pruned tracker must match the retained
+            // dense reference exactly, under both matchers.
+            let frames = random_frames(seed, n_frames, n_objects, spread);
+            let cfg = TrackerConfig {
+                iou_threshold: threshold,
+                max_gap,
+                use_hungarian: hungarian,
+            };
+            let fast = build_tracks(&frames, &cfg);
+            let brute = build_tracks_brute(&frames, &cfg);
+            prop_assert_eq!(fast, brute);
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Disjoint-set union (path halving + union by size).
 
 /// A disjoint-set forest over `0..n`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     parent: Vec<usize>,
     size: Vec<usize>,
@@ -14,6 +14,15 @@ impl UnionFind {
 
     pub fn len(&self) -> usize {
         self.parent.len()
+    }
+
+    /// Reinitialize to `n` singleton sets, reusing the allocations — the
+    /// per-frame reset the bundling scratch relies on.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.size.clear();
+        self.size.resize(n, 1);
     }
 
     pub fn is_empty(&self) -> bool {

@@ -16,10 +16,11 @@ use std::collections::BTreeSet;
 /// missing object.
 pub fn consistency_assertion(scene: &Scene, min_frames: usize) -> Vec<TrackIdx> {
     scene
-        .tracks
+        .tracks()
         .iter()
         .filter(|t| {
-            t.bundles.len() >= min_frames && !scene.track_has_source(t, ObservationSource::Human)
+            scene.track_bundles(t.idx).len() >= min_frames
+                && !scene.track_has_source(t, ObservationSource::Human)
         })
         .map(|t| t.idx)
         .collect()
@@ -29,8 +30,8 @@ pub fn consistency_assertion(scene: &Scene, min_frames: usize) -> Vec<TrackIdx> 
 /// nearby timestamps"* — flags observations in single-frame tracks.
 pub fn appear_assertion(scene: &Scene) -> BTreeSet<ObsIdx> {
     let mut flagged = BTreeSet::new();
-    for track in &scene.tracks {
-        if track.bundles.len() == 1 {
+    for track in scene.tracks() {
+        if scene.track_bundles(track.idx).len() == 1 {
             flagged.extend(scene.track_obs(track));
         }
     }
@@ -46,38 +47,36 @@ pub fn appear_assertion(scene: &Scene) -> BTreeSet<ObsIdx> {
 /// the error, not the object.
 pub fn flicker_assertion(scene: &Scene, max_span_frames: u32) -> BTreeSet<ObsIdx> {
     let mut flagged = BTreeSet::new();
-    for track in &scene.tracks {
-        if track.bundles.len() < 2 {
+    for track in scene.tracks() {
+        let bundles = scene.track_bundles(track.idx);
+        if bundles.len() < 2 {
             continue; // appear's territory
         }
         // Split the track's bundles into contiguous segments.
         let mut segments: Vec<Vec<usize>> = vec![vec![0]];
-        for i in 1..track.bundles.len() {
-            let prev = scene.bundle(track.bundles[i - 1]).frame.0;
-            let cur = scene.bundle(track.bundles[i]).frame.0;
+        for i in 1..bundles.len() {
+            let prev = scene.bundle(bundles[i - 1]).frame.0;
+            let cur = scene.bundle(bundles[i]).frame.0;
             if cur - prev > 1 {
                 segments.push(Vec::new());
             }
             segments.last_mut().expect("non-empty").push(i);
         }
         let whole_track_rapid = {
-            let first = scene.bundle(track.bundles[0]).frame.0;
-            let last = scene.bundle(*track.bundles.last().expect("non-empty")).frame.0;
+            let first = scene.bundle(bundles[0]).frame.0;
+            let last = scene.bundle(*bundles.last().expect("non-empty")).frame.0;
             last - first < max_span_frames
         };
         for segment in &segments {
-            let seg_first = scene.bundle(track.bundles[segment[0]]).frame.0;
-            let seg_last = scene
-                .bundle(track.bundles[*segment.last().expect("non-empty")])
-                .frame
-                .0;
+            let seg_first = scene.bundle(bundles[segment[0]]).frame.0;
+            let seg_last = scene.bundle(bundles[*segment.last().expect("non-empty")]).frame.0;
             let seg_rapid = seg_last - seg_first < max_span_frames;
             // A short segment flickers when it is not the whole story of
             // the track (there are other segments) or the track itself is
             // rapid.
             if whole_track_rapid || (seg_rapid && segments.len() >= 2) {
                 for &i in segment {
-                    flagged.extend(scene.bundle(track.bundles[i]).obs.iter().copied());
+                    flagged.extend(scene.bundle_obs(bundles[i]).iter().copied());
                 }
             }
         }
@@ -92,7 +91,7 @@ pub fn multibox_assertion(scene: &Scene, min_iou: f64) -> BTreeSet<ObsIdx> {
     let mut flagged = BTreeSet::new();
     // Group model observations per frame.
     let mut per_frame: std::collections::BTreeMap<u32, Vec<ObsIdx>> = Default::default();
-    for obs in &scene.observations {
+    for obs in scene.observations() {
         if obs.source == ObservationSource::Model {
             per_frame.entry(obs.frame.0).or_default().push(obs.idx);
         }
@@ -168,7 +167,7 @@ mod tests {
         for t in &flagged {
             let track = scene.track(*t);
             assert!(!scene.track_has_source(track, ObservationSource::Human));
-            assert!(track.bundles.len() >= 3);
+            assert!(scene.track_bundles(track.idx).len() >= 3);
         }
     }
 
@@ -177,14 +176,14 @@ mod tests {
         let data = scene_data(2);
         let scene = Scene::assemble(&data, &AssemblyConfig::model_only());
         let flagged = appear_assertion(&scene);
-        for track in &scene.tracks {
+        for track in scene.tracks() {
             let obs = scene.track_obs(track);
             let any_flagged = obs.iter().any(|o| flagged.contains(o));
             assert_eq!(
                 any_flagged,
-                track.bundles.len() == 1,
+                scene.track_bundles(track.idx).len() == 1,
                 "track len {}",
-                track.bundles.len()
+                scene.track_bundles(track.idx).len()
             );
         }
     }
@@ -194,11 +193,12 @@ mod tests {
         let data = scene_data(3);
         let scene = Scene::assemble(&data, &AssemblyConfig::model_only());
         let flagged = flicker_assertion(&scene, 2);
-        for track in &scene.tracks {
-            if track.bundles.len() < 2 {
+        for track in scene.tracks() {
+            let bundles = scene.track_bundles(track.idx);
+            if bundles.len() < 2 {
                 continue;
             }
-            let frames: Vec<u32> = track.bundles.iter().map(|&b| scene.bundle(b).frame.0).collect();
+            let frames: Vec<u32> = bundles.iter().map(|&b| scene.bundle(b).frame.0).collect();
             let span = frames.last().unwrap() - frames.first().unwrap() + 1;
             let has_gap = frames.windows(2).any(|w| w[1] - w[0] > 1);
             let obs = scene.track_obs(track);
@@ -261,7 +261,7 @@ mod tests {
         }
         let scene = Scene::assemble(&data, &AssemblyConfig::model_only());
         // One track with a bridged gap, two long segments: no flicker.
-        let long_track = scene.tracks.iter().find(|t| t.bundles.len() == 9);
+        let long_track = scene.tracks().iter().find(|t| scene.track_bundles(t.idx).len() == 9);
         assert!(long_track.is_some(), "tracker should bridge the dropout");
         let flagged = flicker_assertion(&scene, 2);
         let obs = scene.track_obs(long_track.unwrap());

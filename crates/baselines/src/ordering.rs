@@ -46,7 +46,7 @@ mod tests {
     #[test]
     fn random_order_is_seeded_permutation() {
         let (_, scene) = scene();
-        let flagged: Vec<TrackIdx> = scene.tracks.iter().map(|t| t.idx).collect();
+        let flagged: Vec<TrackIdx> = scene.tracks().iter().map(|t| t.idx).collect();
         let a = order_randomly(&flagged, 1);
         let b = order_randomly(&flagged, 1);
         let c = order_randomly(&flagged, 2);
@@ -62,7 +62,7 @@ mod tests {
     #[test]
     fn confidence_order_is_descending() {
         let (_, scene) = scene();
-        let flagged: Vec<TrackIdx> = scene.tracks.iter().map(|t| t.idx).collect();
+        let flagged: Vec<TrackIdx> = scene.tracks().iter().map(|t| t.idx).collect();
         let ordered = order_by_confidence(&scene, &flagged);
         assert_eq!(ordered.len(), flagged.len());
         let confs: Vec<f64> = ordered

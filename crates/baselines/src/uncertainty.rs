@@ -12,7 +12,7 @@ use loa_data::ObservationSource;
 /// Rank model observations by `|confidence − threshold|` ascending.
 pub fn uncertainty_sample_obs(scene: &Scene, threshold: f64) -> Vec<ObsIdx> {
     let mut obs: Vec<(f64, ObsIdx)> = scene
-        .observations
+        .observations()
         .iter()
         .filter(|o| o.source == ObservationSource::Model)
         .filter_map(|o| o.confidence.map(|c| ((c - threshold).abs(), o.idx)))
@@ -26,7 +26,7 @@ pub fn uncertainty_sample_obs(scene: &Scene, threshold: f64) -> Vec<ObsIdx> {
 /// model confidence are omitted.
 pub fn uncertainty_sample_tracks(scene: &Scene, threshold: f64) -> Vec<TrackIdx> {
     let mut tracks: Vec<(f64, TrackIdx)> = Vec::new();
-    for track in &scene.tracks {
+    for track in scene.tracks() {
         let margins: Vec<f64> = scene
             .track_obs(track)
             .into_iter()
@@ -97,7 +97,7 @@ mod tests {
         let scene = scene();
         let ranked = uncertainty_sample_tracks(&scene, 0.5);
         let with_conf = scene
-            .tracks
+            .tracks()
             .iter()
             .filter(|t| scene.track_mean_confidence(t).is_some())
             .count();
@@ -106,13 +106,7 @@ mod tests {
 
     #[test]
     fn empty_scene() {
-        let scene = Scene {
-            observations: vec![],
-            bundles: vec![],
-            tracks: vec![],
-            frame_dt: 0.2,
-            n_frames: 0,
-        };
+        let scene = Scene::from_parts(vec![], vec![], vec![], 0.2, 0);
         assert!(uncertainty_sample_obs(&scene, 0.5).is_empty());
         assert!(uncertainty_sample_tracks(&scene, 0.5).is_empty());
     }

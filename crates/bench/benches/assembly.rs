@@ -1,0 +1,167 @@
+//! Assembly-path microbenchmarks: the three stages `AssemblyEngine` runs
+//! per scene, plus the end-to-end path with and without engine reuse.
+//!
+//! * `assembly/bundle_frames_*` — stage 1, same-frame bundling of every
+//!   frame's human+model boxes through the spatially-indexed
+//!   `bundle_frame_into` (vs the retained `bundle_frame_brute` reference).
+//! * `assembly/build_tracks_*` — stage 2, cross-frame tracking over the
+//!   bundle representative boxes through the sparse, grid-pruned
+//!   `build_tracks_with` (vs `build_tracks_brute`).
+//! * `assembly/materialize_scene` — stage 3, folding membership lists
+//!   into the CSR `Scene` arenas (`Scene::from_parts`).
+//! * `assembly/assemble_full` / `assemble_engine_reused` — the whole
+//!   path: a fresh engine per scene vs one warm engine across scenes (the
+//!   `ScenePipeline` worker regime).
+//!
+//! Set `FIXY_BENCH_SMOKE=1` to run on a miniature scene with 3 samples —
+//! the CI smoke mode that keeps the bench compiling *and* executing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixy_core::prelude::*;
+use fixy_core::{BundleIdx, ObsIdx};
+use loa_assoc::{
+    build_tracks_brute, build_tracks_with, bundle_frame_brute, bundle_frame_into, BundleScratch,
+    FrameBundles, IouBundler, TrackerScratch,
+};
+use loa_data::{generate_scene, DatasetProfile, FrameId, SceneData};
+use loa_geom::Box3;
+use std::hint::black_box;
+
+fn smoke() -> bool {
+    std::env::var_os("FIXY_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn setup() -> SceneData {
+    let mut cfg = DatasetProfile::InternalLike.scene_config();
+    if smoke() {
+        cfg.world.duration = 3.0;
+        cfg.lidar.beam_count = 240;
+    }
+    generate_scene(&cfg, "assembly-eval", 4242)
+}
+
+/// The per-frame `[human, model]` box lists the bundling stage consumes.
+fn frame_sources(data: &SceneData) -> Vec<(Vec<Box3>, Vec<Box3>)> {
+    data.frames
+        .iter()
+        .map(|f| {
+            (
+                f.human_labels.iter().map(|l| l.bbox).collect(),
+                f.detections.iter().map(|d| d.bbox).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Stage-2 input: per-frame bundle representative boxes, via a real
+/// assembly so the boxes match what the engine tracks over.
+fn rep_boxes(data: &SceneData) -> Vec<Vec<Box3>> {
+    let scene = Scene::assemble(data, &AssemblyConfig::default());
+    let mut reps: Vec<Vec<Box3>> = vec![Vec::new(); data.frames.len()];
+    for b in scene.bundles() {
+        reps[b.frame.0 as usize].push(scene.bundle_representative(b).bbox);
+    }
+    reps
+}
+
+/// Stage-3 input: the membership lists `from_parts` folds into CSR.
+type SceneParts = (Vec<Observation>, Vec<(FrameId, Vec<ObsIdx>)>, Vec<Vec<BundleIdx>>);
+
+fn scene_parts(data: &SceneData) -> SceneParts {
+    let scene = Scene::assemble(data, &AssemblyConfig::default());
+    let observations = scene.observations().to_vec();
+    let bundles = scene
+        .bundles()
+        .iter()
+        .map(|b| (b.frame, scene.bundle_obs(b.idx).to_vec()))
+        .collect();
+    let tracks = scene
+        .tracks()
+        .iter()
+        .map(|t| scene.track_bundles(t.idx).to_vec())
+        .collect();
+    (observations, bundles, tracks)
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let data = setup();
+    let sources = frame_sources(&data);
+    let reps = rep_boxes(&data);
+    let (observations, bundle_parts, track_parts) = scene_parts(&data);
+
+    let mut group = c.benchmark_group("assembly");
+    group.sample_size(if smoke() { 3 } else { 20 });
+
+    // ---- Stage 1: bundling ------------------------------------------------
+    let bundler = IouBundler::default();
+    group.bench_function("bundle_frames_indexed", |b| {
+        let mut scratch = BundleScratch::default();
+        let mut out = FrameBundles::default();
+        b.iter(|| {
+            let mut n = 0usize;
+            for (human, model) in &sources {
+                bundle_frame_into(
+                    &[black_box(human), black_box(model)],
+                    &bundler,
+                    &mut scratch,
+                    &mut out,
+                );
+                n += out.len();
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("bundle_frames_brute", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (human, model) in &sources {
+                n += bundle_frame_brute(&[black_box(human), black_box(model)], &bundler).len();
+            }
+            black_box(n)
+        })
+    });
+
+    // ---- Stage 2: tracking ------------------------------------------------
+    let tracker_cfg = AssemblyConfig::default().tracker;
+    group.bench_function("build_tracks_indexed", |b| {
+        let mut scratch = TrackerScratch::default();
+        b.iter(|| black_box(build_tracks_with(black_box(&reps), &tracker_cfg, &mut scratch).len()))
+    });
+    group.bench_function("build_tracks_brute", |b| {
+        b.iter(|| black_box(build_tracks_brute(black_box(&reps), &tracker_cfg).len()))
+    });
+
+    // ---- Stage 3: materialization ------------------------------------------
+    group.bench_function("materialize_scene", |b| {
+        b.iter(|| {
+            let scene = Scene::from_parts(
+                black_box(observations.clone()),
+                black_box(bundle_parts.clone()),
+                black_box(track_parts.clone()),
+                data.frame_dt,
+                data.frames.len(),
+            );
+            black_box(scene.n_tracks())
+        })
+    });
+
+    // ---- End to end ---------------------------------------------------------
+    group.bench_function("assemble_full", |b| {
+        b.iter(|| {
+            let scene = Scene::assemble(black_box(&data), &AssemblyConfig::default());
+            black_box(scene.n_tracks())
+        })
+    });
+    group.bench_function("assemble_engine_reused", |b| {
+        let mut engine = AssemblyEngine::new(AssemblyConfig::default());
+        b.iter(|| {
+            let scene = engine.assemble(black_box(&data));
+            black_box(scene.n_tracks())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

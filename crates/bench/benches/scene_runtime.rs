@@ -35,7 +35,7 @@ fn bench_scene_runtime(c: &mut Criterion) {
     group.bench_function("assemble_only", |b| {
         b.iter(|| {
             let scene = Scene::assemble(black_box(&data), &AssemblyConfig::default());
-            black_box(scene.tracks.len())
+            black_box(scene.n_tracks())
         })
     });
 

@@ -89,7 +89,7 @@ fn bench_component_scoring(c: &mut Criterion) {
         b.iter(|| {
             let compiled = engine.compiled();
             let mut scored = 0usize;
-            for track in &scene.tracks {
+            for track in scene.tracks() {
                 let obs = scene.track_obs(track);
                 let vars = compiled.vars_of(&obs);
                 let s = compiled

@@ -63,7 +63,7 @@ fn main() {
                 let scene = Scene::assemble(data, &AssemblyConfig::default());
                 let engine = ScoreEngine::new(&scene, set, &library).ok()?;
                 let mut cands: Vec<(f64, fixy_core::TrackIdx)> = scene
-                    .tracks
+                    .tracks()
                     .iter()
                     .filter_map(|t| engine.score_track(t.idx).score.map(|s| (s, t.idx)))
                     .collect();
@@ -103,7 +103,7 @@ fn main() {
                 let excluded = AdHocAssertions::default().flag_all(&scene);
                 let engine = ScoreEngine::new(&scene, &set, lib).ok()?;
                 let mut cands: Vec<(f64, fixy_core::TrackIdx)> = scene
-                    .tracks
+                    .tracks()
                     .iter()
                     .filter(|t| {
                         let obs = scene.track_obs(t);
@@ -161,7 +161,7 @@ fn main() {
                 let excluded = AdHocAssertions::default().flag_all(&scene);
                 let engine = ScoreEngine::new(&scene, &set, lib).ok()?;
                 let mut cands: Vec<(f64, fixy_core::TrackIdx)> = scene
-                    .tracks
+                    .tracks()
                     .iter()
                     .filter(|t| {
                         let obs = scene.track_obs(t);

@@ -61,16 +61,16 @@ fn main() {
 
     // Pick a track with ~5 bundles, like the figure.
     let track = scene
-        .tracks
+        .tracks()
         .iter()
-        .filter(|t| t.bundles.len() >= 3)
-        .min_by_key(|t| (t.bundles.len() as i64 - 5).abs())
+        .filter(|t| scene.track_bundles(t.idx).len() >= 3)
+        .min_by_key(|t| (scene.track_bundles(t.idx).len() as i64 - 5).abs())
         .expect("a track exists");
     let obs = scene.track_obs(track);
     println!(
         "track {:?}: {} bundles, {} observations",
         track.idx,
-        track.bundles.len(),
+        scene.track_bundles(track.idx).len(),
         obs.len()
     );
     let vars = compiled.vars_of(&obs);

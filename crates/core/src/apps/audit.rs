@@ -103,9 +103,9 @@ impl BundleAuditFinder {
         let engine = ScoreEngine::new(scene, &features, library)?;
 
         // bundle → track lookup for the candidate record.
-        let mut bundle_track: Vec<Option<TrackIdx>> = vec![None; scene.bundles.len()];
-        for track in &scene.tracks {
-            for &b in &track.bundles {
+        let mut bundle_track: Vec<Option<TrackIdx>> = vec![None; scene.n_bundles()];
+        for track in scene.tracks() {
+            for &b in scene.track_bundles(track.idx) {
                 bundle_track[b.0] = Some(track.idx);
             }
         }
@@ -113,7 +113,7 @@ impl BundleAuditFinder {
         let mut candidates = Vec::new();
         for (idx, score) in engine.score_all_bundles() {
             let bundle = scene.bundle(idx);
-            if bundle.obs.len() < 2 {
+            if scene.bundle_obs(idx).len() < 2 {
                 continue;
             }
             if let (Some(s), Some(track)) = (score.score, bundle_track[idx.0]) {
@@ -202,7 +202,7 @@ mod tests {
                 let pos = ranked.iter().position(|c| {
                     let bundle = scene.bundle(c.bundle);
                     bundle.frame == ib.frame
-                        && bundle.obs.iter().any(|&o| {
+                        && scene.bundle_obs(bundle.idx).iter().any(|&o| {
                             let obs = scene.obs(o);
                             obs.source == ObservationSource::Human
                                 && data.frames[obs.frame.0 as usize].human_labels[obs.source_index]
@@ -241,7 +241,7 @@ mod tests {
             assert!(w[0].score >= w[1].score);
         }
         for c in &ranked {
-            assert!(scene.bundle(c.bundle).obs.len() >= 2);
+            assert!(scene.bundle_obs(c.bundle).len() >= 2);
         }
     }
 

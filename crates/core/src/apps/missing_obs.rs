@@ -50,9 +50,9 @@ impl MissingObsFinder {
         let engine = ScoreEngine::new(scene, &features, library)?;
 
         // bundle → track lookup.
-        let mut bundle_track: Vec<Option<TrackIdx>> = vec![None; scene.bundles.len()];
-        for track in &scene.tracks {
-            for &b in &track.bundles {
+        let mut bundle_track: Vec<Option<TrackIdx>> = vec![None; scene.n_bundles()];
+        for track in scene.tracks() {
+            for &b in scene.track_bundles(track.idx) {
                 bundle_track[b.0] = Some(track.idx);
             }
         }
@@ -136,7 +136,7 @@ mod tests {
         let hit_rank = ranked.iter().position(|c| {
             let bundle = scene.bundle(c.bundle);
             bundle.frame == missing.frame
-                && bundle.obs.iter().any(|&o| {
+                && scene.bundle_obs(bundle.idx).iter().any(|&o| {
                     let obs = scene.obs(o);
                     obs.source == ObservationSource::Model && {
                         let det = &scenario.scene.frames[obs.frame.0 as usize].detections

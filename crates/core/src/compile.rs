@@ -56,32 +56,34 @@ pub fn for_each_target(
 ) {
     match kind {
         FeatureKind::Observation => {
-            for obs in &scene.observations {
+            for obs in scene.observations() {
                 visit(FeatureTarget::Obs(obs), std::slice::from_ref(&obs.idx));
             }
         }
         FeatureKind::Bundle => {
-            for bundle in &scene.bundles {
-                visit(FeatureTarget::Bundle(bundle), &bundle.obs);
+            for bundle in scene.bundles() {
+                visit(FeatureTarget::Bundle(bundle), scene.bundle_obs(bundle.idx));
             }
         }
         FeatureKind::Transition => {
             let mut edges: Vec<ObsIdx> = Vec::new();
-            for track in &scene.tracks {
-                for pair in track.bundles.windows(2) {
+            for track in scene.tracks() {
+                for pair in scene.track_bundles(track.idx).windows(2) {
                     let a = scene.bundle(pair[0]);
                     let b = scene.bundle(pair[1]);
                     let dt = (b.frame.0.saturating_sub(a.frame.0)) as f64 * scene.frame_dt;
                     edges.clear();
-                    edges.extend_from_slice(&a.obs);
-                    edges.extend_from_slice(&b.obs);
+                    edges.extend_from_slice(scene.bundle_obs(a.idx));
+                    edges.extend_from_slice(scene.bundle_obs(b.idx));
                     visit(FeatureTarget::Transition(a, b, dt), &edges);
                 }
             }
         }
         FeatureKind::Track => {
-            for track in &scene.tracks {
-                let edges = scene.track_obs(track);
+            let mut edges: Vec<ObsIdx> = Vec::new();
+            for track in scene.tracks() {
+                edges.clear();
+                edges.extend(scene.track_obs_iter(track.idx));
                 visit(FeatureTarget::Track(track), &edges);
             }
         }
@@ -114,11 +116,9 @@ pub fn compile_scene(
         }
     }
 
-    let mut graph: SceneGraph = FactorGraph::with_capacity(
-        scene.observations.len(),
-        scene.observations.len() * features.len(),
-    );
-    let vars: Vec<VarId> = scene.observations.iter().map(|o| graph.add_var(o.idx)).collect();
+    let mut graph: SceneGraph =
+        FactorGraph::with_capacity(scene.n_observations(), scene.n_observations() * features.len());
+    let vars: Vec<VarId> = scene.observations().iter().map(|o| graph.add_var(o.idx)).collect();
 
     let mut scope: Vec<VarId> = Vec::new();
     for (feature_index, bf) in features.features.iter().enumerate() {
@@ -187,15 +187,18 @@ mod tests {
         let compiled = compile_scene(&scene, &FeatureSet::paper_default(), &library).unwrap();
 
         // One variable per observation.
-        assert_eq!(compiled.graph.var_count(), scene.observations.len());
+        assert_eq!(compiled.graph.var_count(), scene.n_observations());
 
         // Factor counts: volume + distance per obs, model_only per bundle,
         // velocity per transition, count per track.
-        let n_obs = scene.observations.len();
-        let n_bundles = scene.bundles.len();
-        let n_transitions: usize =
-            scene.tracks.iter().map(|t| t.bundles.len().saturating_sub(1)).sum();
-        let n_tracks = scene.tracks.len();
+        let n_obs = scene.n_observations();
+        let n_bundles = scene.n_bundles();
+        let n_transitions: usize = scene
+            .tracks()
+            .iter()
+            .map(|t| scene.track_bundles(t.idx).len().saturating_sub(1))
+            .sum();
+        let n_tracks = scene.n_tracks();
         assert_eq!(
             compiled.graph.factor_count(),
             2 * n_obs + n_bundles + n_transitions + n_tracks
@@ -221,11 +224,14 @@ mod tests {
             if compiled.graph.factor(f).feature_index == 2 {
                 let scope_len = compiled.graph.scope(f).len();
                 // Factor scope equals some bundle's member count.
-                assert!(scene.bundles.iter().any(|b| b.obs.len() == scope_len));
+                assert!(scene
+                    .bundles()
+                    .iter()
+                    .any(|b| scene.bundle_obs(b.idx).len() == scope_len));
                 checked += 1;
             }
         }
-        assert_eq!(checked, scene.bundles.len());
+        assert_eq!(checked, scene.n_bundles());
     }
 
     #[test]
@@ -243,7 +249,10 @@ mod tests {
         let scene = Scene::assemble(&data, &AssemblyConfig::default());
         for_each_target(&scene, FeatureKind::Transition, |target, edges| {
             if let FeatureTarget::Transition(a, b, dt) = target {
-                assert_eq!(edges.len(), a.obs.len() + b.obs.len());
+                assert_eq!(
+                    edges.len(),
+                    scene.bundle_obs(a.idx).len() + scene.bundle_obs(b.idx).len()
+                );
                 assert!(dt > 0.0);
                 assert!(a.frame.0 < b.frame.0);
             } else {
@@ -254,13 +263,7 @@ mod tests {
 
     #[test]
     fn empty_scene_compiles_to_empty_graph() {
-        let scene = Scene {
-            observations: vec![],
-            bundles: vec![],
-            tracks: vec![],
-            frame_dt: 0.2,
-            n_frames: 0,
-        };
+        let scene = Scene::from_parts(vec![], vec![], vec![], 0.2, 0);
         let library = FeatureLibrary::default();
         // Learned features with no library entries fail — but an empty
         // feature set compiles fine.

@@ -27,8 +27,8 @@ impl Feature for ModelOnlyFeature {
     fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
         match target {
             FeatureTarget::Bundle(bundle) => {
-                let model_only = bundle
-                    .obs
+                let model_only = scene
+                    .bundle_obs(bundle.idx)
                     .iter()
                     .all(|&o| scene.obs(o).source == ObservationSource::Model);
                 Some(FeatureValue::scalar(if model_only { 1.0 } else { 0.0 }))
@@ -64,12 +64,13 @@ impl Feature for ClassAgreementFeature {
     fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
         match target {
             FeatureTarget::Bundle(bundle) => {
-                if bundle.obs.len() < 2 {
+                let members = scene.bundle_obs(bundle.idx);
+                if members.len() < 2 {
                     // Agreement is vacuous for singletons; skip the factor.
                     return None;
                 }
-                let first = scene.obs(bundle.obs[0]).class;
-                let agree = bundle.obs.iter().all(|&o| scene.obs(o).class == first);
+                let first = scene.obs(members[0]).class;
+                let agree = members.iter().all(|&o| scene.obs(o).class == first);
                 Some(FeatureValue::scalar(if agree { 1.0 } else { 0.0 }))
             }
             _ => None,
@@ -102,10 +103,11 @@ impl Feature for VolumeRatioFeature {
     fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
         match target {
             FeatureTarget::Bundle(bundle) => {
-                if bundle.obs.len() < 2 {
+                let members = scene.bundle_obs(bundle.idx);
+                if members.len() < 2 {
                     return None;
                 }
-                let volumes = bundle.obs.iter().map(|&o| scene.obs(o).bbox.volume());
+                let volumes = members.iter().map(|&o| scene.obs(o).bbox.volume());
                 let (mut min, mut max) = (f64::INFINITY, 0.0f64);
                 for v in volumes {
                     min = min.min(v);
@@ -146,18 +148,14 @@ mod tests {
     }
 
     fn scene_with(observations: Vec<Observation>, bundle_members: Vec<usize>) -> (Scene, Bundle) {
-        let bundle = Bundle {
-            idx: BundleIdx(0),
-            frame: FrameId(0),
-            obs: bundle_members.into_iter().map(ObsIdx).collect(),
-        };
-        let scene = Scene {
+        let scene = Scene::from_parts(
             observations,
-            bundles: vec![bundle.clone()],
-            tracks: vec![],
-            frame_dt: 0.2,
-            n_frames: 1,
-        };
+            vec![(FrameId(0), bundle_members.into_iter().map(ObsIdx).collect())],
+            vec![],
+            0.2,
+            1,
+        );
+        let bundle = *scene.bundle(BundleIdx(0));
         (scene, bundle)
     }
 

@@ -131,13 +131,7 @@ mod tests {
     }
 
     fn empty_scene() -> Scene {
-        Scene {
-            observations: vec![],
-            bundles: vec![],
-            tracks: vec![],
-            frame_dt: 0.2,
-            n_frames: 0,
-        }
+        Scene::from_parts(vec![], vec![], vec![], 0.2, 0)
     }
 
     #[test]
@@ -152,7 +146,7 @@ mod tests {
     #[test]
     fn volume_ignores_other_targets() {
         let scene = empty_scene();
-        let t = crate::scene::Track { idx: crate::scene::TrackIdx(0), bundles: vec![] };
+        let t = crate::scene::Track { idx: crate::scene::TrackIdx(0) };
         assert!(VolumeFeature.value(&scene, &FeatureTarget::Track(&t)).is_none());
     }
 

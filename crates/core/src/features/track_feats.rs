@@ -35,7 +35,7 @@ impl Feature for CountFeature {
     fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
         match target {
             FeatureTarget::Track(track) => {
-                let n = scene.track_obs(track).len();
+                let n = scene.track_obs_iter(track.idx).count();
                 Some(FeatureValue::scalar(if n > self.min_obs { 1.0 } else { 0.0 }))
             }
             _ => None,
@@ -69,7 +69,7 @@ impl Feature for TrackLengthFeature {
     fn value(&self, scene: &Scene, target: &FeatureTarget<'_>) -> Option<FeatureValue> {
         match target {
             FeatureTarget::Track(track) => {
-                Some(FeatureValue::scalar(scene.track_obs(track).len() as f64))
+                Some(FeatureValue::scalar(scene.track_obs_iter(track.idx).count() as f64))
             }
             _ => None,
         }
@@ -83,7 +83,7 @@ impl Feature for TrackLengthFeature {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scene::{Bundle, BundleIdx, ObsIdx, Observation, Track, TrackIdx};
+    use crate::scene::{BundleIdx, ObsIdx, Observation, Track, TrackIdx};
     use loa_data::{FrameId, ObjectClass, ObservationSource};
     use loa_geom::{Box3, Vec2};
 
@@ -100,24 +100,16 @@ mod tests {
                 world_center: Vec2::new(10.0 + i as f64, 0.0),
             })
             .collect();
-        let bundles: Vec<Bundle> = (0..n_obs)
-            .map(|i| Bundle {
-                idx: BundleIdx(i),
-                frame: FrameId(i as u32),
-                obs: vec![ObsIdx(i)],
-            })
-            .collect();
-        let track = Track {
-            idx: TrackIdx(0),
-            bundles: (0..n_obs).map(BundleIdx).collect(),
-        };
-        let scene = Scene {
+        let bundles: Vec<(FrameId, Vec<ObsIdx>)> =
+            (0..n_obs).map(|i| (FrameId(i as u32), vec![ObsIdx(i)])).collect();
+        let scene = Scene::from_parts(
             observations,
             bundles,
-            tracks: vec![track.clone()],
-            frame_dt: 0.2,
-            n_frames: n_obs,
-        };
+            vec![(0..n_obs).map(BundleIdx).collect()],
+            0.2,
+            n_obs,
+        );
+        let track = *scene.track(TrackIdx(0));
         (scene, track)
     }
 
@@ -157,7 +149,7 @@ mod tests {
     #[test]
     fn track_features_ignore_other_targets() {
         let (scene, _) = scene_with_track(3);
-        let bundle = scene.bundles[0].clone();
+        let bundle = *scene.bundle(BundleIdx(0));
         assert!(CountFeature::default()
             .value(&scene, &FeatureTarget::Bundle(&bundle))
             .is_none());

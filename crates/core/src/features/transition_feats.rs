@@ -152,15 +152,15 @@ mod tests {
     fn two_bundle_scene(dx: f64, dyaw: f64) -> (Scene, Bundle, Bundle) {
         let o0 = obs_at(0, 0, 0.0, 0.0);
         let o1 = obs_at(1, 1, dx, dyaw);
-        let b0 = Bundle { idx: BundleIdx(0), frame: FrameId(0), obs: vec![ObsIdx(0)] };
-        let b1 = Bundle { idx: BundleIdx(1), frame: FrameId(1), obs: vec![ObsIdx(1)] };
-        let scene = Scene {
-            observations: vec![o0, o1],
-            bundles: vec![b0.clone(), b1.clone()],
-            tracks: vec![],
-            frame_dt: 0.2,
-            n_frames: 2,
-        };
+        let scene = Scene::from_parts(
+            vec![o0, o1],
+            vec![(FrameId(0), vec![ObsIdx(0)]), (FrameId(1), vec![ObsIdx(1)])],
+            vec![],
+            0.2,
+            2,
+        );
+        let b0 = *scene.bundle(BundleIdx(0));
+        let b1 = *scene.bundle(BundleIdx(1));
         (scene, b0, b1)
     }
 

@@ -18,6 +18,7 @@ use loa_data::{ObjectClass, SceneData};
 use loa_stats::{Bernoulli, BinnedKde, Density1d, Histogram, Kde1d, KdeNd};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Minimum per-class sample count before a class gets its own
 /// distribution (smaller classes fall back to the pooled fit).
@@ -86,13 +87,28 @@ impl FittedDistribution {
     pub fn prepare(&self) -> Option<PreparedDistribution> {
         match self {
             FittedDistribution::ClassConditional { per_class, pooled } => {
-                Some(PreparedDistribution::ClassConditional {
-                    per_class: per_class
-                        .iter()
-                        .map(|(&class, kde)| (class, BinnedKde::prepare(kde)))
-                        .collect(),
-                    pooled: BinnedKde::prepare(pooled),
-                })
+                // Classes with identical fits (and classes matching the
+                // pooled fallback — common when one class dominates the
+                // training data) prepare to bit-identical grids; share
+                // one allocation instead of duplicating ~8 KiB per grid.
+                let pooled = Arc::new(BinnedKde::prepare(pooled));
+                let mut uniques: Vec<Arc<BinnedKde>> = vec![Arc::clone(&pooled)];
+                let shared = per_class
+                    .iter()
+                    .map(|(&class, kde)| {
+                        let grid = BinnedKde::prepare(kde);
+                        let arc = match uniques.iter().find(|u| ***u == grid) {
+                            Some(existing) => Arc::clone(existing),
+                            None => {
+                                let fresh = Arc::new(grid);
+                                uniques.push(Arc::clone(&fresh));
+                                fresh
+                            }
+                        };
+                        (class, arc)
+                    })
+                    .collect();
+                Some(PreparedDistribution::ClassConditional { per_class: shared, pooled })
             }
             FittedDistribution::Kde(kde) => {
                 Some(PreparedDistribution::Kde(BinnedKde::prepare(kde)))
@@ -125,8 +141,10 @@ impl FittedDistribution {
 /// whether the library was just fit or loaded.
 #[derive(Debug, Clone)]
 pub enum PreparedDistribution {
-    /// Per-class grids with a pooled fallback.
-    ClassConditional { per_class: BTreeMap<ObjectClass, BinnedKde>, pooled: BinnedKde },
+    /// Per-class grids with a pooled fallback. Grids are `Arc`-shared:
+    /// classes whose prepared grids are bit-identical (to each other or
+    /// to the pooled fallback) point at one allocation.
+    ClassConditional { per_class: BTreeMap<ObjectClass, Arc<BinnedKde>>, pooled: Arc<BinnedKde> },
     /// A single pooled grid.
     Kde(BinnedKde),
     /// Histograms are already constant-time lookups.
@@ -476,8 +494,11 @@ mod tests {
         let library = Learner::new().fit(&features, &scenes).unwrap();
         let scene = Scene::assemble(&scenes[0], &AssemblyConfig::default());
         let compiled = crate::compile::compile_scene(&scene, &features, &library).unwrap();
-        let n_transitions: usize =
-            scene.tracks.iter().map(|t| t.bundles.len().saturating_sub(1)).sum();
+        let n_transitions: usize = scene
+            .tracks()
+            .iter()
+            .map(|t| scene.track_bundles(t.idx).len().saturating_sub(1))
+            .sum();
         assert_eq!(compiled.graph.factor_count(), n_transitions);
         for f in compiled.graph.factor_ids() {
             let p = compiled.graph.factor(f).probability;
@@ -510,6 +531,68 @@ mod tests {
                     "{name} at {v:?}: exact {exact} vs prepared {fast}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn identical_per_class_grids_share_one_allocation() {
+        // A single-class training set: the class's KDE fits the exact
+        // same samples as the pooled fallback, so both prepare to
+        // bit-identical grids — the library must hold ONE allocation.
+        let xs: Vec<FeatureValue> = (0..32)
+            .map(|i| FeatureValue::class_conditional(10.0 + (i % 7) as f64 * 0.5, ObjectClass::Car))
+            .collect();
+        let dist = fit_values("volume", ProbabilityModel::LearnedKde, &xs).unwrap();
+        let prepared = dist.prepare().unwrap();
+        let PreparedDistribution::ClassConditional { per_class, pooled } = &prepared else {
+            panic!("expected class-conditional, got {prepared:?}");
+        };
+        let car = per_class.get(&ObjectClass::Car).expect("car grid");
+        assert!(
+            Arc::ptr_eq(car, pooled),
+            "bit-identical class grid must share the pooled allocation"
+        );
+
+        // Two classes with identical samples share one grid between them
+        // even when the pooled fit (twice the samples) differs.
+        let mut values = Vec::new();
+        for class in [ObjectClass::Car, ObjectClass::Truck] {
+            for i in 0..32 {
+                values.push(FeatureValue::class_conditional(5.0 + (i % 5) as f64, class));
+            }
+        }
+        let dist = fit_values("volume", ProbabilityModel::LearnedKde, &values).unwrap();
+        let prepared = dist.prepare().unwrap();
+        let PreparedDistribution::ClassConditional { per_class, pooled } = &prepared else {
+            panic!("expected class-conditional");
+        };
+        let car = per_class.get(&ObjectClass::Car).unwrap();
+        let truck = per_class.get(&ObjectClass::Truck).unwrap();
+        assert!(Arc::ptr_eq(car, truck), "identical class fits must share");
+        assert!(!Arc::ptr_eq(car, pooled), "pooled (2n samples) is a different grid");
+        // The memory win is real: 3 logical grids, 2 allocations.
+        let mut unique: Vec<*const BinnedKde> = per_class
+            .values()
+            .chain(std::iter::once(pooled))
+            .map(Arc::as_ptr)
+            .collect();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 2, "expected exactly two distinct grid allocations");
+    }
+
+    #[test]
+    fn shared_grids_score_identically_to_unshared() {
+        // Sharing is an allocation optimization only: probabilities through
+        // the shared grids equal the fitted path within grid tolerance.
+        let scenes = training_scenes(2);
+        let library = Learner::new().fit(&FeatureSet::paper_default(), &scenes).unwrap();
+        for i in 0..128 {
+            let x = ((i * 97) % 2000) as f64 / 50.0;
+            let v = FeatureValue::class_conditional(x, ObjectClass::Car);
+            let exact = library.get("volume").unwrap().probability(&v);
+            let fast = library.get_prepared("volume").unwrap().probability(&v);
+            assert!((exact - fast).abs() <= 0.03 + 1e-9, "{exact} vs {fast} at {x}");
         }
     }
 

@@ -67,7 +67,9 @@ pub use learner::{FeatureLibrary, FittedDistribution, Learner, PreparedDistribut
 pub use pipeline::{
     merge_ranked, sort_ranked_scenes, BatchCandidate, RankedScene, ScenePipeline, SceneRanker,
 };
-pub use scene::{AssemblyConfig, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx};
+pub use scene::{
+    AssemblyConfig, AssemblyEngine, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx,
+};
 
 /// Convenience prelude for downstream users.
 pub mod prelude {
@@ -82,7 +84,8 @@ pub mod prelude {
     };
     pub use crate::rank::{BundleCandidate, TrackCandidate};
     pub use crate::scene::{
-        AssemblyConfig, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx,
+        AssemblyConfig, AssemblyEngine, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track,
+        TrackIdx,
     };
     pub use crate::score::{ScoreEngine, ScoreOptions};
 }

@@ -26,10 +26,28 @@ use crate::apps::{
 use crate::error::FixyError;
 use crate::learner::FeatureLibrary;
 use crate::rank::{BundleCandidate, TrackCandidate};
-use crate::scene::{AssemblyConfig, Scene};
+use crate::scene::{AssemblyConfig, AssemblyEngine, Scene};
 use loa_data::SceneData;
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+
+thread_local! {
+    /// One [`AssemblyEngine`] per worker thread: scenes fanned out to the
+    /// same thread reuse its grids, union-find, and score-matrix buffers
+    /// instead of reallocating per scene. Assembly is pure, so per-thread
+    /// reuse cannot perturb the byte-determinism contract.
+    static ASSEMBLY_ENGINE: RefCell<AssemblyEngine> = RefCell::new(AssemblyEngine::default());
+}
+
+/// Assemble through the calling thread's reusable engine.
+fn assemble_reusing_engine(data: &SceneData, cfg: &AssemblyConfig) -> Scene {
+    ASSEMBLY_ENGINE.with(|engine| {
+        let mut engine = engine.borrow_mut();
+        engine.set_config(*cfg);
+        engine.assemble(data)
+    })
+}
 
 /// An application that can rank one assembled scene — the unit of work
 /// the pipeline fans out. Implemented by the track-level finders (with
@@ -188,7 +206,7 @@ impl<R: SceneRanker> ScenePipeline<R> {
         data: SceneData,
         library: &FeatureLibrary,
     ) -> Result<RankedScene<R::Candidate>, FixyError> {
-        let scene = Scene::assemble(&data, &self.assembly);
+        let scene = assemble_reusing_engine(&data, &self.assembly);
         let candidates = self.ranker.rank_scene(&data, &scene, library)?;
         Ok(RankedScene { index, id: data.id.clone(), data, scene, candidates })
     }

@@ -7,9 +7,23 @@
 //! [`Scene::assemble`] builds this structure from a raw
 //! [`SceneData`](loa_data::SceneData) exactly the way the paper's worked
 //! example does: same-frame observations associate by box overlap into
-//! bundles; bundles associate across adjacent frames into tracks.
+//! bundles; bundles associate across adjacent frames into tracks. The
+//! work happens in an [`AssemblyEngine`] — a reusable, staged assembler
+//! whose per-frame buffers (spatial grids, union-find, score matrices)
+//! survive across scenes, which is what the batch pipeline fans out.
+//!
+//! Membership is stored flat: one `ObsIdx` arena (bundle → member
+//! observations) and one `BundleIdx` arena (track → member bundles), each
+//! addressed by an offsets array (CSR layout). [`Bundle`] and [`Track`]
+//! are small per-element metas; the member lists are reached through the
+//! slice accessors [`Scene::bundle_obs`] / [`Scene::track_bundles`]. The
+//! serialized form is unchanged (the v1 nested-vector wire format) via a
+//! manual serde impl.
 
-use loa_assoc::{build_tracks, bundle_frame, IouBundler, TrackerConfig};
+use loa_assoc::{
+    build_tracks_with, bundle_frame_into, BundleScratch, FrameBundles, IouBundler, TrackerConfig,
+    TrackerScratch, DEFAULT_BUNDLE_IOU,
+};
 use loa_data::{FrameId, ObjectClass, ObservationSource, SceneData};
 use loa_geom::{Box3, Vec2};
 use serde::{Deserialize, Serialize};
@@ -27,7 +41,7 @@ pub struct BundleIdx(pub usize);
 pub struct TrackIdx(pub usize);
 
 /// One observation `ω`: a 3D box from one source in one frame.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Observation {
     pub idx: ObsIdx,
     pub frame: FrameId,
@@ -48,25 +62,31 @@ pub struct Observation {
 }
 
 /// One observation bundle `β`: same-object observations in one frame.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The member list lives in the scene's flat arena —
+/// [`Scene::bundle_obs`] returns it as a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bundle {
     pub idx: BundleIdx,
     pub frame: FrameId,
-    /// Members, in deterministic order.
-    pub obs: Vec<ObsIdx>,
 }
 
 /// One track `τ`: bundles of the same object across time, frame-ordered.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The member list lives in the scene's flat arena —
+/// [`Scene::track_bundles`] returns it as a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Track {
     pub idx: TrackIdx,
-    pub bundles: Vec<BundleIdx>,
 }
 
 /// How raw observations are associated into bundles and tracks.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct AssemblyConfig {
-    /// Same-frame bundling IOU threshold (the paper's `compute_iou > 0.5`).
+    /// Same-frame bundling IOU threshold — the paper's
+    /// `compute_iou > 0.5`, shared with
+    /// [`IouBundler::default`](loa_assoc::IouBundler) through
+    /// [`loa_assoc::DEFAULT_BUNDLE_IOU`].
     pub bundle_iou: f64,
     /// Cross-frame tracking config.
     pub tracker: TrackerConfig,
@@ -79,7 +99,7 @@ pub struct AssemblyConfig {
 impl Default for AssemblyConfig {
     fn default() -> Self {
         AssemblyConfig {
-            bundle_iou: 0.5,
+            bundle_iou: DEFAULT_BUNDLE_IOU,
             tracker: TrackerConfig::default(),
             use_human: true,
             use_model: true,
@@ -102,117 +122,198 @@ impl AssemblyConfig {
 }
 
 /// A fully assembled scene.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Bundle and track membership is CSR: `bundle_obs_offsets` indexes the
+/// flat `bundle_obs_arena` (and likewise for tracks), so iterating every
+/// member of every element walks two contiguous arrays instead of chasing
+/// per-element heap vectors.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scene {
-    pub observations: Vec<Observation>,
-    pub bundles: Vec<Bundle>,
-    pub tracks: Vec<Track>,
+    observations: Vec<Observation>,
+    bundles: Vec<Bundle>,
+    /// `bundle_obs_arena[bundle_obs_offsets[b] .. bundle_obs_offsets[b+1]]`
+    /// are bundle `b`'s members, in deterministic order.
+    bundle_obs_offsets: Vec<u32>,
+    bundle_obs_arena: Vec<ObsIdx>,
+    tracks: Vec<Track>,
+    /// `track_bundle_arena[track_bundle_offsets[t] .. track_bundle_offsets[t+1]]`
+    /// are track `t`'s bundles, frame-ordered.
+    track_bundle_offsets: Vec<u32>,
+    track_bundle_arena: Vec<BundleIdx>,
     /// Seconds between frames (for velocity features).
     pub frame_dt: f64,
     pub n_frames: usize,
 }
 
-impl Scene {
-    /// Assemble bundles and tracks from a raw scene.
-    pub fn assemble(data: &SceneData, cfg: &AssemblyConfig) -> Scene {
-        let n_frames = data.frames.len();
-        let mut observations: Vec<Observation> = Vec::new();
-
-        // Per-frame: gather observations, bundle them, remember bundle
-        // representative boxes for tracking.
-        let mut per_frame_bundles: Vec<Vec<Vec<ObsIdx>>> = Vec::with_capacity(n_frames);
-        let bundler = IouBundler { threshold: cfg.bundle_iou };
-
-        for frame in &data.frames {
-            let mut human_boxes: Vec<Box3> = Vec::new();
-            let mut human_idx: Vec<ObsIdx> = Vec::new();
-            let mut model_boxes: Vec<Box3> = Vec::new();
-            let mut model_idx: Vec<ObsIdx> = Vec::new();
-
-            if cfg.use_human {
-                for (i, label) in frame.human_labels.iter().enumerate() {
-                    let idx = ObsIdx(observations.len());
-                    observations.push(Observation {
-                        idx,
-                        frame: frame.index,
-                        source: ObservationSource::Human,
-                        source_index: i,
-                        bbox: label.bbox,
-                        class: label.class,
-                        confidence: None,
-                        world_center: frame.ego_pose.transform(label.bbox.center.bev()),
-                    });
-                    human_boxes.push(label.bbox);
-                    human_idx.push(idx);
-                }
-            }
-            if cfg.use_model {
-                for (i, det) in frame.detections.iter().enumerate() {
-                    let idx = ObsIdx(observations.len());
-                    observations.push(Observation {
-                        idx,
-                        frame: frame.index,
-                        source: ObservationSource::Model,
-                        source_index: i,
-                        bbox: det.bbox,
-                        class: det.class,
-                        confidence: Some(det.confidence),
-                        world_center: frame.ego_pose.transform(det.bbox.center.bev()),
-                    });
-                    model_boxes.push(det.bbox);
-                    model_idx.push(idx);
-                }
-            }
-
-            let groups = bundle_frame(&[&human_boxes, &model_boxes], &bundler);
-            let frame_bundles: Vec<Vec<ObsIdx>> = groups
-                .into_iter()
-                .map(|g| {
-                    g.members
-                        .into_iter()
-                        .map(|(source, i)| if source == 0 { human_idx[i] } else { model_idx[i] })
-                        .collect()
-                })
-                .collect();
-            per_frame_bundles.push(frame_bundles);
-        }
-
-        // Materialize bundles and representative boxes per frame.
-        let mut bundles: Vec<Bundle> = Vec::new();
-        let mut rep_boxes: Vec<Vec<Box3>> = Vec::with_capacity(n_frames);
-        let mut bundle_lookup: Vec<Vec<BundleIdx>> = Vec::with_capacity(n_frames);
-        for (f, frame_bundles) in per_frame_bundles.into_iter().enumerate() {
-            let mut reps = Vec::with_capacity(frame_bundles.len());
-            let mut ids = Vec::with_capacity(frame_bundles.len());
-            for members in frame_bundles {
-                let idx = BundleIdx(bundles.len());
-                let rep = representative_box(&observations, &members);
-                bundles.push(Bundle { idx, frame: FrameId(f as u32), obs: members });
-                reps.push(rep);
-                ids.push(idx);
-            }
-            rep_boxes.push(reps);
-            bundle_lookup.push(ids);
-        }
-
-        // Track: link bundles across frames by representative-box overlap.
-        let paths = build_tracks(&rep_boxes, &cfg.tracker);
-        let tracks: Vec<Track> = paths
-            .into_iter()
-            .enumerate()
-            .map(|(i, path)| Track {
-                idx: TrackIdx(i),
-                bundles: path.entries.into_iter().map(|(f, b)| bundle_lookup[f][b]).collect(),
+/// The v1 wire format (nested membership vectors) — the manual serde
+/// below reads and writes exactly the shape the derived impl on the old
+/// `Vec<Bundle>` / `Vec<Track>` layout produced, so persisted scenes keep
+/// loading.
+impl Serialize for Scene {
+    fn to_json_value(&self) -> serde::Value {
+        use serde::Value;
+        let bundles: Vec<Value> = self
+            .bundles
+            .iter()
+            .map(|b| {
+                Value::Object(vec![
+                    ("idx".to_string(), b.idx.to_json_value()),
+                    ("frame".to_string(), b.frame.to_json_value()),
+                    ("obs".to_string(), self.bundle_obs(b.idx).to_vec().to_json_value()),
+                ])
             })
             .collect();
+        let tracks: Vec<Value> = self
+            .tracks
+            .iter()
+            .map(|t| {
+                Value::Object(vec![
+                    ("idx".to_string(), t.idx.to_json_value()),
+                    (
+                        "bundles".to_string(),
+                        self.track_bundles(t.idx).to_vec().to_json_value(),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("observations".to_string(), self.observations.to_json_value()),
+            ("bundles".to_string(), Value::Array(bundles)),
+            ("tracks".to_string(), Value::Array(tracks)),
+            ("frame_dt".to_string(), self.frame_dt.to_json_value()),
+            ("n_frames".to_string(), self.n_frames.to_json_value()),
+        ])
+    }
+}
 
+impl Deserialize for Scene {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError::custom(format!("Scene: missing field `{name}`")))
+        };
+        let observations: Vec<Observation> = Deserialize::from_json_value(field("observations")?)?;
+        let bundle_values = field("bundles")?
+            .as_array()
+            .ok_or_else(|| serde::DeError::custom("Scene: `bundles` must be an array"))?;
+        let mut bundles: Vec<(FrameId, Vec<ObsIdx>)> = Vec::with_capacity(bundle_values.len());
+        for (pos, bv) in bundle_values.iter().enumerate() {
+            let get = |name: &str| {
+                bv.get(name).ok_or_else(|| {
+                    serde::DeError::custom(format!("Scene bundle: missing field `{name}`"))
+                })
+            };
+            let idx: BundleIdx = Deserialize::from_json_value(get("idx")?)?;
+            if idx.0 != pos {
+                return Err(serde::DeError::custom(format!(
+                    "Scene bundle {pos}: stored idx {} out of order",
+                    idx.0
+                )));
+            }
+            let frame: FrameId = Deserialize::from_json_value(get("frame")?)?;
+            let obs: Vec<ObsIdx> = Deserialize::from_json_value(get("obs")?)?;
+            bundles.push((frame, obs));
+        }
+        let track_values = field("tracks")?
+            .as_array()
+            .ok_or_else(|| serde::DeError::custom("Scene: `tracks` must be an array"))?;
+        let mut tracks: Vec<Vec<BundleIdx>> = Vec::with_capacity(track_values.len());
+        for (pos, tv) in track_values.iter().enumerate() {
+            let get = |name: &str| {
+                tv.get(name).ok_or_else(|| {
+                    serde::DeError::custom(format!("Scene track: missing field `{name}`"))
+                })
+            };
+            let idx: TrackIdx = Deserialize::from_json_value(get("idx")?)?;
+            if idx.0 != pos {
+                return Err(serde::DeError::custom(format!(
+                    "Scene track {pos}: stored idx {} out of order",
+                    idx.0
+                )));
+            }
+            tracks.push(Deserialize::from_json_value(get("bundles")?)?);
+        }
+        let frame_dt: f64 = Deserialize::from_json_value(field("frame_dt")?)?;
+        let n_frames: usize = Deserialize::from_json_value(field("n_frames")?)?;
+        Ok(Scene::from_parts(observations, bundles, tracks, frame_dt, n_frames))
+    }
+}
+
+impl Scene {
+    /// Assemble bundles and tracks from a raw scene.
+    ///
+    /// One-shot convenience over [`AssemblyEngine`]; batch callers hold an
+    /// engine and reuse its buffers across scenes.
+    pub fn assemble(data: &SceneData, cfg: &AssemblyConfig) -> Scene {
+        AssemblyEngine::new(*cfg).assemble(data)
+    }
+
+    /// Build a scene from explicit membership lists (the v1 shape): one
+    /// `(frame, members)` entry per bundle, one bundle list per track.
+    /// Indices (`Bundle::idx`, `Track::idx`) are assigned by position.
+    pub fn from_parts(
+        observations: Vec<Observation>,
+        bundles: Vec<(FrameId, Vec<ObsIdx>)>,
+        tracks: Vec<Vec<BundleIdx>>,
+        frame_dt: f64,
+        n_frames: usize,
+    ) -> Scene {
+        let mut bundle_metas = Vec::with_capacity(bundles.len());
+        let mut bundle_obs_offsets = Vec::with_capacity(bundles.len() + 1);
+        bundle_obs_offsets.push(0u32);
+        let mut bundle_obs_arena = Vec::new();
+        for (i, (frame, obs)) in bundles.into_iter().enumerate() {
+            bundle_metas.push(Bundle { idx: BundleIdx(i), frame });
+            bundle_obs_arena.extend(obs);
+            bundle_obs_offsets.push(bundle_obs_arena.len() as u32);
+        }
+        let mut track_metas = Vec::with_capacity(tracks.len());
+        let mut track_bundle_offsets = Vec::with_capacity(tracks.len() + 1);
+        track_bundle_offsets.push(0u32);
+        let mut track_bundle_arena = Vec::new();
+        for (i, members) in tracks.into_iter().enumerate() {
+            track_metas.push(Track { idx: TrackIdx(i) });
+            track_bundle_arena.extend(members);
+            track_bundle_offsets.push(track_bundle_arena.len() as u32);
+        }
         Scene {
             observations,
-            bundles,
-            tracks,
-            frame_dt: data.frame_dt,
+            bundles: bundle_metas,
+            bundle_obs_offsets,
+            bundle_obs_arena,
+            tracks: track_metas,
+            track_bundle_offsets,
+            track_bundle_arena,
+            frame_dt,
             n_frames,
         }
+    }
+
+    /// All observations, index-ordered.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// All bundle metas, index-ordered.
+    pub fn bundles(&self) -> &[Bundle] {
+        &self.bundles
+    }
+
+    /// All track metas, index-ordered.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    pub fn n_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    pub fn n_bundles(&self) -> usize {
+        self.bundles.len()
+    }
+
+    pub fn n_tracks(&self) -> usize {
+        self.tracks.len()
     }
 
     /// The observation an index refers to.
@@ -228,49 +329,55 @@ impl Scene {
         &self.tracks[idx.0]
     }
 
+    /// The member observations of a bundle, in deterministic order.
+    #[inline]
+    pub fn bundle_obs(&self, idx: BundleIdx) -> &[ObsIdx] {
+        let lo = self.bundle_obs_offsets[idx.0] as usize;
+        let hi = self.bundle_obs_offsets[idx.0 + 1] as usize;
+        &self.bundle_obs_arena[lo..hi]
+    }
+
+    /// The member bundles of a track, frame-ordered.
+    #[inline]
+    pub fn track_bundles(&self, idx: TrackIdx) -> &[BundleIdx] {
+        let lo = self.track_bundle_offsets[idx.0] as usize;
+        let hi = self.track_bundle_offsets[idx.0 + 1] as usize;
+        &self.track_bundle_arena[lo..hi]
+    }
+
+    /// All observation indices of a track, bundle-ordered (lazy).
+    pub fn track_obs_iter(&self, idx: TrackIdx) -> impl Iterator<Item = ObsIdx> + '_ {
+        self.track_bundles(idx)
+            .iter()
+            .flat_map(|&b| self.bundle_obs(b).iter().copied())
+    }
+
     /// All observation indices of a track, bundle-ordered.
     pub fn track_obs(&self, track: &Track) -> Vec<ObsIdx> {
-        track
-            .bundles
-            .iter()
-            .flat_map(|&b| self.bundle(b).obs.iter().copied())
-            .collect()
+        self.track_obs_iter(track.idx).collect()
     }
 
     /// Whether a track contains an observation from `source`.
     pub fn track_has_source(&self, track: &Track, source: ObservationSource) -> bool {
-        track
-            .bundles
-            .iter()
-            .any(|&b| self.bundle_has_source(self.bundle(b), source))
+        self.track_obs_iter(track.idx).any(|o| self.obs(o).source == source)
     }
 
     /// Whether a bundle contains an observation from `source`.
     pub fn bundle_has_source(&self, bundle: &Bundle, source: ObservationSource) -> bool {
-        bundle.obs.iter().any(|&o| self.obs(o).source == source)
+        self.bundle_obs(bundle.idx)
+            .iter()
+            .any(|&o| self.obs(o).source == source)
     }
 
     /// The representative observation of a bundle: the human label when
     /// present, else the highest-confidence model prediction.
     pub fn bundle_representative(&self, bundle: &Bundle) -> &Observation {
         let mut best: Option<&Observation> = None;
-        for &o in &bundle.obs {
+        for &o in self.bundle_obs(bundle.idx) {
             let obs = self.obs(o);
             best = Some(match best {
                 None => obs,
-                Some(cur) => {
-                    let cur_human = cur.source == ObservationSource::Human;
-                    let obs_human = obs.source == ObservationSource::Human;
-                    if obs_human && !cur_human {
-                        obs
-                    } else if cur_human && !obs_human {
-                        cur
-                    } else if obs.confidence.unwrap_or(0.0) > cur.confidence.unwrap_or(0.0) {
-                        obs
-                    } else {
-                        cur
-                    }
-                }
+                Some(cur) => preferred_representative(cur, obs),
             });
         }
         best.expect("bundles are non-empty by construction")
@@ -279,7 +386,7 @@ impl Scene {
     /// Majority class of a track (ties broken by class index).
     pub fn track_class(&self, track: &Track) -> ObjectClass {
         let mut counts = [0usize; ObjectClass::ALL.len()];
-        for obs_idx in self.track_obs(track) {
+        for obs_idx in self.track_obs_iter(track.idx) {
             counts[self.obs(obs_idx).class.index()] += 1;
         }
         let best = counts
@@ -294,16 +401,31 @@ impl Scene {
     /// Mean model confidence over a track's observations (None if the
     /// track has no model observations).
     pub fn track_mean_confidence(&self, track: &Track) -> Option<f64> {
-        let confs: Vec<f64> = self
-            .track_obs(track)
-            .into_iter()
-            .filter_map(|o| self.obs(o).confidence)
-            .collect();
-        if confs.is_empty() {
-            None
-        } else {
-            Some(confs.iter().sum::<f64>() / confs.len() as f64)
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for o in self.track_obs_iter(track.idx) {
+            if let Some(c) = self.obs(o).confidence {
+                sum += c;
+                n += 1;
+            }
         }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+/// Pick the better bundle representative of two observations: human beats
+/// model, then higher confidence wins.
+fn preferred_representative<'a>(cur: &'a Observation, obs: &'a Observation) -> &'a Observation {
+    let cur_human = cur.source == ObservationSource::Human;
+    let obs_human = obs.source == ObservationSource::Human;
+    if obs_human && !cur_human {
+        obs
+    } else if cur_human && !obs_human {
+        cur
+    } else if obs.confidence.unwrap_or(0.0) > cur.confidence.unwrap_or(0.0) {
+        obs
+    } else {
+        cur
     }
 }
 
@@ -315,22 +437,187 @@ fn representative_box(observations: &[Observation], members: &[ObsIdx]) -> Box3 
         let obs = &observations[m.0];
         best = Some(match best {
             None => obs,
-            Some(cur) => {
-                let cur_human = cur.source == ObservationSource::Human;
-                let obs_human = obs.source == ObservationSource::Human;
-                if obs_human && !cur_human {
-                    obs
-                } else if cur_human && !obs_human {
-                    cur
-                } else if obs.confidence.unwrap_or(0.0) > cur.confidence.unwrap_or(0.0) {
-                    obs
-                } else {
-                    cur
-                }
-            }
+            Some(cur) => preferred_representative(cur, obs),
         });
     }
     best.expect("bundle members non-empty").bbox
+}
+
+/// The staged scene assembler.
+///
+/// Three stages per scene — (1) gather observations and bundle each frame
+/// (spatially-indexed union-find), (2) link bundle representative boxes
+/// across frames into tracks (spatially-pruned assignment), (3)
+/// materialize the CSR [`Scene`] — with every intermediate buffer owned
+/// by the engine and reused across scenes. `ScenePipeline` keeps one
+/// engine per worker thread, so a warm batch run allocates only for the
+/// scenes it returns.
+#[derive(Debug, Default)]
+pub struct AssemblyEngine {
+    cfg: AssemblyConfig,
+    // Per-frame observation gather buffers.
+    human_boxes: Vec<Box3>,
+    human_idx: Vec<ObsIdx>,
+    model_boxes: Vec<Box3>,
+    model_idx: Vec<ObsIdx>,
+    // Bundling scratch (grid, union-find, CSR groups).
+    bundle_scratch: BundleScratch,
+    frame_bundles: FrameBundles,
+    // Tracking inputs/scratch: per-frame representative boxes and bundle
+    // ids, then the tracker's grid/matrix/matcher buffers.
+    rep_boxes: Vec<Vec<Box3>>,
+    bundle_lookup: Vec<Vec<BundleIdx>>,
+    tracker_scratch: TrackerScratch,
+}
+
+impl AssemblyEngine {
+    pub fn new(cfg: AssemblyConfig) -> Self {
+        AssemblyEngine { cfg, ..Default::default() }
+    }
+
+    pub fn config(&self) -> &AssemblyConfig {
+        &self.cfg
+    }
+
+    /// Swap the assembly configuration, keeping all scratch buffers (the
+    /// pipeline's per-thread engines serve whatever app comes next).
+    pub fn set_config(&mut self, cfg: AssemblyConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Assemble one scene. Equivalent to [`Scene::assemble`] — the
+    /// equivalence is locked by `tests/pipeline.rs` — but reuses every
+    /// per-frame buffer from previous calls.
+    pub fn assemble(&mut self, data: &SceneData) -> Scene {
+        let cfg = self.cfg;
+        let n_frames = data.frames.len();
+        let bundler = IouBundler { threshold: cfg.bundle_iou };
+
+        // Reset the per-frame tracking inputs, keeping inner capacity.
+        for v in &mut self.rep_boxes {
+            v.clear();
+        }
+        for v in &mut self.bundle_lookup {
+            v.clear();
+        }
+        self.rep_boxes.resize_with(n_frames, Vec::new);
+        self.bundle_lookup.resize_with(n_frames, Vec::new);
+
+        // Stage 1: gather observations and bundle per frame, writing the
+        // bundle CSR directly. Output vectors are sized upfront — the
+        // observation count is known exactly, and bundles can't outnumber
+        // observations.
+        let n_obs: usize = data
+            .frames
+            .iter()
+            .map(|f| {
+                (if cfg.use_human { f.human_labels.len() } else { 0 })
+                    + (if cfg.use_model { f.detections.len() } else { 0 })
+            })
+            .sum();
+        let mut observations: Vec<Observation> = Vec::with_capacity(n_obs);
+        let mut bundles: Vec<Bundle> = Vec::with_capacity(n_obs);
+        let mut bundle_obs_offsets: Vec<u32> = Vec::with_capacity(n_obs + 1);
+        bundle_obs_offsets.push(0);
+        let mut bundle_obs_arena: Vec<ObsIdx> = Vec::with_capacity(n_obs);
+
+        for (f, frame) in data.frames.iter().enumerate() {
+            self.human_boxes.clear();
+            self.human_idx.clear();
+            self.model_boxes.clear();
+            self.model_idx.clear();
+
+            if cfg.use_human {
+                for (i, label) in frame.human_labels.iter().enumerate() {
+                    let idx = ObsIdx(observations.len());
+                    observations.push(Observation {
+                        idx,
+                        frame: frame.index,
+                        source: ObservationSource::Human,
+                        source_index: i,
+                        bbox: label.bbox,
+                        class: label.class,
+                        confidence: None,
+                        world_center: frame.ego_pose.transform(label.bbox.center.bev()),
+                    });
+                    self.human_boxes.push(label.bbox);
+                    self.human_idx.push(idx);
+                }
+            }
+            if cfg.use_model {
+                for (i, det) in frame.detections.iter().enumerate() {
+                    let idx = ObsIdx(observations.len());
+                    observations.push(Observation {
+                        idx,
+                        frame: frame.index,
+                        source: ObservationSource::Model,
+                        source_index: i,
+                        bbox: det.bbox,
+                        class: det.class,
+                        confidence: Some(det.confidence),
+                        world_center: frame.ego_pose.transform(det.bbox.center.bev()),
+                    });
+                    self.model_boxes.push(det.bbox);
+                    self.model_idx.push(idx);
+                }
+            }
+
+            bundle_frame_into(
+                &[&self.human_boxes, &self.model_boxes],
+                &bundler,
+                &mut self.bundle_scratch,
+                &mut self.frame_bundles,
+            );
+
+            // Stage 3a: materialize this frame's bundles into the CSR
+            // arena and record the tracking inputs.
+            let reps = &mut self.rep_boxes[f];
+            let ids = &mut self.bundle_lookup[f];
+            for members in self.frame_bundles.iter() {
+                let idx = BundleIdx(bundles.len());
+                let start = bundle_obs_arena.len();
+                for &(source, i) in members {
+                    bundle_obs_arena.push(if source == 0 {
+                        self.human_idx[i]
+                    } else {
+                        self.model_idx[i]
+                    });
+                }
+                let rep = representative_box(&observations, &bundle_obs_arena[start..]);
+                bundles.push(Bundle { idx, frame: FrameId(f as u32) });
+                bundle_obs_offsets.push(bundle_obs_arena.len() as u32);
+                reps.push(rep);
+                ids.push(idx);
+            }
+        }
+
+        // Stage 2: link bundles across frames by representative-box
+        // overlap.
+        let paths = build_tracks_with(&self.rep_boxes, &cfg.tracker, &mut self.tracker_scratch);
+
+        // Stage 3b: materialize the track CSR.
+        let mut tracks: Vec<Track> = Vec::with_capacity(paths.len());
+        let mut track_bundle_offsets: Vec<u32> = Vec::with_capacity(paths.len() + 1);
+        track_bundle_offsets.push(0);
+        let mut track_bundle_arena: Vec<BundleIdx> = Vec::with_capacity(bundles.len());
+        for (i, path) in paths.iter().enumerate() {
+            tracks.push(Track { idx: TrackIdx(i) });
+            track_bundle_arena.extend(path.entries.iter().map(|&(f, b)| self.bundle_lookup[f][b]));
+            track_bundle_offsets.push(track_bundle_arena.len() as u32);
+        }
+
+        Scene {
+            observations,
+            bundles,
+            bundle_obs_offsets,
+            bundle_obs_arena,
+            tracks,
+            track_bundle_offsets,
+            track_bundle_arena,
+            frame_dt: data.frame_dt,
+            n_frames,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -354,23 +641,23 @@ mod tests {
             .iter()
             .map(|f| f.human_labels.len() + f.detections.len())
             .sum();
-        assert_eq!(scene.observations.len(), raw_count);
+        assert_eq!(scene.n_observations(), raw_count);
         // Every observation in exactly one bundle.
         let mut seen = std::collections::BTreeSet::new();
-        for b in &scene.bundles {
-            for &o in &b.obs {
+        for b in scene.bundles() {
+            for &o in scene.bundle_obs(b.idx) {
                 assert!(seen.insert(o), "{o:?} in two bundles");
             }
         }
         assert_eq!(seen.len(), raw_count);
         // Every bundle in exactly one track.
         let mut seen_b = std::collections::BTreeSet::new();
-        for t in &scene.tracks {
-            for &b in &t.bundles {
+        for t in scene.tracks() {
+            for &b in scene.track_bundles(t.idx) {
                 assert!(seen_b.insert(b), "{b:?} in two tracks");
             }
         }
-        assert_eq!(seen_b.len(), scene.bundles.len());
+        assert_eq!(seen_b.len(), scene.n_bundles());
     }
 
     #[test]
@@ -378,11 +665,11 @@ mod tests {
         let data = tiny_scene_data(4);
         let scene = Scene::assemble(&data, &AssemblyConfig::model_only());
         assert!(scene
-            .observations
+            .observations()
             .iter()
             .all(|o| o.source == ObservationSource::Model));
         let det_count: usize = data.frames.iter().map(|f| f.detections.len()).sum();
-        assert_eq!(scene.observations.len(), det_count);
+        assert_eq!(scene.n_observations(), det_count);
     }
 
     #[test]
@@ -392,7 +679,7 @@ mod tests {
         let data = tiny_scene_data(5);
         let scene = Scene::assemble(&data, &AssemblyConfig::default());
         let mixed = scene
-            .bundles
+            .bundles()
             .iter()
             .filter(|b| {
                 scene.bundle_has_source(b, ObservationSource::Human)
@@ -400,9 +687,9 @@ mod tests {
             })
             .count();
         assert!(
-            mixed > scene.bundles.len() / 4,
+            mixed > scene.n_bundles() / 4,
             "only {mixed}/{} mixed bundles",
-            scene.bundles.len()
+            scene.n_bundles()
         );
     }
 
@@ -410,11 +697,19 @@ mod tests {
     fn tracks_span_multiple_frames() {
         let data = tiny_scene_data(6);
         let scene = Scene::assemble(&data, &AssemblyConfig::default());
-        let long_tracks = scene.tracks.iter().filter(|t| t.bundles.len() >= 5).count();
+        let long_tracks = scene
+            .tracks()
+            .iter()
+            .filter(|t| scene.track_bundles(t.idx).len() >= 5)
+            .count();
         assert!(long_tracks >= 3, "only {long_tracks} long tracks");
         // Tracks are frame-ordered.
-        for t in &scene.tracks {
-            let frames: Vec<u32> = t.bundles.iter().map(|&b| scene.bundle(b).frame.0).collect();
+        for t in scene.tracks() {
+            let frames: Vec<u32> = scene
+                .track_bundles(t.idx)
+                .iter()
+                .map(|&b| scene.bundle(b).frame.0)
+                .collect();
             for w in frames.windows(2) {
                 assert!(w[0] < w[1]);
             }
@@ -430,11 +725,11 @@ mod tests {
         // Find the longest track and check spread of world centers per
         // bundle transition is bounded by a plausible per-frame motion.
         let track = scene
-            .tracks
+            .tracks()
             .iter()
-            .max_by_key(|t| t.bundles.len())
+            .max_by_key(|t| scene.track_bundles(t.idx).len())
             .expect("tracks exist");
-        for pair in track.bundles.windows(2) {
+        for pair in scene.track_bundles(track.idx).windows(2) {
             let a = scene.bundle_representative(scene.bundle(pair[0]));
             let b = scene.bundle_representative(scene.bundle(pair[1]));
             let frames_apart =
@@ -448,7 +743,7 @@ mod tests {
     fn representative_prefers_human() {
         let data = tiny_scene_data(8);
         let scene = Scene::assemble(&data, &AssemblyConfig::default());
-        for b in &scene.bundles {
+        for b in scene.bundles() {
             let rep = scene.bundle_representative(b);
             if scene.bundle_has_source(b, ObservationSource::Human) {
                 assert_eq!(rep.source, ObservationSource::Human);
@@ -460,7 +755,7 @@ mod tests {
     fn track_class_majority() {
         let data = tiny_scene_data(9);
         let scene = Scene::assemble(&data, &AssemblyConfig::default());
-        for t in &scene.tracks {
+        for t in scene.tracks() {
             let class = scene.track_class(t);
             let members = scene.track_obs(t);
             let count = members.iter().filter(|&&o| scene.obs(o).class == class).count();
@@ -485,9 +780,106 @@ mod tests {
             injected: Default::default(),
         };
         let scene = Scene::assemble(&data, &AssemblyConfig::default());
-        assert!(scene.observations.is_empty());
-        assert!(scene.bundles.is_empty());
-        assert!(scene.tracks.is_empty());
+        assert!(scene.observations().is_empty());
+        assert!(scene.bundles().is_empty());
+        assert!(scene.tracks().is_empty());
         assert_eq!(scene.n_frames, 1);
+    }
+
+    #[test]
+    fn engine_reuse_across_scenes_matches_fresh_assembly() {
+        // One engine across heterogeneous scenes (different sizes, an
+        // empty one in between) must produce exactly what fresh engines
+        // produce — no state may leak through the reused buffers.
+        let mut engine = AssemblyEngine::new(AssemblyConfig::default());
+        for seed in [3, 11, 4, 12] {
+            let data = tiny_scene_data(seed);
+            let reused = engine.assemble(&data);
+            let fresh = Scene::assemble(&data, &AssemblyConfig::default());
+            assert_eq!(reused, fresh, "seed {seed} diverged through reuse");
+        }
+        // And a config swap mid-stream behaves like a fresh engine too.
+        engine.set_config(AssemblyConfig::model_only());
+        let data = tiny_scene_data(5);
+        let reused = engine.assemble(&data);
+        let fresh = Scene::assemble(&data, &AssemblyConfig::model_only());
+        assert_eq!(reused, fresh, "config swap diverged");
+    }
+
+    #[test]
+    fn bundle_iou_shares_the_paper_constant() {
+        // The bundling threshold exists exactly once: the assembly default
+        // and the bundler default cannot drift apart.
+        assert_eq!(AssemblyConfig::default().bundle_iou, DEFAULT_BUNDLE_IOU);
+        assert_eq!(
+            AssemblyConfig::default().bundle_iou,
+            loa_assoc::IouBundler::default().threshold
+        );
+    }
+
+    #[test]
+    fn scene_serde_roundtrips_and_reads_v1_format() {
+        // Round-trip through JSON preserves the full structure.
+        let data = tiny_scene_data(10);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        let json = serde_json::to_string(&scene).unwrap();
+        let back: Scene = serde_json::from_str(&json).unwrap();
+        assert_eq!(scene, back, "serde round-trip changed the scene");
+
+        // And a handwritten v1-format document (nested membership
+        // vectors, as the pre-CSR derived impl wrote) still loads.
+        let v1 = r#"{
+            "observations": [
+                {"idx": 0, "frame": 0, "source": "Human", "source_index": 0,
+                 "bbox": {"center": {"x": 10.0, "y": 0.0, "z": 0.8},
+                          "size": {"length": 4.5, "width": 1.9, "height": 1.6},
+                          "yaw": 0.0},
+                 "class": "Car", "confidence": null,
+                 "world_center": {"x": 10.0, "y": 0.0}},
+                {"idx": 1, "frame": 0, "source": "Model", "source_index": 0,
+                 "bbox": {"center": {"x": 10.1, "y": 0.0, "z": 0.8},
+                          "size": {"length": 4.4, "width": 1.8, "height": 1.6},
+                          "yaw": 0.0},
+                 "class": "Car", "confidence": 0.9,
+                 "world_center": {"x": 10.1, "y": 0.0}}
+            ],
+            "bundles": [{"idx": 0, "frame": 0, "obs": [0, 1]}],
+            "tracks": [{"idx": 0, "bundles": [0]}],
+            "frame_dt": 0.2,
+            "n_frames": 1
+        }"#;
+        let scene: Scene = serde_json::from_str(v1).expect("v1 format must keep loading");
+        assert_eq!(scene.n_observations(), 2);
+        assert_eq!(scene.n_bundles(), 1);
+        assert_eq!(scene.bundle_obs(BundleIdx(0)), &[ObsIdx(0), ObsIdx(1)]);
+        assert_eq!(scene.track_bundles(TrackIdx(0)), &[BundleIdx(0)]);
+        assert_eq!(scene.bundle(BundleIdx(0)).frame, FrameId(0));
+        // The writer produces the same nested shape (spot-check the text).
+        let out = serde_json::to_string(&scene).unwrap();
+        assert!(
+            out.contains("\"bundles\":[{\"idx\":0,\"frame\":0,\"obs\":[0,1]}]"),
+            "{out}"
+        );
+        assert!(out.contains("\"tracks\":[{\"idx\":0,\"bundles\":[0]}]"), "{out}");
+    }
+
+    #[test]
+    fn csr_arenas_are_consistent() {
+        let data = tiny_scene_data(13);
+        let scene = Scene::assemble(&data, &AssemblyConfig::default());
+        // Concatenating per-bundle slices walks the whole arena exactly
+        // once, in order.
+        let total_obs: usize = scene.bundles().iter().map(|b| scene.bundle_obs(b.idx).len()).sum();
+        assert_eq!(total_obs, scene.n_observations());
+        let total_bundles: usize =
+            scene.tracks().iter().map(|t| scene.track_bundles(t.idx).len()).sum();
+        assert_eq!(total_bundles, scene.n_bundles());
+        // Metas carry their own positions.
+        for (i, b) in scene.bundles().iter().enumerate() {
+            assert_eq!(b.idx, BundleIdx(i));
+        }
+        for (i, t) in scene.tracks().iter().enumerate() {
+            assert_eq!(t.idx, TrackIdx(i));
+        }
     }
 }

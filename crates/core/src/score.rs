@@ -101,24 +101,19 @@ impl<'a> ScoreEngine<'a> {
 
     /// Score an observation bundle.
     pub fn score_bundle(&self, bundle: BundleIdx) -> ComponentScore {
-        self.score_obs_set(&self.scene.bundle(bundle).obs)
+        self.score_obs_set(self.scene.bundle_obs(bundle))
     }
 
     /// Score a track.
     pub fn score_track(&self, track: TrackIdx) -> ComponentScore {
         // Fast path without materializing the obs list: check the track's
         // observations form one whole component, then fold its factors.
-        let t = self.scene.track(track);
-        let obs_iter = t
-            .bundles
-            .iter()
-            .flat_map(|&b| self.scene.bundle(b).obs.iter().copied());
-        if let Some(comp) = self.whole_component_of(obs_iter) {
+        if let Some(comp) = self.whole_component_of(self.scene.track_obs_iter(track)) {
             return self.score_whole_component(comp);
         }
         // Generic fallback, without re-running the whole-component check
         // score_obs_set would repeat.
-        let obs = self.scene.track_obs(t);
+        let obs: Vec<ObsIdx> = self.scene.track_obs_iter(track).collect();
         let vars = self.compiled.vars_of(&obs);
         self.compiled
             .graph
@@ -136,7 +131,7 @@ impl<'a> ScoreEngine<'a> {
     /// the per-candidate generic path.
     pub fn score_all_tracks(&self) -> Vec<(TrackIdx, ComponentScore)> {
         self.scene
-            .tracks
+            .tracks()
             .iter()
             .map(|t| (t.idx, self.score_track(t.idx)))
             .collect()
@@ -146,7 +141,7 @@ impl<'a> ScoreEngine<'a> {
     /// [`score_all_tracks`](Self::score_all_tracks) for the cost model).
     pub fn score_all_bundles(&self) -> Vec<(BundleIdx, ComponentScore)> {
         self.scene
-            .bundles
+            .bundles()
             .iter()
             .map(|b| (b.idx, self.score_bundle(b.idx)))
             .collect()
@@ -161,7 +156,7 @@ mod tests {
         BoundFeature, Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue,
         ProbabilityModel,
     };
-    use crate::scene::{AssemblyConfig, Bundle, Observation, Scene, Track};
+    use crate::scene::{AssemblyConfig, Observation, Scene};
     use loa_data::{FrameId, ObjectClass, ObservationSource};
     use loa_geom::{Box3, Vec2};
     use std::sync::Arc;
@@ -219,27 +214,16 @@ mod tests {
             confidence: Some(0.9),
             world_center: Vec2::new(10.0 + frame as f64, 0.0),
         };
-        Scene {
-            observations: vec![mk_obs(0, 0), mk_obs(1, 1)],
-            bundles: vec![
-                Bundle {
-                    idx: crate::scene::BundleIdx(0),
-                    frame: FrameId(0),
-                    obs: vec![crate::scene::ObsIdx(0)],
-                },
-                Bundle {
-                    idx: crate::scene::BundleIdx(1),
-                    frame: FrameId(1),
-                    obs: vec![crate::scene::ObsIdx(1)],
-                },
+        Scene::from_parts(
+            vec![mk_obs(0, 0), mk_obs(1, 1)],
+            vec![
+                (FrameId(0), vec![crate::scene::ObsIdx(0)]),
+                (FrameId(1), vec![crate::scene::ObsIdx(1)]),
             ],
-            tracks: vec![Track {
-                idx: crate::scene::TrackIdx(0),
-                bundles: vec![crate::scene::BundleIdx(0), crate::scene::BundleIdx(1)],
-            }],
-            frame_dt: 0.2,
-            n_frames: 2,
-        }
+            vec![vec![crate::scene::BundleIdx(0), crate::scene::BundleIdx(1)]],
+            0.2,
+            2,
+        )
     }
 
     /// Section 6, verbatim: volumes score 0.37 / 0.39, velocity 0.21 —
@@ -336,7 +320,7 @@ mod tests {
         let scene = Scene::assemble(&data, &AssemblyConfig::default());
         let engine = ScoreEngine::new(&scene, &FeatureSet::paper_default(), &library).unwrap();
         let mut scored = 0;
-        for t in &scene.tracks {
+        for t in scene.tracks() {
             let s = engine.score_track(t.idx);
             if let Some(v) = s.score {
                 assert!(v.is_finite());

@@ -204,7 +204,7 @@ fn bundle_has_detection_of(
 ) -> bool {
     let b = scene.bundle(bundle);
     b.frame == frame
-        && b.obs.iter().any(|&o| {
+        && scene.bundle_obs(bundle).iter().any(|&o| {
             let ob = scene.obs(o);
             ob.source == ObservationSource::Model
                 && data.frames[ob.frame.0 as usize].detections[ob.source_index].provenance
@@ -222,7 +222,7 @@ fn bundle_has_label_of(
 ) -> bool {
     let b = scene.bundle(bundle);
     b.frame == frame
-        && b.obs.iter().any(|&o| {
+        && scene.bundle_obs(bundle).iter().any(|&o| {
             let ob = scene.obs(o);
             ob.source == ObservationSource::Human
                 && data.frames[ob.frame.0 as usize].human_labels[ob.source_index].gt_track == track

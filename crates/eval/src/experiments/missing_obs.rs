@@ -53,7 +53,7 @@ pub fn run_missing_obs_experiment(seed: u64, n_train: usize, n_cases: usize) -> 
         let is_hit = |c: &BundleCandidate| {
             let bundle = scene.bundle(c.bundle);
             bundle.frame == missing.frame
-                && bundle.obs.iter().any(|&o| {
+                && scene.bundle_obs(bundle.idx).iter().any(|&o| {
                     let obs = scene.obs(o);
                     obs.source == ObservationSource::Model
                         && matches!(

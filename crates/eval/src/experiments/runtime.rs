@@ -50,12 +50,12 @@ pub fn run_runtime_experiment(seed: u64, n_train: usize) -> RuntimeResult {
     let ranked = finder.rank(&scene, &library).expect("library fits");
     let online_ms = online_start.elapsed().as_secs_f64() * 1_000.0;
     // Keep the ranking alive so the work is not optimized away.
-    assert!(ranked.len() <= scene.tracks.len());
+    assert!(ranked.len() <= scene.n_tracks());
 
     RuntimeResult {
         scene_seconds: data.duration(),
         frames: data.frame_count(),
-        observations: scene.observations.len(),
+        observations: scene.n_observations(),
         online_ms,
         offline_ms,
     }

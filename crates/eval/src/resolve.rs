@@ -125,7 +125,7 @@ mod tests {
         let scene = Scene::assemble(&scenario.scene, &AssemblyConfig::default());
         // Find the model-only track that detects the focus truck.
         let mut found = false;
-        for track in &scene.tracks {
+        for track in scene.tracks() {
             if is_missing_track_hit(&scenario.scene, &scene, track.idx) {
                 found = true;
                 assert_eq!(
@@ -142,7 +142,7 @@ mod tests {
         let scenario = ghost_track(4);
         let scene = Scene::assemble(&scenario.scene, &AssemblyConfig::model_only());
         let mut found = false;
-        for track in &scene.tracks {
+        for track in scene.tracks() {
             if is_model_error_hit(&scenario.scene, &scene, track.idx) {
                 found = true;
                 assert!(!is_missing_track_hit(&scenario.scene, &scene, track.idx));
@@ -156,7 +156,7 @@ mod tests {
         let scenario = missing_truck(5);
         let scene = Scene::assemble(&scenario.scene, &AssemblyConfig::default());
         let mut labeled_real = 0;
-        for track in &scene.tracks {
+        for track in scene.tracks() {
             if resolve_track_candidate(&scenario.scene, &scene, track.idx)
                 == CandidateTruth::LabeledReal
             {

@@ -95,17 +95,33 @@ impl Box3 {
         let hl = self.size.length / 2.0;
         let hw = self.size.width / 2.0;
         let c = self.center.bev();
-        [
-            c + Vec2::new(hl, hw).rotated(self.yaw),
-            c + Vec2::new(-hl, hw).rotated(self.yaw),
-            c + Vec2::new(-hl, -hw).rotated(self.yaw),
-            c + Vec2::new(hl, -hw).rotated(self.yaw),
-        ]
+        // One sin_cos for all four corners (association calls this in its
+        // innermost loop; `Vec2::rotated` would recompute it per corner).
+        let (s, cos) = self.yaw.sin_cos();
+        let rot = |x: f64, y: f64| Vec2::new(x * cos - y * s, x * s + y * cos);
+        [c + rot(hl, hw), c + rot(-hl, hw), c + rot(-hl, -hw), c + rot(hl, -hw)]
     }
 
     /// BEV footprint polygon.
     pub fn bev_polygon(&self) -> ConvexPolygon {
         ConvexPolygon::new(self.bev_corners().to_vec())
+    }
+
+    /// Axis-aligned bounds of the BEV footprint — the primitive the
+    /// [`BevGrid`](crate::BevGrid) spatial index bins. Closed form (no
+    /// corner materialization): a rotated `l × w` rectangle spans
+    /// `l·|cos| + w·|sin|` along x and `l·|sin| + w·|cos|` along y.
+    #[inline]
+    pub fn bev_aabb(&self) -> crate::Aabb2 {
+        let (s, c) = self.yaw.sin_cos();
+        let (s, c) = (s.abs(), c.abs());
+        let hx = 0.5 * (self.size.length * c + self.size.width * s);
+        let hy = 0.5 * (self.size.length * s + self.size.width * c);
+        let center = self.center.bev();
+        crate::Aabb2::new(
+            Vec2::new(center.x - hx, center.y - hy),
+            Vec2::new(center.x + hx, center.y + hy),
+        )
     }
 
     /// BEV footprint area.
@@ -242,7 +258,35 @@ mod tests {
         assert!((s.volume() - 8.0).abs() < 1e-12);
     }
 
+    #[test]
+    fn bev_aabb_axis_aligned_box() {
+        let b = Box3::new(Vec3::new(1.0, -2.0, 0.5), Size3::new(4.0, 2.0, 1.0), 0.0);
+        let a = b.bev_aabb();
+        assert!((a.min.x - -1.0).abs() < 1e-12);
+        assert!((a.max.x - 3.0).abs() < 1e-12);
+        assert!((a.min.y - -3.0).abs() < 1e-12);
+        assert!((a.max.y - -1.0).abs() < 1e-12);
+    }
+
     proptest! {
+        #[test]
+        fn prop_bev_aabb_contains_all_corners(
+            x in -50.0f64..50.0, y in -50.0f64..50.0,
+            l in 0.3f64..10.0, w in 0.3f64..4.0, yaw in -6.3f64..6.3,
+        ) {
+            let b = Box3::on_ground(x, y, 0.0, l, w, 1.5, yaw);
+            let a = b.bev_aabb();
+            prop_assert!(a.is_valid());
+            for c in b.bev_corners() {
+                prop_assert!(c.x >= a.min.x - 1e-9 && c.x <= a.max.x + 1e-9);
+                prop_assert!(c.y >= a.min.y - 1e-9 && c.y <= a.max.y + 1e-9);
+            }
+            // And it is tight: the span equals the corner span.
+            let xs: Vec<f64> = b.bev_corners().iter().map(|c| c.x).collect();
+            let max_x = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((a.max.x - max_x).abs() < 1e-9);
+        }
+
         #[test]
         fn prop_footprint_contains_center(
             x in -50.0f64..50.0, y in -50.0f64..50.0,

@@ -1,0 +1,364 @@
+//! A uniform spatial bin index over BEV AABBs.
+//!
+//! Association in a frame is all-pairs by construction — the paper's
+//! `TrackBundler` tests `compute_iou(box1, box2) > 0.5` for every pair —
+//! but an IOU above any non-negative threshold requires the footprints'
+//! axis-aligned bounds to overlap. [`BevGrid`] bins item AABBs into a
+//! uniform grid so "which items can possibly overlap this rectangle?"
+//! becomes a handful of cell lookups instead of a linear scan, turning
+//! the bundling and tracking passes from `O(n²)` predicate calls into
+//! `O(n + candidates)`.
+//!
+//! The index is built per frame and queried many times; both paths reuse
+//! their allocations ([`build`](BevGrid::build) clears and refills), so a
+//! long scene batch performs no per-frame allocation once warm.
+
+use crate::aabb::Aabb2;
+
+/// A uniform grid over item AABBs with a candidate query.
+///
+/// Cells store item ids in ascending order (CSR layout: one offsets
+/// array, one flat id arena); queries dedupe via a stamp array and
+/// return ascending ids, so results are deterministic regardless of how
+/// items straddle cells.
+#[derive(Debug, Clone, Default)]
+pub struct BevGrid {
+    /// Lower-left corner of the grid.
+    min_x: f64,
+    min_y: f64,
+    /// Cell edge length (> 0 when the grid holds items).
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    /// CSR over cells: `cell_offsets[c]..cell_offsets[c + 1]` indexes
+    /// `cell_items`.
+    cell_offsets: Vec<u32>,
+    cell_items: Vec<u32>,
+    /// Item AABBs, for the exact (non-cell-quantized) candidate filter.
+    aabbs: Vec<Aabb2>,
+    /// Query-time dedupe stamps, one per item.
+    stamp: Vec<u32>,
+    stamp_val: u32,
+}
+
+/// Bounds on the cell edge length, to keep pathological inputs (all
+/// degenerate boxes, kilometer-long boxes) from producing pathological
+/// grids.
+const MIN_CELL: f64 = 0.25;
+const MAX_CELL: f64 = 256.0;
+
+/// Cap on total cells relative to the item count: a uniform grid only
+/// pays off while cells stay dense enough to walk.
+const MAX_CELLS_PER_ITEM: usize = 8;
+
+impl BevGrid {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.aabbs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.aabbs.is_empty()
+    }
+
+    /// Rebuild the index over `aabbs`, reusing all allocations.
+    ///
+    /// Invalid AABBs (NaN / inverted) are indexed as never-matching: they
+    /// occupy no cell and fail every intersection test, mirroring how
+    /// `iou_bev` treats degenerate boxes.
+    pub fn build(&mut self, aabbs: &[Aabb2]) {
+        self.aabbs.clear();
+        self.aabbs.extend_from_slice(aabbs);
+        self.stamp.clear();
+        self.stamp.resize(aabbs.len(), 0);
+        self.stamp_val = 0;
+
+        // Grid bounds and a cell size around the mean item extent: boxes
+        // then straddle O(1) cells each.
+        let mut bounds = Aabb2::EMPTY;
+        let mut extent_sum = 0.0f64;
+        let mut n_valid = 0usize;
+        for a in aabbs {
+            if a.is_valid() {
+                bounds = bounds.union(a);
+                extent_sum += a.width().max(a.height());
+                n_valid += 1;
+            }
+        }
+        if n_valid == 0 {
+            self.nx = 0;
+            self.ny = 0;
+            self.cell = 0.0;
+            self.cell_offsets.clear();
+            self.cell_offsets.push(0);
+            self.cell_items.clear();
+            return;
+        }
+
+        let mut cell = (extent_sum / n_valid as f64).clamp(MIN_CELL, MAX_CELL);
+        // Clamp the cell count unconditionally: growing the cell only
+        // merges bins, which stays correct (queries just see more
+        // candidates), whereas an uncapped count would allocate cells
+        // proportional to the bounds' area — unbounded for valid scenes
+        // with far-apart boxes. Doubling terminates: once the cell
+        // exceeds the span, the count is 1×1. (Saturating casts/muls
+        // keep astronomic spans looping rather than overflowing.)
+        let max_cells = (n_valid * MAX_CELLS_PER_ITEM).max(16);
+        loop {
+            let nx = ((bounds.width() / cell).floor() as usize).saturating_add(1);
+            let ny = ((bounds.height() / cell).floor() as usize).saturating_add(1);
+            if nx.saturating_mul(ny) <= max_cells {
+                self.nx = nx;
+                self.ny = ny;
+                break;
+            }
+            cell *= 2.0;
+        }
+        self.cell = cell;
+        self.min_x = bounds.min.x;
+        self.min_y = bounds.min.y;
+
+        // Counting sort of (item, covered cell) pairs into CSR.
+        let n_cells = self.nx * self.ny;
+        self.cell_offsets.clear();
+        self.cell_offsets.resize(n_cells + 1, 0);
+        for a in aabbs {
+            if !a.is_valid() {
+                continue;
+            }
+            let (x0, x1, y0, y1) = self.cell_span(a);
+            for cy in y0..=y1 {
+                for cx in x0..=x1 {
+                    self.cell_offsets[cy * self.nx + cx + 1] += 1;
+                }
+            }
+        }
+        for c in 0..n_cells {
+            self.cell_offsets[c + 1] += self.cell_offsets[c];
+        }
+        let total = self.cell_offsets[n_cells] as usize;
+        self.cell_items.clear();
+        self.cell_items.resize(total, 0);
+        // Second pass fills each cell; iterating items in ascending order
+        // leaves every cell's id list ascending.
+        let mut cursor: Vec<u32> = self.cell_offsets[..n_cells].to_vec();
+        for (i, a) in aabbs.iter().enumerate() {
+            if !a.is_valid() {
+                continue;
+            }
+            let (x0, x1, y0, y1) = self.cell_span(a);
+            for cy in y0..=y1 {
+                for cx in x0..=x1 {
+                    let c = cy * self.nx + cx;
+                    self.cell_items[cursor[c] as usize] = i as u32;
+                    cursor[c] += 1;
+                }
+            }
+        }
+    }
+
+    /// The (inclusive) cell index span a rectangle covers, clamped into
+    /// the grid.
+    fn cell_span(&self, a: &Aabb2) -> (usize, usize, usize, usize) {
+        let clamp_x =
+            |v: f64| (((v - self.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let clamp_y =
+            |v: f64| (((v - self.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        (clamp_x(a.min.x), clamp_x(a.max.x), clamp_y(a.min.y), clamp_y(a.max.y))
+    }
+
+    /// Append every item whose AABB intersects `query` to `out`, in
+    /// ascending id order. `out` is cleared first.
+    pub fn query_into(&mut self, query: &Aabb2, out: &mut Vec<u32>) {
+        out.clear();
+        if self.nx == 0 || !query.is_valid() {
+            return;
+        }
+        // Items fully outside the grid bounds cannot exist; a query
+        // outside them matches nothing. cell_span clamps, so check first.
+        let grid_max_x = self.min_x + self.nx as f64 * self.cell;
+        let grid_max_y = self.min_y + self.ny as f64 * self.cell;
+        if query.max.x < self.min_x
+            || query.min.x > grid_max_x
+            || query.max.y < self.min_y
+            || query.min.y > grid_max_y
+        {
+            return;
+        }
+        if self.stamp_val == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp_val = 0;
+        }
+        self.stamp_val += 1;
+        let (x0, x1, y0, y1) = self.cell_span(query);
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                let c = cy * self.nx + cx;
+                let lo = self.cell_offsets[c] as usize;
+                let hi = self.cell_offsets[c + 1] as usize;
+                for &item in &self.cell_items[lo..hi] {
+                    let i = item as usize;
+                    if self.stamp[i] != self.stamp_val {
+                        self.stamp[i] = self.stamp_val;
+                        if self.aabbs[i].intersects(query) {
+                            out.push(item);
+                        }
+                    }
+                }
+            }
+        }
+        // Cells are walked in row order but one item spans several cells;
+        // the stamp keeps ids unique, the sort restores ascending order.
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec::Vec2;
+    use proptest::prelude::*;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Aabb2 {
+        Aabb2::new(Vec2::new(x0, y0), Vec2::new(x1, y1))
+    }
+
+    fn brute(aabbs: &[Aabb2], q: &Aabb2) -> Vec<u32> {
+        aabbs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_valid() && q.is_valid() && a.intersects(q))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn empty_grid_matches_nothing() {
+        let mut grid = BevGrid::new();
+        grid.build(&[]);
+        let mut out = Vec::new();
+        grid.query_into(&rect(0.0, 0.0, 1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+        assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn simple_queries_match_brute_force() {
+        let aabbs = vec![
+            rect(0.0, 0.0, 2.0, 2.0),
+            rect(10.0, 10.0, 12.0, 12.0),
+            rect(1.0, 1.0, 3.0, 3.0),
+            rect(-5.0, -5.0, -4.0, -4.0),
+        ];
+        let mut grid = BevGrid::new();
+        grid.build(&aabbs);
+        let mut out = Vec::new();
+        for q in [
+            rect(0.5, 0.5, 1.5, 1.5),
+            rect(11.0, 11.0, 11.5, 11.5),
+            rect(-100.0, -100.0, 100.0, 100.0),
+            rect(50.0, 50.0, 60.0, 60.0),
+        ] {
+            grid.query_into(&q, &mut out);
+            assert_eq!(out, brute(&aabbs, &q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_items_and_queries_never_match() {
+        let aabbs = vec![rect(0.0, 0.0, 1.0, 1.0), rect(f64::NAN, 0.0, 1.0, 1.0)];
+        let mut grid = BevGrid::new();
+        grid.build(&aabbs);
+        let mut out = Vec::new();
+        grid.query_into(&rect(0.0, 0.0, 2.0, 2.0), &mut out);
+        assert_eq!(out, vec![0]);
+        grid.query_into(&rect(f64::NAN, 0.0, 1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rebuild_reuses_and_replaces() {
+        let mut grid = BevGrid::new();
+        grid.build(&[rect(0.0, 0.0, 1.0, 1.0)]);
+        let mut out = Vec::new();
+        grid.query_into(&rect(0.0, 0.0, 1.0, 1.0), &mut out);
+        assert_eq!(out, vec![0]);
+        grid.build(&[rect(100.0, 100.0, 101.0, 101.0)]);
+        grid.query_into(&rect(0.0, 0.0, 1.0, 1.0), &mut out);
+        assert!(out.is_empty(), "stale items survived rebuild");
+        grid.query_into(&rect(100.5, 100.5, 102.0, 102.0), &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn far_apart_clusters_stay_bounded() {
+        // Regression: valid scenes can hold boxes clustered near the
+        // origin AND near (1e9, 1e9). The cell-count cap must hold even
+        // when the cell size would have to exceed any fixed bound —
+        // otherwise the grid allocates cells proportional to the area
+        // (terabytes) or overflows nx*ny on astronomic spans.
+        for span in [1e9, 1e12, 1e300] {
+            let mut aabbs: Vec<Aabb2> = Vec::new();
+            for i in 0..48 {
+                let x = i as f64 * 3.0;
+                aabbs.push(rect(x, 0.0, x + 2.0, 2.0));
+                aabbs.push(rect(span + x, span, span + x + 2.0, span + 2.0));
+            }
+            let mut grid = BevGrid::new();
+            grid.build(&aabbs);
+            let mut out = Vec::new();
+            for q in [
+                rect(1.0, 0.5, 4.0, 1.5),
+                rect(span + 1.0, span + 0.5, span + 4.0, span + 1.5),
+                rect(span / 2.0, span / 2.0, span / 2.0 + 1.0, span / 2.0 + 1.0),
+            ] {
+                grid.query_into(&q, &mut out);
+                assert_eq!(out, brute(&aabbs, &q), "span {span}, query {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_ascending_and_unique() {
+        // One big box straddling many cells plus neighbors.
+        let aabbs = vec![
+            rect(0.0, 0.0, 40.0, 40.0),
+            rect(5.0, 5.0, 6.0, 6.0),
+            rect(30.0, 30.0, 31.0, 31.0),
+        ];
+        let mut grid = BevGrid::new();
+        grid.build(&aabbs);
+        let mut out = Vec::new();
+        grid.query_into(&rect(-1.0, -1.0, 50.0, 50.0), &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn prop_query_matches_brute_force(
+            items in proptest::collection::vec(
+                (-80.0f64..80.0, -80.0f64..80.0, 0.1f64..12.0, 0.1f64..12.0), 0..60),
+            queries in proptest::collection::vec(
+                (-90.0f64..90.0, -90.0f64..90.0, 0.1f64..30.0, 0.1f64..30.0), 1..8),
+        ) {
+            let aabbs: Vec<Aabb2> = items
+                .iter()
+                .map(|&(x, y, w, h)| rect(x, y, x + w, y + h))
+                .collect();
+            let mut grid = BevGrid::new();
+            grid.build(&aabbs);
+            let mut out = Vec::new();
+            for &(x, y, w, h) in &queries {
+                let q = rect(x, y, x + w, y + h);
+                grid.query_into(&q, &mut out);
+                prop_assert_eq!(&out, &brute(&aabbs, &q));
+            }
+        }
+    }
+}

@@ -6,21 +6,52 @@
 //! overlap term and is used by evaluation matching.
 
 use crate::box3::Box3;
+use crate::polygon::convex_clip_area;
+use crate::vec::Vec2;
+
+/// BEV footprint intersection area of two boxes, allocation-free: corner
+/// arrays straight into the fixed-buffer Sutherland–Hodgman clip. The
+/// association passes run this once per candidate pair.
+fn bev_intersection_area(a: &Box3, b: &Box3) -> f64 {
+    convex_clip_area(&a.bev_corners(), &b.bev_corners())
+}
+
+/// [`iou_bev`] over precomputed footprint corners and areas — for callers
+/// (the association passes) that evaluate many pairs per box and have
+/// already AABB-filtered them, so the corner trigonometry and the
+/// circumradius reject would be pure per-pair overhead. Same value as
+/// [`iou_bev`] on every pair whose AABBs intersect (on pairs the
+/// circumradius test would have rejected, the clip finds area 0 and both
+/// return exactly 0).
+pub fn iou_bev_prepared(
+    corners_a: &[Vec2; 4],
+    area_a: f64,
+    corners_b: &[Vec2; 4],
+    area_b: f64,
+) -> f64 {
+    let inter = convex_clip_area(corners_a, corners_b);
+    let union = area_a + area_b - inter;
+    if union <= 0.0 || !union.is_finite() {
+        return 0.0;
+    }
+    (inter / union).clamp(0.0, 1.0)
+}
 
 /// Bird's-eye-view IOU of two oriented boxes (footprint polygons).
 /// Returns 0 for invalid/degenerate boxes rather than NaN.
 pub fn iou_bev(a: &Box3, b: &Box3) -> f64 {
     // Cheap reject: footprint circumradius test avoids polygon clipping for
     // the overwhelmingly common far-apart case (association runs this over
-    // all box pairs in a frame).
-    let ra = 0.5 * (a.size.length.hypot(a.size.width));
-    let rb = 0.5 * (b.size.length.hypot(b.size.width));
-    if a.bev_center_distance(b) > ra + rb {
+    // all box pairs in a frame). Plain sqrt of the squared diagonal — the
+    // inputs are meters-scale box extents, far from `hypot`'s
+    // overflow/underflow territory, and sqrt is several times cheaper.
+    let ra = 0.5 * (a.size.length * a.size.length + a.size.width * a.size.width).sqrt();
+    let rb = 0.5 * (b.size.length * b.size.length + b.size.width * b.size.width).sqrt();
+    let (dx, dy) = (a.center.x - b.center.x, a.center.y - b.center.y);
+    if dx * dx + dy * dy > (ra + rb) * (ra + rb) {
         return 0.0;
     }
-    let pa = a.bev_polygon();
-    let pb = b.bev_polygon();
-    let inter = pa.intersection_area(&pb);
+    let inter = bev_intersection_area(a, b);
     let union = a.bev_area() + b.bev_area() - inter;
     if union <= 0.0 || !union.is_finite() {
         return 0.0;
@@ -37,8 +68,7 @@ pub fn iou_3d(a: &Box3, b: &Box3) -> f64 {
     if z_overlap == 0.0 {
         return 0.0;
     }
-    let inter_bev = a.bev_polygon().intersection_area(&b.bev_polygon());
-    let inter = inter_bev * z_overlap;
+    let inter = bev_intersection_area(a, b) * z_overlap;
     let union = a.volume() + b.volume() - inter;
     if union <= 0.0 || !union.is_finite() {
         return 0.0;
@@ -53,7 +83,7 @@ pub fn bev_overlap_fraction(a: &Box3, b: &Box3) -> f64 {
     if area <= 0.0 {
         return 0.0;
     }
-    (a.bev_polygon().intersection_area(&b.bev_polygon()) / area).clamp(0.0, 1.0)
+    (bev_intersection_area(a, b) / area).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

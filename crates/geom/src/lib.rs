@@ -11,22 +11,28 @@
 //! * [`ConvexPolygon`] — convex BEV footprints with Sutherland–Hodgman
 //!   clipping,
 //! * [`Box3`] — oriented boxes (center, size, yaw),
-//! * [`iou`] — bird's-eye-view and volumetric intersection-over-union.
+//! * [`iou`] — bird's-eye-view and volumetric intersection-over-union,
+//! * [`Aabb2`] / [`BevGrid`] — axis-aligned footprint bounds and the
+//!   uniform spatial bin index the association passes prune through.
 //!
 //! All angles are radians; the bird's-eye-view (BEV) plane is x/y with z up,
 //! matching the usual AV convention (x forward, y left from the ego vehicle).
 
+pub mod aabb;
 pub mod angle;
 pub mod box3;
+pub mod grid;
 pub mod iou;
 pub mod polygon;
 pub mod pose;
 pub mod vec;
 
+pub use aabb::Aabb2;
 pub use angle::{angle_diff, normalize_angle, undirected_angle_diff};
 pub use box3::{Box3, Size3};
-pub use iou::{iou_3d, iou_bev};
-pub use polygon::ConvexPolygon;
+pub use grid::BevGrid;
+pub use iou::{iou_3d, iou_bev, iou_bev_prepared};
+pub use polygon::{convex_clip_area, ConvexPolygon};
 pub use pose::Pose2;
 pub use vec::{Vec2, Vec3};
 

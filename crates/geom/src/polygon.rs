@@ -140,6 +140,84 @@ impl ConvexPolygon {
     }
 }
 
+/// Maximum vertex count [`convex_clip_area`] supports:
+/// `subject.len() + clip.len()` must not exceed it (Sutherland–Hodgman
+/// grows the subject by at most one vertex per clip edge).
+pub const CLIP_AREA_MAX_VERTICES: usize = 16;
+
+/// Area of the intersection of two convex CCW polygons, without
+/// allocating — the fixed-buffer twin of
+/// [`ConvexPolygon::intersection_area`], for the association hot path
+/// (box-vs-box IOU runs this once per candidate pair, so the Vec-based
+/// clip's per-edge allocations dominate it).
+///
+/// Runs the identical Sutherland–Hodgman edge loop over stack buffers.
+/// Requires `subject.len() + clip.len() <= CLIP_AREA_MAX_VERTICES`.
+pub fn convex_clip_area(subject: &[Vec2], clip: &[Vec2]) -> f64 {
+    if subject.len() < 3 || clip.len() < 3 {
+        return 0.0;
+    }
+    assert!(
+        subject.len() + clip.len() <= CLIP_AREA_MAX_VERTICES,
+        "convex_clip_area: {} + {} vertices exceed the fixed buffers",
+        subject.len(),
+        clip.len()
+    );
+    let mut buf_a = [Vec2::ZERO; CLIP_AREA_MAX_VERTICES];
+    let mut buf_b = [Vec2::ZERO; CLIP_AREA_MAX_VERTICES];
+    buf_a[..subject.len()].copy_from_slice(subject);
+    let mut n = subject.len();
+    let mut src_is_a = true;
+
+    let m = clip.len();
+    for i in 0..m {
+        if n == 0 {
+            break;
+        }
+        let (src, dst) = if src_is_a {
+            (&buf_a as &[Vec2; CLIP_AREA_MAX_VERTICES], &mut buf_b)
+        } else {
+            (&buf_b as &[Vec2; CLIP_AREA_MAX_VERTICES], &mut buf_a)
+        };
+        let a = clip[i];
+        let b = clip[(i + 1) % m];
+        let edge = b - a;
+        // Rolling signed distances: each vertex's distance is computed
+        // once and reused as the next segment's `p` side.
+        let d0 = edge.cross(src[0] - a);
+        let mut dp = d0;
+        let mut out = 0usize;
+        for j in 0..n {
+            let jn = if j + 1 == n { 0 } else { j + 1 };
+            let dq = if jn == 0 { d0 } else { edge.cross(src[jn] - a) };
+            let p_inside = dp >= -GEOM_EPS;
+            let q_inside = dq >= -GEOM_EPS;
+            if p_inside {
+                dst[out] = src[j];
+                out += 1;
+            }
+            if p_inside != q_inside {
+                // Segment crosses the edge line: p + (q - p) · dp/(dp - dq)
+                // (the denominator equals the segment×edge cross product,
+                // so the near-parallel guard matches `line_intersection`).
+                let denom = dp - dq;
+                if denom.abs() >= GEOM_EPS {
+                    let t = dp / denom;
+                    dst[out] = src[j] + (src[jn] - src[j]) * t;
+                    out += 1;
+                }
+            }
+            dp = dq;
+        }
+        src_is_a = !src_is_a;
+        n = out;
+    }
+    // CCW ∩ CCW stays CCW; clamp tiny negative shoelace noise like
+    // `ConvexPolygon::area` does.
+    let result = if src_is_a { &buf_a[..n] } else { &buf_b[..n] };
+    signed_area(result).max(0.0)
+}
+
 /// Signed shoelace area: positive for counter-clockwise vertex order.
 fn signed_area(vertices: &[Vec2]) -> f64 {
     let n = vertices.len();
@@ -317,7 +395,43 @@ mod tests {
         assert!((c.y - 2.0 / 3.0).abs() < 1e-12);
     }
 
+    #[test]
+    fn clip_area_degenerate_inputs() {
+        let sq = unit_square();
+        assert_eq!(convex_clip_area(&[], sq.vertices()), 0.0);
+        assert_eq!(
+            convex_clip_area(sq.vertices(), &[Vec2::ZERO, Vec2::new(1.0, 0.0)]),
+            0.0
+        );
+    }
+
     proptest! {
+        #[test]
+        fn prop_fixed_buffer_clip_matches_allocating_clip(
+            cx in -3.0f64..3.0, cy in -3.0f64..3.0,
+            half_a in 0.1f64..2.0, half_b in 0.1f64..2.0,
+            yaw_a in -3.2f64..3.2, yaw_b in -3.2f64..3.2,
+        ) {
+            // The allocation-free hot-path clip must agree with the
+            // Vec-based reference on arbitrary rotated overlapping boxes.
+            let pa: Vec<Vec2> = square_at(0.0, 0.0, half_a)
+                .vertices()
+                .iter()
+                .map(|v| v.rotated(yaw_a))
+                .collect();
+            let pb: Vec<Vec2> = square_at(0.0, 0.0, half_b)
+                .vertices()
+                .iter()
+                .map(|v| v.rotated(yaw_b) + Vec2::new(cx, cy))
+                .collect();
+            let a = ConvexPolygon::new(pa);
+            let b = ConvexPolygon::new(pb);
+            let fast = convex_clip_area(a.vertices(), b.vertices());
+            let reference = a.intersection_area(&b);
+            prop_assert!((fast - reference).abs() < 1e-9,
+                "fast {fast} vs reference {reference}");
+        }
+
         #[test]
         fn prop_intersection_area_bounded(
             cx in -3.0f64..3.0, cy in -3.0f64..3.0,

@@ -119,7 +119,11 @@ impl Density1d for Kde1d {
 /// Evaluation is O(1) instead of O(window); fitting is O(n + grid·window).
 /// Used for the large pooled distributions in the learner (an ablation
 /// bench quantifies the approximation error and the speedup).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full grid — the learner uses it to detect
+/// classes whose prepared grids came out identical (same samples, same
+/// fit) and share one allocation between them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BinnedKde {
     grid_start: f64,
     grid_step: f64,

@@ -112,7 +112,7 @@ fn main() {
     let engine = ScoreEngine::new(&scene, &features, &library).expect("compile");
 
     let mut scored: Vec<(f64, &Track)> = scene
-        .tracks
+        .tracks()
         .iter()
         .filter_map(|t| engine.score_track(t.idx).score.map(|s| (s, t)))
         .collect();

@@ -28,7 +28,7 @@ fn main() {
     let scene = Scene::assemble(&data, &AssemblyConfig::model_only());
     println!(
         "\nDeployment scene: {} detections across {} frames; {} injected ghost tracks",
-        scene.observations.len(),
+        scene.n_observations(),
         data.frame_count(),
         data.injected.ghost_tracks.len()
     );

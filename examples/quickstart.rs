@@ -41,9 +41,9 @@ fn main() {
     let scene = Scene::assemble(&data, &AssemblyConfig::default());
     println!(
         "Assembled {} observations → {} bundles → {} tracks",
-        scene.observations.len(),
-        scene.bundles.len(),
-        scene.tracks.len()
+        scene.n_observations(),
+        scene.n_bundles(),
+        scene.n_tracks()
     );
 
     let ranked = finder.rank(&scene, &library).expect("library matches features");

@@ -27,7 +27,7 @@ fn engine_score_matches_manual_graph_computation() {
     let engine = ScoreEngine::new(&scene, &features, &library).expect("compile");
 
     let compiled = fixy::core::compile::compile_scene(&scene, &features, &library).unwrap();
-    for track in scene.tracks.iter().take(20) {
+    for track in scene.tracks().iter().take(20) {
         let engine_score = engine.score_track(track.idx);
         let obs = scene.track_obs(track);
         let vars = compiled.vars_of(&obs);
@@ -95,7 +95,7 @@ fn observation_sources_survive_assembly() {
     cfg.lidar.beam_count = 300;
     let data = generate_scene(&cfg, "xc-2", 43);
     let scene = Scene::assemble(&data, &AssemblyConfig::default());
-    for obs in &scene.observations {
+    for obs in scene.observations() {
         let frame = &data.frames[obs.frame.0 as usize];
         match obs.source {
             fixy::data::ObservationSource::Human => {

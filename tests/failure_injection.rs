@@ -74,7 +74,7 @@ fn empty_scene_flows_through_pipeline_without_panicking() {
     };
     data.validate().expect("structurally valid");
     let scene = Scene::assemble(&data, &AssemblyConfig::default());
-    assert!(scene.observations.is_empty());
+    assert!(scene.observations().is_empty());
 
     // Ranking with a library fitted elsewhere still works: build a library
     // from a real scene first.

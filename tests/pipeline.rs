@@ -98,9 +98,37 @@ fn scene_roundtrips_through_disk() {
     // Assembling the loaded scene gives the identical structure.
     let s1 = Scene::assemble(&data, &AssemblyConfig::default());
     let s2 = Scene::assemble(&loaded, &AssemblyConfig::default());
-    assert_eq!(s1.observations.len(), s2.observations.len());
-    assert_eq!(s1.bundles.len(), s2.bundles.len());
-    assert_eq!(s1.tracks.len(), s2.tracks.len());
+    assert_eq!(s1.n_observations(), s2.n_observations());
+    assert_eq!(s1.n_bundles(), s2.n_bundles());
+    assert_eq!(s1.n_tracks(), s2.n_tracks());
+}
+
+#[test]
+fn assembly_engine_matches_scene_assemble_field_for_field() {
+    // The staged, buffer-reusing AssemblyEngine is the pipeline's
+    // assembly path; it must produce exactly what the one-shot
+    // Scene::assemble produces — same observations, same bundles, same
+    // tracks, same order — across configs and across reuse.
+    use fixy::core::AssemblyEngine;
+
+    let cfg = small_cfg();
+    let mut engine = AssemblyEngine::new(AssemblyConfig::default());
+    for seed in 0..4 {
+        let data = generate_scene(&cfg, &format!("ae-{seed}"), 7700 + seed);
+        for (name, assembly) in [
+            ("default", AssemblyConfig::default()),
+            ("model_only", AssemblyConfig::model_only()),
+            ("human_only", AssemblyConfig::human_only()),
+        ] {
+            engine.set_config(assembly);
+            let engine_scene = engine.assemble(&data);
+            let reference = Scene::assemble(&data, &assembly);
+            // Scene's derived PartialEq spans every field: observations,
+            // both CSR membership arenas and their offsets, frame_dt,
+            // n_frames.
+            assert_eq!(engine_scene, reference, "{name} seed {seed} diverged");
+        }
+    }
 }
 
 #[test]
@@ -179,7 +207,7 @@ fn indexed_sweep_matches_generic_component_scoring_bit_for_bit() {
     let engine = ScoreEngine::new(&scene, &features, &library).expect("compile");
 
     let sweep = engine.score_all_tracks();
-    assert_eq!(sweep.len(), scene.tracks.len());
+    assert_eq!(sweep.len(), scene.n_tracks());
     for (track, fast) in sweep {
         let obs = scene.track_obs(scene.track(track));
         let vars = engine.compiled().vars_of(&obs);
@@ -198,9 +226,9 @@ fn indexed_sweep_matches_generic_component_scoring_bit_for_bit() {
     }
 
     let bundle_sweep = engine.score_all_bundles();
-    assert_eq!(bundle_sweep.len(), scene.bundles.len());
+    assert_eq!(bundle_sweep.len(), scene.n_bundles());
     for (bundle, fast) in bundle_sweep {
-        let vars = engine.compiled().vars_of(&scene.bundle(bundle).obs);
+        let vars = engine.compiled().vars_of(scene.bundle_obs(bundle));
         let generic = engine
             .compiled()
             .graph
