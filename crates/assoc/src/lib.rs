@@ -40,6 +40,7 @@ pub use matching::{
     Match, MatchScratch, ScoreMatrix,
 };
 pub use tracker::{
-    build_tracks, build_tracks_brute, build_tracks_with, TrackPath, TrackerConfig, TrackerScratch,
+    build_tracks, build_tracks_brute, build_tracks_with, TrackBuilder, TrackPath, TrackerConfig,
+    TrackerScratch,
 };
 pub use union_find::UnionFind;

@@ -109,17 +109,92 @@ pub fn build_tracks_with(
 ) -> Vec<TrackPath> {
     let mut tracks: Vec<TrackPath> = Vec::new();
     scratch.active.clear();
+    for (f, items) in frames.iter().enumerate() {
+        track_frame_step(cfg, scratch, &mut tracks, f, items);
+    }
+    tracks.sort_by_key(|t| t.entries.first().copied());
+    tracks
+}
+
+/// Incremental cross-frame track builder: the per-frame sweep of
+/// [`build_tracks_with`], exposed one frame at a time so live ingest can
+/// extend tracks as data arrives instead of waiting for the whole scene.
+///
+/// Feed frames in order through [`step`](TrackBuilder::step);
+/// [`finish`](TrackBuilder::finish) returns the same frame-ordered,
+/// first-entry-sorted paths the batch entry point produces (the batch
+/// function runs through this exact step), and
+/// [`snapshot`](TrackBuilder::snapshot) clones the paths-so-far without
+/// disturbing the in-progress state. All per-frame buffers live in an
+/// owned [`TrackerScratch`], so a reused builder allocates only for the
+/// output paths.
+#[derive(Debug, Default)]
+pub struct TrackBuilder {
+    scratch: TrackerScratch,
+    tracks: Vec<TrackPath>,
+    next_frame: usize,
+}
+
+impl TrackBuilder {
+    /// Start a new scene, discarding any in-progress state.
+    pub fn begin(&mut self) {
+        self.scratch.active.clear();
+        self.tracks.clear();
+        self.next_frame = 0;
+    }
+
+    /// Extend tracks with the next frame's item boxes.
+    pub fn step(&mut self, cfg: &TrackerConfig, items: &[Box3]) {
+        track_frame_step(cfg, &mut self.scratch, &mut self.tracks, self.next_frame, items);
+        self.next_frame += 1;
+    }
+
+    /// Number of frames stepped since [`begin`](Self::begin).
+    pub fn frames_stepped(&self) -> usize {
+        self.next_frame
+    }
+
+    /// Take the finished paths, sorted by first entry. The builder needs
+    /// a [`begin`](Self::begin) before the next scene.
+    pub fn finish(&mut self) -> Vec<TrackPath> {
+        self.scratch.active.clear();
+        self.next_frame = 0;
+        let mut tracks = std::mem::take(&mut self.tracks);
+        tracks.sort_by_key(|t| t.entries.first().copied());
+        tracks
+    }
+
+    /// The paths built so far, sorted by first entry — exactly what
+    /// [`finish`](Self::finish) would return right now, without ending
+    /// the scene.
+    pub fn snapshot(&self) -> Vec<TrackPath> {
+        let mut tracks = self.tracks.clone();
+        tracks.sort_by_key(|t| t.entries.first().copied());
+        tracks
+    }
+}
+
+/// One frame of the track sweep: expire stale actives, score
+/// spatially-plausible track×item pairs into the sparse matrix, match,
+/// extend matched tracks and open singletons for the rest.
+fn track_frame_step(
+    cfg: &TrackerConfig,
+    scratch: &mut TrackerScratch,
+    tracks: &mut Vec<TrackPath>,
+    f: usize,
+    items: &[Box3],
+) {
     // Spatial pruning is exact only for positive thresholds: at ≤ 0 the
     // matcher admits zero-IOU (non-overlapping) pairs the grid would
     // hide, so fall back to scoring every pair.
     let prune = cfg.iou_threshold > 0.0;
 
-    for (f, items) in frames.iter().enumerate() {
+    {
         // Expire tracks that are too old to extend.
         scratch.active.retain(|a| f - a.last_frame <= cfg.max_gap as usize);
 
         if items.is_empty() {
-            continue;
+            return;
         }
 
         // Sparse score matrix: active tracks × current items, scoring
@@ -219,9 +294,6 @@ pub fn build_tracks_with(
             }
         }
     }
-
-    tracks.sort_by_key(|t| t.entries.first().copied());
-    tracks
 }
 
 /// The retained dense all-pairs reference (the seed implementation) — the
@@ -392,6 +464,39 @@ mod tests {
             build_tracks(&b, &cfg),
             "second scene must not see stale state"
         );
+    }
+
+    #[test]
+    fn incremental_builder_matches_batch() {
+        let mut builder = TrackBuilder::default();
+        let cfg = TrackerConfig::default();
+        for seed in [1u64, 5, 9] {
+            let frames = random_frames(seed, 8, 5, 30.0);
+            builder.begin();
+            for items in &frames {
+                builder.step(&cfg, items);
+            }
+            assert_eq!(builder.frames_stepped(), frames.len());
+            let streamed = builder.finish();
+            assert_eq!(streamed, build_tracks(&frames, &cfg), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn builder_snapshot_is_prefix_batch() {
+        // After k steps the snapshot must equal a batch build over the
+        // first k frames: the sweep never revises past assignments.
+        let frames = random_frames(3, 7, 4, 25.0);
+        let cfg = TrackerConfig::default();
+        let mut builder = TrackBuilder::default();
+        builder.begin();
+        for (k, items) in frames.iter().enumerate() {
+            builder.step(&cfg, items);
+            let prefix = build_tracks(&frames[..=k], &cfg);
+            assert_eq!(builder.snapshot(), prefix, "prefix of {} frames", k + 1);
+        }
+        // Snapshot does not disturb the in-progress state.
+        assert_eq!(builder.finish(), build_tracks(&frames, &cfg));
     }
 
     #[test]

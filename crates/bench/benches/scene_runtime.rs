@@ -70,6 +70,19 @@ fn bench_offline_learning(c: &mut Criterion) {
             black_box(library.len())
         })
     });
+
+    // Library load: deserialize + eager prepared-grid rebuild — the
+    // fleet-scale per-app startup cost, and the baseline for a future
+    // zero-copy / lazily-prepared on-disk format (see ROADMAP).
+    let library = Learner::new().fit(&finder.feature_set(), &train).expect("fit");
+    let json = serde_json::to_string(&library).expect("serialize library");
+    group.bench_function("library_load", |b| {
+        b.iter(|| {
+            let library: FeatureLibrary =
+                serde_json::from_str(black_box(&json)).expect("deserialize");
+            black_box(library.len())
+        })
+    });
     group.finish();
 }
 

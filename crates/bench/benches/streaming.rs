@@ -1,0 +1,171 @@
+//! Streaming-ingest benchmarks: the three pieces of `loa_ingest`.
+//!
+//! * `streaming/assemble_streamed` vs `assemble_batch` — the full
+//!   frame-by-frame path (begin/push/finalize) against the one-shot
+//!   engine; the delta is the price of incremental availability (both
+//!   run the same staged internals, so it should be ≈0).
+//! * `streaming/push_and_snapshot_per_frame` — the live regime: push one
+//!   frame, materialize the partial-scene snapshot; divide the median by
+//!   the frame count for per-frame latency.
+//! * `streaming/fscb_decode_scene` vs `json_parse_scene` — binary vs
+//!   JSON scene loading from disk (same scene, both validated).
+//! * `streaming/rank_corpus_streamed` vs `rank_corpus_buffered` — a
+//!   scene-directory rank through `process_stream` + `CorpusSource`
+//!   (O(workers) scenes resident) against load-everything + `run`.
+//!
+//! Set `FIXY_BENCH_SMOKE=1` to run on a miniature scene with 3 samples —
+//! the CI smoke mode that keeps the bench compiling *and* executing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixy_core::prelude::*;
+use fixy_core::Learner;
+use loa_data::{generate_scene, DatasetProfile, SceneData};
+use loa_ingest::{CorpusSource, StreamingAssembler};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn smoke() -> bool {
+    std::env::var_os("FIXY_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn scene_data(name: &str, seed: u64) -> SceneData {
+    let mut cfg = DatasetProfile::InternalLike.scene_config();
+    if smoke() {
+        cfg.world.duration = 3.0;
+        cfg.lidar.beam_count = 240;
+    }
+    generate_scene(&cfg, name, seed)
+}
+
+fn bench_streamed_assembly(c: &mut Criterion) {
+    let data = scene_data("stream-eval", 4242);
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(if smoke() { 3 } else { 20 });
+
+    let mut assembler = StreamingAssembler::new(AssemblyConfig::default());
+    group.bench_function("assemble_streamed", |b| {
+        b.iter(|| {
+            let scene = assembler.assemble_streamed(black_box(&data)).expect("stream");
+            black_box(scene.n_tracks())
+        })
+    });
+
+    let mut engine = AssemblyEngine::new(AssemblyConfig::default());
+    group.bench_function("assemble_batch", |b| {
+        b.iter(|| {
+            let scene = engine.assemble(black_box(&data));
+            black_box(scene.n_tracks())
+        })
+    });
+
+    // The live regime: every pushed frame is followed by a partial-scene
+    // snapshot (what an online ranker would score).
+    group.bench_function("push_and_snapshot_per_frame", |b| {
+        b.iter(|| {
+            assembler.begin(data.frame_dt);
+            let mut acc = 0usize;
+            for frame in &data.frames {
+                assembler.push_frame(black_box(frame)).expect("push");
+                acc += assembler.snapshot().n_tracks();
+            }
+            let scene = assembler.finalize().expect("finalize");
+            black_box((acc, scene.n_tracks()))
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_scene_decode(c: &mut Criterion) {
+    let data = scene_data("stream-decode", 77);
+    let dir = std::env::temp_dir().join("fixy_bench_streaming_decode");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("scene.json");
+    let fscb_path = dir.join("scene.fscb");
+    loa_data::io::save_scene(&data, &json_path).expect("save json");
+    loa_ingest::write_scene(&data, &fscb_path).expect("save fscb");
+
+    let mut group = c.benchmark_group("streaming");
+    // The JSON side is expensive on a full-size scene (the vendored
+    // serde_json is a tree parser); 10 samples bound the recording time.
+    group.sample_size(if smoke() { 3 } else { 10 });
+
+    group.bench_function("fscb_decode_scene", |b| {
+        b.iter(|| {
+            let scene = loa_ingest::read_scene(black_box(&fscb_path)).expect("fscb");
+            black_box(scene.frames.len())
+        })
+    });
+    group.bench_function("json_parse_scene", |b| {
+        b.iter(|| {
+            let scene = loa_data::io::load_scene(black_box(&json_path)).expect("json");
+            black_box(scene.frames.len())
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_corpus_rank(c: &mut Criterion) {
+    let n_scenes = if smoke() { 2 } else { 4 };
+    let finder = MissingTrackFinder::default();
+    let train: Vec<_> = (0..2)
+        .map(|i| scene_data(&format!("stream-train-{i}"), 500 + i))
+        .collect();
+    let library = Learner::new().fit(&finder.feature_set(), &train).expect("fit");
+
+    let dir = std::env::temp_dir().join("fixy_bench_streaming_corpus");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let paths: Vec<PathBuf> = (0..n_scenes)
+        .map(|i| {
+            let data = scene_data(&format!("corpus-{i:02}"), 900 + i as u64);
+            let path = dir.join(format!("corpus-{i:02}.fscb"));
+            loa_ingest::write_scene(&data, &path).expect("write");
+            path
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(if smoke() { 3 } else { 10 });
+
+    group.bench_function("rank_corpus_streamed", |b| {
+        b.iter(|| {
+            let source = CorpusSource::open(black_box(&dir)).expect("corpus");
+            let counts = ScenePipeline::new(MissingTrackFinder::default())
+                .process_stream(
+                    &library,
+                    source.into_paths(),
+                    |p| loa_ingest::load_scene_auto(&p),
+                    |r| r.candidates.len(),
+                )
+                .expect("stream rank");
+            black_box(counts.iter().sum::<usize>())
+        })
+    });
+
+    group.bench_function("rank_corpus_buffered", |b| {
+        b.iter(|| {
+            let scenes: Vec<SceneData> = paths
+                .iter()
+                .map(|p| loa_ingest::read_scene(p).expect("read"))
+                .collect();
+            let ranked = ScenePipeline::new(MissingTrackFinder::default())
+                .run(&library, scenes)
+                .expect("buffered rank");
+            black_box(ranked.iter().map(|r| r.candidates.len()).sum::<usize>())
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_streamed_assembly,
+    bench_scene_decode,
+    bench_corpus_rank
+);
+criterion_main!(benches);

@@ -11,12 +11,25 @@ USAGE:
     fixy generate --profile <lyft|internal> --scenes <N> [--seed <S>] --out <DIR> [--duration <SECS>]
     fixy learn    --data <DIR> [--app <APP>] --out <FILE>
     fixy rank     --scene <FILE|DIR> --library <FILE> [--app <APP>] [--top <K>] [--grade]
+    fixy convert  --data <DIR> --out <DIR>
+    fixy stream   --scene <FILE> --library <FILE> [--app <APP>] [--top <K>]
     fixy fuzz     [--seed <S>] [--scenes <N>] [--top-k <K>] [--train <N>]
     fixy render   --scene <FILE> [--frame <N>] [--svg <FILE>]
     fixy bench-record --json <FILE> [--out <FILE>] [--note <TEXT>]
     fixy help
 
 APPS: missing-tracks (default), missing-obs, model-errors
+
+rank over a directory streams scenes (.json or .fscb) through the
+bounded scene pipeline, holding at most O(workers) scenes in memory.
+
+convert rewrites every scene JSON in a directory as .fscb — the
+frame-streamed compact binary scene format — and reports the size ratio.
+
+stream replays one scene frame-by-frame through the StreamingAssembler,
+re-ranking the partial scene after every frame and printing per-frame
+latency: the live-deployment path, where errors surface before the
+scene has even finished recording.
 
 fuzz runs the injection-recall conformance harness: a seeded procedural
 corpus with known injected errors is ranked through the scene pipeline,
@@ -89,6 +102,25 @@ pub struct RankArgs {
     pub grade: bool,
 }
 
+/// `fixy convert`.
+#[derive(Debug, Clone)]
+pub struct ConvertArgs {
+    /// Directory of `.json` scenes to convert.
+    pub data: PathBuf,
+    /// Output directory for the `.fscb` scenes (created if missing).
+    pub out: PathBuf,
+}
+
+/// `fixy stream`.
+#[derive(Debug, Clone)]
+pub struct StreamArgs {
+    /// One scene file (`.json` or `.fscb`) to replay frame-by-frame.
+    pub scene: PathBuf,
+    pub library: PathBuf,
+    pub app: App,
+    pub top: usize,
+}
+
 /// `fixy fuzz`.
 #[derive(Debug, Clone)]
 pub struct FuzzArgs {
@@ -123,6 +155,8 @@ pub enum Command {
     Generate(GenerateArgs),
     Learn(LearnArgs),
     Rank(RankArgs),
+    Convert(ConvertArgs),
+    Stream(StreamArgs),
     Fuzz(FuzzArgs),
     Render(RenderArgs),
     BenchRecord(BenchRecordArgs),
@@ -235,6 +269,22 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 app: flags.optional("app").map(App::parse).transpose()?.unwrap_or_default(),
                 top: flags.parse_num("top", 10usize)?,
                 grade: flags.switches.contains("grade"),
+            }))
+        }
+        "convert" => {
+            let flags = collect_flags(rest, &[])?;
+            Ok(Command::Convert(ConvertArgs {
+                data: PathBuf::from(flags.required("data")?),
+                out: PathBuf::from(flags.required("out")?),
+            }))
+        }
+        "stream" => {
+            let flags = collect_flags(rest, &[])?;
+            Ok(Command::Stream(StreamArgs {
+                scene: PathBuf::from(flags.required("scene")?),
+                library: PathBuf::from(flags.required("library")?),
+                app: flags.optional("app").map(App::parse).transpose()?.unwrap_or_default(),
+                top: flags.parse_num("top", 5usize)?,
             }))
         }
         "fuzz" => {
@@ -376,6 +426,34 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn convert_and_stream_parse() {
+        match parse(&argv("convert --data d --out o")).unwrap() {
+            Command::Convert(c) => {
+                assert_eq!(c.data, PathBuf::from("d"));
+                assert_eq!(c.out, PathBuf::from("o"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("convert --data d")).is_err());
+        match parse(&argv("stream --scene s.fscb --library l.json --top 3")).unwrap() {
+            Command::Stream(s) => {
+                assert_eq!(s.scene, PathBuf::from("s.fscb"));
+                assert_eq!(s.app, App::MissingTracks);
+                assert_eq!(s.top, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("stream --scene s.json --library l.json --app model-errors")).unwrap() {
+            Command::Stream(s) => {
+                assert_eq!(s.app, App::ModelErrors);
+                assert_eq!(s.top, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("stream --scene s.json")).is_err());
     }
 
     #[test]

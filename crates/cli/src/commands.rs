@@ -1,13 +1,15 @@
 //! Command implementations.
 
-use crate::args::{App, FuzzArgs, GenerateArgs, LearnArgs, RankArgs, RenderArgs};
+use crate::args::{
+    App, ConvertArgs, FuzzArgs, GenerateArgs, LearnArgs, RankArgs, RenderArgs, StreamArgs,
+};
 use crate::CliError;
 use fixy_core::prelude::*;
 use fixy_core::{FeatureSet, Learner};
 use loa_data::SceneData;
+use loa_ingest::{CorpusSource, StreamingAssembler};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use std::path::Path;
 
 /// The on-disk library format: the fitted distributions tagged with the
 /// application they were fitted for, so `rank` can detect mismatches.
@@ -62,26 +64,12 @@ pub fn generate(args: GenerateArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn load_scene_dir(dir: &Path) -> Result<Vec<SceneData>, CliError> {
-    let mut paths: Vec<_> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
-        .collect();
-    paths.sort();
-    if paths.is_empty() {
-        return Err(CliError::Invalid(format!("no .json scenes in {}", dir.display())));
-    }
-    paths
-        .iter()
-        .map(|p| loa_data::io::load_scene(p).map_err(CliError::from))
-        .collect()
-}
-
 /// `fixy learn`: fit the app's feature distributions over a scene
 /// directory and write the library file.
 pub fn learn(args: LearnArgs) -> Result<String, CliError> {
-    let scenes = load_scene_dir(&args.data)?;
+    // Learning needs every training scene at once (distribution fitting
+    // is a whole-corpus operation), so the shared corpus walk buffers.
+    let scenes = CorpusSource::open(&args.data)?.load_all()?;
     let features = feature_set_for(args.app);
     let library = Learner::new().fit(&features, &scenes)?;
     let file = LibraryFile { app: args.app.name().to_string(), library };
@@ -115,102 +103,145 @@ pub fn fuzz(args: FuzzArgs) -> Result<String, CliError> {
     }
 }
 
-/// `fixy rank` batch mode for the bundle-level missing-obs app.
-fn rank_batch_missing_obs(
-    scenes: Vec<SceneData>,
-    library: &FeatureLibrary,
-    top: usize,
-) -> Result<String, CliError> {
-    let n_scenes = scenes.len();
-    let mut ranked = ScenePipeline::new(MissingObsFinder::default())
-        .run(library, scenes)
-        .map_err(CliError::from)?;
-    sort_ranked_scenes(&mut ranked);
-    let mut out = String::new();
-    let _ = writeln!(out, "scene                          rank  frame  class        score");
-    let mut total = 0usize;
-    for r in &ranked {
-        total += r.candidates.len();
-        for (i, c) in r.candidates.iter().take(top).enumerate() {
-            let bundle = r.scene.bundle(c.bundle);
-            let _ = writeln!(
-                out,
-                "{:<30} {:<5} {:<6} {:<12} {:.3}",
-                r.id,
-                i + 1,
-                bundle.frame.0,
-                c.class.to_string(),
-                c.score
-            );
-        }
-    }
-    let _ = writeln!(out, "{total} candidate(s) across {n_scenes} scene(s)");
-    Ok(out)
+/// One scene's rendered slice of a batch worklist: everything the final
+/// printer needs, extracted inside the streaming worker so the scene
+/// itself (raw frames, assembled structure) is dropped before the next
+/// one loads.
+struct SceneChunk {
+    id: String,
+    index: usize,
+    body: String,
+    candidates: usize,
 }
 
-/// `fixy rank` in batch mode: rank every scene in a directory through
-/// the parallel scene pipeline and print one merged worklist (stable by
-/// scene id, then per-scene rank).
-fn rank_batch(args: &RankArgs, library: &FeatureLibrary) -> Result<String, CliError> {
-    let scenes = load_scene_dir(&args.scene)?;
-    let n_scenes = scenes.len();
-
-    let mut ranked = match args.app {
-        App::MissingTracks => ScenePipeline::new(MissingTrackFinder::default())
-            .run(library, scenes)
-            .map_err(CliError::from)?,
-        // The Section 8.4 protocol (assertion pre-exclusion) is shared
-        // with the evaluation harness via loa_baselines.
-        App::ModelErrors => ScenePipeline::new(loa_baselines::MaExcludedModelErrors::default())
-            .run(library, scenes)
-            .map_err(CliError::from)?,
-        // Bundle-level candidates take a different worklist shape.
-        App::MissingObs => return rank_batch_missing_obs(scenes, library, args.top),
-    };
-    sort_ranked_scenes(&mut ranked);
-
+/// Order chunks by the batch engine's deterministic merge key (scene id,
+/// then input index) and stitch the worklist together.
+fn render_chunks(header: &str, mut chunks: Vec<SceneChunk>, n_scenes: usize) -> String {
+    chunks.sort_by(|a, b| a.id.cmp(&b.id).then(a.index.cmp(&b.index)));
     let mut out = String::new();
-    let _ = writeln!(
-        out,
+    let _ = writeln!(out, "{header}");
+    let mut total = 0usize;
+    for chunk in &chunks {
+        total += chunk.candidates;
+        out.push_str(&chunk.body);
+    }
+    let _ = writeln!(out, "{total} candidate(s) across {n_scenes} scene(s)");
+    out
+}
+
+/// Format one scene's track-level candidates (shared by the
+/// missing-tracks and model-errors batch modes).
+fn track_chunk(r: RankedScene<TrackCandidate>, app: App, top: usize, grade: bool) -> SceneChunk {
+    let mut body = String::new();
+    for (i, c) in r.candidates.iter().take(top).enumerate() {
+        let grade = if grade {
+            let hit = match app {
+                App::ModelErrors => {
+                    loa_eval::resolve::is_model_error_hit(&r.data, &r.scene, c.track)
+                }
+                _ => loa_eval::resolve::is_missing_track_hit(&r.data, &r.scene, c.track),
+            };
+            if hit {
+                "YES"
+            } else {
+                "no"
+            }
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            body,
+            "{:<30} {:<5} {:<12} {:<8.3} {:<5} {:<6} {}",
+            r.id,
+            i + 1,
+            c.class.to_string(),
+            c.score,
+            c.n_obs,
+            c.mean_confidence
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            grade
+        );
+    }
+    SceneChunk {
+        id: r.id,
+        index: r.index,
+        body,
+        candidates: r.candidates.len(),
+    }
+}
+
+/// Format one scene's bundle-level candidates (missing-obs batch mode).
+fn bundle_chunk(r: RankedScene<BundleCandidate>, top: usize) -> SceneChunk {
+    let mut body = String::new();
+    for (i, c) in r.candidates.iter().take(top).enumerate() {
+        let bundle = r.scene.bundle(c.bundle);
+        let _ = writeln!(
+            body,
+            "{:<30} {:<5} {:<6} {:<12} {:.3}",
+            r.id,
+            i + 1,
+            bundle.frame.0,
+            c.class.to_string(),
+            c.score
+        );
+    }
+    SceneChunk {
+        id: r.id,
+        index: r.index,
+        body,
+        candidates: r.candidates.len(),
+    }
+}
+
+/// `fixy rank` in batch mode: stream every scene in a directory (`.json`
+/// or `.fscb`) through the bounded scene pipeline and print one merged
+/// worklist (stable by scene id, then per-scene rank). At most
+/// O(workers) scenes are in memory at any moment — the worklist is
+/// byte-identical to the old buffered path (locked by `tests/ingest.rs`).
+fn rank_batch(args: &RankArgs, library: &FeatureLibrary) -> Result<String, CliError> {
+    let source = CorpusSource::open(&args.scene)?;
+    let n_scenes = source.len();
+    // Workers pull paths (cheap tokens) and decode scenes themselves, so
+    // load cost parallelizes with ranking.
+    let paths = source.into_paths();
+    let load = |p: std::path::PathBuf| loa_ingest::load_scene_auto(&p);
+    let track_header = format!(
         "scene                          rank  class        score    #obs  conf   {}",
         if args.grade { "hit" } else { "" }
     );
-    let mut total = 0usize;
-    for r in &ranked {
-        total += r.candidates.len();
-        for (i, c) in r.candidates.iter().take(args.top).enumerate() {
-            let grade = if args.grade {
-                let hit = match args.app {
-                    App::ModelErrors => {
-                        loa_eval::resolve::is_model_error_hit(&r.data, &r.scene, c.track)
-                    }
-                    _ => loa_eval::resolve::is_missing_track_hit(&r.data, &r.scene, c.track),
-                };
-                if hit {
-                    "YES"
-                } else {
-                    "no"
-                }
-            } else {
-                ""
-            };
-            let _ = writeln!(
-                out,
-                "{:<30} {:<5} {:<12} {:<8.3} {:<5} {:<6} {}",
-                r.id,
-                i + 1,
-                c.class.to_string(),
-                c.score,
-                c.n_obs,
-                c.mean_confidence
-                    .map(|x| format!("{x:.2}"))
-                    .unwrap_or_else(|| "-".into()),
-                grade
-            );
+
+    let (header, chunks) = match args.app {
+        App::MissingTracks => {
+            let chunks = ScenePipeline::new(MissingTrackFinder::default())
+                .process_stream(library, paths, load, |r| {
+                    track_chunk(r, args.app, args.top, args.grade)
+                })
+                .map_err(CliError::from)?;
+            (track_header, chunks)
         }
-    }
-    let _ = writeln!(out, "{total} candidate(s) across {n_scenes} scene(s)");
-    Ok(out)
+        // The Section 8.4 protocol (assertion pre-exclusion) is shared
+        // with the evaluation harness via loa_baselines.
+        App::ModelErrors => {
+            let chunks = ScenePipeline::new(loa_baselines::MaExcludedModelErrors::default())
+                .process_stream(library, paths, load, |r| {
+                    track_chunk(r, args.app, args.top, args.grade)
+                })
+                .map_err(CliError::from)?;
+            (track_header, chunks)
+        }
+        // Bundle-level candidates take a different worklist shape.
+        App::MissingObs => {
+            let chunks = ScenePipeline::new(MissingObsFinder::default())
+                .process_stream(library, paths, load, |r| bundle_chunk(r, args.top))
+                .map_err(CliError::from)?;
+            (
+                "scene                          rank  frame  class        score".to_string(),
+                chunks,
+            )
+        }
+    };
+    Ok(render_chunks(&header, chunks, n_scenes))
 }
 
 /// `fixy rank`: rank one scene's candidates (or, given a directory, a
@@ -227,7 +258,7 @@ pub fn rank(args: RankArgs) -> Result<String, CliError> {
     if args.scene.is_dir() {
         return rank_batch(&args, &file.library);
     }
-    let data = loa_data::io::load_scene(&args.scene)?;
+    let data = loa_ingest::load_scene_auto(&args.scene)?;
 
     let mut out = String::new();
     match args.app {
@@ -328,9 +359,190 @@ pub fn rank(args: RankArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `fixy convert`: rewrite every scene JSON in a directory as `.fscb`,
+/// reporting the compaction ratio. The output directory is created if
+/// missing; file stems are preserved so `rank --scene <DIR>` walks both
+/// corpora in the same order.
+pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
+    let source = CorpusSource::open(&args.data)?;
+    std::fs::create_dir_all(&args.out)?;
+    let mut out = String::new();
+    let mut json_bytes = 0u64;
+    let mut fscb_bytes = 0u64;
+    let mut converted = 0usize;
+    for path in source.paths() {
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let scene = loa_data::io::load_scene(path)?;
+        let stem = path
+            .file_stem()
+            .ok_or_else(|| CliError::Invalid(format!("bad scene path {}", path.display())))?;
+        let dest = args.out.join(format!("{}.fscb", stem.to_string_lossy()));
+        loa_ingest::write_scene(&scene, &dest)?;
+        let js = std::fs::metadata(path)?.len();
+        let fs = std::fs::metadata(&dest)?.len();
+        json_bytes += js;
+        fscb_bytes += fs;
+        converted += 1;
+        let _ = writeln!(
+            out,
+            "{}: {} -> {} bytes ({:.2}x smaller)",
+            dest.display(),
+            js,
+            fs,
+            js as f64 / fs as f64
+        );
+    }
+    if converted == 0 {
+        return Err(CliError::Invalid(format!(
+            "no .json scenes to convert in {}",
+            args.data.display()
+        )));
+    }
+    let _ = writeln!(
+        out,
+        "converted {converted} scene(s) -> {}; {json_bytes} -> {fscb_bytes} bytes ({:.2}x smaller)",
+        args.out.display(),
+        json_bytes as f64 / fscb_bytes as f64
+    );
+    Ok(out)
+}
+
+/// `fixy stream`: replay one scene frame-by-frame through the
+/// [`StreamingAssembler`], re-ranking the partial scene after every
+/// frame — the live-deployment path, where a 300 mph pedestrian
+/// surfaces while the scene is still recording. `.fscb` input decodes
+/// truly frame-by-frame; `.json` input is parsed once, then replayed.
+pub fn stream(args: StreamArgs) -> Result<String, CliError> {
+    let file: LibraryFile = serde_json::from_str(&std::fs::read_to_string(&args.library)?)?;
+    if file.app != args.app.name() {
+        return Err(CliError::Invalid(format!(
+            "library was fitted for app '{}', but --app is '{}'",
+            file.app,
+            args.app.name()
+        )));
+    }
+    let library = &file.library;
+
+    // Per-app snapshot ranking: a (label, score) worklist so the replay
+    // loop stays app-agnostic.
+    let me_ranker = loa_baselines::MaExcludedModelErrors::default();
+    let assembly = match args.app {
+        App::MissingTracks | App::MissingObs => AssemblyConfig::default(),
+        App::ModelErrors => me_ranker.assembly(),
+    };
+    let rank_snapshot = |scene: &Scene| -> Result<Vec<(String, f64)>, CliError> {
+        Ok(match args.app {
+            App::MissingTracks => MissingTrackFinder::default()
+                .rank(scene, library)?
+                .into_iter()
+                .map(|c| (c.class.to_string(), c.score))
+                .collect(),
+            App::MissingObs => MissingObsFinder::default()
+                .rank(scene, library)?
+                .into_iter()
+                .map(|c| {
+                    let frame = scene.bundle(c.bundle).frame.0;
+                    (format!("frame {frame} {}", c.class), c.score)
+                })
+                .collect(),
+            App::ModelErrors => {
+                let excluded = me_ranker.excluded(scene);
+                me_ranker
+                    .finder
+                    .rank(scene, library, &excluded)?
+                    .into_iter()
+                    .map(|c| (c.class.to_string(), c.score))
+                    .collect()
+            }
+        })
+    };
+
+    let mut out = String::new();
+    let mut assembler = StreamingAssembler::new(assembly);
+    let mut push_us: Vec<f64> = Vec::new();
+    let mut score_us: Vec<f64> = Vec::new();
+    let mut worklist: Vec<(String, f64)> = Vec::new();
+
+    let mut replay_frame = |assembler: &mut StreamingAssembler,
+                            frame: &loa_data::Frame|
+     -> Result<(), CliError> {
+        let t0 = std::time::Instant::now();
+        assembler.push_frame(frame)?;
+        let push = t0.elapsed().as_secs_f64() * 1e6;
+        let t1 = std::time::Instant::now();
+        let snapshot = assembler.snapshot();
+        let ranked = rank_snapshot(&snapshot)?;
+        let score = t1.elapsed().as_secs_f64() * 1e6;
+        let _ = writeln!(
+            out,
+            "frame {:>3}  obs {:>4}  tracks {:>3}  cands {:>3}  top {:<8}  push {:>8.1}us  score {:>9.1}us",
+            frame.index.0,
+            snapshot.n_observations(),
+            snapshot.n_tracks(),
+            ranked.len(),
+            ranked
+                .first()
+                .map(|(_, s)| format!("{s:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            push,
+            score,
+        );
+        push_us.push(push);
+        score_us.push(score);
+        worklist = ranked;
+        Ok(())
+    };
+
+    let scene_id: String;
+    if args.scene.extension().and_then(|e| e.to_str()) == Some(loa_ingest::FSCB_EXTENSION) {
+        let mut reader = loa_ingest::FrameReader::open(&args.scene)?;
+        scene_id = reader.id().to_string();
+        assembler.begin(reader.frame_dt());
+        while let Some(frame) = reader.next_frame()? {
+            replay_frame(&mut assembler, &frame)?;
+        }
+    } else {
+        let data = loa_ingest::load_scene_auto(&args.scene)?;
+        scene_id = data.id.clone();
+        assembler.begin(data.frame_dt);
+        for frame in &data.frames {
+            replay_frame(&mut assembler, frame)?;
+        }
+    }
+    let final_scene = assembler.finalize()?;
+
+    let n = push_us.len().max(1) as f64;
+    let mean_push = push_us.iter().sum::<f64>() / n;
+    let mean_score = score_us.iter().sum::<f64>() / n;
+    let max_frame = push_us
+        .iter()
+        .zip(&score_us)
+        .map(|(p, s)| p + s)
+        .fold(0.0f64, f64::max);
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "streamed {}: {} frame(s), {} track(s) final; per-frame mean push {:.1}us + score {:.1}us, worst frame {:.1}us",
+        scene_id,
+        push_us.len(),
+        final_scene.n_tracks(),
+        mean_push,
+        mean_score,
+        max_frame,
+    );
+    let _ = writeln!(summary, "final worklist ({} candidate(s)):", worklist.len());
+    for (i, (label, score)) in worklist.iter().take(args.top).enumerate() {
+        let _ = writeln!(summary, "  {:<3} {:<20} {:.3}", i + 1, label, score);
+    }
+    out.push_str(&summary);
+    Ok(out)
+}
+
 /// `fixy render`: ASCII render of one frame (and optionally an SVG).
 pub fn render(args: RenderArgs) -> Result<String, CliError> {
-    let data = loa_data::io::load_scene(&args.scene)?;
+    let data = loa_ingest::load_scene_auto(&args.scene)?;
     let Some(frame) = data.frames.get(args.frame) else {
         return Err(CliError::Invalid(format!(
             "frame {} out of range (scene has {})",
@@ -696,7 +908,114 @@ mod tests {
         )))
         .unwrap())
         .unwrap_err();
-        assert!(err.to_string().contains("no .json scenes"));
+        assert!(err.to_string().contains("no .json or .fscb scenes"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn convert_and_stream_workflow() {
+        let dir = tmp_dir("convert_stream");
+        let data_dir = dir.join("data");
+        run(parse(&argv(&format!(
+            "generate --profile lyft --scenes 2 --seed 33 --duration 4 --out {}",
+            data_dir.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let lib_path = dir.join("library.json");
+        run(parse(&argv(&format!(
+            "learn --data {} --out {}",
+            data_dir.display(),
+            lib_path.display()
+        )))
+        .unwrap())
+        .unwrap();
+
+        // convert: every JSON scene becomes a smaller .fscb twin.
+        let bin_dir = dir.join("bin");
+        let out = run(parse(&argv(&format!(
+            "convert --data {} --out {}",
+            data_dir.display(),
+            bin_dir.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("converted 2 scene(s)"), "{out}");
+        assert!(out.contains("x smaller"), "{out}");
+        let fscb_count = std::fs::read_dir(&bin_dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "fscb"))
+            .count();
+        assert_eq!(fscb_count, 2);
+
+        // Batch rank over the converted corpus must produce the identical
+        // worklist (scene ids and scores come from the same bytes).
+        let json_rank = run(parse(&argv(&format!(
+            "rank --scene {} --library {} --top 3 --grade",
+            data_dir.display(),
+            lib_path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let fscb_rank = run(parse(&argv(&format!(
+            "rank --scene {} --library {} --top 3 --grade",
+            bin_dir.display(),
+            lib_path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(json_rank, fscb_rank, "binary corpus must rank identically");
+
+        // stream: frame-by-frame replay over the binary scene.
+        let fscb_scene = std::fs::read_dir(&bin_dir).unwrap().next().unwrap().unwrap().path();
+        let out = run(parse(&argv(&format!(
+            "stream --scene {} --library {} --top 3",
+            fscb_scene.display(),
+            lib_path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("frame   0"), "{out}");
+        assert!(out.contains("streamed "), "{out}");
+        assert!(out.contains("final worklist"), "{out}");
+
+        // …and over the JSON twin, reaching the same final worklist.
+        let json_scene: std::path::PathBuf = {
+            let mut paths: Vec<_> = std::fs::read_dir(&data_dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            paths.sort();
+            paths
+                .into_iter()
+                .find(|p| p.file_stem() == fscb_scene.file_stem())
+                .unwrap()
+        };
+        let out_json = run(parse(&argv(&format!(
+            "stream --scene {} --library {} --top 3",
+            json_scene.display(),
+            lib_path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("final worklist"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&out), tail(&out_json), "same scene, same final worklist");
+
+        // Mismatched library app is rejected before any replay.
+        let err = run(parse(&argv(&format!(
+            "stream --scene {} --library {} --app model-errors",
+            fscb_scene.display(),
+            lib_path.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.to_string().contains("fitted for app"), "{err}");
+
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -27,6 +27,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
         Command::Generate(g) => commands::generate(g),
         Command::Learn(l) => commands::learn(l),
         Command::Rank(r) => commands::rank(r),
+        Command::Convert(c) => commands::convert(c),
+        Command::Stream(s) => commands::stream(s),
         Command::Fuzz(f) => commands::fuzz(f),
         Command::Render(r) => commands::render(r),
         Command::BenchRecord(b) => commands::bench_record(b),
@@ -40,6 +42,7 @@ pub enum CliError {
     Io(std::io::Error),
     Json(serde_json::Error),
     Data(loa_data::io::IoError),
+    Ingest(loa_ingest::IngestError),
     Fixy(fixy_core::FixyError),
     Invalid(String),
 }
@@ -50,6 +53,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io: {e}"),
             CliError::Json(e) => write!(f, "json: {e}"),
             CliError::Data(e) => write!(f, "data: {e}"),
+            CliError::Ingest(e) => write!(f, "ingest: {e}"),
             CliError::Fixy(e) => write!(f, "fixy: {e}"),
             CliError::Invalid(msg) => write!(f, "{msg}"),
         }
@@ -79,5 +83,11 @@ impl From<loa_data::io::IoError> for CliError {
 impl From<fixy_core::FixyError> for CliError {
     fn from(e: fixy_core::FixyError) -> Self {
         CliError::Fixy(e)
+    }
+}
+
+impl From<loa_ingest::IngestError> for CliError {
+    fn from(e: loa_ingest::IngestError) -> Self {
+        CliError::Ingest(e)
     }
 }

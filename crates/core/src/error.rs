@@ -16,6 +16,10 @@ pub enum FixyError {
     MissingDistribution { feature: String },
     /// A scene failed structural validation.
     InvalidScene(String),
+    /// A streamed scene source (directory walk, decode) failed mid-batch
+    /// — carried as a message so the pipeline stays decoupled from any
+    /// particular loader's error type.
+    SceneSource(String),
 }
 
 impl std::fmt::Display for FixyError {
@@ -31,6 +35,7 @@ impl std::fmt::Display for FixyError {
                 write!(f, "no fitted distribution for feature '{feature}'")
             }
             FixyError::InvalidScene(msg) => write!(f, "invalid scene: {msg}"),
+            FixyError::SceneSource(msg) => write!(f, "scene source: {msg}"),
         }
     }
 }

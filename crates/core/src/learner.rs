@@ -283,43 +283,76 @@ impl Learner {
     }
 
     /// Fit over already-assembled scenes.
+    ///
+    /// Sample collection makes one target traversal per *feature kind*
+    /// rather than one per feature: every feature ranging over (say)
+    /// tracks collects its values in the same walk, so adding features
+    /// to an application costs fits, not scene re-traversals. Each
+    /// feature's sample sequence (scene order, target order) is
+    /// identical to a per-feature walk, so the fitted distributions are
+    /// bit-identical.
     pub fn fit_assembled(
         &self,
         features: &FeatureSet,
         scenes: &[Scene],
     ) -> Result<FeatureLibrary, FixyError> {
+        use crate::feature::FeatureKind;
+
+        let learned: Vec<_> = features.learned().collect();
+        let mut scalar_values: Vec<Vec<FeatureValue>> = vec![Vec::new(); learned.len()];
+        let mut vector_values: Vec<Vec<Vec<f64>>> = vec![Vec::new(); learned.len()];
+        for kind in [
+            FeatureKind::Observation,
+            FeatureKind::Bundle,
+            FeatureKind::Transition,
+            FeatureKind::Track,
+        ] {
+            let of_kind: Vec<usize> = learned
+                .iter()
+                .enumerate()
+                .filter(|(_, bf)| bf.feature.kind() == kind)
+                .map(|(i, _)| i)
+                .collect();
+            if of_kind.is_empty() {
+                continue;
+            }
+            for scene in scenes {
+                for_each_target(scene, kind, |target, _edges| {
+                    for &i in &of_kind {
+                        let feature = learned[i].feature.as_ref();
+                        if feature.probability_model() == ProbabilityModel::LearnedJointKde {
+                            if let Some(v) = feature.vector_value(scene, &target) {
+                                vector_values[i].push(v);
+                            }
+                        } else if let Some(v) = feature.value(scene, &target) {
+                            scalar_values[i].push(v);
+                        }
+                    }
+                });
+            }
+        }
+
+        // Fit in declaration order, so error reporting (first feature
+        // with no samples, first failing fit) matches the old
+        // per-feature walk exactly.
         let mut library = FeatureLibrary::default();
-        for bf in features.learned() {
+        for (i, bf) in learned.iter().enumerate() {
             let feature = bf.feature.as_ref();
             let dist = if feature.probability_model() == ProbabilityModel::LearnedJointKde {
-                let mut vectors: Vec<Vec<f64>> = Vec::new();
-                for scene in scenes {
-                    for_each_target(scene, feature.kind(), |target, _edges| {
-                        if let Some(v) = feature.vector_value(scene, &target) {
-                            vectors.push(v);
-                        }
-                    });
-                }
+                let vectors = &vector_values[i];
                 if vectors.is_empty() {
                     return Err(FixyError::NoTrainingData { feature: feature.name().to_string() });
                 }
-                FittedDistribution::Joint(KdeNd::fit(&vectors).map_err(|e| FixyError::Fit {
+                FittedDistribution::Joint(KdeNd::fit(vectors).map_err(|e| FixyError::Fit {
                     feature: feature.name().to_string(),
                     error: e,
                 })?)
             } else {
-                let mut values: Vec<FeatureValue> = Vec::new();
-                for scene in scenes {
-                    for_each_target(scene, feature.kind(), |target, _edges| {
-                        if let Some(v) = feature.value(scene, &target) {
-                            values.push(v);
-                        }
-                    });
-                }
+                let values = &scalar_values[i];
                 if values.is_empty() {
                     return Err(FixyError::NoTrainingData { feature: feature.name().to_string() });
                 }
-                fit_values(feature.name(), feature.probability_model(), &values)?
+                fit_values(feature.name(), feature.probability_model(), values)?
             };
             library.insert(feature.name().to_string(), dist);
         }
@@ -437,6 +470,29 @@ mod tests {
         // and still returns something sane.
         let p = vol.probability(&FeatureValue::scalar(14.0));
         assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn shared_traversal_fit_matches_per_feature_fits() {
+        // The one-traversal-per-kind collection must fit bit-identical
+        // distributions to fitting each feature alone (its own
+        // traversal): sample order per feature is unchanged.
+        let scenes = training_scenes(2);
+        let set = FeatureSet::paper_default();
+        let library = Learner::new().fit(&set, &scenes).unwrap();
+        for bf in set.learned() {
+            let name = bf.feature.name();
+            let solo = Learner::new()
+                .fit(&FeatureSet::new(vec![bf.clone()]), &scenes)
+                .unwrap();
+            let a = serde::Serialize::to_json_value(library.get(name).unwrap());
+            let b = serde::Serialize::to_json_value(solo.get(name).unwrap());
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "{name} diverged under the shared traversal"
+            );
+        }
     }
 
     #[test]

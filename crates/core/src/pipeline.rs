@@ -250,6 +250,129 @@ impl<R: SceneRanker> ScenePipeline<R> {
         }
     }
 
+    /// Like [`process`](ScenePipeline::process), but over a *stream* of
+    /// scenes, holding at most O(workers) scenes in memory.
+    ///
+    /// The batch entry points materialize the whole input before fanning
+    /// out — fine for a handful of scenes, unaffordable for a
+    /// fleet-scale corpus directory. Here `sources` yields cheap scene
+    /// *tokens* (paths, seeds) which workers pull one at a time under a
+    /// lock, in input order; `load` then materializes the scene inside
+    /// the worker — so decode cost parallelizes instead of serializing
+    /// on the pull lock — and only `post`'s output is retained. `load`
+    /// failures propagate like scene errors. Results keep input order
+    /// and are byte-identical to the buffered path (`tests/ingest.rs`
+    /// locks this); the returned error is always the lowest-index
+    /// failure, independent of worker timing.
+    pub fn process_stream<S, T, F, L, E, I>(
+        &self,
+        library: &FeatureLibrary,
+        sources: I,
+        load: L,
+        post: F,
+    ) -> Result<Vec<T>, FixyError>
+    where
+        I: IntoIterator<Item = S>,
+        I::IntoIter: Send,
+        S: Send,
+        L: Fn(S) -> Result<SceneData, E> + Sync,
+        E: Into<FixyError>,
+        T: Send,
+        F: Fn(RankedScene<R::Candidate>) -> T + Sync + Send,
+    {
+        let workers = if self.parallel { rayon::current_num_threads() } else { 1 };
+        self.process_stream_with_workers(workers, library, sources, load, post)
+    }
+
+    /// [`process_stream`](Self::process_stream) with an explicit worker
+    /// count (the public wrapper picks the thread-pool width; tests pin
+    /// it to exercise the threaded branch on any host).
+    fn process_stream_with_workers<S, T, F, L, E, I>(
+        &self,
+        workers: usize,
+        library: &FeatureLibrary,
+        sources: I,
+        load: L,
+        post: F,
+    ) -> Result<Vec<T>, FixyError>
+    where
+        I: IntoIterator<Item = S>,
+        I::IntoIter: Send,
+        S: Send,
+        L: Fn(S) -> Result<SceneData, E> + Sync,
+        E: Into<FixyError>,
+        T: Send,
+        F: Fn(RankedScene<R::Candidate>) -> T + Sync + Send,
+    {
+        if workers <= 1 {
+            // Sequential reference path: one scene in memory, first
+            // error aborts.
+            let mut out = Vec::new();
+            for (index, token) in sources.into_iter().enumerate() {
+                let data = load(token).map_err(Into::into)?;
+                out.push(post(self.process_scene(index, data, library)?));
+            }
+            return Ok(out);
+        }
+
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex;
+        let source = Mutex::new(sources.into_iter().enumerate());
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+        // Lowest-index failure wins: tokens are pulled in input order, so
+        // by the time index `k` fails every scene before `k` was already
+        // pulled and will record its own (lower-index) failure if it has
+        // one — the winner is exactly the error the sequential path
+        // would have returned first.
+        let first_error: Mutex<Option<(usize, FixyError)>> = Mutex::new(None);
+        let stop = AtomicBool::new(false);
+        let record_error = |index: usize, error: FixyError| {
+            let mut slot = first_error.lock().expect("error slot poisoned");
+            match &*slot {
+                Some((winner, _)) if *winner <= index => {}
+                _ => *slot = Some((index, error)),
+            }
+            stop.store(true, Ordering::Relaxed);
+        };
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Only the token pull is serialized; the load (file
+                    // read, decode, generation) runs on this worker.
+                    let next = source.lock().expect("scene source poisoned").next();
+                    let Some((index, token)) = next else { break };
+                    match load(token) {
+                        Err(e) => {
+                            record_error(index, e.into());
+                            break;
+                        }
+                        Ok(data) => match self.process_scene(index, data, library) {
+                            Ok(ranked) => {
+                                let mapped = post(ranked);
+                                results.lock().expect("result sink poisoned").push((index, mapped));
+                            }
+                            Err(e) => {
+                                record_error(index, e);
+                                break;
+                            }
+                        },
+                    }
+                });
+            }
+        });
+
+        if let Some((_, error)) = first_error.into_inner().expect("error slot poisoned") {
+            return Err(error);
+        }
+        let mut results = results.into_inner().expect("result sink poisoned");
+        results.sort_by_key(|&(index, _)| index);
+        Ok(results.into_iter().map(|(_, value)| value).collect())
+    }
+
     /// Run the batch and merge all candidates into one deterministic
     /// worklist: stable by scene id, then by each scene's ranking
     /// (score descending, track index tiebreak).
@@ -363,6 +486,84 @@ mod tests {
             }
             last = Some((&bc.scene_id, bc.candidate.score));
         }
+    }
+
+    #[test]
+    fn process_stream_matches_buffered_run() {
+        let train = small_batch(2, 100);
+        let lib = library(&train);
+        let batch = small_batch(5, 900);
+
+        let buffered = ScenePipeline::new(MissingTrackFinder::default())
+            .run_merged(&lib, batch.clone())
+            .expect("buffered");
+        let streamed = ScenePipeline::new(MissingTrackFinder::default())
+            .process_stream(&lib, batch, Ok::<_, FixyError>, |r| r)
+            .expect("streamed");
+        let streamed = merge_ranked(streamed);
+
+        assert_eq!(buffered.len(), streamed.len());
+        for (a, b) in buffered.iter().zip(&streamed) {
+            assert_eq!(a.scene_id, b.scene_id);
+            assert_eq!(a.candidate.track, b.candidate.track);
+            assert_eq!(a.candidate.score.to_bits(), b.candidate.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn process_stream_surfaces_source_errors() {
+        let train = small_batch(2, 100);
+        let lib = library(&train);
+        let batch = small_batch(3, 900);
+        let source = batch.into_iter().map(Some).chain(std::iter::once(None));
+        let err = ScenePipeline::new(MissingTrackFinder::default())
+            .process_stream(
+                &lib,
+                source,
+                |token| token.ok_or_else(|| FixyError::SceneSource("decode failed".into())),
+                |r| r.id,
+            )
+            .expect_err("load error must abort the stream");
+        assert!(matches!(err, FixyError::SceneSource(_)), "{err}");
+    }
+
+    #[test]
+    fn process_stream_holds_at_most_workers_scenes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let train = small_batch(2, 100);
+        let lib = library(&train);
+        let batch = small_batch(6, 1200);
+
+        // Pin the worker count so the threaded branch (and its bound) is
+        // exercised regardless of the host's CPU count.
+        let workers = 3;
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let ids = ScenePipeline::new(MissingTrackFinder::default())
+            .process_stream_with_workers(
+                workers,
+                &lib,
+                batch,
+                |s| {
+                    // A scene is "in flight" from load until post.
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    Ok::<_, FixyError>(s)
+                },
+                |r| {
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    r.id
+                },
+            )
+            .expect("stream");
+
+        assert_eq!(ids.len(), 6);
+        assert!(
+            peak.load(Ordering::SeqCst) <= workers,
+            "held {} scenes with only {workers} workers",
+            peak.load(Ordering::SeqCst)
+        );
     }
 
     #[test]

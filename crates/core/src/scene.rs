@@ -21,10 +21,10 @@
 //! manual serde impl.
 
 use loa_assoc::{
-    build_tracks_with, bundle_frame_into, BundleScratch, FrameBundles, IouBundler, TrackerConfig,
-    TrackerScratch, DEFAULT_BUNDLE_IOU,
+    bundle_frame_into, BundleScratch, FrameBundles, IouBundler, TrackBuilder, TrackerConfig,
+    DEFAULT_BUNDLE_IOU,
 };
-use loa_data::{FrameId, ObjectClass, ObservationSource, SceneData};
+use loa_data::{Frame, FrameId, ObjectClass, ObservationSource, SceneData};
 use loa_geom::{Box3, Vec2};
 use serde::{Deserialize, Serialize};
 
@@ -452,6 +452,19 @@ fn representative_box(observations: &[Observation], members: &[ObsIdx]) -> Box3 
 /// by the engine and reused across scenes. `ScenePipeline` keeps one
 /// engine per worker thread, so a warm batch run allocates only for the
 /// scenes it returns.
+///
+/// The stages are exposed incrementally: [`begin`](AssemblyEngine::begin)
+/// / [`push_frame`](AssemblyEngine::push_frame) /
+/// [`finish`](AssemblyEngine::finish) run one frame at a time — stage 1
+/// bundles the frame into the in-progress CSR and stage 2 extends tracks
+/// through an incremental [`TrackBuilder`] immediately, so a live stream
+/// has no batch latency floor. [`Scene::assemble`] (and
+/// [`assemble`](AssemblyEngine::assemble)) is the one-shot loop over this
+/// exact path, which is what makes streamed and batch output
+/// field-for-field identical. [`snapshot_prefix`](AssemblyEngine::snapshot_prefix)
+/// materializes the partial scene mid-stream (the sweep never revises a
+/// past frame's assignments, so a prefix snapshot equals a batch assembly
+/// of the truncated scene).
 #[derive(Debug, Default)]
 pub struct AssemblyEngine {
     cfg: AssemblyConfig,
@@ -463,11 +476,23 @@ pub struct AssemblyEngine {
     // Bundling scratch (grid, union-find, CSR groups).
     bundle_scratch: BundleScratch,
     frame_bundles: FrameBundles,
-    // Tracking inputs/scratch: per-frame representative boxes and bundle
-    // ids, then the tracker's grid/matrix/matcher buffers.
-    rep_boxes: Vec<Vec<Box3>>,
-    bundle_lookup: Vec<Vec<BundleIdx>>,
-    tracker_scratch: TrackerScratch,
+    // This frame's bundle representative boxes (tracker input), plus the
+    // incremental tracker itself (owns its grid/matrix/matcher scratch).
+    rep_boxes: Vec<Box3>,
+    tracker: TrackBuilder,
+    // In-progress scene accumulators: the bundle CSR grows per frame;
+    // `frame_obs_start`/`frame_bundle_start` record each frame's
+    // watermarks (entry `f` = counts before frame `f`), which both maps
+    // a tracker path entry `(f, b)` to its `BundleIdx` and lets
+    // `snapshot_prefix` cut the arenas at any frame boundary.
+    observations: Vec<Observation>,
+    bundles: Vec<Bundle>,
+    bundle_obs_offsets: Vec<u32>,
+    bundle_obs_arena: Vec<ObsIdx>,
+    frame_obs_start: Vec<u32>,
+    frame_bundle_start: Vec<u32>,
+    frame_dt: f64,
+    n_frames: usize,
 }
 
 impl AssemblyEngine {
@@ -481,6 +506,8 @@ impl AssemblyEngine {
 
     /// Swap the assembly configuration, keeping all scratch buffers (the
     /// pipeline's per-thread engines serve whatever app comes next).
+    /// Takes effect from the next pushed frame — swap between scenes,
+    /// not mid-stream.
     pub fn set_config(&mut self, cfg: AssemblyConfig) {
         self.cfg = cfg;
     }
@@ -490,23 +517,9 @@ impl AssemblyEngine {
     /// per-frame buffer from previous calls.
     pub fn assemble(&mut self, data: &SceneData) -> Scene {
         let cfg = self.cfg;
-        let n_frames = data.frames.len();
-        let bundler = IouBundler { threshold: cfg.bundle_iou };
-
-        // Reset the per-frame tracking inputs, keeping inner capacity.
-        for v in &mut self.rep_boxes {
-            v.clear();
-        }
-        for v in &mut self.bundle_lookup {
-            v.clear();
-        }
-        self.rep_boxes.resize_with(n_frames, Vec::new);
-        self.bundle_lookup.resize_with(n_frames, Vec::new);
-
-        // Stage 1: gather observations and bundle per frame, writing the
-        // bundle CSR directly. Output vectors are sized upfront — the
-        // observation count is known exactly, and bundles can't outnumber
-        // observations.
+        self.begin(data.frame_dt);
+        // Size the output vectors upfront — the observation count is
+        // known exactly, and bundles can't outnumber observations.
         let n_obs: usize = data
             .frames
             .iter()
@@ -515,106 +528,224 @@ impl AssemblyEngine {
                     + (if cfg.use_model { f.detections.len() } else { 0 })
             })
             .sum();
-        let mut observations: Vec<Observation> = Vec::with_capacity(n_obs);
-        let mut bundles: Vec<Bundle> = Vec::with_capacity(n_obs);
-        let mut bundle_obs_offsets: Vec<u32> = Vec::with_capacity(n_obs + 1);
-        bundle_obs_offsets.push(0);
-        let mut bundle_obs_arena: Vec<ObsIdx> = Vec::with_capacity(n_obs);
+        self.observations.reserve(n_obs);
+        self.bundles.reserve(n_obs);
+        self.bundle_obs_offsets.reserve(n_obs + 1);
+        self.bundle_obs_arena.reserve(n_obs);
+        for frame in &data.frames {
+            self.push_frame(frame);
+        }
+        self.finish()
+    }
 
-        for (f, frame) in data.frames.iter().enumerate() {
-            self.human_boxes.clear();
-            self.human_idx.clear();
-            self.model_boxes.clear();
-            self.model_idx.clear();
+    /// Start a new scene, discarding any in-progress state (buffer
+    /// capacity survives). Required before [`push_frame`](Self::push_frame).
+    pub fn begin(&mut self, frame_dt: f64) {
+        self.observations.clear();
+        self.bundles.clear();
+        self.bundle_obs_offsets.clear();
+        self.bundle_obs_offsets.push(0);
+        self.bundle_obs_arena.clear();
+        self.frame_obs_start.clear();
+        self.frame_bundle_start.clear();
+        self.tracker.begin();
+        self.frame_dt = frame_dt;
+        self.n_frames = 0;
+    }
 
-            if cfg.use_human {
-                for (i, label) in frame.human_labels.iter().enumerate() {
-                    let idx = ObsIdx(observations.len());
-                    observations.push(Observation {
-                        idx,
-                        frame: frame.index,
-                        source: ObservationSource::Human,
-                        source_index: i,
-                        bbox: label.bbox,
-                        class: label.class,
-                        confidence: None,
-                        world_center: frame.ego_pose.transform(label.bbox.center.bev()),
-                    });
-                    self.human_boxes.push(label.bbox);
-                    self.human_idx.push(idx);
-                }
+    /// Number of frames pushed since [`begin`](Self::begin).
+    pub fn frames_pushed(&self) -> usize {
+        self.n_frames
+    }
+
+    /// Ingest the next frame: gather its observations, bundle them into
+    /// the in-progress CSR, and extend tracks. The frame's position in
+    /// the scene is its push order; callers streaming untrusted input
+    /// validate `frame.index` against [`frames_pushed`](Self::frames_pushed)
+    /// first (as `loa_ingest::StreamingAssembler` does).
+    pub fn push_frame(&mut self, frame: &Frame) {
+        assert!(
+            !self.bundle_obs_offsets.is_empty(),
+            "AssemblyEngine::begin must be called before push_frame"
+        );
+        let cfg = self.cfg;
+        let bundler = IouBundler { threshold: cfg.bundle_iou };
+        let f = self.n_frames;
+        self.frame_obs_start.push(self.observations.len() as u32);
+        self.frame_bundle_start.push(self.bundles.len() as u32);
+
+        // Stage 1a: gather this frame's observations.
+        self.human_boxes.clear();
+        self.human_idx.clear();
+        self.model_boxes.clear();
+        self.model_idx.clear();
+        if cfg.use_human {
+            for (i, label) in frame.human_labels.iter().enumerate() {
+                let idx = ObsIdx(self.observations.len());
+                self.observations.push(Observation {
+                    idx,
+                    frame: frame.index,
+                    source: ObservationSource::Human,
+                    source_index: i,
+                    bbox: label.bbox,
+                    class: label.class,
+                    confidence: None,
+                    world_center: frame.ego_pose.transform(label.bbox.center.bev()),
+                });
+                self.human_boxes.push(label.bbox);
+                self.human_idx.push(idx);
             }
-            if cfg.use_model {
-                for (i, det) in frame.detections.iter().enumerate() {
-                    let idx = ObsIdx(observations.len());
-                    observations.push(Observation {
-                        idx,
-                        frame: frame.index,
-                        source: ObservationSource::Model,
-                        source_index: i,
-                        bbox: det.bbox,
-                        class: det.class,
-                        confidence: Some(det.confidence),
-                        world_center: frame.ego_pose.transform(det.bbox.center.bev()),
-                    });
-                    self.model_boxes.push(det.bbox);
-                    self.model_idx.push(idx);
-                }
-            }
-
-            bundle_frame_into(
-                &[&self.human_boxes, &self.model_boxes],
-                &bundler,
-                &mut self.bundle_scratch,
-                &mut self.frame_bundles,
-            );
-
-            // Stage 3a: materialize this frame's bundles into the CSR
-            // arena and record the tracking inputs.
-            let reps = &mut self.rep_boxes[f];
-            let ids = &mut self.bundle_lookup[f];
-            for members in self.frame_bundles.iter() {
-                let idx = BundleIdx(bundles.len());
-                let start = bundle_obs_arena.len();
-                for &(source, i) in members {
-                    bundle_obs_arena.push(if source == 0 {
-                        self.human_idx[i]
-                    } else {
-                        self.model_idx[i]
-                    });
-                }
-                let rep = representative_box(&observations, &bundle_obs_arena[start..]);
-                bundles.push(Bundle { idx, frame: FrameId(f as u32) });
-                bundle_obs_offsets.push(bundle_obs_arena.len() as u32);
-                reps.push(rep);
-                ids.push(idx);
+        }
+        if cfg.use_model {
+            for (i, det) in frame.detections.iter().enumerate() {
+                let idx = ObsIdx(self.observations.len());
+                self.observations.push(Observation {
+                    idx,
+                    frame: frame.index,
+                    source: ObservationSource::Model,
+                    source_index: i,
+                    bbox: det.bbox,
+                    class: det.class,
+                    confidence: Some(det.confidence),
+                    world_center: frame.ego_pose.transform(det.bbox.center.bev()),
+                });
+                self.model_boxes.push(det.bbox);
+                self.model_idx.push(idx);
             }
         }
 
-        // Stage 2: link bundles across frames by representative-box
-        // overlap.
-        let paths = build_tracks_with(&self.rep_boxes, &cfg.tracker, &mut self.tracker_scratch);
+        // Stage 1b: bundle the frame.
+        bundle_frame_into(
+            &[&self.human_boxes, &self.model_boxes],
+            &bundler,
+            &mut self.bundle_scratch,
+            &mut self.frame_bundles,
+        );
 
-        // Stage 3b: materialize the track CSR.
+        // Stage 3a: materialize this frame's bundles into the CSR arena
+        // and collect the tracking inputs.
+        self.rep_boxes.clear();
+        for members in self.frame_bundles.iter() {
+            let idx = BundleIdx(self.bundles.len());
+            let start = self.bundle_obs_arena.len();
+            for &(source, i) in members {
+                self.bundle_obs_arena.push(if source == 0 {
+                    self.human_idx[i]
+                } else {
+                    self.model_idx[i]
+                });
+            }
+            let rep = representative_box(&self.observations, &self.bundle_obs_arena[start..]);
+            self.bundles.push(Bundle { idx, frame: FrameId(f as u32) });
+            self.bundle_obs_offsets.push(self.bundle_obs_arena.len() as u32);
+            self.rep_boxes.push(rep);
+        }
+
+        // Stage 2: extend tracks through this frame.
+        self.tracker.step(&cfg.tracker, &self.rep_boxes);
+        self.n_frames += 1;
+    }
+
+    /// End the stream and materialize the [`Scene`]. The engine needs a
+    /// [`begin`](Self::begin) before the next scene.
+    pub fn finish(&mut self) -> Scene {
+        // Stage 3b: materialize the track CSR from the finished paths.
+        let paths = self.tracker.finish();
         let mut tracks: Vec<Track> = Vec::with_capacity(paths.len());
         let mut track_bundle_offsets: Vec<u32> = Vec::with_capacity(paths.len() + 1);
         track_bundle_offsets.push(0);
-        let mut track_bundle_arena: Vec<BundleIdx> = Vec::with_capacity(bundles.len());
+        let mut track_bundle_arena: Vec<BundleIdx> = Vec::with_capacity(self.bundles.len());
         for (i, path) in paths.iter().enumerate() {
             tracks.push(Track { idx: TrackIdx(i) });
-            track_bundle_arena.extend(path.entries.iter().map(|&(f, b)| self.bundle_lookup[f][b]));
+            track_bundle_arena.extend(
+                path.entries
+                    .iter()
+                    .map(|&(f, b)| BundleIdx(self.frame_bundle_start[f] as usize + b)),
+            );
+            track_bundle_offsets.push(track_bundle_arena.len() as u32);
+        }
+
+        let scene = Scene {
+            observations: std::mem::take(&mut self.observations),
+            bundles: std::mem::take(&mut self.bundles),
+            bundle_obs_offsets: std::mem::take(&mut self.bundle_obs_offsets),
+            bundle_obs_arena: std::mem::take(&mut self.bundle_obs_arena),
+            tracks,
+            track_bundle_offsets,
+            track_bundle_arena,
+            frame_dt: self.frame_dt,
+            n_frames: self.n_frames,
+        };
+        self.frame_obs_start.clear();
+        self.frame_bundle_start.clear();
+        self.n_frames = 0;
+        scene
+    }
+
+    /// Materialize the scene assembled so far without ending the stream —
+    /// what a live app scores between frames.
+    pub fn snapshot(&self) -> Scene {
+        self.snapshot_prefix(self.n_frames)
+    }
+
+    /// Materialize the partial scene covering pushed frames
+    /// `0..n_frames`. Field-for-field equal to a batch assembly of the
+    /// scene truncated to those frames: the per-frame sweep never revises
+    /// a past assignment, so cutting the arenas at the frame watermark
+    /// and truncating every track path to frames `< n_frames` *is* the
+    /// prefix assembly.
+    ///
+    /// # Panics
+    /// If `n_frames` exceeds [`frames_pushed`](Self::frames_pushed).
+    pub fn snapshot_prefix(&self, n_frames: usize) -> Scene {
+        assert!(
+            n_frames <= self.n_frames,
+            "snapshot_prefix({n_frames}) beyond the {} pushed frame(s)",
+            self.n_frames
+        );
+        assert!(
+            !self.bundle_obs_offsets.is_empty(),
+            "AssemblyEngine::begin must be called before snapshot_prefix"
+        );
+        let (obs_end, bundle_end) = if n_frames == self.n_frames {
+            (self.observations.len(), self.bundles.len())
+        } else {
+            (
+                self.frame_obs_start[n_frames] as usize,
+                self.frame_bundle_start[n_frames] as usize,
+            )
+        };
+
+        let mut tracks: Vec<Track> = Vec::new();
+        let mut track_bundle_offsets: Vec<u32> = vec![0];
+        let mut track_bundle_arena: Vec<BundleIdx> = Vec::new();
+        // The snapshot paths are sorted by first entry; truncating a path
+        // keeps its first entry (or empties it entirely), so the filtered
+        // list stays sorted.
+        for path in self.tracker.snapshot() {
+            let cut = path.entries.partition_point(|&(f, _)| f < n_frames);
+            if cut == 0 {
+                continue;
+            }
+            tracks.push(Track { idx: TrackIdx(tracks.len()) });
+            track_bundle_arena.extend(
+                path.entries[..cut]
+                    .iter()
+                    .map(|&(f, b)| BundleIdx(self.frame_bundle_start[f] as usize + b)),
+            );
             track_bundle_offsets.push(track_bundle_arena.len() as u32);
         }
 
         Scene {
-            observations,
-            bundles,
-            bundle_obs_offsets,
-            bundle_obs_arena,
+            observations: self.observations[..obs_end].to_vec(),
+            bundles: self.bundles[..bundle_end].to_vec(),
+            bundle_obs_offsets: self.bundle_obs_offsets[..bundle_end + 1].to_vec(),
+            bundle_obs_arena: self.bundle_obs_arena[..self.bundle_obs_offsets[bundle_end] as usize]
+                .to_vec(),
             tracks,
             track_bundle_offsets,
             track_bundle_arena,
-            frame_dt: data.frame_dt,
+            frame_dt: self.frame_dt,
             n_frames,
         }
     }
@@ -804,6 +935,69 @@ mod tests {
         let reused = engine.assemble(&data);
         let fresh = Scene::assemble(&data, &AssemblyConfig::model_only());
         assert_eq!(reused, fresh, "config swap diverged");
+    }
+
+    #[test]
+    fn incremental_push_matches_batch_assembly() {
+        // Pushing frames one at a time through begin/push_frame/finish
+        // must produce exactly what the one-shot assemble does, for every
+        // assembly preset.
+        for cfg in
+            [AssemblyConfig::default(), AssemblyConfig::model_only(), AssemblyConfig::human_only()]
+        {
+            let data = tiny_scene_data(21);
+            let mut engine = AssemblyEngine::new(cfg);
+            engine.begin(data.frame_dt);
+            for frame in &data.frames {
+                engine.push_frame(frame);
+            }
+            assert_eq!(engine.frames_pushed(), data.frames.len());
+            let streamed = engine.finish();
+            assert_eq!(streamed, Scene::assemble(&data, &cfg));
+        }
+    }
+
+    #[test]
+    fn snapshot_prefix_equals_truncated_batch_assembly() {
+        // After every pushed frame, the prefix snapshot must equal a
+        // batch assembly of the scene truncated to those frames.
+        let data = tiny_scene_data(22);
+        let cfg = AssemblyConfig::default();
+        let mut engine = AssemblyEngine::new(cfg);
+        engine.begin(data.frame_dt);
+        for (k, frame) in data.frames.iter().enumerate() {
+            engine.push_frame(frame);
+            let mut truncated = data.clone();
+            truncated.frames.truncate(k + 1);
+            assert_eq!(
+                engine.snapshot(),
+                Scene::assemble(&truncated, &cfg),
+                "snapshot after {} frame(s) diverged",
+                k + 1
+            );
+        }
+        // Interior prefixes work too, and snapshots never disturb the
+        // stream: the final scene still matches batch.
+        let mut half = data.clone();
+        half.frames.truncate(data.frames.len() / 2);
+        assert_eq!(
+            engine.snapshot_prefix(half.frames.len()),
+            Scene::assemble(&half, &cfg)
+        );
+        assert_eq!(engine.finish(), Scene::assemble(&data, &cfg));
+    }
+
+    #[test]
+    fn empty_stream_finishes_to_empty_scene() {
+        let mut engine = AssemblyEngine::new(AssemblyConfig::default());
+        engine.begin(0.2);
+        assert_eq!(engine.snapshot().n_frames, 0);
+        let scene = engine.finish();
+        assert!(scene.observations().is_empty());
+        assert!(scene.bundles().is_empty());
+        assert!(scene.tracks().is_empty());
+        assert_eq!(scene.n_frames, 0);
+        assert_eq!(scene.frame_dt, 0.2);
     }
 
     #[test]

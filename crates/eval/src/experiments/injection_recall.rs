@@ -239,13 +239,17 @@ fn track_has_label_of(data: &SceneData, scene: &Scene, track: TrackIdx, target: 
     })
 }
 
-/// Run the conformance experiment. Feeds the fuzzed corpus through one
-/// [`ScenePipeline`] per error kind and checks every injected error
-/// against the top-k of its scene's worklist.
+/// Run the conformance experiment. Streams the fuzzed corpus through
+/// one [`ScenePipeline`] per error kind — scenes are regenerated lazily
+/// from the seed per kind and pulled by the workers, so the whole
+/// corpus is never materialized (O(workers) scenes in memory, the same
+/// bounded regime as `fixy rank --scene <DIR>`) — and checks every
+/// injected error against the top-k of its scene's worklist.
 pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallResult {
     let fuzzer = ScenarioFuzzer::new(config.seed);
     let train = fuzzer.training_corpus(config.n_train);
-    let corpus = fuzzer.corpus(config.n_scenes);
+    let corpus = || 0..config.n_scenes as u64;
+    let gen_scene = |i: u64| Ok::<_, fixy_core::FixyError>(fuzzer.scene(i));
     let k = config.top_k;
 
     let mt = MissingTrackFinder::default();
@@ -254,28 +258,41 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
     let la = LabelAuditFinder::default();
     let ba = BundleAuditFinder;
 
-    let mt_lib = Learner::new()
-        .fit(&mt.feature_set(), &train)
+    // The five libraries share two assemblies of the training corpus
+    // (human-only for the four standard learners, mixed for the
+    // bundle-consistency one) instead of re-assembling per application.
+    let human_learner = Learner::new();
+    let human_train: Vec<Scene> = train
+        .iter()
+        .map(|s| Scene::assemble(s, &human_learner.assembly))
+        .collect();
+    let mt_lib = human_learner
+        .fit_assembled(&mt.feature_set(), &human_train)
         .expect("fit missing-track");
-    let mo_lib = Learner::new()
-        .fit(&mo.feature_set(), &train)
+    let mo_lib = human_learner
+        .fit_assembled(&mo.feature_set(), &human_train)
         .expect("fit missing-obs");
-    let me_lib = Learner::new()
-        .fit(&me.feature_set(), &train)
+    let me_lib = human_learner
+        .fit_assembled(&me.feature_set(), &human_train)
         .expect("fit model-error");
-    let la_lib = Learner::new()
-        .fit(&la.feature_set(), &train)
+    let la_lib = human_learner
+        .fit_assembled(&la.feature_set(), &human_train)
         .expect("fit label-audit");
     // Bundle consistency is learned from matched human+model bundles.
+    let mixed_train: Vec<Scene> = train
+        .iter()
+        .map(|s| Scene::assemble(s, &AssemblyConfig::default()))
+        .collect();
     let ba_lib = Learner { assembly: AssemblyConfig::default() }
-        .fit(&ba.feature_set(), &train)
+        .fit_assembled(&ba.feature_set(), &mixed_train)
         .expect("fit bundle-audit");
+    drop((human_train, mixed_train, train));
 
     let mut outcomes: Vec<ErrorOutcome> = Vec::new();
 
     // --- missing-track ----------------------------------------------------
     let per_scene = ScenePipeline::new(mt.clone())
-        .process(&mt_lib, corpus.clone(), |r| {
+        .process_stream(&mt_lib, corpus(), gen_scene, |r| {
             let mut out = Vec::new();
             for m in &r.data.injected.missing_tracks {
                 let rank = r
@@ -297,7 +314,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
 
     // --- missing-box ------------------------------------------------------
     let per_scene = ScenePipeline::new(mo.clone())
-        .process(&mo_lib, corpus.clone(), |r| {
+        .process_stream(&mo_lib, corpus(), gen_scene, |r| {
             let mut out = Vec::new();
             for m in &r.data.injected.missing_boxes {
                 let rank = r.candidates.iter().take(k).position(|c| {
@@ -317,7 +334,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
 
     // --- class-swap -------------------------------------------------------
     let per_scene = ScenePipeline::new(la.clone())
-        .process(&la_lib, corpus.clone(), |r| {
+        .process_stream(&la_lib, corpus(), gen_scene, |r| {
             let mut out = Vec::new();
             for s in &r.data.injected.class_swaps {
                 let rank = r
@@ -342,7 +359,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
 
     // --- ghost-track ------------------------------------------------------
     let per_scene = ScenePipeline::new(me.clone())
-        .process(&me_lib, corpus.clone(), |r| {
+        .process_stream(&me_lib, corpus(), gen_scene, |r| {
             let mut out = Vec::new();
             for (ghost, span) in &r.data.injected.ghost_tracks {
                 let rank = r
@@ -364,7 +381,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
 
     // --- inconsistent-bundle ----------------------------------------------
     let per_scene = ScenePipeline::new(ba.clone())
-        .process(&ba_lib, corpus, |r| {
+        .process_stream(&ba_lib, corpus(), gen_scene, |r| {
             let mut out = Vec::new();
             for ib in &r.data.injected.inconsistent_bundles {
                 let rank = r.candidates.iter().take(k).position(|c| {

@@ -9,6 +9,8 @@
 //! * [`geom`], [`stats`], [`graph`], [`assoc`] — the substrates,
 //! * [`baselines`] — ad-hoc model assertions and uncertainty sampling,
 //! * [`eval`] — the experiment harness reproducing Section 8,
+//! * [`ingest`] — streaming ingest (incremental frame-by-frame assembly,
+//!   the `.fscb` binary scene format, streamed corpus sources),
 //! * [`render`] — BEV ASCII/SVG figures.
 //!
 //! ## Quickstart
@@ -46,6 +48,7 @@ pub use loa_data as data;
 pub use loa_eval as eval;
 pub use loa_geom as geom;
 pub use loa_graph as graph;
+pub use loa_ingest as ingest;
 pub use loa_render as render;
 pub use loa_stats as stats;
 

@@ -1,0 +1,198 @@
+//! Streamed corpus sources: a deterministic directory walk yielding
+//! scenes one at a time.
+//!
+//! `fixy rank --scene <DIR>` used to read every scene JSON into memory
+//! before the pipeline saw the first one — fine for a demo directory,
+//! unaffordable for a fleet's day of drives. [`CorpusSource`] walks the
+//! directory once (sorted, so every run and every machine agrees on the
+//! order), then loads scenes lazily as the pipeline's workers pull them:
+//! feeding `ScenePipeline::process_stream` keeps at most O(workers)
+//! scenes in memory.
+
+use crate::error::IngestError;
+use crate::fscb::{self, FSCB_EXTENSION};
+use loa_data::SceneData;
+use std::path::{Path, PathBuf};
+
+/// Load one scene in either format: `.json` through `loa_data::io`,
+/// `.fscb` through the binary decoder. A path with any other (or no)
+/// extension is sniffed by magic — `FSCB` leading bytes mean binary,
+/// anything else parses as JSON, preserving the pre-ingest behavior of
+/// extensionless scene files. Both paths validate.
+pub fn load_scene_auto(path: &Path) -> Result<SceneData, IngestError> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some(FSCB_EXTENSION) => fscb::read_scene(path),
+        Some("json") => Ok(loa_data::io::load_scene(path)?),
+        _ => {
+            let mut magic = [0u8; 4];
+            let sniffed_fscb = std::fs::File::open(path).map(|mut f| {
+                use std::io::Read as _;
+                f.read_exact(&mut magic).is_ok() && &magic == b"FSCB"
+            })?;
+            if sniffed_fscb {
+                fscb::read_scene(path)
+            } else {
+                Ok(loa_data::io::load_scene(path)?)
+            }
+        }
+    }
+}
+
+/// A sorted, lazy iterator over every scene in a directory (`.json` and
+/// `.fscb`, by extension).
+///
+/// Paths are collected and sorted up front — that is the deterministic
+/// merge order of the batch worklist — but scene bytes are only read
+/// when the iterator is pulled. Items are `Result`s so a decode failure
+/// aborts a streamed batch with the failing path attached.
+#[derive(Debug)]
+pub struct CorpusSource {
+    paths: Vec<PathBuf>,
+    next: usize,
+}
+
+impl CorpusSource {
+    /// Walk `dir` for scene files. An empty directory is an error — a
+    /// rank or learn run over nothing is a caller mistake, not an empty
+    /// worklist.
+    pub fn open(dir: &Path) -> Result<Self, IngestError> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension()
+                    .and_then(|e| e.to_str())
+                    .is_some_and(|ext| ext == "json" || ext == FSCB_EXTENSION)
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(IngestError::EmptyCorpus(dir.to_path_buf()));
+        }
+        Ok(CorpusSource { paths, next: 0 })
+    }
+
+    /// The sorted scene paths, in yield order.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.paths
+    }
+
+    /// Total number of scenes in the corpus.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Take the sorted paths — the cheap scene tokens
+    /// `ScenePipeline::process_stream` pulls, decoding each inside a
+    /// worker via [`load_scene_auto`].
+    pub fn into_paths(self) -> Vec<PathBuf> {
+        self.paths
+    }
+
+    /// Buffered convenience: load the whole corpus into memory (the
+    /// learner needs every training scene at once).
+    pub fn load_all(self) -> Result<Vec<SceneData>, IngestError> {
+        self.collect()
+    }
+}
+
+impl Iterator for CorpusSource {
+    type Item = Result<SceneData, IngestError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let path = self.paths.get(self.next)?;
+        self.next += 1;
+        Some(load_scene_auto(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loa_data::{generate_scene, DatasetProfile};
+
+    fn tiny_scene(name: &str, seed: u64) -> SceneData {
+        let mut cfg = DatasetProfile::LyftLike.scene_config();
+        cfg.world.duration = 2.0;
+        cfg.lidar.beam_count = 180;
+        generate_scene(&cfg, name, seed)
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("loa_ingest_corpus_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn walk_is_sorted_and_mixed_format() {
+        let dir = tmp_dir("mixed");
+        // Write deliberately out of filesystem order, in both formats.
+        let c = tiny_scene("c-scene", 3);
+        let a = tiny_scene("a-scene", 1);
+        let b = tiny_scene("b-scene", 2);
+        loa_data::io::save_scene(&c, &dir.join("c.json")).unwrap();
+        fscb::write_scene(&a, &dir.join("a.fscb")).unwrap();
+        loa_data::io::save_scene(&b, &dir.join("b.json")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let source = CorpusSource::open(&dir).unwrap();
+        assert_eq!(source.len(), 3);
+        let names: Vec<String> = source
+            .paths()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a.fscb", "b.json", "c.json"]);
+        let ids: Vec<String> = source.map(|r| r.unwrap().id).collect();
+        assert_eq!(ids, ["a-scene", "b-scene", "c-scene"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_is_typed_error() {
+        let dir = tmp_dir("empty");
+        assert!(matches!(CorpusSource::open(&dir), Err(IngestError::EmptyCorpus(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decode_failure_surfaces_lazily() {
+        let dir = tmp_dir("lazy");
+        loa_data::io::save_scene(&tiny_scene("ok", 5), &dir.join("a.json")).unwrap();
+        std::fs::write(dir.join("b.json"), "{broken").unwrap();
+        let mut source = CorpusSource::open(&dir).unwrap();
+        assert!(source.next().unwrap().is_ok());
+        assert!(matches!(source.next().unwrap(), Err(IngestError::Scene(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn extensionless_paths_are_sniffed_by_magic() {
+        let dir = tmp_dir("sniff");
+        let json_path = dir.join("scene_json_noext");
+        let fscb_path = dir.join("scene_fscb_noext");
+        loa_data::io::save_scene(&tiny_scene("plain-json", 11), &json_path).unwrap();
+        fscb::write_scene(&tiny_scene("plain-fscb", 12), &fscb_path).unwrap();
+        assert_eq!(load_scene_auto(&json_path).unwrap().id, "plain-json");
+        assert_eq!(load_scene_auto(&fscb_path).unwrap().id, "plain-fscb");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_all_buffers_everything() {
+        let dir = tmp_dir("all");
+        loa_data::io::save_scene(&tiny_scene("s1", 7), &dir.join("s1.json")).unwrap();
+        fscb::write_scene(&tiny_scene("s2", 8), &dir.join("s2.fscb")).unwrap();
+        let scenes = CorpusSource::open(&dir).unwrap().load_all().unwrap();
+        assert_eq!(scenes.len(), 2);
+        assert_eq!(scenes[0].id, "s1");
+        assert_eq!(scenes[1].id, "s2");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

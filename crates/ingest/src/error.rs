@@ -1,0 +1,100 @@
+//! The typed error surface of the ingest subsystem.
+
+use std::path::PathBuf;
+
+/// Errors from streaming assembly, binary scene decoding, and corpus
+/// walking.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Underlying file I/O failed — including a `.fscb` file truncated
+    /// mid-record (the decoder reads exact lengths, so a short read
+    /// surfaces here instead of panicking).
+    Io(std::io::Error),
+    /// A binary scene's bytes are structurally wrong (bad magic, unknown
+    /// version or tag, record overrun).
+    Corrupt(String),
+    /// JSON scene loading or structural validation failed.
+    Scene(loa_data::io::IoError),
+    /// A frame arrived ahead of its position — frames must be pushed in
+    /// strictly increasing index order with no gaps.
+    OutOfOrderFrame { expected: u32, got: u32 },
+    /// A frame id at or below the last pushed one arrived again.
+    DuplicateFrame { frame: u32 },
+    /// A snapshot was requested for a frame that has not been pushed yet.
+    FrameOutOfRange { frame: u32, pushed: usize },
+    /// `push_frame`/`finalize` outside a `begin` … `finalize` window.
+    NotStreaming,
+    /// A corpus directory contains no `.json` or `.fscb` scenes.
+    EmptyCorpus(PathBuf),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "io error: {e}"),
+            IngestError::Corrupt(msg) => write!(f, "corrupt binary scene: {msg}"),
+            IngestError::Scene(e) => write!(f, "scene error: {e}"),
+            IngestError::OutOfOrderFrame { expected, got } => {
+                write!(f, "out-of-order frame: expected index {expected}, got {got}")
+            }
+            IngestError::DuplicateFrame { frame } => {
+                write!(f, "duplicate frame index {frame}")
+            }
+            IngestError::FrameOutOfRange { frame, pushed } => {
+                write!(f, "frame {frame} not pushed yet ({pushed} frame(s) so far)")
+            }
+            IngestError::NotStreaming => {
+                write!(f, "no scene in progress: call begin() first")
+            }
+            IngestError::EmptyCorpus(dir) => {
+                write!(f, "no .json or .fscb scenes in {}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<loa_data::io::IoError> for IngestError {
+    fn from(e: loa_data::io::IoError) -> Self {
+        IngestError::Scene(e)
+    }
+}
+
+/// Streamed sources feed `ScenePipeline::process_stream`, which carries
+/// source failures as [`fixy_core::FixyError::SceneSource`].
+impl From<IngestError> for fixy_core::FixyError {
+    fn from(e: IngestError) -> Self {
+        fixy_core::FixyError::SceneSource(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IngestError::OutOfOrderFrame { expected: 3, got: 7 };
+        assert!(e.to_string().contains("expected index 3"));
+        assert!(e.to_string().contains("got 7"));
+        assert!(IngestError::DuplicateFrame { frame: 2 }.to_string().contains("2"));
+        assert!(IngestError::NotStreaming.to_string().contains("begin"));
+        assert!(IngestError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(IngestError::EmptyCorpus(PathBuf::from("/tmp/x"))
+            .to_string()
+            .contains("/tmp/x"));
+        let fixy: fixy_core::FixyError =
+            IngestError::FrameOutOfRange { frame: 9, pushed: 4 }.into();
+        assert!(matches!(fixy, fixy_core::FixyError::SceneSource(_)));
+        assert!(fixy.to_string().contains("frame 9"));
+    }
+}
