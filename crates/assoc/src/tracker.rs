@@ -91,6 +91,9 @@ pub struct TrackerScratch {
     matcher: MatchScratch,
     matches: Vec<crate::matching::Match>,
     item_taken: Vec<bool>,
+    /// Tracks created or extended by the most recent frame step (indices
+    /// into the caller's track list, in match-then-creation order).
+    touched: Vec<usize>,
 }
 
 /// Build tracks over per-frame item boxes.
@@ -172,6 +175,23 @@ impl TrackBuilder {
         tracks.sort_by_key(|t| t.entries.first().copied());
         tracks
     }
+
+    /// The tracks created or extended by the most recent
+    /// [`step`](Self::step), as indices into [`paths`](Self::paths)
+    /// (match-then-creation order, may repeat nothing — indices are
+    /// unique within a frame since each track gains at most one entry).
+    pub fn last_touched(&self) -> &[usize] {
+        &self.scratch.touched
+    }
+
+    /// The paths built so far, unsorted, in creation order. Because new
+    /// tracks open at the frame sweep's tail, creation order is already
+    /// non-decreasing in first entry — [`snapshot`](Self::snapshot)'s
+    /// sort is a stable no-op over this list, so indices here agree with
+    /// the sorted snapshot (locked by `last_touched_indexes_snapshot`).
+    pub fn paths(&self) -> &[TrackPath] {
+        &self.tracks
+    }
 }
 
 /// One frame of the track sweep: expire stale actives, score
@@ -193,6 +213,7 @@ fn track_frame_step(
         // Expire tracks that are too old to extend.
         scratch.active.retain(|a| f - a.last_frame <= cfg.max_gap as usize);
 
+        scratch.touched.clear();
         if items.is_empty() {
             return;
         }
@@ -273,6 +294,7 @@ fn track_frame_step(
             let prepared = item_prepared(scratch, m.right);
             let a = &mut scratch.active[m.left];
             tracks[a.track_idx].entries.push((f, m.right));
+            scratch.touched.push(a.track_idx);
             a.last_frame = f;
             a.last_box = items[m.right];
             a.prepared = prepared;
@@ -281,6 +303,7 @@ fn track_frame_step(
         for i in 0..items.len() {
             if !scratch.item_taken[i] {
                 let track_idx = tracks.len();
+                scratch.touched.push(track_idx);
                 let mut entries = Vec::with_capacity(8);
                 entries.push((f, i));
                 tracks.push(TrackPath { entries });
@@ -497,6 +520,44 @@ mod tests {
         }
         // Snapshot does not disturb the in-progress state.
         assert_eq!(builder.finish(), build_tracks(&frames, &cfg));
+    }
+
+    #[test]
+    fn last_touched_indexes_snapshot() {
+        // Per frame: the touched set is exactly the tracks whose paths
+        // changed, creation order matches the sorted snapshot order, and
+        // untouched paths are byte-identical to the previous frame's.
+        let cfg = TrackerConfig::default();
+        for seed in [2u64, 6, 11] {
+            let frames = random_frames(seed, 9, 5, 28.0);
+            let mut builder = TrackBuilder::default();
+            builder.begin();
+            let mut prev: Vec<TrackPath> = Vec::new();
+            for items in &frames {
+                builder.step(&cfg, items);
+                let paths = builder.paths();
+                assert_eq!(paths, builder.snapshot().as_slice(), "creation order is sorted order");
+                let touched: std::collections::BTreeSet<usize> =
+                    builder.last_touched().iter().copied().collect();
+                assert_eq!(touched.len(), builder.last_touched().len(), "touched indices unique");
+                for (i, path) in paths.iter().enumerate() {
+                    let changed = prev.get(i) != Some(path);
+                    assert_eq!(touched.contains(&i), changed, "seed {seed} track {i}");
+                }
+                prev = paths.to_vec();
+            }
+        }
+    }
+
+    #[test]
+    fn last_touched_empty_frame_is_empty() {
+        let mut builder = TrackBuilder::default();
+        let cfg = TrackerConfig::default();
+        builder.begin();
+        builder.step(&cfg, &[car(10.0, 0.0)]);
+        assert_eq!(builder.last_touched(), &[0]);
+        builder.step(&cfg, &[]);
+        assert!(builder.last_touched().is_empty());
     }
 
     #[test]

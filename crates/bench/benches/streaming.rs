@@ -12,11 +12,18 @@
 //! * `streaming/rank_corpus_streamed` vs `rank_corpus_buffered` — a
 //!   scene-directory rank through `process_stream` + `CorpusSource`
 //!   (O(workers) scenes resident) against load-everything + `run`.
+//! * `streaming/incremental_rescore_per_frame` vs
+//!   `full_rescore_per_frame` — the O(Δ) cached-component path
+//!   (`update_snapshot` + `rescore_delta` + cached sweep) against a
+//!   from-scratch compile+score of every snapshot, on a short and a
+//!   long scene. Divide medians by the frame count for per-frame cost:
+//!   the full path grows with scene length, the incremental path stays
+//!   flat.
 //!
 //! Set `FIXY_BENCH_SMOKE=1` to run on a miniature scene with 3 samples —
 //! the CI smoke mode that keeps the bench compiling *and* executing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fixy_core::prelude::*;
 use fixy_core::Learner;
 use loa_data::{generate_scene, DatasetProfile, SceneData};
@@ -162,10 +169,76 @@ fn bench_corpus_rank(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_incremental_rescore(c: &mut Criterion) {
+    let finder = MissingTrackFinder::default();
+    let features = finder.feature_set();
+    let train: Vec<_> = (0..2)
+        .map(|i| scene_data(&format!("incr-train-{i}"), 600 + i))
+        .collect();
+    let library = Learner::new().fit(&features, &train).expect("fit");
+
+    let long = scene_data("incr-long", 4321);
+    let short = {
+        let mut cfg = DatasetProfile::InternalLike.scene_config();
+        cfg.world.duration = if smoke() { 1.5 } else { 5.0 };
+        if smoke() {
+            cfg.lidar.beam_count = 240;
+        }
+        generate_scene(&cfg, "incr-short", 4321)
+    };
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(if smoke() { 3 } else { 10 });
+
+    for (label, data) in [("short", &short), ("long", &long)] {
+        // O(Δ): grow the snapshot in place, re-score only what the
+        // frame's delta invalidated, sweep from cache.
+        group.bench_function(BenchmarkId::new("incremental_rescore_per_frame", label), |b| {
+            let mut assembler = StreamingAssembler::new(AssemblyConfig::default());
+            let mut scorer = IncrementalScorer::new(&features, &library).expect("scorer");
+            b.iter(|| {
+                assembler.begin(data.frame_dt);
+                scorer.begin();
+                let mut scene = Scene::from_parts(vec![], vec![], vec![], data.frame_dt, 0);
+                let mut acc = 0usize;
+                for frame in &data.frames {
+                    assembler.push_frame(black_box(frame)).expect("push");
+                    assembler.update_snapshot(&mut scene).expect("update");
+                    scorer.rescore_delta(&scene, assembler.last_delta().expect("delta"));
+                    acc += scorer.score_all_tracks(&scene).len();
+                }
+                assembler.finalize().expect("finalize");
+                black_box(acc)
+            })
+        });
+
+        // O(scene): from-scratch snapshot + compile + score every frame —
+        // the pre-incremental live path.
+        group.bench_function(BenchmarkId::new("full_rescore_per_frame", label), |b| {
+            let mut assembler = StreamingAssembler::new(AssemblyConfig::default());
+            b.iter(|| {
+                assembler.begin(data.frame_dt);
+                let mut acc = 0usize;
+                for frame in &data.frames {
+                    assembler.push_frame(black_box(frame)).expect("push");
+                    let snapshot = assembler.snapshot();
+                    let engine = ScoreEngine::new(&snapshot, &features, &library).expect("compile");
+                    acc += engine.score_all_tracks().len();
+                }
+                assembler.finalize().expect("finalize");
+                black_box(acc)
+            })
+        });
+    }
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_streamed_assembly,
     bench_scene_decode,
-    bench_corpus_rank
+    bench_corpus_rank,
+    bench_incremental_rescore
 );
 criterion_main!(benches);

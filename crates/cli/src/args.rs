@@ -12,7 +12,7 @@ USAGE:
     fixy learn    --data <DIR> [--app <APP>] --out <FILE>
     fixy rank     --scene <FILE|DIR> --library <FILE> [--app <APP>] [--top <K>] [--grade]
     fixy convert  --data <DIR> --out <DIR>
-    fixy stream   --scene <FILE> --library <FILE> [--app <APP>] [--top <K>]
+    fixy stream   --scene <FILE> --library <FILE> [--app <APP>] [--top <K>] [--compare-full]
     fixy fuzz     [--seed <S>] [--scenes <N>] [--top-k <K>] [--train <N>]
     fixy render   --scene <FILE> [--frame <N>] [--svg <FILE>]
     fixy bench-record --json <FILE> [--out <FILE>] [--note <TEXT>]
@@ -29,7 +29,10 @@ frame-streamed compact binary scene format — and reports the size ratio.
 stream replays one scene frame-by-frame through the StreamingAssembler,
 re-ranking the partial scene after every frame and printing per-frame
 latency: the live-deployment path, where errors surface before the
-scene has even finished recording.
+scene has even finished recording. Re-ranking is incremental (cached
+component scores, dirty-set invalidation); --compare-full additionally
+runs the full compile+score every frame, prints delta-vs-full latency,
+and exits non-zero if the worklists ever diverge.
 
 fuzz runs the injection-recall conformance harness: a seeded procedural
 corpus with known injected errors is ranked through the scene pipeline,
@@ -119,6 +122,9 @@ pub struct StreamArgs {
     pub library: PathBuf,
     pub app: App,
     pub top: usize,
+    /// Also run the full (from-scratch) compile+score every frame,
+    /// report delta-vs-full latency, and fail on any divergence.
+    pub compare_full: bool,
 }
 
 /// `fixy fuzz`.
@@ -279,12 +285,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }))
         }
         "stream" => {
-            let flags = collect_flags(rest, &[])?;
+            let flags = collect_flags(rest, &["compare-full"])?;
             Ok(Command::Stream(StreamArgs {
                 scene: PathBuf::from(flags.required("scene")?),
                 library: PathBuf::from(flags.required("library")?),
                 app: flags.optional("app").map(App::parse).transpose()?.unwrap_or_default(),
                 top: flags.parse_num("top", 5usize)?,
+                compare_full: flags.switches.contains("compare-full"),
             }))
         }
         "fuzz" => {
@@ -443,13 +450,19 @@ mod tests {
                 assert_eq!(s.scene, PathBuf::from("s.fscb"));
                 assert_eq!(s.app, App::MissingTracks);
                 assert_eq!(s.top, 3);
+                assert!(!s.compare_full);
             }
             other => panic!("{other:?}"),
         }
-        match parse(&argv("stream --scene s.json --library l.json --app model-errors")).unwrap() {
+        match parse(&argv(
+            "stream --scene s.json --library l.json --app model-errors --compare-full",
+        ))
+        .unwrap()
+        {
             Command::Stream(s) => {
                 assert_eq!(s.app, App::ModelErrors);
                 assert_eq!(s.top, 5);
+                assert!(s.compare_full);
             }
             other => panic!("{other:?}"),
         }

@@ -414,6 +414,13 @@ pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
 /// frame — the live-deployment path, where a 300 mph pedestrian
 /// surfaces while the scene is still recording. `.fscb` input decodes
 /// truly frame-by-frame; `.json` input is parsed once, then replayed.
+///
+/// Re-ranking runs the O(Δ) incremental path: the snapshot grows in
+/// place, and `IncrementalScorer` re-scores only the components the
+/// frame's assembly delta invalidated. `--compare-full` additionally
+/// runs the from-scratch compile+score every frame, reports
+/// delta-vs-full latency, and fails on any worklist divergence (labels
+/// or score bits).
 pub fn stream(args: StreamArgs) -> Result<String, CliError> {
     let file: LibraryFile = serde_json::from_str(&std::fs::read_to_string(&args.library)?)?;
     if file.app != args.app.name() {
@@ -432,6 +439,13 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
         App::MissingTracks | App::MissingObs => AssemblyConfig::default(),
         App::ModelErrors => me_ranker.assembly(),
     };
+    let features = match args.app {
+        App::MissingTracks => MissingTrackFinder::default().feature_set(),
+        App::MissingObs => MissingObsFinder::default().feature_set(),
+        App::ModelErrors => me_ranker.finder.feature_set(),
+    };
+
+    // The full (from-scratch) path — the `--compare-full` reference.
     let rank_snapshot = |scene: &Scene| -> Result<Vec<(String, f64)>, CliError> {
         Ok(match args.app {
             App::MissingTracks => MissingTrackFinder::default()
@@ -459,28 +473,86 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
         })
     };
 
+    // The incremental path: same worklist, served from cached component
+    // scores.
+    let rank_incremental =
+        |scene: &Scene, scorer: &mut IncrementalScorer<'_>| -> Vec<(String, f64)> {
+            match args.app {
+                App::MissingTracks => MissingTrackFinder::default()
+                    .rank_incremental(scene, scorer)
+                    .into_iter()
+                    .map(|c| (c.class.to_string(), c.score))
+                    .collect(),
+                App::MissingObs => MissingObsFinder::default()
+                    .rank_incremental(scene, scorer)
+                    .into_iter()
+                    .map(|c| {
+                        let frame = scene.bundle(c.bundle).frame.0;
+                        (format!("frame {frame} {}", c.class), c.score)
+                    })
+                    .collect(),
+                App::ModelErrors => {
+                    let excluded = me_ranker.excluded(scene);
+                    me_ranker
+                        .finder
+                        .rank_incremental(scene, scorer, &excluded)
+                        .into_iter()
+                        .map(|c| (c.class.to_string(), c.score))
+                        .collect()
+                }
+            }
+        };
+
     let mut out = String::new();
     let mut assembler = StreamingAssembler::new(assembly);
+    let mut scorer = IncrementalScorer::new(&features, library)?;
     let mut push_us: Vec<f64> = Vec::new();
     let mut score_us: Vec<f64> = Vec::new();
+    let mut full_us: Vec<f64> = Vec::new();
     let mut worklist: Vec<(String, f64)> = Vec::new();
 
     let mut replay_frame = |assembler: &mut StreamingAssembler,
+                            scene: &mut Scene,
+                            scorer: &mut IncrementalScorer<'_>,
                             frame: &loa_data::Frame|
      -> Result<(), CliError> {
         let t0 = std::time::Instant::now();
         assembler.push_frame(frame)?;
         let push = t0.elapsed().as_secs_f64() * 1e6;
         let t1 = std::time::Instant::now();
-        let snapshot = assembler.snapshot();
-        let ranked = rank_snapshot(&snapshot)?;
+        assembler.update_snapshot(scene)?;
+        scorer.rescore_delta(scene, assembler.last_delta().expect("delta after push"));
+        let ranked = rank_incremental(scene, scorer);
         let score = t1.elapsed().as_secs_f64() * 1e6;
+
+        if args.compare_full {
+            let t2 = std::time::Instant::now();
+            let snapshot = assembler.snapshot();
+            let full_ranked = rank_snapshot(&snapshot)?;
+            let full = t2.elapsed().as_secs_f64() * 1e6;
+            let diverged = full_ranked.len() != ranked.len()
+                || full_ranked
+                    .iter()
+                    .zip(&ranked)
+                    .any(|(a, b)| a.0 != b.0 || a.1.to_bits() != b.1.to_bits());
+            if diverged {
+                return Err(CliError::Invalid(format!(
+                    "frame {}: incremental worklist diverged from full re-rank \
+                     ({} vs {} candidate(s))",
+                    frame.index.0,
+                    ranked.len(),
+                    full_ranked.len(),
+                )));
+            }
+            full_us.push(full);
+        }
+
         let _ = writeln!(
             out,
-            "frame {:>3}  obs {:>4}  tracks {:>3}  cands {:>3}  top {:<8}  push {:>8.1}us  score {:>9.1}us",
+            "frame {:>3}  obs {:>4}  tracks {:>3}  cands {:>3}  top {:<8}  push {:>8.1}us  score {:>9.1}us{}",
             frame.index.0,
-            snapshot.n_observations(),
-            snapshot.n_tracks(),
+            scene.n_observations(),
+            scene.n_tracks(),
             ranked.len(),
             ranked
                 .first()
@@ -488,6 +560,10 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
                 .unwrap_or_else(|| "-".into()),
             push,
             score,
+            full_us
+                .last()
+                .map(|f| format!("  full {f:>9.1}us"))
+                .unwrap_or_default(),
         );
         push_us.push(push);
         score_us.push(score);
@@ -500,15 +576,17 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
         let mut reader = loa_ingest::FrameReader::open(&args.scene)?;
         scene_id = reader.id().to_string();
         assembler.begin(reader.frame_dt());
+        let mut scene = Scene::from_parts(vec![], vec![], vec![], reader.frame_dt(), 0);
         while let Some(frame) = reader.next_frame()? {
-            replay_frame(&mut assembler, &frame)?;
+            replay_frame(&mut assembler, &mut scene, &mut scorer, &frame)?;
         }
     } else {
         let data = loa_ingest::load_scene_auto(&args.scene)?;
         scene_id = data.id.clone();
         assembler.begin(data.frame_dt);
+        let mut scene = Scene::from_parts(vec![], vec![], vec![], data.frame_dt, 0);
         for frame in &data.frames {
-            replay_frame(&mut assembler, frame)?;
+            replay_frame(&mut assembler, &mut scene, &mut scorer, frame)?;
         }
     }
     let final_scene = assembler.finalize()?;
@@ -532,6 +610,16 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
         mean_score,
         max_frame,
     );
+    if args.compare_full {
+        let mean_full = full_us.iter().sum::<f64>() / n;
+        let _ = writeln!(
+            summary,
+            "incremental vs full: mean {:.1}us vs {:.1}us per frame ({:.1}x); worklists identical on every frame",
+            mean_score,
+            mean_full,
+            mean_full / mean_score.max(1e-9),
+        );
+    }
     let _ = writeln!(summary, "final worklist ({} candidate(s)):", worklist.len());
     for (i, (label, score)) in worklist.iter().take(args.top).enumerate() {
         let _ = writeln!(summary, "  {:<3} {:<20} {:.3}", i + 1, label, score);
@@ -1005,6 +1093,19 @@ mod tests {
                 .join("\n")
         };
         assert_eq!(tail(&out), tail(&out_json), "same scene, same final worklist");
+
+        // --compare-full runs the from-scratch path alongside and proves
+        // the incremental worklist identical on every frame.
+        let out_cmp = run(parse(&argv(&format!(
+            "stream --scene {} --library {} --top 3 --compare-full",
+            fscb_scene.display(),
+            lib_path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out_cmp.contains("worklists identical"), "{out_cmp}");
+        assert!(out_cmp.contains("incremental vs full"), "{out_cmp}");
+        assert_eq!(tail(&out), tail(&out_cmp), "compare mode changed the worklist");
 
         // Mismatched library app is rejected before any replay.
         let err = run(parse(&argv(&format!(

@@ -26,12 +26,14 @@ use crate::aof::Aof;
 use crate::error::FixyError;
 use crate::feature::{BoundFeature, FeatureSet};
 use crate::features::{CountFeature, VolumeFeature, VolumeRatioFeature};
+use crate::incremental::IncrementalScorer;
 use crate::learner::FeatureLibrary;
 use crate::rank::{
     sort_bundle_candidates, sort_track_candidates, track_candidate, BundleCandidate, TrackCandidate,
 };
-use crate::scene::{Scene, TrackIdx};
+use crate::scene::{BundleIdx, Scene, TrackIdx};
 use crate::score::ScoreEngine;
+use loa_graph::ComponentScore;
 use std::sync::Arc;
 
 /// Ranks human-labeled tracks by label implausibility (class swaps, wildly
@@ -68,14 +70,34 @@ impl LabelAuditFinder {
     ) -> Result<Vec<TrackCandidate>, FixyError> {
         let features = self.feature_set();
         let engine = ScoreEngine::new(scene, &features, library)?;
+        Ok(self.rank_scored(scene, engine.score_all_tracks()))
+    }
+
+    /// Rank from already-computed track scores — the shared back half of
+    /// the batch and incremental paths.
+    pub fn rank_scored(
+        &self,
+        scene: &Scene,
+        scores: impl IntoIterator<Item = (TrackIdx, ComponentScore)>,
+    ) -> Vec<TrackCandidate> {
         let mut candidates = Vec::new();
-        for (track, score) in engine.score_all_tracks() {
+        for (track, score) in scores {
             if let Some(s) = score.score {
                 candidates.push(track_candidate(scene, track, s));
             }
         }
         sort_track_candidates(&mut candidates);
-        Ok(candidates)
+        candidates
+    }
+
+    /// Rank using an [`IncrementalScorer`] bound to
+    /// [`feature_set`](Self::feature_set) — O(Δ) after `rescore_delta`.
+    pub fn rank_incremental(
+        &self,
+        scene: &Scene,
+        scorer: &mut IncrementalScorer<'_>,
+    ) -> Vec<TrackCandidate> {
+        self.rank_scored(scene, scorer.score_all_tracks(scene))
     }
 }
 
@@ -101,7 +123,16 @@ impl BundleAuditFinder {
     ) -> Result<Vec<BundleCandidate>, FixyError> {
         let features = self.feature_set();
         let engine = ScoreEngine::new(scene, &features, library)?;
+        Ok(self.rank_scored(scene, engine.score_all_bundles()))
+    }
 
+    /// Rank from already-computed bundle scores — the shared back half of
+    /// the batch and incremental paths.
+    pub fn rank_scored(
+        &self,
+        scene: &Scene,
+        scores: impl IntoIterator<Item = (BundleIdx, ComponentScore)>,
+    ) -> Vec<BundleCandidate> {
         // bundle → track lookup for the candidate record.
         let mut bundle_track: Vec<Option<TrackIdx>> = vec![None; scene.n_bundles()];
         for track in scene.tracks() {
@@ -111,7 +142,7 @@ impl BundleAuditFinder {
         }
 
         let mut candidates = Vec::new();
-        for (idx, score) in engine.score_all_bundles() {
+        for (idx, score) in scores {
             let bundle = scene.bundle(idx);
             if scene.bundle_obs(idx).len() < 2 {
                 continue;
@@ -122,7 +153,17 @@ impl BundleAuditFinder {
             }
         }
         sort_bundle_candidates(&mut candidates);
-        Ok(candidates)
+        candidates
+    }
+
+    /// Rank using an [`IncrementalScorer`] bound to
+    /// [`feature_set`](Self::feature_set) — O(Δ) after `rescore_delta`.
+    pub fn rank_incremental(
+        &self,
+        scene: &Scene,
+        scorer: &mut IncrementalScorer<'_>,
+    ) -> Vec<BundleCandidate> {
+        self.rank_scored(scene, scorer.score_all_bundles(scene))
     }
 }
 

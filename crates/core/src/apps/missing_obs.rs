@@ -9,11 +9,13 @@
 use crate::error::FixyError;
 use crate::feature::{BoundFeature, FeatureSet};
 use crate::features::{DistanceFeature, ModelOnlyFeature, VolumeFeature};
+use crate::incremental::IncrementalScorer;
 use crate::learner::FeatureLibrary;
 use crate::rank::{sort_bundle_candidates, BundleCandidate};
-use crate::scene::{Scene, TrackIdx};
+use crate::scene::{BundleIdx, Scene, TrackIdx};
 use crate::score::ScoreEngine;
 use loa_data::ObservationSource;
+use loa_graph::ComponentScore;
 use std::sync::Arc;
 
 /// The missing-observation application.
@@ -48,7 +50,16 @@ impl MissingObsFinder {
     ) -> Result<Vec<BundleCandidate>, FixyError> {
         let features = self.feature_set();
         let engine = ScoreEngine::new(scene, &features, library)?;
+        Ok(self.rank_scored(scene, engine.score_all_bundles()))
+    }
 
+    /// Rank from already-computed bundle scores — the shared back half of
+    /// the batch and incremental paths.
+    pub fn rank_scored(
+        &self,
+        scene: &Scene,
+        scores: impl IntoIterator<Item = (BundleIdx, ComponentScore)>,
+    ) -> Vec<BundleCandidate> {
         // bundle → track lookup.
         let mut bundle_track: Vec<Option<TrackIdx>> = vec![None; scene.n_bundles()];
         for track in scene.tracks() {
@@ -58,7 +69,7 @@ impl MissingObsFinder {
         }
 
         let mut candidates = Vec::new();
-        for (idx, score) in engine.score_all_bundles() {
+        for (idx, score) in scores {
             // Track-level AOF: zero any track without a human proposal.
             let Some(track_idx) = bundle_track[idx.0] else {
                 continue;
@@ -82,7 +93,17 @@ impl MissingObsFinder {
             }
         }
         sort_bundle_candidates(&mut candidates);
-        Ok(candidates)
+        candidates
+    }
+
+    /// Rank using an [`IncrementalScorer`] bound to
+    /// [`feature_set`](Self::feature_set) — O(Δ) after `rescore_delta`.
+    pub fn rank_incremental(
+        &self,
+        scene: &Scene,
+        scorer: &mut IncrementalScorer<'_>,
+    ) -> Vec<BundleCandidate> {
+        self.rank_scored(scene, scorer.score_all_bundles(scene))
     }
 }
 

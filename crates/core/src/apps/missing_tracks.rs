@@ -15,10 +15,12 @@ use crate::feature::{BoundFeature, FeatureSet};
 use crate::features::{
     CountFeature, DistanceFeature, ModelOnlyFeature, VelocityFeature, VolumeFeature,
 };
+use crate::incremental::IncrementalScorer;
 use crate::learner::FeatureLibrary;
 use crate::rank::{sort_track_candidates, track_candidate, TrackCandidate};
-use crate::scene::Scene;
+use crate::scene::{Scene, TrackIdx};
 use crate::score::ScoreEngine;
+use loa_graph::ComponentScore;
 use std::sync::Arc;
 
 /// The missing-track application.
@@ -59,14 +61,34 @@ impl MissingTrackFinder {
     ) -> Result<Vec<TrackCandidate>, FixyError> {
         let features = self.feature_set();
         let engine = ScoreEngine::new(scene, &features, library)?;
+        Ok(self.rank_scored(scene, engine.score_all_tracks()))
+    }
+
+    /// Rank from already-computed track scores — the shared back half of
+    /// the batch and incremental paths.
+    pub fn rank_scored(
+        &self,
+        scene: &Scene,
+        scores: impl IntoIterator<Item = (TrackIdx, ComponentScore)>,
+    ) -> Vec<TrackCandidate> {
         let mut candidates = Vec::new();
-        for (track, score) in engine.score_all_tracks() {
+        for (track, score) in scores {
             if let Some(s) = score.score {
                 candidates.push(track_candidate(scene, track, s));
             }
         }
         sort_track_candidates(&mut candidates);
-        Ok(candidates)
+        candidates
+    }
+
+    /// Rank using an [`IncrementalScorer`] bound to
+    /// [`feature_set`](Self::feature_set) — O(Δ) after `rescore_delta`.
+    pub fn rank_incremental(
+        &self,
+        scene: &Scene,
+        scorer: &mut IncrementalScorer<'_>,
+    ) -> Vec<TrackCandidate> {
+        self.rank_scored(scene, scorer.score_all_tracks(scene))
     }
 }
 

@@ -16,10 +16,12 @@ use crate::feature::{BoundFeature, FeatureSet};
 use crate::features::{
     CountFeature, TrackLengthFeature, VelocityFeature, VolumeFeature, YawRateFeature,
 };
+use crate::incremental::IncrementalScorer;
 use crate::learner::FeatureLibrary;
 use crate::rank::{sort_track_candidates, track_candidate, TrackCandidate};
-use crate::scene::{ObsIdx, Scene};
+use crate::scene::{ObsIdx, Scene, TrackIdx};
 use crate::score::ScoreEngine;
+use loa_graph::ComponentScore;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -82,8 +84,19 @@ impl ModelErrorFinder {
     ) -> Result<Vec<TrackCandidate>, FixyError> {
         let features = self.feature_set();
         let engine = ScoreEngine::new(scene, &features, library)?;
+        Ok(self.rank_scored(scene, engine.score_all_tracks(), excluded))
+    }
+
+    /// Rank from already-computed track scores — the shared back half of
+    /// the batch and incremental paths.
+    pub fn rank_scored(
+        &self,
+        scene: &Scene,
+        scores: impl IntoIterator<Item = (TrackIdx, ComponentScore)>,
+        excluded: &BTreeSet<ObsIdx>,
+    ) -> Vec<TrackCandidate> {
         let mut candidates = Vec::new();
-        for (idx, score) in engine.score_all_tracks() {
+        for (idx, score) in scores {
             let Some(s) = score.score else {
                 continue;
             };
@@ -96,7 +109,18 @@ impl ModelErrorFinder {
             candidates.push(track_candidate(scene, idx, s));
         }
         sort_track_candidates(&mut candidates);
-        Ok(candidates)
+        candidates
+    }
+
+    /// Rank using an [`IncrementalScorer`] bound to
+    /// [`feature_set`](Self::feature_set) — O(Δ) after `rescore_delta`.
+    pub fn rank_incremental(
+        &self,
+        scene: &Scene,
+        scorer: &mut IncrementalScorer<'_>,
+        excluded: &BTreeSet<ObsIdx>,
+    ) -> Vec<TrackCandidate> {
+        self.rank_scored(scene, scorer.score_all_tracks(scene), excluded)
     }
 }
 

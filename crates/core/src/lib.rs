@@ -54,6 +54,7 @@ pub mod compile;
 pub mod error;
 pub mod feature;
 pub mod features;
+pub mod incremental;
 pub mod learner;
 pub mod pipeline;
 pub mod rank;
@@ -63,12 +64,14 @@ pub mod score;
 pub use aof::Aof;
 pub use error::FixyError;
 pub use feature::{BoundFeature, Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
+pub use incremental::IncrementalScorer;
 pub use learner::{FeatureLibrary, FittedDistribution, Learner, PreparedDistribution};
 pub use pipeline::{
     merge_ranked, sort_ranked_scenes, BatchCandidate, RankedScene, ScenePipeline, SceneRanker,
 };
 pub use scene::{
-    AssemblyConfig, AssemblyEngine, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track, TrackIdx,
+    AssemblyConfig, AssemblyEngine, Bundle, BundleIdx, FrameDelta, ObsIdx, Observation, Scene,
+    Track, TrackIdx,
 };
 
 /// Convenience prelude for downstream users.
@@ -78,14 +81,15 @@ pub mod prelude {
         BundleAuditFinder, LabelAuditFinder, MissingObsFinder, MissingTrackFinder, ModelErrorFinder,
     };
     pub use crate::feature::{Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
+    pub use crate::incremental::IncrementalScorer;
     pub use crate::learner::{FeatureLibrary, Learner, PreparedDistribution};
     pub use crate::pipeline::{
         sort_ranked_scenes, BatchCandidate, RankedScene, ScenePipeline, SceneRanker,
     };
     pub use crate::rank::{BundleCandidate, TrackCandidate};
     pub use crate::scene::{
-        AssemblyConfig, AssemblyEngine, Bundle, BundleIdx, ObsIdx, Observation, Scene, Track,
-        TrackIdx,
+        AssemblyConfig, AssemblyEngine, Bundle, BundleIdx, FrameDelta, ObsIdx, Observation, Scene,
+        Track, TrackIdx,
     };
     pub use crate::score::{ScoreEngine, ScoreOptions};
 }

@@ -11,7 +11,7 @@
 //! ```text
 //!  SceneData ──┐
 //!  SceneData ──┼─► assemble ─► compile ─► score ─► rank ──┐
-//!  SceneData ──┘        (rayon fan-out, shared library)    ├─► merge
+//!  SceneData ──┘  (atomic-cursor fan-out, shared library)  ├─► merge
 //!                                                          ┘   (scene id, then score)
 //! ```
 //!
@@ -28,7 +28,6 @@ use crate::learner::FeatureLibrary;
 use crate::rank::{BundleCandidate, TrackCandidate};
 use crate::scene::{AssemblyConfig, AssemblyEngine, Scene};
 use loa_data::SceneData;
-use rayon::prelude::*;
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 
@@ -226,6 +225,17 @@ impl<R: SceneRanker> ScenePipeline<R> {
     /// through `post` inside the worker (hit resolution, metric
     /// extraction, …) so per-scene state is dropped before the batch
     /// collects. Results keep input order.
+    ///
+    /// The fan-out is an atomic-cursor worker pool: each worker claims
+    /// the next scene index with one uncontended `fetch_add` (no shared
+    /// lock on the hot path), accumulates results worker-locally, and —
+    /// because a worker takes scenes until the cursor runs dry rather
+    /// than a fixed contiguous chunk — both load-balances uneven scenes
+    /// and amortizes its thread-local `AssemblyEngine` buffers across
+    /// everything it claims. Contiguous chunking did neither: at 8
+    /// scenes on 8 threads every chunk was a single scene, so every
+    /// scene paid a cold engine and the batch ran *slower* than
+    /// sequential (`pipeline/parallel/8` in `BENCH_pipeline.json`).
     pub fn process<T, F>(
         &self,
         library: &FeatureLibrary,
@@ -237,17 +247,75 @@ impl<R: SceneRanker> ScenePipeline<R> {
         F: Fn(RankedScene<R::Candidate>) -> T + Sync + Send,
     {
         let indexed: Vec<(usize, SceneData)> = scenes.into_iter().enumerate().collect();
-        if self.parallel {
-            indexed
-                .into_par_iter()
-                .map(|(i, data)| self.process_scene(i, data, library).map(&post))
-                .collect()
-        } else {
-            indexed
+        let workers =
+            if self.parallel { rayon::current_num_threads().min(indexed.len()) } else { 1 };
+        if workers <= 1 {
+            return indexed
                 .into_iter()
                 .map(|(i, data)| self.process_scene(i, data, library).map(&post))
-                .collect()
+                .collect();
         }
+
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        // Owned scenes parked in per-index slots; the cursor hands each
+        // index to exactly one worker, so every slot lock is uncontended.
+        let slots: Vec<Mutex<Option<SceneData>>> =
+            indexed.into_iter().map(|(_, data)| Mutex::new(Some(data))).collect();
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        // Lowest-index failure wins, as in the sequential path: indices
+        // are claimed in increasing order, so any lower-index failure is
+        // already in flight when index `k` fails and records its own win.
+        let first_error: Mutex<Option<(usize, FixyError)>> = Mutex::new(None);
+
+        let mut locals: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= slots.len() {
+                                break;
+                            }
+                            let data = slots[i]
+                                .lock()
+                                .expect("scene slot poisoned")
+                                .take()
+                                .expect("slot claimed twice");
+                            match self.process_scene(i, data, library) {
+                                Ok(ranked) => local.push((i, post(ranked))),
+                                Err(e) => {
+                                    let mut slot = first_error.lock().expect("error slot poisoned");
+                                    match &*slot {
+                                        Some((winner, _)) if *winner <= i => {}
+                                        _ => *slot = Some((i, e)),
+                                    }
+                                    stop.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                locals.push(h.join().expect("pipeline worker panicked"));
+            }
+        });
+
+        if let Some((_, error)) = first_error.into_inner().expect("error slot poisoned") {
+            return Err(error);
+        }
+        let mut flat: Vec<(usize, T)> = locals.into_iter().flatten().collect();
+        flat.sort_by_key(|&(index, _)| index);
+        Ok(flat.into_iter().map(|(_, value)| value).collect())
     }
 
     /// Like [`process`](ScenePipeline::process), but over a *stream* of
@@ -318,7 +386,6 @@ impl<R: SceneRanker> ScenePipeline<R> {
         use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::Mutex;
         let source = Mutex::new(sources.into_iter().enumerate());
-        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
         // Lowest-index failure wins: tokens are pulled in input order, so
         // by the time index `k` fails every scene before `k` was already
         // pulled and will record its own (lower-index) failure if it has
@@ -335,40 +402,50 @@ impl<R: SceneRanker> ScenePipeline<R> {
             stop.store(true, Ordering::Relaxed);
         };
 
+        // Workers buffer results locally; the only per-scene lock is the
+        // token pull (unavoidable — the source is a generic iterator).
+        let mut locals: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    // Only the token pull is serialized; the load (file
-                    // read, decode, generation) runs on this worker.
-                    let next = source.lock().expect("scene source poisoned").next();
-                    let Some((index, token)) = next else { break };
-                    match load(token) {
-                        Err(e) => {
-                            record_error(index, e.into());
-                            break;
-                        }
-                        Ok(data) => match self.process_scene(index, data, library) {
-                            Ok(ranked) => {
-                                let mapped = post(ranked);
-                                results.lock().expect("result sink poisoned").push((index, mapped));
-                            }
-                            Err(e) => {
-                                record_error(index, e);
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
                                 break;
                             }
-                        },
-                    }
-                });
+                            // Only the token pull is serialized; the load
+                            // (file read, decode, generation) runs on this
+                            // worker.
+                            let next = source.lock().expect("scene source poisoned").next();
+                            let Some((index, token)) = next else { break };
+                            match load(token) {
+                                Err(e) => {
+                                    record_error(index, e.into());
+                                    break;
+                                }
+                                Ok(data) => match self.process_scene(index, data, library) {
+                                    Ok(ranked) => local.push((index, post(ranked))),
+                                    Err(e) => {
+                                        record_error(index, e);
+                                        break;
+                                    }
+                                },
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                locals.push(h.join().expect("pipeline worker panicked"));
             }
         });
 
         if let Some((_, error)) = first_error.into_inner().expect("error slot poisoned") {
             return Err(error);
         }
-        let mut results = results.into_inner().expect("result sink poisoned");
+        let mut results: Vec<(usize, T)> = locals.into_iter().flatten().collect();
         results.sort_by_key(|&(index, _)| index);
         Ok(results.into_iter().map(|(_, value)| value).collect())
     }
@@ -564,6 +641,52 @@ mod tests {
             "held {} scenes with only {workers} workers",
             peak.load(Ordering::SeqCst)
         );
+    }
+
+    /// A ranker that fails on a chosen set of scene ids — exercises the
+    /// abort path of the cursor fan-out.
+    struct FailOn(std::collections::BTreeSet<String>);
+
+    impl SceneRanker for FailOn {
+        type Candidate = TrackCandidate;
+
+        fn rank_scene(
+            &self,
+            data: &SceneData,
+            _scene: &Scene,
+            _library: &FeatureLibrary,
+        ) -> Result<Vec<TrackCandidate>, FixyError> {
+            if self.0.contains(&data.id) {
+                Err(FixyError::SceneSource(format!("boom: {}", data.id)))
+            } else {
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    #[test]
+    fn process_returns_lowest_index_error() {
+        let train = small_batch(2, 100);
+        let lib = library(&train);
+        let batch = small_batch(5, 1500);
+        // Scenes 1 and 3 fail; parallel and sequential must both report
+        // scene 1 — the error the sequential path hits first.
+        let failing: std::collections::BTreeSet<String> =
+            [batch[1].id.clone(), batch[3].id.clone()].into();
+        for pipeline in [
+            ScenePipeline::new(FailOn(failing.clone())),
+            ScenePipeline::new(FailOn(failing.clone())).sequential(),
+        ] {
+            let err = pipeline
+                .process(&lib, batch.clone(), |r| r.id)
+                .expect_err("must fail");
+            match err {
+                FixyError::SceneSource(msg) => {
+                    assert!(msg.contains(&batch[1].id), "wrong scene failed first: {msg}")
+                }
+                other => panic!("unexpected error shape: {other}"),
+            }
+        }
     }
 
     #[test]

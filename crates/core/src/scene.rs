@@ -443,6 +443,26 @@ fn representative_box(observations: &[Observation], members: &[ObsIdx]) -> Box3 
     best.expect("bundle members non-empty").bbox
 }
 
+/// What one pushed frame changed in the in-progress scene — the assembly
+/// facts that drive incremental re-scoring (no snapshot diffing).
+///
+/// New observations are `obs_start..scene.n_observations()` and new
+/// bundles `bundle_start..scene.n_bundles()` of the snapshot covering the
+/// frame. `changed_tracks` are the tracks the frame created or extended;
+/// a changed track with one bundle was created this frame (track indices
+/// are creation-ordered and stable across snapshots).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameDelta {
+    /// The pushed frame's index.
+    pub frame: usize,
+    /// Observation count before the frame (its watermark).
+    pub obs_start: usize,
+    /// Bundle count before the frame.
+    pub bundle_start: usize,
+    /// Tracks created or extended by the frame, ascending.
+    pub changed_tracks: Vec<TrackIdx>,
+}
+
 /// The staged scene assembler.
 ///
 /// Three stages per scene — (1) gather observations and bundle each frame
@@ -491,6 +511,9 @@ pub struct AssemblyEngine {
     bundle_obs_arena: Vec<ObsIdx>,
     frame_obs_start: Vec<u32>,
     frame_bundle_start: Vec<u32>,
+    /// The most recent frame's delta (None before the first push and
+    /// after `finish`).
+    last_delta: Option<FrameDelta>,
     frame_dt: f64,
     n_frames: usize,
 }
@@ -549,6 +572,7 @@ impl AssemblyEngine {
         self.frame_obs_start.clear();
         self.frame_bundle_start.clear();
         self.tracker.begin();
+        self.last_delta = None;
         self.frame_dt = frame_dt;
         self.n_frames = 0;
     }
@@ -643,7 +667,31 @@ impl AssemblyEngine {
 
         // Stage 2: extend tracks through this frame.
         self.tracker.step(&cfg.tracker, &self.rep_boxes);
+
+        // Record the frame's delta from the watermarks and the tracker's
+        // touched set (reuse the previous delta's vec when possible).
+        let mut changed_tracks = match self.last_delta.take() {
+            Some(mut d) => {
+                d.changed_tracks.clear();
+                d.changed_tracks
+            }
+            None => Vec::new(),
+        };
+        changed_tracks.extend(self.tracker.last_touched().iter().map(|&t| TrackIdx(t)));
+        changed_tracks.sort_unstable_by_key(|t| t.0);
+        self.last_delta = Some(FrameDelta {
+            frame: f,
+            obs_start: self.frame_obs_start[f] as usize,
+            bundle_start: self.frame_bundle_start[f] as usize,
+            changed_tracks,
+        });
         self.n_frames += 1;
+    }
+
+    /// What the most recent [`push_frame`](Self::push_frame) changed —
+    /// `None` before the first push of a scene.
+    pub fn last_delta(&self) -> Option<&FrameDelta> {
+        self.last_delta.as_ref()
     }
 
     /// End the stream and materialize the [`Scene`]. The engine needs a
@@ -678,6 +726,7 @@ impl AssemblyEngine {
         };
         self.frame_obs_start.clear();
         self.frame_bundle_start.clear();
+        self.last_delta = None;
         self.n_frames = 0;
         scene
     }
@@ -749,6 +798,82 @@ impl AssemblyEngine {
             n_frames,
         }
     }
+
+    /// Extend `scene` — a snapshot this stream produced earlier, via
+    /// [`snapshot`](Self::snapshot)/[`snapshot_prefix`](Self::snapshot_prefix)
+    /// or a previous call here (an empty [`Scene::from_parts`] scene seeds
+    /// the very first frame) — in place to cover every pushed frame.
+    ///
+    /// Where `snapshot` copies the whole prefix (O(scene) per frame),
+    /// this appends only the new observations and bundles and rebuilds
+    /// the index-only track CSR from the live paths — O(Δ) plus the
+    /// track-index rebuild. The result is field-for-field equal to
+    /// [`snapshot`] (the append-only arenas and the tracker's
+    /// creation-order == first-entry-order invariant, both locked by
+    /// tests, make the two paths literally identical).
+    ///
+    /// # Panics
+    /// If `scene` is not a prefix snapshot of this stream.
+    pub fn update_snapshot(&self, scene: &mut Scene) {
+        assert!(
+            !self.bundle_obs_offsets.is_empty(),
+            "AssemblyEngine::begin must be called before update_snapshot"
+        );
+        assert!(
+            scene.n_frames <= self.n_frames,
+            "update_snapshot: scene has {} frame(s), stream only {}",
+            scene.n_frames,
+            self.n_frames
+        );
+        let (prev_obs, prev_bundles) = if scene.n_frames == self.n_frames {
+            (self.observations.len(), self.bundles.len())
+        } else {
+            (
+                self.frame_obs_start[scene.n_frames] as usize,
+                self.frame_bundle_start[scene.n_frames] as usize,
+            )
+        };
+        assert_eq!(
+            scene.observations.len(),
+            prev_obs,
+            "update_snapshot: scene is not a prefix snapshot of this stream"
+        );
+        assert_eq!(
+            scene.bundles.len(),
+            prev_bundles,
+            "update_snapshot: scene is not a prefix snapshot of this stream"
+        );
+
+        scene.observations.extend_from_slice(&self.observations[prev_obs..]);
+        scene.bundles.extend_from_slice(&self.bundles[prev_bundles..]);
+        // Offsets are global and append-only, so the prefix's entries are
+        // byte-identical to ours — extend, don't rebuild.
+        scene
+            .bundle_obs_offsets
+            .extend_from_slice(&self.bundle_obs_offsets[scene.bundle_obs_offsets.len()..]);
+        scene
+            .bundle_obs_arena
+            .extend_from_slice(&self.bundle_obs_arena[scene.bundle_obs_arena.len()..]);
+
+        // Track CSR: index-only, rebuilt from the live paths (creation
+        // order == first-entry-sorted order, locked by the loa_assoc
+        // `last_touched_indexes_snapshot` test).
+        scene.tracks.clear();
+        scene.track_bundle_offsets.clear();
+        scene.track_bundle_offsets.push(0);
+        scene.track_bundle_arena.clear();
+        for (i, path) in self.tracker.paths().iter().enumerate() {
+            scene.tracks.push(Track { idx: TrackIdx(i) });
+            scene.track_bundle_arena.extend(
+                path.entries
+                    .iter()
+                    .map(|&(f, b)| BundleIdx(self.frame_bundle_start[f] as usize + b)),
+            );
+            scene.track_bundle_offsets.push(scene.track_bundle_arena.len() as u32);
+        }
+        scene.frame_dt = self.frame_dt;
+        scene.n_frames = self.n_frames;
+    }
 }
 
 #[cfg(test)]
@@ -789,6 +914,60 @@ mod tests {
             }
         }
         assert_eq!(seen_b.len(), scene.n_bundles());
+    }
+
+    #[test]
+    fn update_snapshot_equals_snapshot_every_frame() {
+        // Growing one scene in place frame by frame must reproduce the
+        // full snapshot copy exactly, under every preset.
+        for cfg in
+            [AssemblyConfig::default(), AssemblyConfig::model_only(), AssemblyConfig::human_only()]
+        {
+            let data = tiny_scene_data(7);
+            let mut engine = AssemblyEngine::new(cfg);
+            engine.begin(data.frame_dt);
+            let mut current = Scene::from_parts(vec![], vec![], vec![], data.frame_dt, 0);
+            for frame in &data.frames {
+                engine.push_frame(frame);
+                engine.update_snapshot(&mut current);
+                assert_eq!(current, engine.snapshot());
+            }
+            assert_eq!(current, engine.finish());
+        }
+    }
+
+    #[test]
+    fn last_delta_reports_assembly_facts() {
+        let data = tiny_scene_data(8);
+        let mut engine = AssemblyEngine::new(AssemblyConfig::default());
+        engine.begin(data.frame_dt);
+        assert!(engine.last_delta().is_none());
+        let mut prev = Scene::from_parts(vec![], vec![], vec![], data.frame_dt, 0);
+        for (f, frame) in data.frames.iter().enumerate() {
+            engine.push_frame(frame);
+            let snap = engine.snapshot();
+            let delta = engine.last_delta().unwrap();
+            assert_eq!(delta.frame, f);
+            assert_eq!(delta.obs_start, prev.n_observations());
+            assert_eq!(delta.bundle_start, prev.n_bundles());
+            // changed_tracks = exactly the tracks whose bundle lists
+            // differ from the previous snapshot (new tracks included).
+            let changed: Vec<TrackIdx> = snap
+                .tracks()
+                .iter()
+                .map(|t| t.idx)
+                .filter(|&t| {
+                    t.0 >= prev.n_tracks() || snap.track_bundles(t) != prev.track_bundles(t)
+                })
+                .collect();
+            assert_eq!(delta.changed_tracks, changed, "frame {f}");
+            for w in delta.changed_tracks.windows(2) {
+                assert!(w[0].0 < w[1].0, "changed_tracks sorted");
+            }
+            prev = snap;
+        }
+        engine.finish();
+        assert!(engine.last_delta().is_none());
     }
 
     #[test]

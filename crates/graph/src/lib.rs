@@ -14,11 +14,13 @@
 //! work (robot-perception factor graphs) points at, and used by an ablation.
 
 pub mod components;
+pub mod delta;
 pub mod graph;
 pub mod score;
 pub mod sum_product;
 
 pub use components::{ComponentId, ComponentIndex};
+pub use delta::{DeltaComponentIndex, UnionOutcome};
 pub use graph::{FactorGraph, FactorId, GraphError, VarId};
 pub use score::{normalized_log_score, ComponentScore, ScopeMode};
 pub use sum_product::{DiscreteFactor, SumProduct, SumProductError};

@@ -16,7 +16,7 @@
 //! batch assembly of the truncated scene.
 
 use crate::error::IngestError;
-use fixy_core::{AssemblyConfig, AssemblyEngine, Scene};
+use fixy_core::{AssemblyConfig, AssemblyEngine, FrameDelta, Scene};
 use loa_data::{Frame, FrameId, SceneData};
 
 /// The incremental assembler: a validating, reusable streaming front-end
@@ -95,6 +95,30 @@ impl StreamingAssembler {
     /// app scores between frames. Does not disturb the stream.
     pub fn snapshot(&self) -> Scene {
         self.engine.snapshot()
+    }
+
+    /// What the most recent [`push_frame`](Self::push_frame) changed —
+    /// new observation/bundle watermarks and exactly which tracks were
+    /// created or extended. These are assembly facts straight from the
+    /// engine (no snapshot diffing); they drive
+    /// [`fixy_core::IncrementalScorer::rescore_delta`]. `None` before
+    /// the first push of a scene and after [`finalize`](Self::finalize).
+    pub fn last_delta(&self) -> Option<&FrameDelta> {
+        self.engine.last_delta()
+    }
+
+    /// Grow a previously materialized snapshot of *this* stream in place
+    /// to cover every pushed frame — O(Δ) instead of the O(scene) of
+    /// [`snapshot`](Self::snapshot). Seed with an empty scene
+    /// (`Scene::from_parts(vec![], vec![], vec![], frame_dt, 0)`) and
+    /// call after each push; the result is always identical to a fresh
+    /// `snapshot()`.
+    pub fn update_snapshot(&self, scene: &mut Scene) -> Result<(), IngestError> {
+        if !self.streaming {
+            return Err(IngestError::NotStreaming);
+        }
+        self.engine.update_snapshot(scene);
+        Ok(())
     }
 
     /// The partial scene up to and including `frame`, which must already
@@ -198,6 +222,32 @@ mod tests {
             asm.snapshot_at(FrameId(2)),
             Err(IngestError::FrameOutOfRange { frame: 2, pushed: 2 })
         ));
+    }
+
+    #[test]
+    fn delta_surface_follows_stream_lifecycle() {
+        let data = tiny_scene(8);
+        let mut asm = StreamingAssembler::new(AssemblyConfig::default());
+        let mut grown = Scene::from_parts(vec![], vec![], vec![], data.frame_dt, 0);
+        // Outside a stream, both delta APIs refuse.
+        assert!(asm.last_delta().is_none());
+        assert!(matches!(
+            asm.update_snapshot(&mut grown),
+            Err(IngestError::NotStreaming)
+        ));
+
+        asm.begin(data.frame_dt);
+        assert!(asm.last_delta().is_none(), "no delta before the first push");
+        for (f, frame) in data.frames.iter().enumerate() {
+            asm.push_frame(frame).unwrap();
+            let delta = asm.last_delta().expect("delta after push");
+            assert_eq!(delta.frame, f);
+            asm.update_snapshot(&mut grown).unwrap();
+            assert_eq!(grown, asm.snapshot(), "frame {f}");
+        }
+        let final_scene = asm.finalize().unwrap();
+        assert_eq!(grown, final_scene);
+        assert!(asm.last_delta().is_none(), "delta cleared by finalize");
     }
 
     #[test]

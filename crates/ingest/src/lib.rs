@@ -10,7 +10,14 @@
 //!   staged `AssemblyEngine` internals, with partial-scene snapshots for
 //!   scoring before end-of-scene. `finalize()` output is field-for-field
 //!   identical to batch [`Scene::assemble`](fixy_core::Scene::assemble)
-//!   (the conformance proptests in `tests/ingest.rs` lock it).
+//!   (the conformance proptests in `tests/ingest.rs` lock it). Each push
+//!   also surfaces a [`FrameDelta`] of assembly facts
+//!   ([`last_delta`](StreamingAssembler::last_delta)) and can grow a
+//!   snapshot in place
+//!   ([`update_snapshot`](StreamingAssembler::update_snapshot)), feeding
+//!   the O(Δ) incremental re-scoring path
+//!   ([`fixy_core::IncrementalScorer`]; equivalence proptests in
+//!   `tests/incremental.rs`).
 //! * **Binary scene format** — [`fscb`]: a compact, frame-framed
 //!   on-disk layout ([`FrameWriter`]/[`FrameReader`]) decodable
 //!   frame-by-frame straight into the assembler, with exact `f64`
@@ -31,4 +38,5 @@ pub mod fscb;
 pub use assembler::StreamingAssembler;
 pub use corpus::{load_scene_auto, CorpusSource};
 pub use error::IngestError;
+pub use fixy_core::FrameDelta;
 pub use fscb::{read_scene, write_scene, FrameReader, FrameWriter, FSCB_EXTENSION};
