@@ -13,6 +13,8 @@ USAGE:
     fixy rank     --scene <FILE|DIR> --library <FILE> [--app <APP>] [--top <K>] [--grade]
     fixy convert  --data <DIR> --out <DIR>
     fixy stream   --scene <FILE> --library <FILE> [--app <APP>] [--top <K>] [--compare-full]
+    fixy serve    --listen <ADDR> --library <FILE> [--app <APP>] [--window <N>] [--max-frames <N>] [--max-sessions <N>] [--port-file <FILE>]
+    fixy feed     --addr <ADDR> --data <DIR> [--late <N>] [--seed <S>] [--dup-every <K>] [--top <K>] [--out-dir <DIR>] [--shutdown]
     fixy fuzz     [--seed <S>] [--scenes <N>] [--top-k <K>] [--train <N>]
     fixy render   --scene <FILE> [--frame <N>] [--svg <FILE>]
     fixy bench-record --json <FILE> [--out <FILE>] [--note <TEXT>]
@@ -33,6 +35,23 @@ scene has even finished recording. Re-ranking is incremental (cached
 component scores, dirty-set invalidation); --compare-full additionally
 runs the full compile+score every frame, prints delta-vs-full latency,
 and exits non-zero if the worklists ever diverge.
+
+serve starts the resident multi-session audit server: each connection
+multiplexes any number of sessions, every session runs the incremental
+trio behind a bounded reorder buffer (late/duplicate frames within
+--window are absorbed; beyond-window frames are rejected recoverably),
+and engines are pooled across session churn. With --listen ending in :0
+the OS picks a port; --port-file writes the bound address for scripts.
+The server runs until a client sends shutdown.
+
+feed replays every scene in a directory against a running server, one
+session per scene, frames interleaved round-robin across sessions.
+--late N delivers each session's frames through a bounded shuffle (max
+displacement N — keep N < the server's window); --dup-every K re-sends
+every Kth frame to exercise duplicate dropping. Prints each session's
+delivery stats and final worklist (identical to fixy stream's on the
+same scene); --out-dir writes each worklist block to
+<DIR>/<scene-id>.worklist; --shutdown stops the server afterwards.
 
 fuzz runs the injection-recall conformance harness: a seeded procedural
 corpus with known injected errors is ranked through the scene pipeline,
@@ -127,6 +146,47 @@ pub struct StreamArgs {
     pub compare_full: bool,
 }
 
+/// `fixy serve`.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Bind address, e.g. `127.0.0.1:7400` (`:0` lets the OS pick).
+    pub listen: String,
+    pub library: PathBuf,
+    pub app: App,
+    /// Reorder-buffer window per session.
+    pub window: u32,
+    /// Per-session frame budget.
+    pub max_frames: usize,
+    /// Concurrent-session cap per connection.
+    pub max_sessions: usize,
+    /// Write the bound address here once listening (for scripts using
+    /// an OS-picked port).
+    pub port_file: Option<PathBuf>,
+}
+
+/// `fixy feed`.
+#[derive(Debug, Clone)]
+pub struct FeedArgs {
+    /// Server address, e.g. `127.0.0.1:7400`.
+    pub addr: String,
+    /// Directory of scenes (`.json` or `.fscb`) to replay.
+    pub data: PathBuf,
+    /// Bounded-shuffle depth: frames may arrive up to this many
+    /// positions out of order (0 = in order).
+    pub late: u32,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Re-send every Kth frame (0 = no duplicates).
+    pub dup_every: usize,
+    /// Worklist entries to print per session.
+    pub top: usize,
+    /// Write each session's final-worklist block to
+    /// `<DIR>/<scene-id>.worklist`.
+    pub out_dir: Option<PathBuf>,
+    /// Send shutdown after the last session closes.
+    pub shutdown: bool,
+}
+
 /// `fixy fuzz`.
 #[derive(Debug, Clone)]
 pub struct FuzzArgs {
@@ -163,6 +223,8 @@ pub enum Command {
     Rank(RankArgs),
     Convert(ConvertArgs),
     Stream(StreamArgs),
+    Serve(ServeArgs),
+    Feed(FeedArgs),
     Fuzz(FuzzArgs),
     Render(RenderArgs),
     BenchRecord(BenchRecordArgs),
@@ -292,6 +354,31 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 app: flags.optional("app").map(App::parse).transpose()?.unwrap_or_default(),
                 top: flags.parse_num("top", 5usize)?,
                 compare_full: flags.switches.contains("compare-full"),
+            }))
+        }
+        "serve" => {
+            let flags = collect_flags(rest, &[])?;
+            Ok(Command::Serve(ServeArgs {
+                listen: flags.required("listen")?.to_string(),
+                library: PathBuf::from(flags.required("library")?),
+                app: flags.optional("app").map(App::parse).transpose()?.unwrap_or_default(),
+                window: flags.parse_num("window", 8u32)?,
+                max_frames: flags.parse_num("max-frames", 100_000usize)?,
+                max_sessions: flags.parse_num("max-sessions", 4096usize)?,
+                port_file: flags.optional("port-file").map(PathBuf::from),
+            }))
+        }
+        "feed" => {
+            let flags = collect_flags(rest, &["shutdown"])?;
+            Ok(Command::Feed(FeedArgs {
+                addr: flags.required("addr")?.to_string(),
+                data: PathBuf::from(flags.required("data")?),
+                late: flags.parse_num("late", 0u32)?,
+                seed: flags.parse_num("seed", 0u64)?,
+                dup_every: flags.parse_num("dup-every", 0usize)?,
+                top: flags.parse_num("top", 5usize)?,
+                out_dir: flags.optional("out-dir").map(PathBuf::from),
+                shutdown: flags.switches.contains("shutdown"),
             }))
         }
         "fuzz" => {
@@ -467,6 +554,68 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("stream --scene s.json")).is_err());
+    }
+
+    #[test]
+    fn serve_and_feed_parse() {
+        match parse(&argv("serve --listen 127.0.0.1:0 --library l.json --port-file p.txt")).unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.listen, "127.0.0.1:0");
+                assert_eq!(s.app, App::MissingTracks);
+                assert_eq!(s.window, 8);
+                assert_eq!(s.max_frames, 100_000);
+                assert_eq!(s.max_sessions, 4096);
+                assert_eq!(s.port_file, Some(PathBuf::from("p.txt")));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "serve --listen 0.0.0.0:7400 --library l.json --app model-errors --window 16 \
+             --max-frames 500 --max-sessions 2",
+        ))
+        .unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.app, App::ModelErrors);
+                assert_eq!(s.window, 16);
+                assert_eq!(s.max_frames, 500);
+                assert_eq!(s.max_sessions, 2);
+                assert!(s.port_file.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --library l.json")).is_err());
+
+        match parse(&argv(
+            "feed --addr 127.0.0.1:7400 --data d --late 3 --seed 5 --dup-every 4 --top 3 \
+             --out-dir o --shutdown",
+        ))
+        .unwrap()
+        {
+            Command::Feed(f) => {
+                assert_eq!(f.addr, "127.0.0.1:7400");
+                assert_eq!(f.data, PathBuf::from("d"));
+                assert_eq!(f.late, 3);
+                assert_eq!(f.seed, 5);
+                assert_eq!(f.dup_every, 4);
+                assert_eq!(f.top, 3);
+                assert_eq!(f.out_dir, Some(PathBuf::from("o")));
+                assert!(f.shutdown);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("feed --addr a:1 --data d")).unwrap() {
+            Command::Feed(f) => {
+                assert_eq!(f.late, 0);
+                assert_eq!(f.dup_every, 0);
+                assert_eq!(f.top, 5);
+                assert!(!f.shutdown);
+                assert!(f.out_dir.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("feed --data d")).is_err());
     }
 
     #[test]

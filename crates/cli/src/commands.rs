@@ -1,7 +1,8 @@
 //! Command implementations.
 
 use crate::args::{
-    App, ConvertArgs, FuzzArgs, GenerateArgs, LearnArgs, RankArgs, RenderArgs, StreamArgs,
+    App, ConvertArgs, FeedArgs, FuzzArgs, GenerateArgs, LearnArgs, RankArgs, RenderArgs, ServeArgs,
+    StreamArgs,
 };
 use crate::CliError;
 use fixy_core::prelude::*;
@@ -626,6 +627,163 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
     }
     out.push_str(&summary);
     Ok(out)
+}
+
+/// `fixy serve`: run the resident multi-session audit server until a
+/// client sends shutdown. Binds `--listen` (use `:0` to let the OS pick
+/// a port; `--port-file` then publishes the bound address for scripts),
+/// loads the fitted library once, and serves every connection and
+/// session off that shared context.
+pub fn serve(args: ServeArgs) -> Result<String, CliError> {
+    let file: LibraryFile = serde_json::from_str(&std::fs::read_to_string(&args.library)?)?;
+    if file.app != args.app.name() {
+        return Err(CliError::Invalid(format!(
+            "library was fitted for app '{}', but --app is '{}'",
+            file.app,
+            args.app.name()
+        )));
+    }
+    let app = match args.app {
+        App::MissingTracks => loa_serve::ServeApp::MissingTracks,
+        App::MissingObs => loa_serve::ServeApp::MissingObs,
+        App::ModelErrors => loa_serve::ServeApp::ModelErrors,
+    };
+    let ctx = loa_serve::ServeContext::new(app, file.library)?;
+    let listener = std::net::TcpListener::bind(&args.listen)?;
+    let addr = listener.local_addr()?;
+    if let Some(port_file) = &args.port_file {
+        std::fs::write(port_file, addr.to_string())?;
+    }
+    // To stderr: stdout is the post-shutdown summary, and scripts watch
+    // the port file, not our output.
+    eprintln!(
+        "fixy serve: listening on {addr} (app {}, window {}, max {} session(s))",
+        app.name(),
+        args.window,
+        args.max_sessions
+    );
+    let cfg = loa_serve::ServiceCfg {
+        window: args.window,
+        max_frames: args.max_frames,
+        max_sessions: args.max_sessions,
+    };
+    let summary = loa_serve::serve(listener, &ctx, cfg)?;
+    Ok(format!(
+        "served {} connection(s), {} session(s), {} frame(s)\n",
+        summary.connections, summary.sessions, summary.frames
+    ))
+}
+
+/// `fixy feed`: replay every scene in a directory against a running
+/// `fixy serve` — one session per scene, frames interleaved round-robin
+/// across all sessions over a single connection. `--late` delivers each
+/// session's frames through a bounded shuffle (no frame lands more than
+/// `late` positions from its index — keep it below the server's reorder
+/// window) and `--dup-every` re-sends every Kth frame verbatim; the
+/// server must absorb both without the final worklists moving a bit.
+pub fn feed(args: FeedArgs) -> Result<String, CliError> {
+    let scenes = CorpusSource::open(&args.data)?.load_all()?;
+    if scenes.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "no scenes found in {}",
+            args.data.display()
+        )));
+    }
+    let mut client = loa_serve::FeedClient::connect(args.addr.as_str())?;
+    for (sid, scene) in scenes.iter().enumerate() {
+        client.open(sid as u32, &scene.id, scene.frame_dt)?;
+    }
+
+    let schedules: Vec<Vec<usize>> = scenes
+        .iter()
+        .enumerate()
+        .map(|(sid, scene)| {
+            delivery_order(scene.frames.len(), args.late, args.seed.wrapping_add(sid as u64))
+        })
+        .collect();
+    let mut cursors = vec![0usize; scenes.len()];
+    let mut sent = vec![0u64; scenes.len()];
+    loop {
+        let mut progressed = false;
+        for (sid, scene) in scenes.iter().enumerate() {
+            let Some(&pos) = schedules[sid].get(cursors[sid]) else {
+                continue;
+            };
+            cursors[sid] += 1;
+            progressed = true;
+            let frame = &scene.frames[pos];
+            client.frame(sid as u32, frame)?;
+            sent[sid] += 1;
+            if args.dup_every > 0 && sent[sid] % args.dup_every as u64 == 0 {
+                client.frame(sid as u32, frame)?;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    if let Some(dir) = &args.out_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    let mut total_frames = 0u64;
+    for sid in 0..scenes.len() {
+        let worklist = client.close_session(sid as u32)?;
+        let stats = &worklist.stats;
+        total_frames += stats.frames;
+        let _ = writeln!(
+            out,
+            "=== {}: {} frame(s) scored, {} duplicate(s) dropped, {} reordered, {} rejected, {} stranded",
+            worklist.scene_id,
+            stats.frames,
+            stats.duplicates_dropped,
+            stats.reordered,
+            stats.rejected,
+            stats.stranded,
+        );
+        if let Some(msg) = &stats.first_reject {
+            let _ = writeln!(out, "    first rejection: {msg}");
+        }
+        // The exact block `fixy stream` ends with on the same scene —
+        // what --out-dir files are diffed against.
+        let block = worklist.render_final(args.top);
+        if let Some(dir) = &args.out_dir {
+            std::fs::write(dir.join(format!("{}.worklist", worklist.scene_id)), &block)?;
+        }
+        out.push_str(&block);
+    }
+    if args.shutdown {
+        client.shutdown()?;
+        let _ = writeln!(out, "server shut down");
+    }
+    let _ = writeln!(out, "fed {} scene(s), {} frame(s) scored", scenes.len(), total_frames);
+    Ok(out)
+}
+
+/// Delivery order for `n` frames where no frame lands more than `late`
+/// positions from its index: stable-sort by `index + jitter` with
+/// jitter drawn from `0..=late`. If frame `j` is still outstanding when
+/// `i` is delivered then `j + late >= key_j >= key_i >= i`, so the
+/// server-side watermark never trails a delivered index by more than
+/// `late` — any reorder window above `late` absorbs the shuffle.
+fn delivery_order(n: usize, late: u32, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut keyed: Vec<(u64, usize)> = (0..n)
+        .map(|i| (i as u64 + splitmix64(&mut state) % (u64::from(late) + 1), i))
+        .collect();
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// SplitMix64 — a tiny deterministic stream for the delivery shuffle,
+/// keeping the CLI free of RNG crates.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// `fixy render`: ASCII render of one frame (and optionally an SVG).

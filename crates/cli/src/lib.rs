@@ -29,6 +29,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
         Command::Rank(r) => commands::rank(r),
         Command::Convert(c) => commands::convert(c),
         Command::Stream(s) => commands::stream(s),
+        Command::Serve(s) => commands::serve(s),
+        Command::Feed(f) => commands::feed(f),
         Command::Fuzz(f) => commands::fuzz(f),
         Command::Render(r) => commands::render(r),
         Command::BenchRecord(b) => commands::bench_record(b),
@@ -44,6 +46,7 @@ pub enum CliError {
     Data(loa_data::io::IoError),
     Ingest(loa_ingest::IngestError),
     Fixy(fixy_core::FixyError),
+    Serve(loa_serve::ServeError),
     Invalid(String),
 }
 
@@ -55,6 +58,7 @@ impl std::fmt::Display for CliError {
             CliError::Data(e) => write!(f, "data: {e}"),
             CliError::Ingest(e) => write!(f, "ingest: {e}"),
             CliError::Fixy(e) => write!(f, "fixy: {e}"),
+            CliError::Serve(e) => write!(f, "serve: {e}"),
             CliError::Invalid(msg) => write!(f, "{msg}"),
         }
     }
@@ -89,5 +93,11 @@ impl From<fixy_core::FixyError> for CliError {
 impl From<loa_ingest::IngestError> for CliError {
     fn from(e: loa_ingest::IngestError) -> Self {
         CliError::Ingest(e)
+    }
+}
+
+impl From<loa_serve::ServeError> for CliError {
+    fn from(e: loa_serve::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }

@@ -11,6 +11,8 @@
 //! * [`eval`] — the experiment harness reproducing Section 8,
 //! * [`ingest`] — streaming ingest (incremental frame-by-frame assembly,
 //!   the `.fscb` binary scene format, streamed corpus sources),
+//! * [`serve`] — the resident multi-session audit service (sessions,
+//!   reorder buffers, the wire protocol, the TCP server and client),
 //! * [`render`] — BEV ASCII/SVG figures.
 //!
 //! ## Quickstart
@@ -50,6 +52,7 @@ pub use loa_geom as geom;
 pub use loa_graph as graph;
 pub use loa_ingest as ingest;
 pub use loa_render as render;
+pub use loa_serve as serve;
 pub use loa_stats as stats;
 
 /// Convenience prelude: the types most programs need.

@@ -16,8 +16,18 @@
 //! batch assembly of the truncated scene.
 
 use crate::error::IngestError;
+use crate::reorder::ReorderBuffer;
 use fixy_core::{AssemblyConfig, AssemblyEngine, FrameDelta, Scene};
 use loa_data::{Frame, FrameId, SceneData};
+
+/// The index the next pushed frame must carry. Falls out of the u32
+/// index space only after `u32::MAX + 1` pushes — unreachable for a
+/// recorded scene, but a resident session with an unbounded lifetime
+/// gets a typed error instead of a silent wrap that would misclassify
+/// every later frame as a duplicate.
+fn expected_index(pushed: usize) -> Result<u32, IngestError> {
+    u32::try_from(pushed).map_err(|_| IngestError::FrameIndexOverflow { pushed })
+}
 
 /// The incremental assembler: a validating, reusable streaming front-end
 /// over [`AssemblyEngine`]'s begin/push/finish stages.
@@ -76,12 +86,14 @@ impl StreamingAssembler {
     ///
     /// Frames must arrive in strictly increasing index order with no
     /// gaps — a lower-or-equal index is a [`IngestError::DuplicateFrame`],
-    /// a higher one an [`IngestError::OutOfOrderFrame`].
+    /// a higher one an [`IngestError::OutOfOrderFrame`]. (For transports
+    /// that cannot guarantee this, see
+    /// [`push_frame_reordered`](Self::push_frame_reordered).)
     pub fn push_frame(&mut self, frame: &Frame) -> Result<(), IngestError> {
         if !self.streaming {
             return Err(IngestError::NotStreaming);
         }
-        let expected = self.engine.frames_pushed() as u32;
+        let expected = expected_index(self.engine.frames_pushed())?;
         match frame.index.0 {
             got if got < expected => return Err(IngestError::DuplicateFrame { frame: got }),
             got if got > expected => return Err(IngestError::OutOfOrderFrame { expected, got }),
@@ -89,6 +101,37 @@ impl StreamingAssembler {
         }
         self.engine.push_frame(frame);
         Ok(())
+    }
+
+    /// Ingest a frame from an unordered transport through a
+    /// [`ReorderBuffer`]: late and duplicate frames inside the buffer's
+    /// window are absorbed, and every frame the buffer releases is
+    /// pushed in index order. Returns how many frames were ingested by
+    /// this call (0 when the frame was buffered or dropped as a
+    /// duplicate).
+    ///
+    /// The buffer must be dedicated to this stream and reset (via
+    /// [`ReorderBuffer::begin`]) alongside [`begin`](Self::begin).
+    ///
+    /// Note: callers that need the per-frame [`last_delta`]
+    /// (Self::last_delta) after *each* released frame — the incremental
+    /// scoring path — should drive [`ReorderBuffer::accept_into`] and
+    /// [`push_frame`](Self::push_frame) themselves; this convenience
+    /// only reports the delta of the last released frame.
+    pub fn push_frame_reordered(
+        &mut self,
+        buf: &mut ReorderBuffer,
+        frame: Frame,
+    ) -> Result<usize, IngestError> {
+        if !self.streaming {
+            return Err(IngestError::NotStreaming);
+        }
+        let mut released = Vec::new();
+        buf.accept_into(frame, &mut released)?;
+        for frame in &released {
+            self.push_frame(frame)?;
+        }
+        Ok(released.len())
     }
 
     /// The partial scene over every frame pushed so far — what a live
@@ -248,6 +291,42 @@ mod tests {
         let final_scene = asm.finalize().unwrap();
         assert_eq!(grown, final_scene);
         assert!(asm.last_delta().is_none(), "delta cleared by finalize");
+    }
+
+    #[test]
+    fn frame_index_overflow_is_typed_not_wrapped() {
+        // `u32::MAX as usize + 1` pushes exhausts the index space; the
+        // old `as u32` cast wrapped to 0 and misread every later frame
+        // as a duplicate.
+        assert_eq!(expected_index(0).unwrap(), 0);
+        assert_eq!(expected_index(u32::MAX as usize).unwrap(), u32::MAX);
+        assert!(matches!(
+            expected_index(u32::MAX as usize + 1),
+            Err(IngestError::FrameIndexOverflow { pushed }) if pushed == u32::MAX as usize + 1
+        ));
+    }
+
+    #[test]
+    fn reordered_push_absorbs_shuffle_and_duplicates() {
+        let data = tiny_scene(9);
+        let cfg = AssemblyConfig::default();
+        let mut asm = StreamingAssembler::new(cfg);
+        let mut buf = ReorderBuffer::new(4);
+        asm.begin(data.frame_dt);
+        buf.begin();
+        let n = data.frames.len();
+        assert!(n >= 3, "scene too short to shuffle");
+        // Deliver 1 before 0, duplicate 0, then the rest in order.
+        assert_eq!(asm.push_frame_reordered(&mut buf, data.frames[1].clone()).unwrap(), 0);
+        assert_eq!(asm.push_frame_reordered(&mut buf, data.frames[0].clone()).unwrap(), 2);
+        assert_eq!(asm.push_frame_reordered(&mut buf, data.frames[0].clone()).unwrap(), 0);
+        for frame in &data.frames[2..] {
+            assert_eq!(asm.push_frame_reordered(&mut buf, frame.clone()).unwrap(), 1);
+        }
+        assert_eq!(buf.duplicates_dropped(), 1);
+        assert_eq!(buf.reordered_released(), 1);
+        let streamed = asm.finalize().unwrap();
+        assert_eq!(streamed, Scene::assemble(&data, &cfg));
     }
 
     #[test]

@@ -14,21 +14,38 @@ use crate::fscb::{self, FSCB_EXTENSION};
 use loa_data::SceneData;
 use std::path::{Path, PathBuf};
 
+/// Attach the offending path to an I/O error — a bare "permission
+/// denied" from a thousand-scene corpus walk is undebuggable.
+fn io_at(path: &Path, e: std::io::Error) -> IngestError {
+    IngestError::Io(std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+}
+
 /// Load one scene in either format: `.json` through `loa_data::io`,
 /// `.fscb` through the binary decoder. A path with any other (or no)
 /// extension is sniffed by magic — `FSCB` leading bytes mean binary,
 /// anything else parses as JSON, preserving the pre-ingest behavior of
 /// extensionless scene files. Both paths validate.
+///
+/// The sniff distinguishes a file genuinely shorter than the magic
+/// (legal — tiny JSON falls through to the JSON parser) from a real
+/// read failure (permission, EISDIR, mid-read error), which propagates
+/// as [`IngestError::Io`] with the path attached instead of being
+/// misreported as a JSON parse error.
 pub fn load_scene_auto(path: &Path) -> Result<SceneData, IngestError> {
     match path.extension().and_then(|e| e.to_str()) {
         Some(FSCB_EXTENSION) => fscb::read_scene(path),
         Some("json") => Ok(loa_data::io::load_scene(path)?),
         _ => {
+            use std::io::Read as _;
             let mut magic = [0u8; 4];
-            let sniffed_fscb = std::fs::File::open(path).map(|mut f| {
-                use std::io::Read as _;
-                f.read_exact(&mut magic).is_ok() && &magic == b"FSCB"
-            })?;
+            let mut file = std::fs::File::open(path).map_err(|e| io_at(path, e))?;
+            let sniffed_fscb = match file.read_exact(&mut magic) {
+                Ok(()) => &magic == b"FSCB",
+                // Shorter than the magic: cannot be binary, let the
+                // JSON parser report what it actually is.
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => false,
+                Err(e) => return Err(io_at(path, e)),
+            };
             if sniffed_fscb {
                 fscb::read_scene(path)
             } else {
@@ -60,9 +77,12 @@ impl CorpusSource {
             .filter_map(|e| e.ok())
             .map(|e| e.path())
             .filter(|p| {
-                p.extension()
-                    .and_then(|e| e.to_str())
-                    .is_some_and(|ext| ext == "json" || ext == FSCB_EXTENSION)
+                // `is_file` too: a subdirectory named `x.json` must not
+                // become a scene token that aborts the streamed rank.
+                p.is_file()
+                    && p.extension()
+                        .and_then(|e| e.to_str())
+                        .is_some_and(|ext| ext == "json" || ext == FSCB_EXTENSION)
             })
             .collect();
         paths.sort();
@@ -151,6 +171,47 @@ mod tests {
         assert_eq!(names, ["a.fscb", "b.json", "c.json"]);
         let ids: Vec<String> = source.map(|r| r.unwrap().id).collect();
         assert_eq!(ids, ["a-scene", "b-scene", "c-scene"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decoy_subdirectories_are_not_scenes() {
+        let dir = tmp_dir("decoy");
+        loa_data::io::save_scene(&tiny_scene("real", 21), &dir.join("real.json")).unwrap();
+        // Directories that *look* like scene files must be skipped.
+        std::fs::create_dir(dir.join("decoy.json")).unwrap();
+        std::fs::create_dir(dir.join("decoy.fscb")).unwrap();
+        let source = CorpusSource::open(&dir).unwrap();
+        assert_eq!(source.len(), 1);
+        let ids: Vec<String> = source.map(|r| r.unwrap().id).collect();
+        assert_eq!(ids, ["real"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sniff_short_file_falls_through_to_json_error() {
+        let dir = tmp_dir("short");
+        // 2 bytes — shorter than the 4-byte magic. Not a real I/O
+        // failure, so the JSON parser gets to report the actual problem.
+        let path = dir.join("stub");
+        std::fs::write(&path, "{}").unwrap();
+        assert!(matches!(load_scene_auto(&path), Err(IngestError::Scene(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sniff_read_failure_propagates_with_path() {
+        let dir = tmp_dir("sniff_err");
+        // Reading a directory as a file fails (EISDIR) — that must NOT
+        // be misreported as a JSON parse error.
+        let sub = dir.join("noext_dir");
+        std::fs::create_dir(&sub).unwrap();
+        match load_scene_auto(&sub) {
+            Err(IngestError::Io(e)) => {
+                assert!(e.to_string().contains("noext_dir"), "path missing: {e}")
+            }
+            other => panic!("expected Io error with path, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

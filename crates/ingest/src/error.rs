@@ -20,6 +20,14 @@ pub enum IngestError {
     OutOfOrderFrame { expected: u32, got: u32 },
     /// A frame id at or below the last pushed one arrived again.
     DuplicateFrame { frame: u32 },
+    /// A frame arrived too far ahead of the reorder watermark for the
+    /// bounded buffer to hold — the stream has lost more frames than the
+    /// window absorbs, or the transport is delivering garbage indexes.
+    ReorderWindowExceeded { frame: u32, watermark: u32, window: u32 },
+    /// The stream has already ingested every index a `u32` can address —
+    /// a resident session has outlived the frame-id space and must be
+    /// recycled.
+    FrameIndexOverflow { pushed: usize },
     /// A snapshot was requested for a frame that has not been pushed yet.
     FrameOutOfRange { frame: u32, pushed: usize },
     /// `push_frame`/`finalize` outside a `begin` … `finalize` window.
@@ -39,6 +47,20 @@ impl std::fmt::Display for IngestError {
             }
             IngestError::DuplicateFrame { frame } => {
                 write!(f, "duplicate frame index {frame}")
+            }
+            IngestError::ReorderWindowExceeded { frame, watermark, window } => {
+                write!(
+                    f,
+                    "frame {frame} is beyond the reorder window: watermark {watermark}, \
+                     window {window} (indexes {watermark}..{})",
+                    watermark.saturating_add(*window)
+                )
+            }
+            IngestError::FrameIndexOverflow { pushed } => {
+                write!(
+                    f,
+                    "frame-index overflow: {pushed} frame(s) pushed exhausts the u32 index space"
+                )
             }
             IngestError::FrameOutOfRange { frame, pushed } => {
                 write!(f, "frame {frame} not pushed yet ({pushed} frame(s) so far)")
@@ -85,6 +107,13 @@ mod tests {
         assert!(e.to_string().contains("expected index 3"));
         assert!(e.to_string().contains("got 7"));
         assert!(IngestError::DuplicateFrame { frame: 2 }.to_string().contains("2"));
+        let e = IngestError::ReorderWindowExceeded { frame: 20, watermark: 3, window: 8 };
+        assert!(e.to_string().contains("frame 20"));
+        assert!(e.to_string().contains("watermark 3"));
+        assert!(e.to_string().contains("3..11"));
+        assert!(IngestError::FrameIndexOverflow { pushed: 1 << 32 }
+            .to_string()
+            .contains("overflow"));
         assert!(IngestError::NotStreaming.to_string().contains("begin"));
         assert!(IngestError::Corrupt("bad magic".into())
             .to_string()

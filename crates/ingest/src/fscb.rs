@@ -289,6 +289,23 @@ fn decode_frame(payload: &[u8]) -> Result<Frame, IngestError> {
     Ok(Frame { index, timestamp, ego_pose, gt, human_labels, detections })
 }
 
+/// Encode one frame as a standalone `.fscb` frame-record payload — the
+/// bytes that sit behind a `TAG_FRAME` framing in a scene file. This is
+/// the serving wire format: `loa_serve` ships exactly these bytes per
+/// frame, so a recorded scene replays over the wire without recoding.
+pub fn encode_frame_record(frame: &Frame) -> Vec<u8> {
+    let mut enc = Enc::default();
+    encode_frame(&mut enc, frame);
+    enc.buf
+}
+
+/// Decode a standalone `.fscb` frame-record payload (the inverse of
+/// [`encode_frame_record`]). Structural nonsense surfaces
+/// [`IngestError::Corrupt`].
+pub fn decode_frame_record(payload: &[u8]) -> Result<Frame, IngestError> {
+    decode_frame(payload)
+}
+
 fn encode_injected(enc: &mut Enc, inj: &InjectedErrors) {
     enc.len(inj.missing_tracks.len());
     for m in &inj.missing_tracks {
@@ -744,6 +761,24 @@ mod tests {
             serde_json::to_string(&back).unwrap()
         );
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn standalone_frame_record_roundtrips() {
+        let scene = tiny_scene(17);
+        for frame in &scene.frames {
+            let payload = encode_frame_record(frame);
+            let back = decode_frame_record(&payload).unwrap();
+            assert_eq!(
+                serde_json::to_string(frame).unwrap(),
+                serde_json::to_string(&back).unwrap()
+            );
+        }
+        // Structural garbage is Corrupt, not a panic.
+        assert!(matches!(
+            decode_frame_record(&[0xde, 0xad]),
+            Err(IngestError::Corrupt(_))
+        ));
     }
 
     #[test]

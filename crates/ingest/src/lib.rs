@@ -34,9 +34,14 @@ pub mod assembler;
 pub mod corpus;
 pub mod error;
 pub mod fscb;
+pub mod reorder;
 
 pub use assembler::StreamingAssembler;
 pub use corpus::{load_scene_auto, CorpusSource};
 pub use error::IngestError;
 pub use fixy_core::FrameDelta;
-pub use fscb::{read_scene, write_scene, FrameReader, FrameWriter, FSCB_EXTENSION};
+pub use fscb::{
+    decode_frame_record, encode_frame_record, read_scene, write_scene, FrameReader, FrameWriter,
+    FSCB_EXTENSION,
+};
+pub use reorder::{ReorderBuffer, ReorderOutcome};

@@ -1,0 +1,137 @@
+//! The TCP front-end: one resident process, many connections, many
+//! sessions per connection.
+//!
+//! Each accepted connection gets its own handler thread and its own
+//! [`AuditService`] (sessions are connection-scoped — ids need only be
+//! unique per connection, and a dropped connection cleans up exactly
+//! its own sessions). The shared [`ServeContext`] is borrowed by every
+//! thread, so the fitted library is resident once.
+//!
+//! Shutdown is cooperative: any connection sending `SHUTDOWN` gets
+//! `BYE`, flips the flag, and nudges the acceptor with a loopback
+//! connect so the blocking `accept()` returns. In-flight connections
+//! finish their current request loop.
+
+use crate::error::ServeError;
+use crate::protocol::{read_preamble, read_request, write_response, Request, Response};
+use crate::service::{AuditService, ServiceCfg};
+use crate::session::ServeContext;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// What a serve run handled, returned once the listener stops.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    pub connections: u64,
+    /// Sessions closed with a worklist.
+    pub sessions: u64,
+    /// Frame envelopes accepted across all connections.
+    pub frames: u64,
+}
+
+/// Run the audit server on an already-bound listener until a client
+/// sends `SHUTDOWN`. Blocks the calling thread; connection handlers run
+/// on scoped threads borrowing `ctx`.
+pub fn serve(
+    listener: TcpListener,
+    ctx: &ServeContext,
+    cfg: ServiceCfg,
+) -> Result<ServeSummary, ServeError> {
+    let local = listener.local_addr()?;
+    let shutdown = AtomicBool::new(false);
+    let connections = AtomicU64::new(0);
+    let sessions = AtomicU64::new(0);
+    let frames = AtomicU64::new(0);
+
+    std::thread::scope(|scope| -> Result<(), ServeError> {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            connections.fetch_add(1, Ordering::Relaxed);
+            let shutdown = &shutdown;
+            let sessions = &sessions;
+            let frames = &frames;
+            scope.spawn(move || {
+                // A connection failing (protocol garbage, torn socket)
+                // must not take the server down — drop it and keep
+                // accepting.
+                if let Err(e) = handle_connection(stream, ctx, cfg, shutdown, sessions, frames) {
+                    if !shutdown.load(Ordering::SeqCst) {
+                        eprintln!("loa_serve: connection error: {e}");
+                    }
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    // Unblock the acceptor so the listener loop can exit.
+                    let _ = TcpStream::connect(local);
+                }
+            });
+        }
+        Ok(())
+    })?;
+
+    Ok(ServeSummary {
+        connections: connections.load(Ordering::Relaxed),
+        sessions: sessions.load(Ordering::Relaxed),
+        frames: frames.load(Ordering::Relaxed),
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    ctx: &ServeContext,
+    cfg: ServiceCfg,
+    shutdown: &AtomicBool,
+    sessions: &AtomicU64,
+    frames: &AtomicU64,
+) -> Result<(), ServeError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    read_preamble(&mut reader)?;
+    let mut service = AuditService::new(ctx, cfg);
+
+    while let Some(req) = read_request(&mut reader)? {
+        match req {
+            Request::Open { session, scene_id, frame_dt } => {
+                // Request/response: the client is waiting, so the write
+                // cannot deadlock.
+                let resp = match service.open(session, &scene_id, frame_dt) {
+                    Ok(()) => Response::Opened { session },
+                    Err(e) => Response::Error { session, message: e.to_string() },
+                };
+                write_response(&mut writer, &resp)?;
+                writer.flush()?;
+            }
+            Request::Frame { session, record } => {
+                // Fire-and-forget: never write back on the frame path —
+                // a client pumping frames is not reading, and a blocked
+                // write here would deadlock the connection. Recoverable
+                // rejections land in session stats; hard errors kill
+                // the connection (the client sees EOF at its next
+                // await).
+                service.frame_record(session, &record)?;
+                frames.fetch_add(1, Ordering::Relaxed);
+            }
+            Request::Close { session } => {
+                let resp = match service.close(session) {
+                    Ok(worklist) => {
+                        sessions.fetch_add(1, Ordering::Relaxed);
+                        Response::Worklist { session, worklist }
+                    }
+                    Err(e) => Response::Error { session, message: e.to_string() },
+                };
+                write_response(&mut writer, &resp)?;
+                writer.flush()?;
+            }
+            Request::Shutdown => {
+                write_response(&mut writer, &Response::Bye)?;
+                writer.flush()?;
+                shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+    }
+    Ok(())
+}

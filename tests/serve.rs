@@ -1,0 +1,300 @@
+//! Serving conformance: the resident session layer must be invisible in
+//! the results.
+//!
+//! The contract under test is **delivery independence**: a session's
+//! final worklist is byte-identical (labels and f64 score bits) whether
+//! its frames arrived in order, shuffled within the reorder window,
+//! duplicated, or interleaved with other sessions — across every
+//! `ServeApp` (covering all three `AssemblyConfig` presets) and both the
+//! in-process `AuditService` and the TCP wire path. Beyond-window and
+//! over-budget frames must be rejected *recoverably*: counted in stats,
+//! session and connection fully usable afterwards.
+
+use fixy::core::Learner;
+use fixy::data::{ScenarioFuzzer, SceneData};
+use fixy::serve::{
+    serve, AuditService, FeedClient, ServeApp, ServeContext, ServeError, ServiceCfg, Worklist,
+};
+use proptest::prelude::*;
+use std::net::TcpListener;
+use std::sync::OnceLock;
+
+const APPS: [ServeApp; 4] =
+    [ServeApp::MissingTracks, ServeApp::MissingObs, ServeApp::ModelErrors, ServeApp::LabelAudit];
+
+/// One fitted context per app (fitting is the expensive part; done once
+/// per process). The four apps cover all three assembly presets.
+fn contexts() -> &'static [ServeContext; 4] {
+    static CTXS: OnceLock<[ServeContext; 4]> = OnceLock::new();
+    CTXS.get_or_init(|| {
+        let train = ScenarioFuzzer::new(41).training_corpus(2);
+        APPS.map(|app| {
+            let library = Learner { assembly: app.assembly() }
+                .fit(&app.feature_set(), &train)
+                .expect("fit");
+            ServeContext::new(app, library).expect("context")
+        })
+    })
+}
+
+/// SplitMix64 — deterministic jitter for the bounded shuffles below.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Delivery order where no frame lands more than `late` positions from
+/// its index (stable sort by `index + jitter`, jitter in `0..=late`) —
+/// guaranteed inside any reorder window above `late`.
+fn delivery_order(n: usize, late: u32, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut keyed: Vec<(u64, usize)> = (0..n)
+        .map(|i| (i as u64 + splitmix64(&mut state) % (u64::from(late) + 1), i))
+        .collect();
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Feed one whole scene in index order through a fresh service; the
+/// reference every delivery permutation must reproduce.
+fn in_order_worklist(ctx: &ServeContext, data: &SceneData, cfg: ServiceCfg) -> Worklist {
+    let mut svc = AuditService::new(ctx, cfg);
+    svc.open(0, &data.id, data.frame_dt).expect("open");
+    for frame in &data.frames {
+        svc.frame(0, frame.clone()).expect("frame");
+    }
+    svc.close(0).expect("close")
+}
+
+fn assert_same_entries(got: &Worklist, want: &Worklist, ctx: &str) {
+    assert_eq!(got.entries.len(), want.entries.len(), "{ctx}: worklist length");
+    for (i, ((gl, gs), (wl, ws))) in got.entries.iter().zip(&want.entries).enumerate() {
+        assert_eq!(gl, wl, "{ctx}: label at rank {i}");
+        assert_eq!(gs.to_bits(), ws.to_bits(), "{ctx}: score bits at rank {i} ({gl})");
+    }
+    assert_eq!(
+        got.render_final(10),
+        want.render_final(10),
+        "{ctx}: rendered final-worklist block"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    // The tentpole contract: a bounded shuffle plus duplicates inside
+    // the window leaves the final worklist byte-identical to in-order
+    // delivery, for every app (all three assembly presets).
+    #[test]
+    fn prop_shuffled_delivery_matches_in_order(
+        seed in 0u64..200,
+        index in 0u64..40,
+        late in 1u32..6,
+        dup_every in 2usize..5,
+    ) {
+        let cfg = ServiceCfg { window: late + 1, ..ServiceCfg::default() };
+        for ctx in contexts() {
+            let data = ScenarioFuzzer::new(seed).scene(index);
+            let want = in_order_worklist(ctx, &data, cfg);
+
+            let mut svc = AuditService::new(ctx, cfg);
+            svc.open(7, &data.id, data.frame_dt).expect("open");
+            let order = delivery_order(data.frames.len(), late, seed ^ index);
+            let mut dups = 0u64;
+            for (k, &pos) in order.iter().enumerate() {
+                svc.frame(7, data.frames[pos].clone()).expect("frame");
+                if (k + 1) % dup_every == 0 {
+                    svc.frame(7, data.frames[pos].clone()).expect("dup frame");
+                    dups += 1;
+                }
+            }
+            let got = svc.close(7).expect("close");
+
+            let tag = format!("{} seed {seed} scene {index} late {late}", ctx.app().name());
+            assert_eq!(got.stats.frames, data.frames.len() as u64, "{tag}: frames");
+            assert_eq!(got.stats.duplicates_dropped, dups, "{tag}: dups");
+            assert_eq!(got.stats.rejected, 0, "{tag}: rejected");
+            assert_eq!(got.stats.stranded, 0, "{tag}: stranded");
+            assert_same_entries(&got, &want, &tag);
+        }
+    }
+}
+
+/// A frame beyond the reorder window is rejected recoverably: counted,
+/// first message kept, and the session still converges to the in-order
+/// worklist once the frame is re-sent inside the window.
+#[test]
+fn beyond_window_rejection_does_not_poison_the_session() {
+    let ctx = &contexts()[0];
+    let data = ScenarioFuzzer::new(9).scene(1);
+    assert!(data.frames.len() > 8, "need enough frames");
+    let cfg = ServiceCfg { window: 3, ..ServiceCfg::default() };
+    let want = in_order_worklist(ctx, &data, cfg);
+
+    let mut svc = AuditService::new(ctx, cfg);
+    svc.open(0, &data.id, data.frame_dt).unwrap();
+    svc.frame(0, data.frames[0].clone()).unwrap();
+    // Watermark 1, window 3: index 6 is far beyond — absorbed, counted.
+    svc.frame(0, data.frames[6].clone()).unwrap();
+    svc.peek(0).expect("session stays open after a recoverable reject");
+    for frame in &data.frames[1..6] {
+        svc.frame(0, frame.clone()).unwrap();
+    }
+    // Watermark 6 now: the rejected frame fits the window on re-send.
+    for frame in &data.frames[6..] {
+        svc.frame(0, frame.clone()).unwrap();
+    }
+    let got = svc.close(0).unwrap();
+    assert_eq!(got.stats.rejected, 1);
+    let first = got.stats.first_reject.as_deref().expect("first reject kept");
+    assert!(first.contains("reorder window"), "unexpected message: {first}");
+    assert_eq!(got.stats.frames, data.frames.len() as u64);
+    assert_same_entries(&got, &want, "beyond-window recovery");
+}
+
+/// The per-session frame budget is enforced recoverably, and frames
+/// stranded in the buffer at close are reported.
+#[test]
+fn frame_budget_and_stranded_frames_are_reported() {
+    let ctx = &contexts()[0];
+    let data = ScenarioFuzzer::new(12).scene(2);
+    let n = data.frames.len();
+    assert!(n > 4);
+
+    // Budget: only the first 3 indexes are admitted; the rest count as
+    // rejected but never kill the session.
+    let cfg = ServiceCfg { window: 8, max_frames: 3, ..ServiceCfg::default() };
+    let mut svc = AuditService::new(ctx, cfg);
+    svc.open(0, &data.id, data.frame_dt).unwrap();
+    for frame in &data.frames {
+        svc.frame(0, frame.clone()).unwrap();
+    }
+    let got = svc.close(0).unwrap();
+    assert_eq!(got.stats.frames, 3);
+    assert_eq!(got.stats.rejected, (n - 3) as u64);
+    assert!(got.stats.first_reject.unwrap().contains("frame budget"));
+
+    // Stranded: deliver a gap (skip frame 0), close with frames parked.
+    let cfg = ServiceCfg { window: 8, ..ServiceCfg::default() };
+    let mut svc = AuditService::new(ctx, cfg);
+    svc.open(0, &data.id, data.frame_dt).unwrap();
+    for frame in &data.frames[1..4] {
+        svc.frame(0, frame.clone()).unwrap();
+    }
+    let got = svc.close(0).unwrap();
+    assert_eq!(got.stats.frames, 0, "nothing released without frame 0");
+    assert_eq!(got.stats.stranded, 3);
+    assert!(got.entries.is_empty());
+}
+
+/// Session bookkeeping: id collisions, the session cap, unknown ids —
+/// and engine pooling across churn (closes feed reopens; no rebuilds).
+#[test]
+fn session_table_limits_and_engine_pooling() {
+    let ctx = &contexts()[0];
+    let data = ScenarioFuzzer::new(5).scene(0);
+    let cfg = ServiceCfg { max_sessions: 2, ..ServiceCfg::default() };
+    let mut svc = AuditService::new(ctx, cfg);
+
+    svc.open(1, "a", data.frame_dt).unwrap();
+    assert!(matches!(
+        svc.open(1, "a2", data.frame_dt),
+        Err(ServeError::SessionExists(1))
+    ));
+    svc.open(2, "b", data.frame_dt).unwrap();
+    assert!(matches!(
+        svc.open(3, "c", data.frame_dt),
+        Err(ServeError::SessionLimit { max: 2 })
+    ));
+    assert!(matches!(
+        svc.frame(9, data.frames[0].clone()),
+        Err(ServeError::UnknownSession(9))
+    ));
+    assert!(matches!(svc.close(9), Err(ServeError::UnknownSession(9))));
+    assert_eq!(svc.engines_built(), 2);
+
+    // Churn: close both, open-feed-close many more; the pool absorbs
+    // every reopen, so no further engine builds.
+    svc.close(1).unwrap();
+    svc.close(2).unwrap();
+    for round in 0..6u32 {
+        svc.open(round, &format!("s{round}"), data.frame_dt).unwrap();
+        for frame in &data.frames {
+            svc.frame(round, frame.clone()).unwrap();
+        }
+        svc.close(round).unwrap();
+    }
+    assert_eq!(svc.engines_built(), 2, "pool must absorb session churn");
+    assert_eq!(svc.sessions_served(), 8);
+    assert_eq!(svc.open_sessions(), 0);
+}
+
+/// End-to-end over TCP: two sessions interleaved on one connection, one
+/// delivered in order and one shuffled-with-duplicates inside the
+/// window; both final worklists match in-order in-process references,
+/// and shutdown stops the server cleanly.
+#[test]
+fn tcp_round_trip_interleaved_sessions_and_shutdown() {
+    let ctx = &contexts()[1]; // MissingObs: bundle labels exercise the wire format
+    let cfg = ServiceCfg { window: 4, ..ServiceCfg::default() };
+    let a = ScenarioFuzzer::new(21).scene(0);
+    let b = ScenarioFuzzer::new(22).scene(1);
+    let want_a = in_order_worklist(ctx, &a, cfg);
+    let want_b = in_order_worklist(ctx, &b, cfg);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || serve(listener, &contexts()[1], cfg));
+
+    let mut client = FeedClient::connect(addr).expect("connect");
+    client.open(10, &a.id, a.frame_dt).unwrap();
+    client.open(20, &b.id, b.frame_dt).unwrap();
+
+    let order_b = delivery_order(b.frames.len(), 3, 77);
+    let rounds = a.frames.len().max(order_b.len());
+    for k in 0..rounds {
+        if let Some(frame) = a.frames.get(k) {
+            client.frame(10, frame).unwrap();
+        }
+        if let Some(&pos) = order_b.get(k) {
+            client.frame(20, &b.frames[pos]).unwrap();
+            if k % 3 == 0 {
+                client.frame(20, &b.frames[pos]).unwrap(); // immediate duplicate
+            }
+        }
+    }
+    let got_a = client.close_session(10).unwrap();
+    let got_b = client.close_session(20).unwrap();
+    assert_eq!(got_a.scene_id, a.id);
+    assert_eq!(got_b.scene_id, b.id);
+    assert_same_entries(&got_a, &want_a, "tcp session A (in order)");
+    assert_same_entries(&got_b, &want_b, "tcp session B (shuffled)");
+    assert_eq!(got_b.stats.frames, b.frames.len() as u64);
+    assert!(got_b.stats.duplicates_dropped > 0);
+    assert_eq!(got_b.stats.rejected, 0);
+
+    client.shutdown().expect("shutdown handshake");
+    let summary = server.join().expect("server thread").expect("serve result");
+    assert_eq!(summary.sessions, 2);
+    assert_eq!(summary.frames as usize, {
+        let dups = (0..order_b.len()).filter(|k| k % 3 == 0).count();
+        a.frames.len() + order_b.len() + dups
+    });
+    assert!(summary.connections >= 1);
+}
+
+/// Opening against a library fitted for a different app fails up front.
+#[test]
+fn context_rejects_mismatched_library() {
+    let train = ScenarioFuzzer::new(41).training_corpus(1);
+    let library = Learner { assembly: ServeApp::MissingTracks.assembly() }
+        .fit(&ServeApp::MissingTracks.feature_set(), &train)
+        .unwrap();
+    // MissingTracks' library has no yaw-rate entry, which the
+    // model-errors feature set requires.
+    let err = ServeContext::new(ServeApp::ModelErrors, library);
+    assert!(err.is_err(), "mismatched library must fail at context build");
+}
