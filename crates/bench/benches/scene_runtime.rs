@@ -8,8 +8,23 @@ use fixy_core::Learner;
 use loa_data::{generate_scene, DatasetProfile, SceneData};
 use std::hint::black_box;
 
+/// `FIXY_BENCH_SMOKE=1` shrinks the workload so CI can execute every
+/// bench body without paying full-fidelity scene costs.
+fn smoke() -> bool {
+    std::env::var_os("FIXY_BENCH_SMOKE").is_some()
+}
+
+fn scene_config() -> loa_data::SceneConfig {
+    let mut cfg = DatasetProfile::InternalLike.scene_config();
+    if smoke() {
+        cfg.world.duration = 3.0;
+        cfg.lidar.beam_count = 240;
+    }
+    cfg
+}
+
 fn setup() -> (SceneData, FeatureLibrary, MissingTrackFinder) {
-    let cfg = DatasetProfile::InternalLike.scene_config();
+    let cfg = scene_config();
     let finder = MissingTrackFinder::default();
     let train: Vec<_> = (0..2)
         .map(|i| generate_scene(&cfg, &format!("bench-train-{i}"), 42 + i))
@@ -22,7 +37,7 @@ fn setup() -> (SceneData, FeatureLibrary, MissingTrackFinder) {
 fn bench_scene_runtime(c: &mut Criterion) {
     let (data, library, finder) = setup();
     let mut group = c.benchmark_group("scene_runtime");
-    group.sample_size(20);
+    group.sample_size(if smoke() { 10 } else { 20 });
 
     group.bench_function("online_phase_15s_scene", |b| {
         b.iter(|| {
@@ -55,7 +70,7 @@ fn bench_scene_runtime(c: &mut Criterion) {
 }
 
 fn bench_offline_learning(c: &mut Criterion) {
-    let cfg = DatasetProfile::InternalLike.scene_config();
+    let cfg = scene_config();
     let finder = MissingTrackFinder::default();
     let train: Vec<_> = (0..2)
         .map(|i| generate_scene(&cfg, &format!("bench-fit-{i}"), 77 + i))
@@ -71,19 +86,55 @@ fn bench_offline_learning(c: &mut Criterion) {
         })
     });
 
-    // Library load: deserialize + eager prepared-grid rebuild — the
-    // fleet-scale per-app startup cost, and the baseline for a future
-    // zero-copy / lazily-prepared on-disk format (see ROADMAP).
+    // Library load, per wire format — the fleet-scale per-app startup
+    // cost. The v1 JSON path pays deserialize + eager prepared-grid
+    // rebuild (a KDE convolution per distribution); the .flcb path is a
+    // bounds-checked bulk copy of the prepared grids, which is the
+    // whole point of the binary format.
     let library = Learner::new().fit(&finder.feature_set(), &train).expect("fit");
     let json = serde_json::to_string(&library).expect("serialize library");
-    group.bench_function("library_load", |b| {
+    group.bench_function("library_load_json", |b| {
         b.iter(|| {
             let library: FeatureLibrary =
                 serde_json::from_str(black_box(&json)).expect("deserialize");
             black_box(library.len())
         })
     });
+    let flcb = fixy_core::flcb::encode_library("missing-tracks", &library);
+    group.bench_function("library_load_flcb", |b| {
+        b.iter(|| {
+            let (_, library) = fixy_core::flcb::decode_library(black_box(&flcb)).expect("decode");
+            black_box(library.len())
+        })
+    });
     group.finish();
+
+    // The binary format must actually win, by a wide margin (the
+    // recorded snapshots track the full ratio; this guards against the
+    // flcb path silently regressing into a refit). Minimum-of-5 keeps
+    // the check robust to scheduler noise.
+    let time_min = |f: &dyn Fn()| {
+        (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed()
+            })
+            .min()
+            .expect("nonempty")
+    };
+    let json_t = time_min(&|| {
+        let lib: FeatureLibrary = serde_json::from_str(&json).expect("deserialize");
+        black_box(lib.len());
+    });
+    let flcb_t = time_min(&|| {
+        let (_, lib) = fixy_core::flcb::decode_library(&flcb).expect("decode");
+        black_box(lib.len());
+    });
+    assert!(
+        json_t > flcb_t * 5,
+        "flcb library load must be far faster than JSON: json {json_t:?} vs flcb {flcb_t:?}"
+    );
 }
 
 criterion_group!(benches, bench_scene_runtime, bench_offline_learning);

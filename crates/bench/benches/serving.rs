@@ -190,10 +190,87 @@ fn bench_wire_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold start: library file open → serving context built → session
+/// OPENed → first FRAME scored, for each library wire format. This is
+/// the latency a fleet pays every time an audit worker spins up; the
+/// `.flcb` format exists to collapse its library-load component from a
+/// fit-state reconstruction to a bulk copy.
+fn bench_cold_start(c: &mut Criterion) {
+    let app = ServeApp::MissingTracks;
+    let train: Vec<_> = (0..2)
+        .map(|i| scene_data(&format!("serve-cold-train-{i}"), 910 + i))
+        .collect();
+    let library = Learner { assembly: app.assembly() }
+        .fit(&app.feature_set(), &train)
+        .expect("fit");
+    let scene = scene_data("serve-cold", 903);
+    let first = scene.frames.first().expect("scene has frames").clone();
+
+    let dir = std::env::temp_dir().join("fixy_bench_cold_start");
+    std::fs::create_dir_all(&dir).expect("bench tmp dir");
+    let json_path = dir.join("library.json");
+    let flcb_path = dir.join("library.flcb");
+    std::fs::write(&json_path, serde_json::to_string(&library).expect("serialize"))
+        .expect("write json library");
+    fixy_core::flcb::write_library_file(&flcb_path, "missing-tracks", &library)
+        .expect("write flcb library");
+
+    let cold = |library: fixy_core::FeatureLibrary| -> usize {
+        let ctx = ServeContext::new(app, library).expect("context");
+        let mut svc = AuditService::new(&ctx, ServiceCfg::default());
+        svc.open(0, &scene.id, scene.frame_dt).expect("open");
+        svc.frame(0, first.clone()).expect("first frame scored");
+        svc.close(0).expect("close").stats.frames as usize
+    };
+    let cold_json = || {
+        let text = std::fs::read_to_string(&json_path).expect("read json library");
+        let library: fixy_core::FeatureLibrary =
+            serde_json::from_str(&text).expect("parse json library");
+        cold(library)
+    };
+    let cold_flcb = || {
+        let (_, library) =
+            fixy_core::flcb::read_library_file(&flcb_path).expect("read flcb library");
+        cold(library)
+    };
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(if smoke() { 3 } else { 10 });
+    group.bench_function("cold_start_to_first_score_json", |b| {
+        b.iter(|| black_box(cold_json()))
+    });
+    group.bench_function("cold_start_to_first_score_flcb", |b| {
+        b.iter(|| black_box(cold_flcb()))
+    });
+    group.finish();
+
+    // The binary path must win cold start outright (minimum-of-5 per
+    // path to shrug off scheduler noise) — the shared context/session
+    // cost is identical, so any loss means the flcb load regressed.
+    let time_min = |f: &dyn Fn() -> usize| {
+        (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                black_box(f());
+                t.elapsed()
+            })
+            .min()
+            .expect("nonempty")
+    };
+    let json_t = time_min(&cold_json);
+    let flcb_t = time_min(&cold_flcb);
+    assert!(
+        flcb_t < json_t,
+        "flcb cold start must beat JSON: flcb {flcb_t:?} vs json {json_t:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_interleaved_sessions,
     bench_session_churn,
-    bench_wire_roundtrip
+    bench_wire_roundtrip,
+    bench_cold_start
 );
 criterion_main!(benches);

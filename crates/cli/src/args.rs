@@ -9,24 +9,34 @@ fixy — Learned Observation Assertions (SIGMOD 2022 reproduction)
 
 USAGE:
     fixy generate --profile <lyft|internal> --scenes <N> [--seed <S>] --out <DIR> [--duration <SECS>]
-    fixy learn    --data <DIR> [--app <APP>] --out <FILE>
+    fixy learn    --data <DIR> [--app <APP>] --out <FILE> [--out-format <json|flcb>]
     fixy rank     --scene <FILE|DIR> --library <FILE> [--app <APP>] [--top <K>] [--grade]
     fixy convert  --data <DIR> --out <DIR>
+    fixy convert  --library <FILE> [--out <FILE>]
     fixy stream   --scene <FILE> --library <FILE> [--app <APP>] [--top <K>] [--compare-full]
     fixy serve    --listen <ADDR> --library <FILE> [--app <APP>] [--window <N>] [--max-frames <N>] [--max-sessions <N>] [--port-file <FILE>]
     fixy feed     --addr <ADDR> --data <DIR> [--late <N>] [--seed <S>] [--dup-every <K>] [--top <K>] [--out-dir <DIR>] [--shutdown]
-    fixy fuzz     [--seed <S>] [--scenes <N>] [--top-k <K>] [--train <N>]
+    fixy fuzz     [--seed <S>] [--scenes <N>] [--top-k <K>] [--train <N>] [--corpus-dir <DIR>] [--json]
     fixy render   --scene <FILE> [--frame <N>] [--svg <FILE>]
     fixy bench-record --json <FILE> [--out <FILE>] [--note <TEXT>]
     fixy help
 
 APPS: missing-tracks (default), missing-obs, model-errors
 
+Library files come in two wire formats, auto-detected on load (by
+extension, then by magic bytes): v1 JSON (human-readable, the default)
+and .flcb — the zero-copy binary format that stores the prepared
+probability grids verbatim, so opening a library is a bounds-checked
+bulk copy instead of a refit. Both score bit-identically.
+
 rank over a directory streams scenes (.json or .fscb) through the
 bounded scene pipeline, holding at most O(workers) scenes in memory.
 
-convert rewrites every scene JSON in a directory as .fscb — the
-frame-streamed compact binary scene format — and reports the size ratio.
+convert --data rewrites every scene JSON in a directory as .fscb — the
+frame-streamed compact binary scene format — and reports the size
+ratio. convert --library migrates one library file to the other format
+(JSON -> .flcb or .flcb -> JSON; --out defaults to the input path with
+the extension swapped).
 
 stream replays one scene frame-by-frame through the StreamingAssembler,
 re-ranking the partial scene after every frame and printing per-frame
@@ -56,7 +66,10 @@ same scene); --out-dir writes each worklist block to
 fuzz runs the injection-recall conformance harness: a seeded procedural
 corpus with known injected errors is ranked through the scene pipeline,
 and every injected error must appear in the top-K of its scene's
-worklist. Exits non-zero (printing the failing seed) otherwise.
+worklist. Exits non-zero (printing the failing seed) otherwise. Every
+fitted library is round-tripped through the .flcb codec before scoring,
+so the gate also locks binary-format fidelity. --corpus-dir materializes
+the generated scenes as .fscb files (--json writes scene JSON instead).
 
 bench-record merges a CRITERION_JSON lines file (written by
 `CRITERION_JSON=<FILE> cargo bench -p loa_bench`) into the repo's bench
@@ -103,12 +116,41 @@ pub struct GenerateArgs {
     pub duration: Option<f64>,
 }
 
+/// Library wire format selector for `fixy learn --out-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LibFormat {
+    /// v1 human-readable JSON (the default).
+    #[default]
+    Json,
+    /// `.flcb` — the zero-copy binary format with on-disk prepared grids.
+    Flcb,
+}
+
+impl LibFormat {
+    pub fn parse(s: &str) -> Result<LibFormat, ParseError> {
+        match s {
+            "json" => Ok(LibFormat::Json),
+            "flcb" => Ok(LibFormat::Flcb),
+            other => Err(ParseError(format!("unknown library format '{other}'"))),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LibFormat::Json => "json",
+            LibFormat::Flcb => "flcb",
+        }
+    }
+}
+
 /// `fixy learn`.
 #[derive(Debug, Clone)]
 pub struct LearnArgs {
     pub data: PathBuf,
     pub app: App,
     pub out: PathBuf,
+    /// Wire format for the written library file.
+    pub out_format: LibFormat,
 }
 
 /// `fixy rank`.
@@ -124,13 +166,19 @@ pub struct RankArgs {
     pub grade: bool,
 }
 
-/// `fixy convert`.
+/// `fixy convert`: either a scene-corpus conversion (`--data`) or a
+/// single library-file migration (`--library`) — exactly one of the two.
 #[derive(Debug, Clone)]
 pub struct ConvertArgs {
-    /// Directory of `.json` scenes to convert.
-    pub data: PathBuf,
-    /// Output directory for the `.fscb` scenes (created if missing).
-    pub out: PathBuf,
+    /// Directory of `.json` scenes to convert to `.fscb`.
+    pub data: Option<PathBuf>,
+    /// One library file to migrate to the opposite wire format
+    /// (JSON -> `.flcb`, `.flcb` -> JSON).
+    pub library: Option<PathBuf>,
+    /// Output directory (`--data` mode, required) or output file
+    /// (`--library` mode, defaults to the input with the extension
+    /// swapped).
+    pub out: Option<PathBuf>,
 }
 
 /// `fixy stream`.
@@ -194,6 +242,10 @@ pub struct FuzzArgs {
     pub scenes: usize,
     pub top_k: usize,
     pub train: usize,
+    /// Materialize the generated corpus into this directory.
+    pub corpus_dir: Option<PathBuf>,
+    /// Write the materialized corpus as scene JSON instead of `.fscb`.
+    pub json: bool,
 }
 
 /// `fixy render`.
@@ -327,6 +379,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 data: PathBuf::from(flags.required("data")?),
                 app: flags.optional("app").map(App::parse).transpose()?.unwrap_or_default(),
                 out: PathBuf::from(flags.required("out")?),
+                out_format: flags
+                    .optional("out-format")
+                    .map(LibFormat::parse)
+                    .transpose()?
+                    .unwrap_or_default(),
             }))
         }
         "rank" => {
@@ -341,10 +398,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "convert" => {
             let flags = collect_flags(rest, &[])?;
-            Ok(Command::Convert(ConvertArgs {
-                data: PathBuf::from(flags.required("data")?),
-                out: PathBuf::from(flags.required("out")?),
-            }))
+            let data = flags.optional("data").map(PathBuf::from);
+            let library = flags.optional("library").map(PathBuf::from);
+            let out = flags.optional("out").map(PathBuf::from);
+            match (&data, &library) {
+                (Some(_), Some(_)) => {
+                    return Err(ParseError(
+                        "convert takes --data or --library, not both".to_string(),
+                    ))
+                }
+                (None, None) => {
+                    return Err(ParseError(
+                        "convert requires --data <DIR> or --library <FILE>".to_string(),
+                    ))
+                }
+                (Some(_), None) if out.is_none() => {
+                    return Err(ParseError("convert --data requires --out <DIR>".to_string()))
+                }
+                _ => {}
+            }
+            Ok(Command::Convert(ConvertArgs { data, library, out }))
         }
         "stream" => {
             let flags = collect_flags(rest, &["compare-full"])?;
@@ -382,12 +455,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }))
         }
         "fuzz" => {
-            let flags = collect_flags(rest, &[])?;
+            let flags = collect_flags(rest, &["json"])?;
+            let corpus_dir = flags.optional("corpus-dir").map(PathBuf::from);
+            if corpus_dir.is_none() && flags.switches.contains("json") {
+                return Err(ParseError(
+                    "fuzz --json only applies with --corpus-dir <DIR>".to_string(),
+                ));
+            }
             Ok(Command::Fuzz(FuzzArgs {
                 seed: flags.parse_num("seed", 7u64)?,
                 scenes: flags.parse_num("scenes", 200usize)?,
                 top_k: flags.parse_num("top-k", 10usize)?,
                 train: flags.parse_num("train", 6usize)?,
+                corpus_dir,
+                json: flags.switches.contains("json"),
             }))
         }
         "render" => {
@@ -517,8 +598,35 @@ mod tests {
                 assert_eq!(f.scenes, 12);
                 assert_eq!(f.top_k, 5);
                 assert_eq!(f.train, 2);
+                assert!(f.corpus_dir.is_none());
+                assert!(!f.json);
             }
             other => panic!("{other:?}"),
+        }
+        match parse(&argv("fuzz --corpus-dir c --json")).unwrap() {
+            Command::Fuzz(f) => {
+                assert_eq!(f.corpus_dir, Some(PathBuf::from("c")));
+                assert!(f.json);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --json is a corpus-materialization format switch, not standalone.
+        assert!(parse(&argv("fuzz --json")).is_err());
+    }
+
+    #[test]
+    fn learn_out_format() {
+        match parse(&argv("learn --data d --out l.flcb --out-format flcb")).unwrap() {
+            Command::Learn(l) => assert_eq!(l.out_format, LibFormat::Flcb),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("learn --data d --out l.json")).unwrap() {
+            Command::Learn(l) => assert_eq!(l.out_format, LibFormat::Json),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("learn --data d --out l --out-format msgpack")).is_err());
+        for fmt in [LibFormat::Json, LibFormat::Flcb] {
+            assert_eq!(LibFormat::parse(fmt.name()).unwrap(), fmt);
         }
     }
 
@@ -526,12 +634,24 @@ mod tests {
     fn convert_and_stream_parse() {
         match parse(&argv("convert --data d --out o")).unwrap() {
             Command::Convert(c) => {
-                assert_eq!(c.data, PathBuf::from("d"));
-                assert_eq!(c.out, PathBuf::from("o"));
+                assert_eq!(c.data, Some(PathBuf::from("d")));
+                assert!(c.library.is_none());
+                assert_eq!(c.out, Some(PathBuf::from("o")));
             }
             other => panic!("{other:?}"),
         }
+        // --data mode requires --out; --library mode defaults it.
         assert!(parse(&argv("convert --data d")).is_err());
+        assert!(parse(&argv("convert")).is_err());
+        assert!(parse(&argv("convert --data d --library l.json --out o")).is_err());
+        match parse(&argv("convert --library l.json")).unwrap() {
+            Command::Convert(c) => {
+                assert!(c.data.is_none());
+                assert_eq!(c.library, Some(PathBuf::from("l.json")));
+                assert!(c.out.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
         match parse(&argv("stream --scene s.fscb --library l.json --top 3")).unwrap() {
             Command::Stream(s) => {
                 assert_eq!(s.scene, PathBuf::from("s.fscb"));

@@ -14,10 +14,46 @@ use std::fmt::Write as _;
 
 /// The on-disk library format: the fitted distributions tagged with the
 /// application they were fitted for, so `rank` can detect mismatches.
+/// This is the v1 JSON wire shape; the `.flcb` binary format carries the
+/// same app tag in its header.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct LibraryFile {
     pub app: String,
     pub library: FeatureLibrary,
+}
+
+/// Load a library file in either wire format, auto-detected the same way
+/// scenes are sniffed: `.flcb` extension dispatches to the binary codec,
+/// anything else is checked for the `FLCB` magic bytes (so extensionless
+/// or misnamed binary files still open) and otherwise parsed as v1 JSON.
+pub fn load_library_file(path: &std::path::Path) -> Result<LibraryFile, CliError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| CliError::Invalid(format!("cannot read library {}: {e}", path.display())))?;
+    let is_flcb = path.extension().and_then(|e| e.to_str())
+        == Some(fixy_core::flcb::FLCB_EXTENSION)
+        || bytes.starts_with(&fixy_core::flcb::FLCB_MAGIC);
+    if is_flcb {
+        let (app, library) = fixy_core::flcb::decode_library(&bytes)?;
+        Ok(LibraryFile { app, library })
+    } else {
+        let text = String::from_utf8(bytes).map_err(|_| {
+            CliError::Invalid(format!("library {} is not UTF-8 JSON", path.display()))
+        })?;
+        Ok(serde_json::from_str(&text)?)
+    }
+}
+
+/// Load a library and reject it if it was fitted for a different app.
+fn load_library_for(path: &std::path::Path, app: App) -> Result<FeatureLibrary, CliError> {
+    let file = load_library_file(path)?;
+    if file.app != app.name() {
+        return Err(CliError::Invalid(format!(
+            "library was fitted for app '{}', but --app is '{}'",
+            file.app,
+            app.name()
+        )));
+    }
+    Ok(file.library)
 }
 
 fn feature_set_for(app: App) -> FeatureSet {
@@ -73,14 +109,27 @@ pub fn learn(args: LearnArgs) -> Result<String, CliError> {
     let scenes = CorpusSource::open(&args.data)?.load_all()?;
     let features = feature_set_for(args.app);
     let library = Learner::new().fit(&features, &scenes)?;
-    let file = LibraryFile { app: args.app.name().to_string(), library };
-    std::fs::write(&args.out, serde_json::to_string_pretty(&file)?)?;
-    Ok(format!(
-        "fitted {} distribution(s) from {} scene(s) → {}\n",
-        file.library.len(),
-        scenes.len(),
-        args.out.display()
-    ))
+    match args.out_format {
+        crate::args::LibFormat::Json => {
+            let file = LibraryFile { app: args.app.name().to_string(), library };
+            std::fs::write(&args.out, serde_json::to_string_pretty(&file)?)?;
+            Ok(format!(
+                "fitted {} distribution(s) from {} scene(s) → {}\n",
+                file.library.len(),
+                scenes.len(),
+                args.out.display()
+            ))
+        }
+        crate::args::LibFormat::Flcb => {
+            fixy_core::flcb::write_library_file(&args.out, args.app.name(), &library)?;
+            Ok(format!(
+                "fitted {} distribution(s) from {} scene(s) → {} (flcb)\n",
+                library.len(),
+                scenes.len(),
+                args.out.display()
+            ))
+        }
+    }
 }
 
 /// `fixy fuzz`: the injection-recall conformance harness. A seeded
@@ -95,8 +144,21 @@ pub fn fuzz(args: FuzzArgs) -> Result<String, CliError> {
         top_k: args.top_k,
         n_train: args.train.max(1),
     };
-    let result = loa_eval::run_injection_recall(&config);
-    let report = result.report();
+    let corpus = args.corpus_dir.map(|dir| loa_eval::CorpusMaterialization {
+        dir,
+        format: if args.json { loa_eval::CorpusFormat::Json } else { loa_eval::CorpusFormat::Fscb },
+    });
+    let result = loa_eval::run_injection_recall_with_corpus(&config, corpus.as_ref())?;
+    let mut report = result.report();
+    if let Some(m) = &corpus {
+        let _ = writeln!(
+            report,
+            "corpus materialized: {} scene(s) as .{} in {}",
+            config.n_scenes,
+            if m.format == loa_eval::CorpusFormat::Json { "json" } else { "fscb" },
+            m.dir.display()
+        );
+    }
     if result.is_perfect() {
         Ok(report)
     } else {
@@ -248,16 +310,9 @@ fn rank_batch(args: &RankArgs, library: &FeatureLibrary) -> Result<String, CliEr
 /// `fixy rank`: rank one scene's candidates (or, given a directory, a
 /// whole batch via the scene pipeline) and print the worklist.
 pub fn rank(args: RankArgs) -> Result<String, CliError> {
-    let file: LibraryFile = serde_json::from_str(&std::fs::read_to_string(&args.library)?)?;
-    if file.app != args.app.name() {
-        return Err(CliError::Invalid(format!(
-            "library was fitted for app '{}', but --app is '{}'",
-            file.app,
-            args.app.name()
-        )));
-    }
+    let library = load_library_for(&args.library, args.app)?;
     if args.scene.is_dir() {
-        return rank_batch(&args, &file.library);
+        return rank_batch(&args, &library);
     }
     let data = loa_ingest::load_scene_auto(&args.scene)?;
 
@@ -266,7 +321,7 @@ pub fn rank(args: RankArgs) -> Result<String, CliError> {
         App::MissingTracks => {
             let scene = Scene::assemble(&data, &AssemblyConfig::default());
             let finder = MissingTrackFinder::default();
-            let ranked = finder.rank(&scene, &file.library)?;
+            let ranked = finder.rank(&scene, &library)?;
             let _ = writeln!(
                 out,
                 "rank  class        score    #obs  conf   {}",
@@ -300,7 +355,7 @@ pub fn rank(args: RankArgs) -> Result<String, CliError> {
         App::MissingObs => {
             let scene = Scene::assemble(&data, &AssemblyConfig::default());
             let finder = MissingObsFinder::default();
-            let ranked = finder.rank(&scene, &file.library)?;
+            let ranked = finder.rank(&scene, &library)?;
             let _ = writeln!(out, "rank  frame  class        score");
             for (i, c) in ranked.iter().take(args.top).enumerate() {
                 let bundle = scene.bundle(c.bundle);
@@ -320,7 +375,7 @@ pub fn rank(args: RankArgs) -> Result<String, CliError> {
             let ranker = loa_baselines::MaExcludedModelErrors::default();
             let scene = Scene::assemble(&data, &ranker.assembly());
             let excluded = ranker.excluded(&scene);
-            let ranked = ranker.finder.rank(&scene, &file.library, &excluded)?;
+            let ranked = ranker.finder.rank(&scene, &library, &excluded)?;
             let _ = writeln!(
                 out,
                 "rank  class        score    #obs  conf   {}",
@@ -360,13 +415,65 @@ pub fn rank(args: RankArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `fixy convert`: rewrite every scene JSON in a directory as `.fscb`,
-/// reporting the compaction ratio. The output directory is created if
-/// missing; file stems are preserved so `rank --scene <DIR>` walks both
-/// corpora in the same order.
+/// `fixy convert`: either rewrite every scene JSON in a directory as
+/// `.fscb` (`--data`), or migrate one library file to the opposite wire
+/// format (`--library`).
 pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
-    let source = CorpusSource::open(&args.data)?;
-    std::fs::create_dir_all(&args.out)?;
+    match (args.data, args.library) {
+        (Some(data), None) => {
+            let out = args.out.ok_or_else(|| {
+                CliError::Invalid("convert --data requires --out <DIR>".to_string())
+            })?;
+            convert_corpus(&data, &out)
+        }
+        (None, Some(library)) => convert_library(&library, args.out),
+        // The parser enforces exactly-one; this is the direct-call guard.
+        _ => Err(CliError::Invalid(
+            "convert requires exactly one of --data or --library".to_string(),
+        )),
+    }
+}
+
+/// Migrate one library file: JSON becomes `.flcb`, `.flcb` becomes JSON.
+/// The default output path swaps the extension.
+fn convert_library(
+    path: &std::path::Path,
+    out: Option<std::path::PathBuf>,
+) -> Result<String, CliError> {
+    let file = load_library_file(path)?;
+    let was_flcb = std::fs::read(path)?.starts_with(&fixy_core::flcb::FLCB_MAGIC);
+    let dest = out.unwrap_or_else(|| {
+        path.with_extension(if was_flcb { "json" } else { fixy_core::flcb::FLCB_EXTENSION })
+    });
+    if dest == path {
+        return Err(CliError::Invalid(format!(
+            "refusing to overwrite the input library {} — pass a different --out",
+            path.display()
+        )));
+    }
+    if was_flcb {
+        std::fs::write(&dest, serde_json::to_string_pretty(&file)?)?;
+    } else {
+        fixy_core::flcb::write_library_file(&dest, &file.app, &file.library)?;
+    }
+    let from = std::fs::metadata(path)?.len();
+    let to = std::fs::metadata(&dest)?.len();
+    Ok(format!(
+        "migrated {} ({}) -> {} ({}); {from} -> {to} bytes\n",
+        path.display(),
+        if was_flcb { "flcb" } else { "json" },
+        dest.display(),
+        if was_flcb { "json" } else { "flcb" },
+    ))
+}
+
+/// Rewrite every scene JSON in a directory as `.fscb`, reporting the
+/// compaction ratio. The output directory is created if missing; file
+/// stems are preserved so `rank --scene <DIR>` walks both corpora in the
+/// same order.
+fn convert_corpus(data: &std::path::Path, out_dir: &std::path::Path) -> Result<String, CliError> {
+    let source = CorpusSource::open(data)?;
+    std::fs::create_dir_all(out_dir)?;
     let mut out = String::new();
     let mut json_bytes = 0u64;
     let mut fscb_bytes = 0u64;
@@ -379,7 +486,7 @@ pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
         let stem = path
             .file_stem()
             .ok_or_else(|| CliError::Invalid(format!("bad scene path {}", path.display())))?;
-        let dest = args.out.join(format!("{}.fscb", stem.to_string_lossy()));
+        let dest = out_dir.join(format!("{}.fscb", stem.to_string_lossy()));
         loa_ingest::write_scene(&scene, &dest)?;
         let js = std::fs::metadata(path)?.len();
         let fs = std::fs::metadata(&dest)?.len();
@@ -398,13 +505,13 @@ pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
     if converted == 0 {
         return Err(CliError::Invalid(format!(
             "no .json scenes to convert in {}",
-            args.data.display()
+            data.display()
         )));
     }
     let _ = writeln!(
         out,
         "converted {converted} scene(s) -> {}; {json_bytes} -> {fscb_bytes} bytes ({:.2}x smaller)",
-        args.out.display(),
+        out_dir.display(),
         json_bytes as f64 / fscb_bytes as f64
     );
     Ok(out)
@@ -423,15 +530,8 @@ pub fn convert(args: ConvertArgs) -> Result<String, CliError> {
 /// delta-vs-full latency, and fails on any worklist divergence (labels
 /// or score bits).
 pub fn stream(args: StreamArgs) -> Result<String, CliError> {
-    let file: LibraryFile = serde_json::from_str(&std::fs::read_to_string(&args.library)?)?;
-    if file.app != args.app.name() {
-        return Err(CliError::Invalid(format!(
-            "library was fitted for app '{}', but --app is '{}'",
-            file.app,
-            args.app.name()
-        )));
-    }
-    let library = &file.library;
+    let library = load_library_for(&args.library, args.app)?;
+    let library = &library;
 
     // Per-app snapshot ranking: a (label, score) worklist so the replay
     // loop stays app-agnostic.
@@ -635,20 +735,21 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
 /// loads the fitted library once, and serves every connection and
 /// session off that shared context.
 pub fn serve(args: ServeArgs) -> Result<String, CliError> {
-    let file: LibraryFile = serde_json::from_str(&std::fs::read_to_string(&args.library)?)?;
-    if file.app != args.app.name() {
-        return Err(CliError::Invalid(format!(
-            "library was fitted for app '{}', but --app is '{}'",
-            file.app,
-            args.app.name()
-        )));
-    }
+    let t0 = std::time::Instant::now();
+    let library = load_library_for(&args.library, args.app)?;
     let app = match args.app {
         App::MissingTracks => loa_serve::ServeApp::MissingTracks,
         App::MissingObs => loa_serve::ServeApp::MissingObs,
         App::ModelErrors => loa_serve::ServeApp::ModelErrors,
     };
-    let ctx = loa_serve::ServeContext::new(app, file.library)?;
+    let ctx = loa_serve::ServeContext::new(app, library)?;
+    // Cold start: library file open through scoring-ready context. The
+    // .flcb path skips fit-state reconstruction, so this is the number
+    // the binary format exists to shrink.
+    eprintln!(
+        "fixy serve: cold start (library open → scoring context ready) {:.1}us",
+        t0.elapsed().as_secs_f64() * 1e6
+    );
     let listener = std::net::TcpListener::bind(&args.listen)?;
     let addr = listener.local_addr()?;
     if let Some(port_file) = &args.port_file {
@@ -1275,6 +1376,166 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("fitted for app"), "{err}");
 
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flcb_library_workflow() {
+        let dir = tmp_dir("flcb_lib");
+        let data_dir = dir.join("data");
+        run(parse(&argv(&format!(
+            "generate --profile lyft --scenes 2 --seed 17 --duration 4 --out {}",
+            data_dir.display()
+        )))
+        .unwrap())
+        .unwrap();
+
+        // learn in both wire formats.
+        let json_lib = dir.join("library.json");
+        let flcb_lib = dir.join("library.flcb");
+        run(parse(&argv(&format!(
+            "learn --data {} --out {}",
+            data_dir.display(),
+            json_lib.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let out = run(parse(&argv(&format!(
+            "learn --data {} --out {} --out-format flcb",
+            data_dir.display(),
+            flcb_lib.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("(flcb)"), "{out}");
+        assert!(
+            std::fs::read(&flcb_lib).unwrap().starts_with(b"FLCB"),
+            "flcb file leads with its magic"
+        );
+
+        // The worklist must be byte-identical whichever format served it.
+        let rank_with = |lib: &std::path::Path| {
+            run(parse(&argv(&format!(
+                "rank --scene {} --library {} --top 5 --grade",
+                data_dir.display(),
+                lib.display()
+            )))
+            .unwrap())
+            .unwrap()
+        };
+        assert_eq!(
+            rank_with(&json_lib),
+            rank_with(&flcb_lib),
+            "flcb-loaded library must rank bit-identically"
+        );
+
+        // convert --library migrates each way; the migrated files rank
+        // identically too.
+        let migrated_flcb = dir.join("migrated.flcb");
+        let out = run(parse(&argv(&format!(
+            "convert --library {} --out {}",
+            json_lib.display(),
+            migrated_flcb.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("(json) ->"), "{out}");
+        assert_eq!(rank_with(&json_lib), rank_with(&migrated_flcb));
+        let migrated_json = dir.join("migrated.json");
+        run(parse(&argv(&format!(
+            "convert --library {} --out {}",
+            flcb_lib.display(),
+            migrated_json.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert_eq!(rank_with(&json_lib), rank_with(&migrated_json));
+
+        // Magic sniffing: an extensionless copy of the binary library
+        // still opens as flcb.
+        let sniffed = dir.join("library_no_ext");
+        std::fs::copy(&flcb_lib, &sniffed).unwrap();
+        assert_eq!(rank_with(&json_lib), rank_with(&sniffed));
+
+        // stream accepts the binary library and reaches the same final
+        // worklist as the JSON one.
+        let scene = {
+            let mut paths: Vec<_> = std::fs::read_dir(&data_dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            paths.sort();
+            paths.remove(0)
+        };
+        let stream_with = |lib: &std::path::Path| {
+            run(parse(&argv(&format!(
+                "stream --scene {} --library {} --top 3",
+                scene.display(),
+                lib.display()
+            )))
+            .unwrap())
+            .unwrap()
+        };
+        // Per-frame latency lines vary run to run; the worklist must not.
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("final worklist"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&stream_with(&json_lib)), tail(&stream_with(&flcb_lib)));
+
+        // App mismatch is detected through the flcb header's app tag.
+        let me_lib = dir.join("me.flcb");
+        run(parse(&argv(&format!(
+            "learn --data {} --app model-errors --out {} --out-format flcb",
+            data_dir.display(),
+            me_lib.display()
+        )))
+        .unwrap())
+        .unwrap();
+        let err = run(parse(&argv(&format!(
+            "rank --scene {} --library {}",
+            data_dir.display(),
+            me_lib.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.to_string().contains("fitted for app"), "{err}");
+
+        // A truncated binary library fails with a typed corrupt error,
+        // not a panic or a JSON parse message.
+        let bytes = std::fs::read(&flcb_lib).unwrap();
+        let truncated = dir.join("truncated.flcb");
+        std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+        let err = run(parse(&argv(&format!(
+            "rank --scene {} --library {}",
+            data_dir.display(),
+            truncated.display()
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(err, crate::CliError::Codec(_)), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fuzz_materializes_corpus() {
+        let dir = tmp_dir("fuzz_corpus");
+        let out = run(parse(&argv(&format!(
+            "fuzz --seed 7 --scenes 3 --top-k 10 --train 2 --corpus-dir {}",
+            dir.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("corpus materialized: 3 scene(s) as .fscb"), "{out}");
+        let fscb = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "fscb"))
+            .count();
+        assert_eq!(fscb, 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -45,6 +45,7 @@ pub enum CliError {
     Json(serde_json::Error),
     Data(loa_data::io::IoError),
     Ingest(loa_ingest::IngestError),
+    Codec(fixy_core::CodecError),
     Fixy(fixy_core::FixyError),
     Serve(loa_serve::ServeError),
     Invalid(String),
@@ -57,6 +58,7 @@ impl std::fmt::Display for CliError {
             CliError::Json(e) => write!(f, "json: {e}"),
             CliError::Data(e) => write!(f, "data: {e}"),
             CliError::Ingest(e) => write!(f, "ingest: {e}"),
+            CliError::Codec(e) => write!(f, "library: {e}"),
             CliError::Fixy(e) => write!(f, "fixy: {e}"),
             CliError::Serve(e) => write!(f, "serve: {e}"),
             CliError::Invalid(msg) => write!(f, "{msg}"),
@@ -93,6 +95,12 @@ impl From<fixy_core::FixyError> for CliError {
 impl From<loa_ingest::IngestError> for CliError {
     fn from(e: loa_ingest::IngestError) -> Self {
         CliError::Ingest(e)
+    }
+}
+
+impl From<fixy_core::CodecError> for CliError {
+    fn from(e: fixy_core::CodecError) -> Self {
+        CliError::Codec(e)
     }
 }
 

@@ -249,6 +249,24 @@ impl FeatureLibrary {
     pub fn feature_names(&self) -> impl Iterator<Item = &str> {
         self.map.keys().map(String::as_str)
     }
+
+    /// Iterate `(name, fitted)` entries in key order — the stable order
+    /// the binary codec writes entries in.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &FittedDistribution)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Reassemble a library from already-validated fitted + prepared
+    /// maps — the `.flcb` bulk-copy load path, which must *not* re-run
+    /// [`FittedDistribution::prepare`] (the grids were stored verbatim).
+    /// Crate-internal: only the codec constructs libraries this way, and
+    /// it guarantees the two maps describe the same features.
+    pub(crate) fn from_parts(
+        map: BTreeMap<String, FittedDistribution>,
+        prepared: BTreeMap<String, PreparedDistribution>,
+    ) -> Self {
+        FeatureLibrary { map, prepared }
+    }
 }
 
 /// The offline learner.

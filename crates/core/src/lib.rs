@@ -50,10 +50,12 @@
 
 pub mod aof;
 pub mod apps;
+pub mod codec;
 pub mod compile;
 pub mod error;
 pub mod feature;
 pub mod features;
+pub mod flcb;
 pub mod incremental;
 pub mod learner;
 pub mod pipeline;
@@ -62,6 +64,7 @@ pub mod scene;
 pub mod score;
 
 pub use aof::Aof;
+pub use codec::CodecError;
 pub use error::FixyError;
 pub use feature::{BoundFeature, Feature, FeatureKind, FeatureSet, FeatureTarget, FeatureValue};
 pub use incremental::IncrementalScorer;

@@ -46,6 +46,25 @@ impl Default for InjectionRecallConfig {
     }
 }
 
+/// Wire format for a materialized fuzz corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorpusFormat {
+    /// `.fscb` — the frame-streamed compact binary scene format (default).
+    #[default]
+    Fscb,
+    /// Scene JSON, for corpora that need to stay human-inspectable.
+    Json,
+}
+
+/// Optional corpus materialization: write every generated scene into
+/// `dir` and rank from the files instead of regenerating in memory — so
+/// the conformance verdict also covers the on-disk scene codec.
+#[derive(Debug, Clone)]
+pub struct CorpusMaterialization {
+    pub dir: std::path::PathBuf,
+    pub format: CorpusFormat,
+}
+
 /// One injected error's verdict.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ErrorOutcome {
@@ -246,10 +265,66 @@ fn track_has_label_of(data: &SceneData, scene: &Scene, track: TrackIdx, target: 
 /// bounded regime as `fixy rank --scene <DIR>`) — and checks every
 /// injected error against the top-k of its scene's worklist.
 pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallResult {
+    run_injection_recall_with_corpus(config, None)
+        .expect("in-memory conformance run cannot hit disk errors")
+}
+
+/// Round-trip a fitted library through the `.flcb` binary codec. Every
+/// conformance run scores through libraries that crossed the binary
+/// wire, so the recall gate also locks `.flcb` fidelity: any bit the
+/// codec perturbs in a probability grid shows up as a ranking change
+/// and fails the gate.
+fn roundtrip_flcb(app: &str, library: FeatureLibrary) -> FeatureLibrary {
+    let bytes = fixy_core::flcb::encode_library(app, &library);
+    let (decoded_app, decoded) =
+        fixy_core::flcb::decode_library(&bytes).expect("flcb round-trip of a fitted library");
+    assert_eq!(decoded_app, app, "flcb app tag survived");
+    decoded
+}
+
+/// [`run_injection_recall`] with optional corpus materialization: when
+/// `corpus` is given, every fuzzed scene is first written into the
+/// directory (`.fscb` by default) and the pipelines rank from the files
+/// — the same bytes an operator would archive and audit later.
+pub fn run_injection_recall_with_corpus(
+    config: &InjectionRecallConfig,
+    corpus_out: Option<&CorpusMaterialization>,
+) -> Result<InjectionRecallResult, loa_ingest::IngestError> {
     let fuzzer = ScenarioFuzzer::new(config.seed);
     let train = fuzzer.training_corpus(config.n_train);
     let corpus = || 0..config.n_scenes as u64;
-    let gen_scene = |i: u64| Ok::<_, fixy_core::FixyError>(fuzzer.scene(i));
+
+    // Materialize first (one generation pass), then rank from disk.
+    let scene_paths: Option<Vec<std::path::PathBuf>> = match corpus_out {
+        None => None,
+        Some(m) => {
+            std::fs::create_dir_all(&m.dir)?;
+            let mut paths = Vec::with_capacity(config.n_scenes);
+            for i in corpus() {
+                let scene = fuzzer.scene(i);
+                let path = match m.format {
+                    CorpusFormat::Fscb => {
+                        let p = m.dir.join(format!("{}.fscb", scene.id));
+                        loa_ingest::write_scene(&scene, &p)?;
+                        p
+                    }
+                    CorpusFormat::Json => {
+                        let p = m.dir.join(format!("{}.json", scene.id));
+                        loa_data::io::save_scene(&scene, &p)?;
+                        p
+                    }
+                };
+                paths.push(path);
+            }
+            Some(paths)
+        }
+    };
+    let gen_scene = |i: u64| -> Result<SceneData, fixy_core::FixyError> {
+        match &scene_paths {
+            Some(paths) => loa_ingest::load_scene_auto(&paths[i as usize]).map_err(Into::into),
+            None => Ok(fuzzer.scene(i)),
+        }
+    };
     let k = config.top_k;
 
     let mt = MissingTrackFinder::default();
@@ -266,27 +341,52 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
         .iter()
         .map(|s| Scene::assemble(s, &human_learner.assembly))
         .collect();
-    let mt_lib = human_learner
-        .fit_assembled(&mt.feature_set(), &human_train)
-        .expect("fit missing-track");
-    let mo_lib = human_learner
-        .fit_assembled(&mo.feature_set(), &human_train)
-        .expect("fit missing-obs");
-    let me_lib = human_learner
-        .fit_assembled(&me.feature_set(), &human_train)
-        .expect("fit model-error");
-    let la_lib = human_learner
-        .fit_assembled(&la.feature_set(), &human_train)
-        .expect("fit label-audit");
+    let mt_lib = roundtrip_flcb(
+        "missing-tracks",
+        human_learner
+            .fit_assembled(&mt.feature_set(), &human_train)
+            .expect("fit missing-track"),
+    );
+    let mo_lib = roundtrip_flcb(
+        "missing-obs",
+        human_learner
+            .fit_assembled(&mo.feature_set(), &human_train)
+            .expect("fit missing-obs"),
+    );
+    let me_lib = roundtrip_flcb(
+        "model-errors",
+        human_learner
+            .fit_assembled(&me.feature_set(), &human_train)
+            .expect("fit model-error"),
+    );
+    let la_lib = roundtrip_flcb(
+        "label-audit",
+        human_learner
+            .fit_assembled(&la.feature_set(), &human_train)
+            .expect("fit label-audit"),
+    );
     // Bundle consistency is learned from matched human+model bundles.
     let mixed_train: Vec<Scene> = train
         .iter()
         .map(|s| Scene::assemble(s, &AssemblyConfig::default()))
         .collect();
-    let ba_lib = Learner { assembly: AssemblyConfig::default() }
-        .fit_assembled(&ba.feature_set(), &mixed_train)
-        .expect("fit bundle-audit");
+    let ba_lib = roundtrip_flcb(
+        "bundle-audit",
+        Learner { assembly: AssemblyConfig::default() }
+            .fit_assembled(&ba.feature_set(), &mixed_train)
+            .expect("fit bundle-audit"),
+    );
     drop((human_train, mixed_train, train));
+
+    // Pipeline failures are scene-source failures once the corpus lives
+    // on disk (a deleted or truncated file mid-run); carry them as the
+    // ingest error they started as.
+    let pipe_err = |stage: &str| {
+        let stage = stage.to_string();
+        move |e: fixy_core::FixyError| {
+            loa_ingest::IngestError::Corrupt(format!("{stage} pipeline: {e}"))
+        }
+    };
 
     let mut outcomes: Vec<ErrorOutcome> = Vec::new();
 
@@ -309,7 +409,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
             }
             out
         })
-        .expect("missing-track pipeline");
+        .map_err(pipe_err("missing-track"))?;
     outcomes.extend(per_scene.into_iter().flatten());
 
     // --- missing-box ------------------------------------------------------
@@ -329,7 +429,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
             }
             out
         })
-        .expect("missing-box pipeline");
+        .map_err(pipe_err("missing-box"))?;
     outcomes.extend(per_scene.into_iter().flatten());
 
     // --- class-swap -------------------------------------------------------
@@ -354,7 +454,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
             }
             out
         })
-        .expect("class-swap pipeline");
+        .map_err(pipe_err("class-swap"))?;
     outcomes.extend(per_scene.into_iter().flatten());
 
     // --- ghost-track ------------------------------------------------------
@@ -376,7 +476,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
             }
             out
         })
-        .expect("ghost-track pipeline");
+        .map_err(pipe_err("ghost-track"))?;
     outcomes.extend(per_scene.into_iter().flatten());
 
     // --- inconsistent-bundle ----------------------------------------------
@@ -396,7 +496,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
             }
             out
         })
-        .expect("inconsistent-bundle pipeline");
+        .map_err(pipe_err("inconsistent-bundle"))?;
     outcomes.extend(per_scene.into_iter().flatten());
 
     // --- aggregate (stable kind order) ------------------------------------
@@ -414,7 +514,7 @@ pub fn run_injection_recall(config: &InjectionRecallConfig) -> InjectionRecallRe
         .collect();
     let misses: Vec<ErrorOutcome> = outcomes.into_iter().filter(|o| o.rank.is_none()).collect();
 
-    InjectionRecallResult { config: config.clone(), per_kind, misses }
+    Ok(InjectionRecallResult { config: config.clone(), per_kind, misses })
 }
 
 #[cfg(test)]
@@ -447,6 +547,40 @@ mod tests {
             "{}",
             result.report()
         );
+    }
+
+    #[test]
+    fn materialized_corpus_matches_in_memory() {
+        // Ranking from a materialized corpus (either wire format) must
+        // reproduce the in-memory report bit-for-bit: the scene codecs
+        // are lossless where scoring is concerned.
+        let base = std::env::temp_dir().join("fixy_eval_fuzz_corpus");
+        let _ = std::fs::remove_dir_all(&base);
+        let config = InjectionRecallConfig { seed: 7, n_scenes: 4, top_k: 10, n_train: 2 };
+        let mem = run_injection_recall(&config).report();
+
+        let fscb_dir = base.join("fscb");
+        let m = CorpusMaterialization { dir: fscb_dir.clone(), format: CorpusFormat::Fscb };
+        let fscb = run_injection_recall_with_corpus(&config, Some(&m)).unwrap().report();
+        assert_eq!(mem, fscb, "fscb corpus changed the verdict");
+        let written = std::fs::read_dir(&fscb_dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "fscb"))
+            .count();
+        assert_eq!(written, 4, "one .fscb per fuzzed scene");
+
+        // The JSON escape hatch reaches the same verdict from .json files.
+        let json_dir = base.join("json");
+        let m = CorpusMaterialization { dir: json_dir.clone(), format: CorpusFormat::Json };
+        let json = run_injection_recall_with_corpus(&config, Some(&m)).unwrap().report();
+        assert_eq!(mem, json, "json corpus changed the verdict");
+        let written = std::fs::read_dir(&json_dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "json"))
+            .count();
+        assert_eq!(written, 4, "one .json per fuzzed scene");
+
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub mod resolve;
 pub use experiments::{
     audit_curve::{run_audit_curve, AuditCurve, AuditCurveResult},
     injection_recall::{
-        run_injection_recall, InjectionRecallConfig, InjectionRecallResult, KindRecall,
+        run_injection_recall, run_injection_recall_with_corpus, CorpusFormat,
+        CorpusMaterialization, InjectionRecallConfig, InjectionRecallResult, KindRecall,
     },
     missing_obs::{run_missing_obs_experiment, MissingObsResult},
     model_errors::{run_model_error_experiment, ModelErrorResult},

@@ -89,6 +89,18 @@ impl From<loa_data::io::IoError> for IngestError {
     }
 }
 
+/// The `.fscb` codec decodes through the shared primitive layer in
+/// [`fixy_core::codec`]; its two failure modes map onto the matching
+/// ingest variants.
+impl From<fixy_core::CodecError> for IngestError {
+    fn from(e: fixy_core::CodecError) -> Self {
+        match e {
+            fixy_core::CodecError::Io(e) => IngestError::Io(e),
+            fixy_core::CodecError::Corrupt(msg) => IngestError::Corrupt(msg),
+        }
+    }
+}
+
 /// Streamed sources feed `ScenePipeline::process_stream`, which carries
 /// source failures as [`fixy_core::FixyError::SceneSource`].
 impl From<IngestError> for fixy_core::FixyError {

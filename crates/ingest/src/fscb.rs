@@ -30,6 +30,7 @@
 //! unknown tags, record overruns) surfaces [`IngestError::Corrupt`].
 
 use crate::error::IngestError;
+use fixy_core::codec::{Dec, Enc, MAX_RECORD_LEN};
 use loa_data::{
     ClassFlip, ClassSwap, Detection, DetectionProvenance, Frame, FrameId, GhostId, GtBox,
     InconsistentBundle, InjectedErrors, LabeledBox, MissingBox, MissingTrack, ObjectClass,
@@ -47,39 +48,26 @@ const MAGIC: [u8; 4] = *b"FSCB";
 const VERSION: u16 = 1;
 const TAG_FRAME: u8 = 0x01;
 const TAG_TRAILER: u8 = 0x02;
-/// Per-record payload cap (64 MiB): a corrupt length prefix must not
-/// become an allocation bomb.
-const MAX_RECORD_LEN: u32 = 64 << 20;
 
 // ---------------------------------------------------------------------------
 // Little-endian record encoding
 // ---------------------------------------------------------------------------
+//
+// The primitive layer (the [`Enc`] builder, the [`Dec`] cursor, the
+// overrun/underrun/implausible-count discipline, the allocation-bomb
+// cap) is shared with the `.flcb` library format via
+// [`fixy_core::codec`]; this module layers the scene-domain types on
+// top. Shared decode errors convert into [`IngestError`] through `?`.
 
-/// Append-only little-endian record builder.
-#[derive(Debug, Default)]
-struct Enc {
-    buf: Vec<u8>,
+/// Scene-domain extensions of the shared [`Enc`] builder.
+trait EncExt {
+    fn class(&mut self, c: ObjectClass);
+    fn vec2(&mut self, v: Vec2);
+    fn box3(&mut self, b: &Box3);
+    fn frame_ids(&mut self, ids: &[FrameId]);
 }
 
-impl Enc {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn bool(&mut self, v: bool) {
-        self.buf.push(v as u8);
-    }
-    fn len(&mut self, n: usize) {
-        self.u32(n as u32);
-    }
+impl EncExt for Enc {
     fn class(&mut self, c: ObjectClass) {
         self.u8(c.index() as u8);
     }
@@ -104,71 +92,15 @@ impl Enc {
     }
 }
 
-/// Cursor-based little-endian record decoder. Overrunning the record is
-/// a [`IngestError::Corrupt`] — the record's byte length was already
-/// read from the framing, so running out of bytes *inside* it means the
-/// payload lies about its own shape.
-struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
+/// Scene-domain extensions of the shared [`Dec`] cursor.
+trait DecExt {
+    fn class(&mut self) -> Result<ObjectClass, IngestError>;
+    fn vec2(&mut self) -> Result<Vec2, IngestError>;
+    fn box3(&mut self) -> Result<Box3, IngestError>;
+    fn frame_ids(&mut self) -> Result<Vec<FrameId>, IngestError>;
 }
 
-impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Dec { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], IngestError> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
-        let Some(end) = end else {
-            return Err(IngestError::Corrupt(format!(
-                "record overrun: wanted {n} byte(s) at offset {} of {}",
-                self.pos,
-                self.buf.len()
-            )));
-        };
-        let slice = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn finish(&self) -> Result<(), IngestError> {
-        if self.pos != self.buf.len() {
-            return Err(IngestError::Corrupt(format!(
-                "record underrun: {} trailing byte(s)",
-                self.buf.len() - self.pos
-            )));
-        }
-        Ok(())
-    }
-
-    fn u8(&mut self) -> Result<u8, IngestError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u32(&mut self) -> Result<u32, IngestError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-    fn u64(&mut self) -> Result<u64, IngestError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn f64(&mut self) -> Result<f64, IngestError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn bool(&mut self) -> Result<bool, IngestError> {
-        Ok(self.u8()? != 0)
-    }
-    fn len(&mut self) -> Result<usize, IngestError> {
-        let n = self.u32()?;
-        // A count can never need more bytes than remain (every element
-        // is ≥ 1 byte) — reject early instead of looping on garbage.
-        if n as usize > self.buf.len() - self.pos {
-            return Err(IngestError::Corrupt(format!(
-                "implausible element count {n} with {} byte(s) left",
-                self.buf.len() - self.pos
-            )));
-        }
-        Ok(n as usize)
-    }
+impl DecExt for Dec<'_> {
     fn class(&mut self) -> Result<ObjectClass, IngestError> {
         let idx = self.u8()?;
         ObjectClass::from_index(idx as usize)

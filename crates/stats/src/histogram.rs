@@ -84,6 +84,32 @@ impl Histogram {
     pub fn bin_width(&self) -> f64 {
         self.bin_width
     }
+
+    /// Left edge of the first bin.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Per-bin densities (counts normalized by `n · bin_width`).
+    pub fn densities(&self) -> &[f64] {
+        &self.densities
+    }
+
+    /// Reassemble a fitted histogram from its serialized parts — the
+    /// binary codec's bulk-copy load path. Callers are responsible for
+    /// validating untrusted input (≥ 1 bin, finite, positive width).
+    pub fn from_raw_parts(
+        start: f64,
+        bin_width: f64,
+        densities: Vec<f64>,
+        max_density: f64,
+        n: usize,
+    ) -> Self {
+        debug_assert!(!densities.is_empty(), "a histogram needs at least one bin");
+        debug_assert!(bin_width > 0.0);
+        debug_assert!(n > 0);
+        Histogram { start, bin_width, densities, max_density, n }
+    }
 }
 
 impl Density1d for Histogram {

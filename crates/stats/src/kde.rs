@@ -82,6 +82,25 @@ impl Kde1d {
         &self.samples
     }
 
+    /// Reassemble a fitted KDE from its serialized parts — the binary
+    /// codec's bulk-copy load path, skipping the fit entirely.
+    ///
+    /// `samples` must be the sorted, finite sample vector of a previous
+    /// fit, `bandwidth` its resolved bandwidth, and `max_density` the
+    /// normalizer taken from [`BinnedKde::prepare`] at fit time. Callers
+    /// are responsible for validating untrusted input before this.
+    pub fn from_sorted_parts(
+        samples: Vec<f64>,
+        kernel: Kernel,
+        bandwidth: f64,
+        max_density: f64,
+    ) -> Self {
+        debug_assert!(!samples.is_empty(), "Kde1d is never empty");
+        debug_assert!(samples.windows(2).all(|w| w[0] <= w[1]), "samples must be sorted");
+        debug_assert!(bandwidth.is_finite() && bandwidth > 0.0);
+        Kde1d { samples, kernel, bandwidth, max_density }
+    }
+
     /// Indices of samples within the kernel support window around `x`.
     fn window(&self, x: f64) -> (usize, usize) {
         let radius = self.kernel.support_radius() * self.bandwidth;
@@ -247,6 +266,36 @@ impl BinnedKde {
     /// Number of grid points.
     pub fn bins(&self) -> usize {
         self.densities.len()
+    }
+
+    /// Left edge of the grid.
+    pub fn grid_start(&self) -> f64 {
+        self.grid_start
+    }
+
+    /// Grid spacing.
+    pub fn grid_step(&self) -> f64 {
+        self.grid_step
+    }
+
+    /// The precomputed density at each grid point.
+    pub fn densities(&self) -> &[f64] {
+        &self.densities
+    }
+
+    /// Reassemble a prepared grid from its serialized parts — the binary
+    /// codec's bulk-copy load path, skipping the `O(n + grid · kernel)`
+    /// convolution of [`prepare`](Self::prepare). Callers are responsible
+    /// for validating untrusted input (≥ 2 bins, finite, positive step).
+    pub fn from_raw_parts(
+        grid_start: f64,
+        grid_step: f64,
+        densities: Vec<f64>,
+        max_density: f64,
+    ) -> Self {
+        debug_assert!(densities.len() >= 2, "a grid needs at least two points");
+        debug_assert!(grid_step > 0.0);
+        BinnedKde { grid_start, grid_step, densities, max_density }
     }
 }
 

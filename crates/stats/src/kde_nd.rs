@@ -51,19 +51,31 @@ impl Deserialize for KdeNd {
                 bandwidths.len()
             )));
         }
-        let n = samples.len() / dim;
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            samples[a * dim..(a + 1) * dim]
-                .partial_cmp(&samples[b * dim..(b + 1) * dim])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut sorted = Vec::with_capacity(samples.len());
-        for &i in &order {
-            sorted.extend_from_slice(&samples[i * dim..(i + 1) * dim]);
-        }
-        Ok(KdeNd { dim, samples: sorted, kernel, bandwidths, max_density })
+        Ok(KdeNd {
+            dim,
+            samples: sort_rows(dim, samples),
+            kernel,
+            bandwidths,
+            max_density,
+        })
     }
+}
+
+/// Sort a flat row-major matrix by first dimension with a full-row
+/// lexicographic tiebreak — the invariant the windowed evaluation needs.
+fn sort_rows(dim: usize, samples: Vec<f64>) -> Vec<f64> {
+    let n = samples.len() / dim;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        samples[a * dim..(a + 1) * dim]
+            .partial_cmp(&samples[b * dim..(b + 1) * dim])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut sorted = Vec::with_capacity(samples.len());
+    for &i in &order {
+        sorted.extend_from_slice(&samples[i * dim..(i + 1) * dim]);
+    }
+    sorted
 }
 
 impl KdeNd {
@@ -166,6 +178,48 @@ impl KdeNd {
 
     pub fn bandwidths(&self) -> &[f64] {
         &self.bandwidths
+    }
+
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The flat row-major (n × dim) sample matrix, rows sorted by first
+    /// dimension (full-row lexicographic tiebreak).
+    pub fn samples_flat(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Reassemble a fitted KDE from its serialized parts — the binary
+    /// codec's bulk-copy load path. Validates the shape and re-sorts rows
+    /// (a no-op for rows stored in sorted order) exactly like the JSON
+    /// deserializer, so loads from either wire format are bit-identical.
+    pub fn from_flat_parts(
+        dim: usize,
+        samples: Vec<f64>,
+        kernel: Kernel,
+        bandwidths: Vec<f64>,
+        max_density: f64,
+    ) -> Result<Self, FitError> {
+        if samples.is_empty() {
+            return Err(FitError::EmptySample);
+        }
+        if dim == 0 || !samples.len().is_multiple_of(dim) || bandwidths.len() != dim {
+            return Err(FitError::DimensionMismatch {
+                expected: dim.max(1),
+                got: bandwidths.len(),
+            });
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(FitError::NonFiniteSample);
+        }
+        Ok(KdeNd {
+            dim,
+            samples: sort_rows(dim, samples),
+            kernel,
+            bandwidths,
+            max_density,
+        })
     }
 
     /// Joint density at `x` (must have the fitted dimension; returns 0 for

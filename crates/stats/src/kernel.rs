@@ -61,6 +61,27 @@ impl Kernel {
         }
     }
 
+    /// Stable one-byte wire tag (the `.flcb` binary library format).
+    #[inline]
+    pub fn tag(self) -> u8 {
+        match self {
+            Kernel::Gaussian => 0,
+            Kernel::Epanechnikov => 1,
+            Kernel::Tophat => 2,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag); `None` for unknown wire bytes.
+    #[inline]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Kernel::Gaussian),
+            1 => Some(Kernel::Epanechnikov),
+            2 => Some(Kernel::Tophat),
+            _ => None,
+        }
+    }
+
     /// Human-readable name (used in ablation tables).
     pub fn name(self) -> &'static str {
         match self {
