@@ -208,6 +208,25 @@ impl Deserialize for FeatureLibrary {
             .collect();
         Ok(FeatureLibrary { map, prepared })
     }
+
+    fn from_json_stream(r: &mut serde::json::JsonReader<'_>) -> Result<Self, serde::DeError> {
+        let mut map: Option<BTreeMap<String, FittedDistribution>> = None;
+        r.begin_object()?;
+        loop {
+            match r.next_key()? {
+                None => break,
+                Some("map") => map = Some(Deserialize::from_json_stream(r)?),
+                Some(_) => r.skip_value()?,
+            }
+        }
+        let map =
+            map.ok_or_else(|| serde::DeError::custom("FeatureLibrary: missing field `map`"))?;
+        let prepared = map
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.prepare()?)))
+            .collect();
+        Ok(FeatureLibrary { map, prepared })
+    }
 }
 
 impl FeatureLibrary {

@@ -237,6 +237,95 @@ impl Deserialize for Scene {
         let n_frames: usize = Deserialize::from_json_value(field("n_frames")?)?;
         Ok(Scene::from_parts(observations, bundles, tracks, frame_dt, n_frames))
     }
+
+    // Streaming twin of the v1 wire format: nested bundle/track objects
+    // decode straight off the reader (any key order, unknown keys
+    // skipped), with the same stored-idx == position validation.
+    fn from_json_stream(r: &mut serde::json::JsonReader<'_>) -> Result<Self, serde::DeError> {
+        fn take<T>(slot: Option<T>, what: &str) -> Result<T, serde::DeError> {
+            slot.ok_or_else(|| serde::DeError::custom(format!("Scene: missing field `{what}`")))
+        }
+        let mut observations: Option<Vec<Observation>> = None;
+        let mut bundles: Option<Vec<(FrameId, Vec<ObsIdx>)>> = None;
+        let mut tracks: Option<Vec<Vec<BundleIdx>>> = None;
+        let mut frame_dt: Option<f64> = None;
+        let mut n_frames: Option<usize> = None;
+        r.begin_object()?;
+        loop {
+            match r.next_key()? {
+                None => break,
+                Some("observations") => observations = Some(Deserialize::from_json_stream(r)?),
+                Some("bundles") => {
+                    let mut out: Vec<(FrameId, Vec<ObsIdx>)> = Vec::new();
+                    r.begin_array()?;
+                    while r.next_element()? {
+                        let pos = out.len();
+                        let mut idx: Option<BundleIdx> = None;
+                        let mut frame: Option<FrameId> = None;
+                        let mut obs: Option<Vec<ObsIdx>> = None;
+                        r.begin_object()?;
+                        loop {
+                            match r.next_key()? {
+                                None => break,
+                                Some("idx") => idx = Some(Deserialize::from_json_stream(r)?),
+                                Some("frame") => frame = Some(Deserialize::from_json_stream(r)?),
+                                Some("obs") => obs = Some(Deserialize::from_json_stream(r)?),
+                                Some(_) => r.skip_value()?,
+                            }
+                        }
+                        let idx = take(idx, "bundle idx")?;
+                        if idx.0 != pos {
+                            return Err(serde::DeError::custom(format!(
+                                "Scene bundle {pos}: stored idx {} out of order",
+                                idx.0
+                            )));
+                        }
+                        out.push((take(frame, "bundle frame")?, take(obs, "bundle obs")?));
+                    }
+                    bundles = Some(out);
+                }
+                Some("tracks") => {
+                    let mut out: Vec<Vec<BundleIdx>> = Vec::new();
+                    r.begin_array()?;
+                    while r.next_element()? {
+                        let pos = out.len();
+                        let mut idx: Option<TrackIdx> = None;
+                        let mut track_bundles: Option<Vec<BundleIdx>> = None;
+                        r.begin_object()?;
+                        loop {
+                            match r.next_key()? {
+                                None => break,
+                                Some("idx") => idx = Some(Deserialize::from_json_stream(r)?),
+                                Some("bundles") => {
+                                    track_bundles = Some(Deserialize::from_json_stream(r)?)
+                                }
+                                Some(_) => r.skip_value()?,
+                            }
+                        }
+                        let idx = take(idx, "track idx")?;
+                        if idx.0 != pos {
+                            return Err(serde::DeError::custom(format!(
+                                "Scene track {pos}: stored idx {} out of order",
+                                idx.0
+                            )));
+                        }
+                        out.push(take(track_bundles, "track bundles")?);
+                    }
+                    tracks = Some(out);
+                }
+                Some("frame_dt") => frame_dt = Some(Deserialize::from_json_stream(r)?),
+                Some("n_frames") => n_frames = Some(Deserialize::from_json_stream(r)?),
+                Some(_) => r.skip_value()?,
+            }
+        }
+        Ok(Scene::from_parts(
+            take(observations, "observations")?,
+            take(bundles, "bundles")?,
+            take(tracks, "tracks")?,
+            take(frame_dt, "frame_dt")?,
+            take(n_frames, "n_frames")?,
+        ))
+    }
 }
 
 impl Scene {

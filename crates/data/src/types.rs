@@ -245,6 +245,53 @@ impl serde::Deserialize for InjectedErrors {
             inconsistent_bundles: optional(v, "inconsistent_bundles")?,
         })
     }
+
+    // Same legacy contract, streaming: the two taxonomy fields default
+    // to empty when their keys are absent; the original four stay
+    // required; unknown keys are skipped.
+    fn from_json_stream(r: &mut serde::json::JsonReader<'_>) -> Result<Self, serde::DeError> {
+        fn take<T: serde::Deserialize>(
+            slot: Option<T>,
+            field: &'static str,
+        ) -> Result<T, serde::DeError> {
+            slot.ok_or_else(|| serde::DeError::custom(format!("missing field `{field}`")))
+        }
+        let mut missing_tracks = None;
+        let mut missing_boxes = None;
+        let mut class_flips = None;
+        let mut class_swaps = None;
+        let mut ghost_tracks = None;
+        let mut inconsistent_bundles = None;
+        r.begin_object()?;
+        loop {
+            match r.next_key()? {
+                None => break,
+                Some("missing_tracks") => {
+                    missing_tracks = Some(serde::Deserialize::from_json_stream(r)?)
+                }
+                Some("missing_boxes") => {
+                    missing_boxes = Some(serde::Deserialize::from_json_stream(r)?)
+                }
+                Some("class_flips") => class_flips = Some(serde::Deserialize::from_json_stream(r)?),
+                Some("class_swaps") => class_swaps = Some(serde::Deserialize::from_json_stream(r)?),
+                Some("ghost_tracks") => {
+                    ghost_tracks = Some(serde::Deserialize::from_json_stream(r)?)
+                }
+                Some("inconsistent_bundles") => {
+                    inconsistent_bundles = Some(serde::Deserialize::from_json_stream(r)?)
+                }
+                Some(_) => r.skip_value()?,
+            }
+        }
+        Ok(InjectedErrors {
+            missing_tracks: take(missing_tracks, "missing_tracks")?,
+            missing_boxes: take(missing_boxes, "missing_boxes")?,
+            class_flips: take(class_flips, "class_flips")?,
+            class_swaps: class_swaps.unwrap_or_default(),
+            ghost_tracks: take(ghost_tracks, "ghost_tracks")?,
+            inconsistent_bundles: inconsistent_bundles.unwrap_or_default(),
+        })
+    }
 }
 
 impl InjectedErrors {

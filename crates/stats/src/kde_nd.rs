@@ -59,6 +59,49 @@ impl Deserialize for KdeNd {
             max_density,
         })
     }
+
+    // Streaming twin: same shape validation and row re-sort, fed
+    // directly from the reader (out-of-order keys fine, unknown keys
+    // skipped).
+    fn from_json_stream(r: &mut serde::json::JsonReader<'_>) -> Result<Self, serde::DeError> {
+        fn take<T>(slot: Option<T>, name: &'static str) -> Result<T, serde::DeError> {
+            slot.ok_or_else(|| serde::DeError::custom(format!("KdeNd: missing field `{name}`")))
+        }
+        let mut dim: Option<usize> = None;
+        let mut samples: Option<Vec<f64>> = None;
+        let mut kernel: Option<Kernel> = None;
+        let mut bandwidths: Option<Vec<f64>> = None;
+        let mut max_density: Option<f64> = None;
+        r.begin_object()?;
+        loop {
+            match r.next_key()? {
+                None => break,
+                Some("dim") => dim = Some(Deserialize::from_json_stream(r)?),
+                Some("samples") => samples = Some(Deserialize::from_json_stream(r)?),
+                Some("kernel") => kernel = Some(Deserialize::from_json_stream(r)?),
+                Some("bandwidths") => bandwidths = Some(Deserialize::from_json_stream(r)?),
+                Some("max_density") => max_density = Some(Deserialize::from_json_stream(r)?),
+                Some(_) => r.skip_value()?,
+            }
+        }
+        let dim = take(dim, "dim")?;
+        let samples = take(samples, "samples")?;
+        let bandwidths = take(bandwidths, "bandwidths")?;
+        if dim == 0 || !samples.len().is_multiple_of(dim) || bandwidths.len() != dim {
+            return Err(serde::DeError::custom(format!(
+                "KdeNd: inconsistent shape (dim {dim}, {} sample values, {} bandwidths)",
+                samples.len(),
+                bandwidths.len()
+            )));
+        }
+        Ok(KdeNd {
+            dim,
+            samples: sort_rows(dim, samples),
+            kernel: take(kernel, "kernel")?,
+            bandwidths,
+            max_density: take(max_density, "max_density")?,
+        })
+    }
 }
 
 /// Sort a flat row-major matrix by first dimension with a full-row

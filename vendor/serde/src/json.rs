@@ -1,0 +1,698 @@
+//! Pull-based streaming JSON reader — the byte-cursor lexer behind
+//! `serde_json`'s typed decode path.
+//!
+//! [`JsonReader`] walks a JSON document iteratively (no parser
+//! recursion), emitting borrowed pieces on demand: container
+//! begin/end, key slices, and scalars. Escape-free strings are handed
+//! out as zero-copy `&str` slices of the input; strings containing
+//! escapes are unescaped into one reusable scratch buffer. The reader
+//! lives in `serde` (not `serde_json`) so the [`Deserialize`] trait can
+//! name it in [`Deserialize::from_json_stream`]; `serde_json`
+//! re-exports it and routes `from_str` / `from_reader` through it.
+//!
+//! Three properties the tree parser it replaces did not have:
+//!
+//! * **No intermediate `Value` tree** — `Deserialize::from_json_stream`
+//!   decodes straight from bytes into the target type.
+//! * **Linear time** — the old parser re-validated the entire remaining
+//!   input as UTF-8 *per string character*, which is quadratic in the
+//!   document (43.5 s on a full-size scene). The reader scans bytes and
+//!   validates each string slice exactly once.
+//! * **A typed depth error** — the old recursive parser overflowed the
+//!   stack on deep nesting (a process abort). The reader counts nesting
+//!   against [`MAX_DEPTH`] and returns a [`DeError`], so a nesting bomb
+//!   is recoverable like any other malformed input.
+//!
+//! Errors carry the byte offset they were raised at.
+//!
+//! [`Deserialize`]: crate::Deserialize
+//! [`Deserialize::from_json_stream`]: crate::Deserialize::from_json_stream
+
+use crate::{DeError, Value};
+use std::fmt;
+
+/// Maximum container nesting the reader accepts. Deep enough for any
+/// real scene/library document (ours nest < 16 levels); shallow enough
+/// that the recursive `from_json_stream` impls for `Vec`/`Option`/etc.
+/// stay far from the thread stack limit.
+pub const MAX_DEPTH: usize = 192;
+
+/// Upper bound on the scratch-buffer capacity reserved ahead of
+/// unescaping a string. The unescaped form is never longer than the
+/// escaped input, but a hostile document must not get a huge
+/// allocation *before* its bytes are actually consumed; growth past
+/// this hint is amortized `push`.
+const MAX_SCRATCH_PREALLOC: usize = 4 * 1024;
+
+/// What the next value at the cursor is, without consuming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Null,
+    Bool,
+    Number,
+    Str,
+    Array,
+    Object,
+}
+
+impl Kind {
+    /// Human-readable name for "expected X, got Y" errors — mirrors
+    /// `Value::type_name` so streamed and tree error texts line up.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Null => "null",
+            Kind::Bool => "bool",
+            Kind::Number => "number",
+            Kind::Str => "string",
+            Kind::Array => "array",
+            Kind::Object => "object",
+        }
+    }
+}
+
+/// A lexed JSON number, classified exactly like the tree parser did:
+/// a token containing `.`/`e`/`E`/`+`/`-` (past a leading minus) is a
+/// float; otherwise signed tokens parse as `i64` and unsigned as `u64`
+/// (falling back to `f64` on overflow).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+}
+
+/// Where a lexed string's bytes ended up.
+enum RawStr {
+    /// Escape-free: borrow `bytes[start..end]` directly (zero-copy).
+    Borrowed { start: usize, end: usize },
+    /// Contained escapes: the unescaped form is in `scratch`.
+    Scratch,
+}
+
+/// A pull-based cursor over one JSON document.
+///
+/// The calling protocol is strictly nested: `begin_object` /
+/// [`next_key`](Self::next_key) pairs, `begin_array` /
+/// [`next_element`](Self::next_element) pairs, and scalar reads, in
+/// document order. [`Deserialize::from_json_stream`] impls compose it
+/// recursively; [`skip_value`](Self::skip_value) and
+/// [`read_value`](Self::read_value) walk whole subtrees iteratively.
+///
+/// [`Deserialize::from_json_stream`]: crate::Deserialize::from_json_stream
+pub struct JsonReader<'de> {
+    bytes: &'de [u8],
+    pos: usize,
+    /// Current container nesting, checked against [`MAX_DEPTH`].
+    depth: usize,
+    /// True immediately after a container opened: the next
+    /// `next_key`/`next_element` expects a first entry, not a comma.
+    fresh: bool,
+    /// Reusable unescape buffer for strings that contain escapes.
+    scratch: String,
+}
+
+impl<'de> JsonReader<'de> {
+    pub fn new(input: &'de str) -> Self {
+        JsonReader {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+            fresh: false,
+            scratch: String::new(),
+        }
+    }
+
+    /// Byte offset of the cursor — what errors report.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// A [`DeError`] anchored at the current byte offset.
+    pub fn error(&self, msg: impl fmt::Display) -> DeError {
+        DeError(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn error_at(&self, pos: usize, msg: impl fmt::Display) -> DeError {
+        DeError(format!("{msg} at byte {pos}"))
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), DeError> {
+        if self.peek_byte() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format_args!("expected '{}'", c as char)))
+        }
+    }
+
+    /// Classify the next value without consuming it.
+    pub fn peek_kind(&mut self) -> Result<Kind, DeError> {
+        self.skip_ws();
+        match self.peek_byte() {
+            Some(b'{') => Ok(Kind::Object),
+            Some(b'[') => Ok(Kind::Array),
+            Some(b'"') => Ok(Kind::Str),
+            Some(b't') | Some(b'f') => Ok(Kind::Bool),
+            Some(b'n') => Ok(Kind::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => Ok(Kind::Number),
+            _ => Err(self.error("unexpected character")),
+        }
+    }
+
+    /// After the top-level value: error on anything but trailing
+    /// whitespace.
+    pub fn finish(&mut self) -> Result<(), DeError> {
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing characters"));
+        }
+        Ok(())
+    }
+
+    // -- containers ---------------------------------------------------
+
+    fn push_depth(&mut self) -> Result<(), DeError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(format_args!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.fresh = true;
+        Ok(())
+    }
+
+    /// Consume `{`.
+    pub fn begin_object(&mut self) -> Result<(), DeError> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.push_depth()
+    }
+
+    /// Next key of the current object, or `None` when the object closes
+    /// (the `}` is consumed). Separating commas and the `:` after the
+    /// key are handled here. The returned slice borrows the reader: use
+    /// it before the next read.
+    pub fn next_key(&mut self) -> Result<Option<&str>, DeError> {
+        self.skip_ws();
+        let fresh = std::mem::take(&mut self.fresh);
+        match self.peek_byte() {
+            Some(b'}') => {
+                self.pos += 1;
+                self.depth -= 1;
+                return Ok(None);
+            }
+            Some(b',') if !fresh => {
+                self.pos += 1;
+                self.skip_ws();
+            }
+            Some(_) if fresh => {}
+            _ => return Err(self.error("expected ',' or '}'")),
+        }
+        let raw = self.read_str_raw()?;
+        self.skip_ws();
+        self.expect(b':')?;
+        self.materialize(raw).map(Some)
+    }
+
+    /// Consume `[`.
+    pub fn begin_array(&mut self) -> Result<(), DeError> {
+        self.skip_ws();
+        self.expect(b'[')?;
+        self.push_depth()
+    }
+
+    /// True when another element follows in the current array; consumes
+    /// the separating comma. `false` consumes the closing `]`.
+    pub fn next_element(&mut self) -> Result<bool, DeError> {
+        self.skip_ws();
+        let fresh = std::mem::take(&mut self.fresh);
+        match self.peek_byte() {
+            Some(b']') => {
+                self.pos += 1;
+                self.depth -= 1;
+                Ok(false)
+            }
+            Some(b',') if !fresh => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(_) if fresh => Ok(true),
+            _ => Err(self.error("expected ',' or ']'")),
+        }
+    }
+
+    // -- scalars ------------------------------------------------------
+
+    fn read_lit(&mut self, lit: &'static str) -> Result<(), DeError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.error(format_args!("invalid literal (expected {lit})")))
+        }
+    }
+
+    pub fn read_null(&mut self) -> Result<(), DeError> {
+        self.read_lit("null")
+    }
+
+    pub fn read_bool(&mut self) -> Result<bool, DeError> {
+        self.skip_ws();
+        match self.peek_byte() {
+            Some(b't') => self.read_lit("true").map(|()| true),
+            Some(b'f') => self.read_lit("false").map(|()| false),
+            _ => Err(self.error("expected bool")),
+        }
+    }
+
+    /// Lex one number token. Classification mirrors the retired tree
+    /// parser byte-for-byte so streamed and tree decodes agree on every
+    /// document.
+    pub fn read_number(&mut self) -> Result<Number, DeError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek_byte() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek_byte() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        // The token is ASCII by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error_at(start, "invalid utf8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Number::Float)
+                .map_err(|_| self.error_at(start, "invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Number::Int)
+                .map_err(|_| self.error_at(start, "invalid integer"))
+        } else {
+            text.parse::<u64>()
+                .map(Number::UInt)
+                .or_else(|_| text.parse::<f64>().map(Number::Float))
+                .map_err(|_| self.error_at(start, "invalid integer"))
+        }
+    }
+
+    /// Read a string value. Escape-free strings are zero-copy slices of
+    /// the input; strings with escapes are unescaped into the reader's
+    /// scratch buffer (one buffer, reused across calls). The returned
+    /// slice borrows the reader: use it before the next read.
+    pub fn read_str(&mut self) -> Result<&str, DeError> {
+        let raw = self.read_str_raw()?;
+        self.materialize(raw)
+    }
+
+    fn materialize(&self, raw: RawStr) -> Result<&str, DeError> {
+        match raw {
+            RawStr::Borrowed { start, end } => std::str::from_utf8(&self.bytes[start..end])
+                .map_err(|_| self.error_at(start, "invalid utf8 in string")),
+            RawStr::Scratch => Ok(&self.scratch),
+        }
+    }
+
+    /// Lex one string token: fast-scan to the closing quote; divert to
+    /// the scratch-unescape slow path at the first backslash. This is
+    /// the one unescape implementation — the tree path (`read_value`)
+    /// and every streamed impl share it.
+    fn read_str_raw(&mut self) -> Result<RawStr, DeError> {
+        self.skip_ws();
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.peek_byte() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    let end = self.pos;
+                    self.pos += 1;
+                    return Ok(RawStr::Borrowed { start, end });
+                }
+                Some(b'\\') => break,
+                Some(_) => self.pos += 1,
+            }
+        }
+        // Slow path: copy the clean prefix, then unescape the rest.
+        self.scratch.clear();
+        self.scratch.reserve((self.pos - start).min(MAX_SCRATCH_PREALLOC));
+        let prefix = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error_at(start, "invalid utf8 in string"))?;
+        self.scratch.push_str(prefix);
+        loop {
+            match self.peek_byte() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(RawStr::Scratch);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let c = self.read_escape()?;
+                    self.scratch.push(c);
+                }
+                Some(_) => {
+                    // Copy the raw run up to the next quote/backslash in
+                    // one validated slice.
+                    let run_start = self.pos;
+                    while let Some(b) = self.peek_byte() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[run_start..self.pos])
+                        .map_err(|_| self.error_at(run_start, "invalid utf8 in string"))?;
+                    self.scratch.push_str(run);
+                }
+            }
+        }
+    }
+
+    /// Decode one escape sequence (cursor just past the backslash);
+    /// leaves the cursor past the sequence.
+    fn read_escape(&mut self) -> Result<char, DeError> {
+        let c = match self.peek_byte() {
+            Some(b'"') => '"',
+            Some(b'\\') => '\\',
+            Some(b'/') => '/',
+            Some(b'n') => '\n',
+            Some(b'r') => '\r',
+            Some(b't') => '\t',
+            Some(b'b') => '\u{8}',
+            Some(b'f') => '\u{c}',
+            Some(b'u') => {
+                let unit = self.read_hex4()?;
+                return self.combine_surrogates(unit);
+            }
+            _ => return Err(self.error("invalid escape")),
+        };
+        self.pos += 1;
+        Ok(c)
+    }
+
+    /// Read the `XXXX` of a `\uXXXX` escape (cursor on the `u`);
+    /// leaves the cursor past the last hex digit.
+    fn read_hex4(&mut self) -> Result<u32, DeError> {
+        if self.pos + 5 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 5;
+        Ok(code)
+    }
+
+    /// UTF-16 surrogate handling for `\uXXXX` escapes. A high surrogate
+    /// followed by `\uDC00..=\uDFFF` combines into the astral scalar
+    /// (`\uD83D\uDE00` → 😀) — the old parser collapsed every astral
+    /// escape to U+FFFD, silently corrupting ids through a JSON round
+    /// trip. An *unpaired* surrogate still decodes to U+FFFD: lenient,
+    /// matching what previously-written corpora already contain.
+    fn combine_surrogates(&mut self, unit: u32) -> Result<char, DeError> {
+        match unit {
+            0xD800..=0xDBFF => {
+                // High surrogate: only combine when a `\uXXXX` low
+                // surrogate follows immediately.
+                if self.bytes.get(self.pos) == Some(&b'\\')
+                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                {
+                    let saved = self.pos;
+                    self.pos += 1; // onto the 'u'
+                    let low = self.read_hex4()?;
+                    if (0xDC00..=0xDFFF).contains(&low) {
+                        let scalar = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                        return Ok(char::from_u32(scalar)
+                            .expect("surrogate pair combines to a valid scalar"));
+                    }
+                    // `\uXXXX` but not a low surrogate: the first escape
+                    // was unpaired. Rewind so the second escape decodes
+                    // on its own.
+                    self.pos = saved;
+                }
+                Ok('\u{FFFD}')
+            }
+            0xDC00..=0xDFFF => Ok('\u{FFFD}'),
+            _ => Ok(char::from_u32(unit).unwrap_or('\u{FFFD}')),
+        }
+    }
+
+    // -- subtree operations -------------------------------------------
+
+    /// Skip one complete value (scalar or container) without building
+    /// anything. Iterative: nesting is a `Vec<bool>`, never the call
+    /// stack, and counts against [`MAX_DEPTH`] like every container.
+    pub fn skip_value(&mut self) -> Result<(), DeError> {
+        // Stack entry: true = object, false = array.
+        let mut stack: Vec<bool> = Vec::new();
+        loop {
+            match self.peek_kind()? {
+                Kind::Object => {
+                    self.begin_object()?;
+                    if self.next_key()?.is_some() {
+                        stack.push(true);
+                        continue; // the key's value is next
+                    }
+                }
+                Kind::Array => {
+                    self.begin_array()?;
+                    if self.next_element()? {
+                        stack.push(false);
+                        continue;
+                    }
+                }
+                Kind::Str => {
+                    self.read_str_raw()?;
+                }
+                Kind::Number => {
+                    self.read_number()?;
+                }
+                Kind::Bool => {
+                    self.read_bool()?;
+                }
+                Kind::Null => {
+                    self.read_null()?;
+                }
+            }
+            // One value finished: unwind exhausted containers.
+            loop {
+                match stack.last() {
+                    None => return Ok(()),
+                    Some(true) => {
+                        if self.next_key()?.is_some() {
+                            break;
+                        }
+                        stack.pop();
+                    }
+                    Some(false) => {
+                        if self.next_element()? {
+                            break;
+                        }
+                        stack.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materialize one complete value as a [`Value`] tree — the
+    /// fallback for `Deserialize` impls without a native streaming
+    /// path, and the engine behind `serde_json::parse_value`.
+    /// Iterative, like [`skip_value`](Self::skip_value).
+    pub fn read_value(&mut self) -> Result<Value, DeError> {
+        enum Parent {
+            Arr(Vec<Value>),
+            /// Entries so far + the key whose value is being parsed.
+            Obj(Vec<(String, Value)>, String),
+        }
+        let mut stack: Vec<Parent> = Vec::new();
+        loop {
+            let mut value = match self.peek_kind()? {
+                Kind::Object => {
+                    self.begin_object()?;
+                    match self.next_key()? {
+                        Some(k) => {
+                            let k = k.to_string();
+                            stack.push(Parent::Obj(Vec::new(), k));
+                            continue;
+                        }
+                        None => Value::Object(Vec::new()),
+                    }
+                }
+                Kind::Array => {
+                    self.begin_array()?;
+                    if self.next_element()? {
+                        stack.push(Parent::Arr(Vec::new()));
+                        continue;
+                    }
+                    Value::Array(Vec::new())
+                }
+                Kind::Str => Value::Str(self.read_str()?.to_string()),
+                Kind::Number => match self.read_number()? {
+                    Number::Int(i) => Value::Int(i),
+                    Number::UInt(u) => Value::UInt(u),
+                    Number::Float(f) => Value::Float(f),
+                },
+                Kind::Bool => Value::Bool(self.read_bool()?),
+                Kind::Null => {
+                    self.read_null()?;
+                    Value::Null
+                }
+            };
+            loop {
+                match stack.last_mut() {
+                    None => return Ok(value),
+                    Some(Parent::Arr(items)) => {
+                        items.push(value);
+                        if self.next_element()? {
+                            break;
+                        }
+                        value = match stack.pop() {
+                            Some(Parent::Arr(items)) => Value::Array(items),
+                            _ => unreachable!("stack top checked above"),
+                        };
+                    }
+                    Some(Parent::Obj(entries, pending)) => {
+                        entries.push((std::mem::take(pending), value));
+                        let next = self.next_key()?.map(str::to_string);
+                        match next {
+                            Some(k) => {
+                                match stack.last_mut() {
+                                    Some(Parent::Obj(_, pending)) => *pending = k,
+                                    _ => unreachable!("stack top checked above"),
+                                }
+                                break;
+                            }
+                            None => {
+                                value = match stack.pop() {
+                                    Some(Parent::Obj(entries, _)) => Value::Object(entries),
+                                    _ => unreachable!("stack top checked above"),
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_copy_for_escape_free_strings() {
+        let doc = "\"hello world\"";
+        let mut r = JsonReader::new(doc);
+        let s = r.read_str().unwrap();
+        // Same allocation: the slice points into the input.
+        assert_eq!(s.as_ptr(), doc[1..].as_ptr());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn escapes_route_through_scratch() {
+        let mut r = JsonReader::new(r#""a\tbAc""#);
+        assert_eq!(r.read_str().unwrap(), "a\tbAc");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_scalars() {
+        let mut r = JsonReader::new(r#""\uD83D\uDE00 and \uD834\uDD1E""#);
+        assert_eq!(r.read_str().unwrap(), "😀 and 𝄞");
+    }
+
+    #[test]
+    fn unpaired_surrogates_are_replacement_chars() {
+        // Lone high, lone low, and high followed by a non-surrogate
+        // escape (which must still decode on its own via the rewind).
+        let mut r = JsonReader::new(r#""\uD800x \uDC00y \uD800\u0041z""#);
+        assert_eq!(r.read_str().unwrap(), "\u{FFFD}x \u{FFFD}y \u{FFFD}Az");
+    }
+
+    #[test]
+    fn depth_cap_is_a_typed_error() {
+        let bomb = "[".repeat(MAX_DEPTH + 10);
+        let mut r = JsonReader::new(&bomb);
+        let err = r.read_value().unwrap_err();
+        assert!(err.0.contains("nesting deeper"), "{err}");
+        // And the reader survives to be used again (recoverable).
+        let mut r = JsonReader::new("[1,2]");
+        assert_eq!(
+            r.read_value().unwrap(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+
+    #[test]
+    fn skip_value_walks_whole_subtrees() {
+        let mut r = JsonReader::new(r#"{"skip": {"a": [1, {"b": "x"}], "c": null}, "keep": 7}"#);
+        r.begin_object().unwrap();
+        assert_eq!(r.next_key().unwrap(), Some("skip"));
+        r.skip_value().unwrap();
+        assert_eq!(r.next_key().unwrap(), Some("keep"));
+        assert_eq!(r.read_number().unwrap(), Number::UInt(7));
+        assert_eq!(r.next_key().unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn number_classification_matches_tree_semantics() {
+        let mut r =
+            JsonReader::new("[1, -2, 3.5, 1e3, 18446744073709551615, 99999999999999999999]");
+        r.begin_array().unwrap();
+        assert!(r.next_element().unwrap());
+        assert_eq!(r.read_number().unwrap(), Number::UInt(1));
+        assert!(r.next_element().unwrap());
+        assert_eq!(r.read_number().unwrap(), Number::Int(-2));
+        assert!(r.next_element().unwrap());
+        assert_eq!(r.read_number().unwrap(), Number::Float(3.5));
+        assert!(r.next_element().unwrap());
+        assert_eq!(r.read_number().unwrap(), Number::Float(1e3));
+        assert!(r.next_element().unwrap());
+        assert_eq!(r.read_number().unwrap(), Number::UInt(u64::MAX));
+        assert!(r.next_element().unwrap());
+        // u64 overflow falls back to f64, like the tree parser.
+        assert_eq!(r.read_number().unwrap(), Number::Float(1e20));
+        assert!(!r.next_element().unwrap());
+    }
+
+    #[test]
+    fn byte_offsets_in_errors() {
+        let mut r = JsonReader::new("{\"a\" 1}");
+        r.begin_object().unwrap();
+        let err = r.next_key().unwrap_err();
+        assert!(err.0.contains("at byte 5"), "{err}");
+    }
+
+    #[test]
+    fn strict_comma_discipline() {
+        let mut r = JsonReader::new(r#"{"a":1 "b":2}"#);
+        r.begin_object().unwrap();
+        assert_eq!(r.next_key().unwrap(), Some("a"));
+        r.read_number().unwrap();
+        assert!(r.next_key().is_err());
+    }
+}

@@ -20,6 +20,9 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
+pub mod json;
+
+use json::{JsonReader, Kind, Number};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -176,6 +179,49 @@ pub trait Serialize {
 /// Reconstruct `Self` from the [`Value`] data model.
 pub trait Deserialize: Sized {
     fn from_json_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Decode `Self` directly from a streaming [`JsonReader`], with no
+    /// intermediate [`Value`] tree.
+    ///
+    /// The default materializes one subtree and falls back to
+    /// [`from_json_value`](Self::from_json_value), so every existing
+    /// impl keeps working unchanged; primitives, containers, and the
+    /// derive macro override it with truly streaming decodes. An impl
+    /// must consume exactly one complete JSON value — on success the
+    /// cursor sits past it, ready for the next element or key.
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        let v = r.read_value()?;
+        Self::from_json_value(&v)
+    }
+
+    /// Reconstruct `Self` from a JSON object key.
+    ///
+    /// Map keys flatten to strings on the wire; this is the inverse.
+    /// The default re-tries the textual forms a key can have been
+    /// flattened from (string, unsigned, signed, bool) through the
+    /// tree path; `String`/integer/bool keys override it with direct
+    /// parses that skip the per-key [`Value`] allocation.
+    fn from_json_key(s: &str) -> Result<Self, DeError> {
+        if let Ok(k) = Self::from_json_value(&Value::Str(s.to_string())) {
+            return Ok(k);
+        }
+        if let Ok(u) = s.parse::<u64>() {
+            if let Ok(k) = Self::from_json_value(&Value::UInt(u)) {
+                return Ok(k);
+            }
+        }
+        if let Ok(i) = s.parse::<i64>() {
+            if let Ok(k) = Self::from_json_value(&Value::Int(i)) {
+                return Ok(k);
+            }
+        }
+        if let Ok(b) = s.parse::<bool>() {
+            if let Ok(k) = Self::from_json_value(&Value::Bool(b)) {
+                return Ok(k);
+            }
+        }
+        Err(DeError::custom(format!("cannot reconstruct map key from {s:?}")))
+    }
 }
 
 /// Alias so generic code written against real serde keeps compiling.
@@ -202,6 +248,20 @@ macro_rules! impl_signed {
                     other => Err(DeError::expected("integer", other)),
                 }
             }
+
+            fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+                match r.read_number()? {
+                    Number::Int(i) => Ok(i as $t),
+                    Number::UInt(u) => Ok(u as $t),
+                    Number::Float(f) if f.fract() == 0.0 => Ok(f as $t),
+                    Number::Float(_) => Err(r.error("expected integer, got float")),
+                }
+            }
+
+            fn from_json_key(s: &str) -> Result<Self, DeError> {
+                s.parse::<$t>()
+                    .map_err(|_| DeError::custom(format!("invalid integer key {s:?}")))
+            }
         }
     )*};
 }
@@ -221,6 +281,20 @@ macro_rules! impl_unsigned {
                     Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
                     other => Err(DeError::expected("unsigned integer", other)),
                 }
+            }
+
+            fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+                match r.read_number()? {
+                    Number::UInt(u) => Ok(u as $t),
+                    Number::Int(i) if i >= 0 => Ok(i as $t),
+                    Number::Float(f) if f.fract() == 0.0 && f >= 0.0 => Ok(f as $t),
+                    _ => Err(r.error("expected unsigned integer")),
+                }
+            }
+
+            fn from_json_key(s: &str) -> Result<Self, DeError> {
+                s.parse::<$t>()
+                    .map_err(|_| DeError::custom(format!("invalid integer key {s:?}")))
             }
         }
     )*};
@@ -247,6 +321,20 @@ macro_rules! impl_float {
                     other => Err(DeError::expected("number", other)),
                 }
             }
+
+            fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+                // Mirror the tree path: null (the wire form of every
+                // non-finite float) decodes to NaN.
+                if r.peek_kind()? == Kind::Null {
+                    r.read_null()?;
+                    return Ok(<$t>::NAN);
+                }
+                match r.read_number()? {
+                    Number::Float(f) => Ok(f as $t),
+                    Number::Int(i) => Ok(i as $t),
+                    Number::UInt(u) => Ok(u as $t),
+                }
+            }
         }
     )*};
 }
@@ -266,6 +354,15 @@ impl Deserialize for bool {
             other => Err(DeError::expected("bool", other)),
         }
     }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        r.read_bool()
+    }
+
+    fn from_json_key(s: &str) -> Result<Self, DeError> {
+        s.parse::<bool>()
+            .map_err(|_| DeError::custom(format!("invalid bool key {s:?}")))
+    }
 }
 
 impl Serialize for String {
@@ -280,6 +377,15 @@ impl Deserialize for String {
             Value::Str(s) => Ok(s.clone()),
             other => Err(DeError::expected("string", other)),
         }
+    }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        r.read_str().map(str::to_string)
+    }
+
+    fn from_json_key(s: &str) -> Result<Self, DeError> {
+        // A key already is a string: one allocation, no Value detour.
+        Ok(s.to_string())
     }
 }
 
@@ -300,6 +406,15 @@ impl Deserialize for char {
         match v {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
             other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        let s = r.read_str()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(r.error("expected single-char string")),
         }
     }
 }
@@ -324,6 +439,10 @@ impl<T: Deserialize> Deserialize for Box<T> {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
         T::from_json_value(v).map(Box::new)
     }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        T::from_json_stream(r).map(Box::new)
+    }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
@@ -340,6 +459,15 @@ impl<T: Deserialize> Deserialize for Option<T> {
         match v {
             Value::Null => Ok(None),
             other => T::from_json_value(other).map(Some),
+        }
+    }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        if r.peek_kind()? == Kind::Null {
+            r.read_null()?;
+            Ok(None)
+        } else {
+            T::from_json_stream(r).map(Some)
         }
     }
 }
@@ -369,11 +497,28 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             other => Err(DeError::expected("array", other)),
         }
     }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        let mut out = Vec::new();
+        r.begin_array()?;
+        while r.next_element()? {
+            out.push(T::from_json_stream(r)?);
+        }
+        Ok(out)
+    }
 }
 
 impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
         let items = Vec::<T>::from_json_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {len}")))
+    }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_json_stream(r)?;
         let len = items.len();
         items
             .try_into()
@@ -404,6 +549,25 @@ macro_rules! impl_tuple {
                 )+);
                 Ok(out)
             }
+
+            fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+                r.begin_array()?;
+                let out = ($(
+                    {
+                        let _ = $i;
+                        if !r.next_element()? {
+                            return Err(r.error("tuple too short"));
+                        }
+                        $t::from_json_stream(r)?
+                    },
+                )+);
+                // The tree path ignores surplus elements; match that
+                // (and leave the cursor past the closing bracket).
+                while r.next_element()? {
+                    r.skip_value()?;
+                }
+                Ok(out)
+            }
         }
     )*};
 }
@@ -428,28 +592,9 @@ fn key_to_string(v: &Value) -> Result<String, DeError> {
     }
 }
 
-fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
-    // Try the textual forms a key can have been flattened from.
-    if let Ok(k) = K::from_json_value(&Value::Str(s.to_string())) {
-        return Ok(k);
-    }
-    if let Ok(u) = s.parse::<u64>() {
-        if let Ok(k) = K::from_json_value(&Value::UInt(u)) {
-            return Ok(k);
-        }
-    }
-    if let Ok(i) = s.parse::<i64>() {
-        if let Ok(k) = K::from_json_value(&Value::Int(i)) {
-            return Ok(k);
-        }
-    }
-    if let Ok(b) = s.parse::<bool>() {
-        if let Ok(k) = K::from_json_value(&Value::Bool(b)) {
-            return Ok(k);
-        }
-    }
-    Err(DeError::custom(format!("cannot reconstruct map key from {s:?}")))
-}
+// Key reconstruction lives on the trait ([`Deserialize::from_json_key`])
+// so `String`/integer/bool keys get direct parses with no per-key
+// `Value` round trip; both the tree and streaming map impls call it.
 
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_json_value(&self) -> Value {
@@ -470,8 +615,18 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
         let obj = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
         obj.iter()
-            .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_json_value(val)?)))
+            .map(|(k, val)| Ok((K::from_json_key(k)?, V::from_json_value(val)?)))
             .collect()
+    }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        let mut out = BTreeMap::new();
+        r.begin_object()?;
+        while let Some(k) = r.next_key()? {
+            let key = K::from_json_key(k)?;
+            out.insert(key, V::from_json_stream(r)?);
+        }
+        Ok(out)
     }
 }
 
@@ -501,8 +656,18 @@ where
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
         let obj = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
         obj.iter()
-            .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_json_value(val)?)))
+            .map(|(k, val)| Ok((K::from_json_key(k)?, V::from_json_value(val)?)))
             .collect()
+    }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        let mut out = HashMap::with_hasher(S::default());
+        r.begin_object()?;
+        while let Some(k) = r.next_key()? {
+            let key = K::from_json_key(k)?;
+            out.insert(key, V::from_json_stream(r)?);
+        }
+        Ok(out)
     }
 }
 
@@ -516,6 +681,10 @@ impl Deserialize for std::path::PathBuf {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
         String::from_json_value(v).map(std::path::PathBuf::from)
     }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        String::from_json_stream(r).map(std::path::PathBuf::from)
+    }
 }
 
 impl Serialize for Value {
@@ -527,6 +696,10 @@ impl Serialize for Value {
 impl Deserialize for Value {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
         Ok(v.clone())
+    }
+
+    fn from_json_stream(r: &mut JsonReader<'_>) -> Result<Self, DeError> {
+        r.read_value()
     }
 }
 

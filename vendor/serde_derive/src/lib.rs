@@ -388,6 +388,156 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive stub: generated invalid Serialize impl")
 }
 
+/// Streaming decode of one JSON object into `path { fields }`, as a
+/// block expression over a `JsonReader` named `r`. Field locals start
+/// `None` and are filled by a key-match loop, so out-of-order keys
+/// work; unknown keys are skipped with `skip_value`; missing keys go
+/// through `missing_field`, which defaults `Option` fields to `None`
+/// (the legacy-scene-without-taxonomy-fields contract).
+fn gen_stream_struct_decode(fields: &[Field], path: &str) -> String {
+    let mut s = String::from("{ r.begin_object()?; ");
+    for f in fields {
+        s.push_str(&format!("let mut __f_{} = None; ", f.name));
+    }
+    s.push_str("loop { match r.next_key()? { None => break, ");
+    for f in fields {
+        s.push_str(&format!(
+            "Some(\"{0}\") => {{ __f_{0} = Some(::serde::Deserialize::from_json_stream(r)?); }} ",
+            f.name
+        ));
+    }
+    s.push_str("Some(_) => { r.skip_value()?; } } } ");
+    s.push_str(&format!("{path} {{ "));
+    for f in fields {
+        s.push_str(&format!(
+            "{0}: match __f_{0} {{ Some(x) => x, None => ::serde::missing_field({1}, \"{0}\")? }}, ",
+            f.name,
+            is_option(&f.ty),
+        ));
+    }
+    s.push_str("} }");
+    s
+}
+
+/// Comma-separated strict-arity element reads for a tuple (struct or
+/// variant) being decoded from a streamed JSON array.
+fn gen_stream_tuple_reads(n: usize, what: &str) -> String {
+    (0..n)
+        .map(|_| {
+            format!(
+                "{{ if !r.next_element()? {{ return Err(::serde::DeError::custom(\
+                   \"expected {n} elements for {what}\")); }} \
+                   ::serde::Deserialize::from_json_stream(r)? }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_stream_body(input: &Input) -> String {
+    let name = &input.name;
+    match &input.body {
+        // The tree path accepts any value for a unit struct; mirror
+        // that, but still consume exactly one value from the stream.
+        Body::UnitStruct => format!("{{ r.skip_value()?; Ok({name}) }}"),
+        Body::NamedStruct(fields) => {
+            format!("{{ Ok({}) }}", gen_stream_struct_decode(fields, name))
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_json_stream(r)?))")
+        }
+        Body::TupleStruct(n) => format!(
+            "{{ r.begin_array()?; let __out = {name}({}); \
+               if r.next_element()? {{ return Err(::serde::DeError::custom(\
+                 \"expected {n} elements for {name}\")); }} \
+               Ok(__out) }}",
+            gen_stream_tuple_reads(*n, name)
+        ),
+        Body::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let str_arm = if unit.is_empty() {
+                format!(
+                    "Err(::serde::DeError::custom(format!(\
+                       \"no {name} variant matches {{:?}}\", r.read_str()?)))"
+                )
+            } else {
+                let mut s = String::from("match r.read_str()? { ");
+                for v in &unit {
+                    s.push_str(&format!("\"{0}\" => Ok({name}::{0}), ", v.name));
+                }
+                s.push_str(&format!(
+                    "other => Err(::serde::DeError::custom(\
+                       format!(\"unknown {name} variant {{other:?}}\"))) }}"
+                ));
+                s
+            };
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    // Unit variants only have a string form; an object
+                    // key with their name falls to the unknown arm,
+                    // like the tree path.
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => obj_arms.push_str(&format!(
+                        "Some(\"{vn}\") => {name}::{vn}(::serde::Deserialize::from_json_stream(r)?), "
+                    )),
+                    VariantKind::Tuple(n) => obj_arms.push_str(&format!(
+                        "Some(\"{vn}\") => {{ r.begin_array()?; \
+                           let __v = {name}::{vn}({reads}); \
+                           if r.next_element()? {{ return Err(::serde::DeError::custom(\
+                             \"wrong arity for {name}::{vn}\")); }} __v }}, ",
+                        reads = gen_stream_tuple_reads(*n, &format!("{name}::{vn}"))
+                    )),
+                    VariantKind::Struct(fields) => obj_arms.push_str(&format!(
+                        "Some(\"{vn}\") => {}, ",
+                        gen_stream_struct_decode(fields, &format!("{name}::{vn}"))
+                    )),
+                }
+            }
+            // With no payload variants every object key is unknown:
+            // emit plain error arms (the scaffold below would make all
+            // arms diverge and trip unreachable-statement lints).
+            let obj_branch = if obj_arms.is_empty() {
+                format!(
+                    "{{ r.begin_object()?; \
+                       match r.next_key()? {{ \
+                         Some(other) => Err(::serde::DeError::custom(\
+                           format!(\"unknown {name} variant {{other:?}}\"))), \
+                         None => Err(::serde::DeError::custom(\
+                           \"expected variant key for {name}\")), \
+                       }} }}"
+                )
+            } else {
+                format!(
+                    "{{ r.begin_object()?; \
+                       let __out = match r.next_key()? {{ \
+                         {obj_arms} \
+                         Some(other) => return Err(::serde::DeError::custom(\
+                           format!(\"unknown {name} variant {{other:?}}\"))), \
+                         None => return Err(::serde::DeError::custom(\
+                           \"expected variant key for {name}\")), \
+                       }}; \
+                       if r.next_key()?.is_some() {{ \
+                         return Err(::serde::DeError::custom(\
+                           \"unexpected trailing key after {name} variant\")); }} \
+                       Ok(__out) }}"
+                )
+            };
+            format!(
+                "{{ match r.peek_kind()? {{ \
+                   ::serde::json::Kind::Str => {str_arm}, \
+                   ::serde::json::Kind::Object => {obj_branch}, \
+                   _ => Err(r.error(\"expected string or object for {name}\")), \
+                }} }}"
+            )
+        }
+    }
+}
+
 fn gen_named_field_reads(fields: &[Field], target: &str) -> String {
     let mut s = String::new();
     for f in fields {
@@ -487,9 +637,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     };
 
     let out = format!(
-        "{} {{ fn from_json_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {} }} }}",
+        "{} {{ \
+           fn from_json_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {} }} \
+           fn from_json_stream(r: &mut ::serde::json::JsonReader<'_>) \
+               -> Result<Self, ::serde::DeError> {{ {} }} \
+         }}",
         impl_header(&input, "Deserialize"),
-        body
+        body,
+        gen_stream_body(&input)
     );
     out.parse()
         .expect("serde_derive stub: generated invalid Deserialize impl")

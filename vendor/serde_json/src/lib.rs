@@ -4,22 +4,25 @@
 //! parses JSON text back. Covers the API surface this workspace uses:
 //! [`to_string`], [`to_string_pretty`], [`to_writer`], [`from_str`],
 //! [`from_reader`], [`Error`], and the [`json!`] macro.
+//!
+//! Parsing is streaming-first: [`from_str`] decodes straight from bytes
+//! into the target type via [`JsonReader`] and
+//! `Deserialize::from_json_stream`, with no intermediate [`Value`]
+//! tree. [`parse_value`] still materializes a tree when one is wanted
+//! (it runs on the same lexer), and [`from_str_via_tree`] keeps the
+//! two-step decode callable so equivalence tests and benches can pin
+//! streamed == tree.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{Read, Write};
 
+pub use serde::json::{JsonReader, Kind, Number, MAX_DEPTH};
 pub use serde::Value;
 
 /// Error type covering both syntax errors and data-shape mismatches.
 #[derive(Debug)]
 pub struct Error(String);
-
-impl Error {
-    fn msg(m: impl fmt::Display) -> Self {
-        Error(m.to_string())
-    }
-}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -63,8 +66,11 @@ fn escape_into(s: &str, out: &mut String) {
 
 fn write_float(f: f64, out: &mut String) {
     if !f.is_finite() {
-        // Real serde_json refuses non-finite floats; emit null so
-        // diagnostic dumps never panic (NaN round-trips as NaN).
+        // Real serde_json refuses non-finite floats; this stub emits
+        // `null` instead so diagnostic dumps never panic. On the way
+        // back in, float deserialization maps `null` to NaN — so NaN
+        // survives a round trip (as NaN), while +inf/-inf collapse to
+        // NaN. Locked by `non_finite_floats_round_trip_as_nan`.
         out.push_str("null");
     } else if f == f.trunc() && f.abs() < 1e15 {
         // Keep the ".0" so the value re-parses as a float.
@@ -165,214 +171,30 @@ pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
 // Parsing
 // ---------------------------------------------------------------------------
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser { bytes: s.as_bytes(), pos: 0 }
-    }
-
-    fn err(&self, msg: &str) -> Error {
-        Error::msg(format!("{msg} at byte {}", self.pos))
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), Error> {
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", c as char)))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Value, Error> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
-            Some(b'"') => self.parse_string().map(Value::Str),
-            Some(b't') => self.parse_lit("true", Value::Bool(true)),
-            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
-            Some(b'n') => self.parse_lit("null", Value::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            _ => Err(self.err("unexpected character")),
-        }
-    }
-
-    fn parse_lit(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("invalid literal (expected {lit})")))
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Value, Error> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        let mut is_float = false;
-        while let Some(c) = self.peek() {
-            match c {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    is_float = true;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid utf8 in number"))?;
-        if is_float {
-            text.parse::<f64>()
-                .map(Value::Float)
-                .map_err(|_| self.err("invalid number"))
-        } else if text.starts_with('-') {
-            text.parse::<i64>()
-                .map(Value::Int)
-                .map_err(|_| self.err("invalid integer"))
-        } else {
-            text.parse::<u64>()
-                .map(Value::UInt)
-                .or_else(|_| text.parse::<f64>().map(Value::Float))
-                .map_err(|_| self.err("invalid integer"))
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, Error> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            if self.pos + 4 >= self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            // Surrogate pairs are not needed by this workspace;
-                            // map unpaired surrogates to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Value, Error> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Array(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Value, Error> {
-        self.expect(b'{')?;
-        let mut entries = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Object(entries));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            entries.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Object(entries));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
-/// Parse a [`Value`] from JSON text.
+/// Parse a [`Value`] from JSON text. Runs on the same streaming lexer
+/// as [`from_str`]; the tree is built iteratively (no parser recursion,
+/// nesting bounded by [`MAX_DEPTH`]).
 pub fn parse_value(s: &str) -> Result<Value, Error> {
-    let mut p = Parser::new(s);
-    let v = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing characters"));
-    }
+    let mut r = JsonReader::new(s);
+    let v = r.read_value()?;
+    r.finish()?;
     Ok(v)
 }
 
+/// Deserialize `T` from JSON text — streaming, straight from bytes into
+/// the target type with no intermediate [`Value`] tree.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut r = JsonReader::new(s);
+    let t = T::from_json_stream(&mut r)?;
+    r.finish()?;
+    Ok(t)
+}
+
+/// Deserialize `T` the pre-streaming way: materialize the full
+/// [`Value`] tree, then walk it with `from_json_value`. Kept callable
+/// so equivalence proptests and the decode benches can compare the two
+/// paths; production call sites use [`from_str`].
+pub fn from_str_via_tree<T: Deserialize>(s: &str) -> Result<T, Error> {
     let v = parse_value(s)?;
     Ok(T::from_json_value(&v)?)
 }
@@ -449,6 +271,32 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(from_str::<f64>("{not json").is_err());
+        assert!(from_str_via_tree::<f64>("{not json").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_nan() {
+        // The documented contract for write_float: every non-finite
+        // float serializes as `null`, and `null` deserializes to NaN.
+        // So NaN survives a round trip; the infinities collapse to NaN.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(to_string(&x).unwrap(), "null");
+            let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
+            assert!(back.is_nan());
+            let back_tree: f64 = from_str_via_tree(&to_string(&x).unwrap()).unwrap();
+            assert!(back_tree.is_nan());
+        }
+        // Finite floats are untouched by the rule.
+        let y: f64 = from_str(&to_string(&1.25f64).unwrap()).unwrap();
+        assert_eq!(y, 1.25);
+    }
+
+    #[test]
+    fn streamed_matches_tree_on_nested_containers() {
+        let s = r#"{"a": [1, 2.5, null], "b": {"k": [true, "x"]}}"#;
+        let streamed: Value = from_str(s).unwrap();
+        let tree: Value = from_str_via_tree(s).unwrap();
+        assert_eq!(streamed, tree);
     }
 
     #[test]
