@@ -24,6 +24,13 @@
 //!   the full path grows with scene length, the incremental path stays
 //!   flat.
 //!
+//! * `streaming/obs_recorder_absent_per_frame` vs
+//!   `obs_recorder_installed_per_frame` — the incremental hot loop with
+//!   `loa_obs` recording off vs on. The delta is the whole cost of the
+//!   instrumentation (`bench_obs_overhead` also hard-asserts it stays
+//!   under 3% or 2us per frame, so a regression fails the bench run
+//!   itself, not just the numbers).
+//!
 //! Set `FIXY_BENCH_SMOKE=1` to run on a miniature scene with 3 samples —
 //! the CI smoke mode that keeps the bench compiling *and* executing.
 
@@ -259,11 +266,93 @@ fn bench_incremental_rescore(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    let finder = MissingTrackFinder::default();
+    let features = finder.feature_set();
+    let train: Vec<_> = (0..2)
+        .map(|i| scene_data(&format!("obs-train-{i}"), 700 + i))
+        .collect();
+    let library = Learner::new().fit(&features, &train).expect("fit");
+    let data = {
+        let mut cfg = DatasetProfile::InternalLike.scene_config();
+        cfg.world.duration = if smoke() { 1.5 } else { 5.0 };
+        if smoke() {
+            cfg.lidar.beam_count = 240;
+        }
+        generate_scene(&cfg, "obs-overhead", 8901)
+    };
+
+    // The instrumented hot loop: push + snapshot + O(Δ) rescore + cached
+    // sweep — every `loa_obs` touchpoint on the streaming path fires
+    // here (Push/Snapshot/Rescore/Score spans, cache and ingest
+    // counters, dirty-set histogram).
+    let replay = |assembler: &mut StreamingAssembler, scorer: &mut IncrementalScorer<'_>| {
+        assembler.begin(data.frame_dt);
+        scorer.begin();
+        let mut scene = Scene::from_parts(vec![], vec![], vec![], data.frame_dt, 0);
+        let mut acc = 0usize;
+        for frame in &data.frames {
+            assembler.push_frame(black_box(frame)).expect("push");
+            assembler.update_snapshot(&mut scene).expect("update");
+            scorer.rescore_delta(&scene, assembler.last_delta().expect("delta"));
+            acc += scorer.score_all_tracks(&scene).len();
+        }
+        assembler.finalize().expect("finalize");
+        acc
+    };
+
+    let mut assembler = StreamingAssembler::new(AssemblyConfig::default());
+    let mut scorer = IncrementalScorer::new(&features, &library).expect("scorer");
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(if smoke() { 3 } else { 10 });
+
+    loa_obs::disable_all();
+    group.bench_function("obs_recorder_absent_per_frame", |b| {
+        b.iter(|| black_box(replay(&mut assembler, &mut scorer)))
+    });
+    loa_obs::enable_metrics();
+    group.bench_function("obs_recorder_installed_per_frame", |b| {
+        b.iter(|| black_box(replay(&mut assembler, &mut scorer)))
+    });
+    loa_obs::disable_all();
+    group.finish();
+
+    // Hard gate, not just a snapshot: best-of-K replays with the
+    // recorder absent vs installed. Installed must cost <3% — or, for
+    // tiny smoke scenes where 3% is below timer noise, <2us/frame.
+    let best_of = |assembler: &mut StreamingAssembler, scorer: &mut IncrementalScorer<'_>| {
+        let reps = if smoke() { 3 } else { 7 };
+        (0..reps)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                black_box(replay(assembler, scorer));
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    replay(&mut assembler, &mut scorer); // warm caches/allocations
+    loa_obs::disable_all();
+    let off = best_of(&mut assembler, &mut scorer);
+    loa_obs::enable_metrics();
+    let on = best_of(&mut assembler, &mut scorer);
+    loa_obs::disable_all();
+    let per_frame_overhead_us = (on - off).max(0.0) / data.frames.len() as f64 * 1e6;
+    assert!(
+        on <= off * 1.03 || per_frame_overhead_us < 2.0,
+        "loa_obs instrumentation overhead too high: {:.1}us vs {:.1}us per replay \
+         ({per_frame_overhead_us:.2}us per frame)",
+        on * 1e6,
+        off * 1e6,
+    );
+}
+
 criterion_group!(
     benches,
     bench_streamed_assembly,
     bench_scene_decode,
     bench_corpus_rank,
-    bench_incremental_rescore
+    bench_incremental_rescore,
+    bench_obs_overhead
 );
 criterion_main!(benches);

@@ -13,8 +13,8 @@ USAGE:
     fixy rank     --scene <FILE|DIR> --library <FILE> [--app <APP>] [--top <K>] [--grade]
     fixy convert  --data <DIR> --out <DIR>
     fixy convert  --library <FILE> [--out <FILE>]
-    fixy stream   --scene <FILE> --library <FILE> [--app <APP>] [--top <K>] [--compare-full]
-    fixy serve    --listen <ADDR> --library <FILE> [--app <APP>] [--window <N>] [--max-frames <N>] [--max-sessions <N>] [--port-file <FILE>]
+    fixy stream   --scene <FILE> --library <FILE> [--app <APP>] [--top <K>] [--compare-full] [--trace]
+    fixy serve    --listen <ADDR> --library <FILE> [--app <APP>] [--window <N>] [--max-frames <N>] [--max-sessions <N>] [--port-file <FILE>] [--metrics-addr <ADDR>] [--metrics-port-file <FILE>]
     fixy feed     --addr <ADDR> --data <DIR> [--late <N>] [--seed <S>] [--dup-every <K>] [--top <K>] [--out-dir <DIR>] [--shutdown]
     fixy fuzz     [--seed <S>] [--scenes <N>] [--top-k <K>] [--train <N>] [--corpus-dir <DIR>] [--json]
     fixy render   --scene <FILE> [--frame <N>] [--svg <FILE>]
@@ -44,7 +44,9 @@ latency: the live-deployment path, where errors surface before the
 scene has even finished recording. Re-ranking is incremental (cached
 component scores, dirty-set invalidation); --compare-full additionally
 runs the full compile+score every frame, prints delta-vs-full latency,
-and exits non-zero if the worklists ever diverge.
+and exits non-zero if the worklists ever diverge. --trace enables
+loa_obs span tracing and prints a per-frame stage-timing table
+(push/snapshot/rescore/score/rank microseconds per frame).
 
 serve starts the resident multi-session audit server: each connection
 multiplexes any number of sessions, every session runs the incremental
@@ -52,7 +54,12 @@ trio behind a bounded reorder buffer (late/duplicate frames within
 --window are absorbed; beyond-window frames are rejected recoverably),
 and engines are pooled across session churn. With --listen ending in :0
 the OS picks a port; --port-file writes the bound address for scripts.
-The server runs until a client sends shutdown.
+The server runs until a client sends shutdown. --metrics-addr
+additionally serves the live loa_obs registry (frames, latency
+histograms, session/engine-pool/reorder counters) as a Prometheus text
+endpoint scrapeable with curl; --metrics-port-file writes its bound
+address. Clients can also request per-session stats mid-stream over the
+wire protocol (STATS).
 
 feed replays every scene in a directory against a running server, one
 session per scene, frames interleaved round-robin across sessions.
@@ -192,6 +199,8 @@ pub struct StreamArgs {
     /// Also run the full (from-scratch) compile+score every frame,
     /// report delta-vs-full latency, and fail on any divergence.
     pub compare_full: bool,
+    /// Enable span tracing and print a per-frame stage-timing table.
+    pub trace: bool,
 }
 
 /// `fixy serve`.
@@ -210,6 +219,11 @@ pub struct ServeArgs {
     /// Write the bound address here once listening (for scripts using
     /// an OS-picked port).
     pub port_file: Option<PathBuf>,
+    /// Also serve the loa_obs registry as a Prometheus text endpoint on
+    /// this address (e.g. `127.0.0.1:9100`; `:0` lets the OS pick).
+    pub metrics_addr: Option<String>,
+    /// Write the metrics endpoint's bound address here once listening.
+    pub metrics_port_file: Option<PathBuf>,
 }
 
 /// `fixy feed`.
@@ -420,13 +434,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Convert(ConvertArgs { data, library, out }))
         }
         "stream" => {
-            let flags = collect_flags(rest, &["compare-full"])?;
+            let flags = collect_flags(rest, &["compare-full", "trace"])?;
             Ok(Command::Stream(StreamArgs {
                 scene: PathBuf::from(flags.required("scene")?),
                 library: PathBuf::from(flags.required("library")?),
                 app: flags.optional("app").map(App::parse).transpose()?.unwrap_or_default(),
                 top: flags.parse_num("top", 5usize)?,
                 compare_full: flags.switches.contains("compare-full"),
+                trace: flags.switches.contains("trace"),
             }))
         }
         "serve" => {
@@ -439,6 +454,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 max_frames: flags.parse_num("max-frames", 100_000usize)?,
                 max_sessions: flags.parse_num("max-sessions", 4096usize)?,
                 port_file: flags.optional("port-file").map(PathBuf::from),
+                metrics_addr: flags.optional("metrics-addr").map(str::to_string),
+                metrics_port_file: flags.optional("metrics-port-file").map(PathBuf::from),
             }))
         }
         "feed" => {
@@ -670,7 +687,12 @@ mod tests {
                 assert_eq!(s.app, App::ModelErrors);
                 assert_eq!(s.top, 5);
                 assert!(s.compare_full);
+                assert!(!s.trace);
             }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("stream --scene s.fscb --library l.json --trace")).unwrap() {
+            Command::Stream(s) => assert!(s.trace && !s.compare_full),
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("stream --scene s.json")).is_err());
@@ -687,12 +709,14 @@ mod tests {
                 assert_eq!(s.max_frames, 100_000);
                 assert_eq!(s.max_sessions, 4096);
                 assert_eq!(s.port_file, Some(PathBuf::from("p.txt")));
+                assert!(s.metrics_addr.is_none() && s.metrics_port_file.is_none());
             }
             other => panic!("{other:?}"),
         }
         match parse(&argv(
             "serve --listen 0.0.0.0:7400 --library l.json --app model-errors --window 16 \
-             --max-frames 500 --max-sessions 2",
+             --max-frames 500 --max-sessions 2 --metrics-addr 127.0.0.1:0 \
+             --metrics-port-file m.txt",
         ))
         .unwrap()
         {
@@ -702,6 +726,8 @@ mod tests {
                 assert_eq!(s.max_frames, 500);
                 assert_eq!(s.max_sessions, 2);
                 assert!(s.port_file.is_none());
+                assert_eq!(s.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(s.metrics_port_file, Some(PathBuf::from("m.txt")));
             }
             other => panic!("{other:?}"),
         }

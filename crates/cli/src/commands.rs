@@ -528,8 +528,13 @@ fn convert_corpus(data: &std::path::Path, out_dir: &std::path::Path) -> Result<S
 /// frame's assembly delta invalidated. `--compare-full` additionally
 /// runs the from-scratch compile+score every frame, reports
 /// delta-vs-full latency, and fails on any worklist divergence (labels
-/// or score bits).
+/// or score bits). `--trace` turns on `loa_obs` span recording and
+/// appends a per-frame stage-timing table (push / snapshot / rescore /
+/// score / rank) built from the drained span stream.
 pub fn stream(args: StreamArgs) -> Result<String, CliError> {
+    if args.trace {
+        loa_obs::enable_all();
+    }
     let library = load_library_for(&args.library, args.app)?;
     let library = &library;
 
@@ -612,6 +617,17 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
     let mut full_us: Vec<f64> = Vec::new();
     let mut worklist: Vec<(String, f64)> = Vec::new();
 
+    // `--trace`: per-frame per-stage totals, aggregated from the spans
+    // the instrumented layers record on this thread.
+    const TRACE_STAGES: [loa_obs::Stage; 5] = [
+        loa_obs::Stage::Push,
+        loa_obs::Stage::Snapshot,
+        loa_obs::Stage::Rescore,
+        loa_obs::Stage::Score,
+        loa_obs::Stage::Rank,
+    ];
+    let mut trace_rows: Vec<(u64, [u64; TRACE_STAGES.len()])> = Vec::new();
+
     let mut replay_frame = |assembler: &mut StreamingAssembler,
                             scene: &mut Scene,
                             scorer: &mut IncrementalScorer<'_>,
@@ -623,8 +639,23 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
         let t1 = std::time::Instant::now();
         assembler.update_snapshot(scene)?;
         scorer.rescore_delta(scene, assembler.last_delta().expect("delta after push"));
-        let ranked = rank_incremental(scene, scorer);
+        let ranked = {
+            // Core instruments scoring; the final rank happens here in
+            // the CLI closure, so the Rank span lives here too.
+            let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Rank);
+            rank_incremental(scene, scorer)
+        };
         let score = t1.elapsed().as_secs_f64() * 1e6;
+
+        if args.trace {
+            let mut totals = [0u64; TRACE_STAGES.len()];
+            for rec in loa_obs::drain_thread_spans() {
+                if let Some(col) = TRACE_STAGES.iter().position(|s| *s == rec.stage) {
+                    totals[col] += rec.dur_us;
+                }
+            }
+            trace_rows.push((u64::from(frame.index.0), totals));
+        }
 
         if args.compare_full {
             let t2 = std::time::Instant::now();
@@ -721,6 +752,26 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
             mean_full / mean_score.max(1e-9),
         );
     }
+    if args.trace {
+        let _ = writeln!(summary, "per-frame stage timings (spans, us):");
+        let _ = writeln!(summary, "frame      push  snapshot   rescore     score      rank");
+        let mut totals = [0u64; TRACE_STAGES.len()];
+        for (frame, row) in &trace_rows {
+            let _ = writeln!(
+                summary,
+                "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                frame, row[0], row[1], row[2], row[3], row[4],
+            );
+            for (t, v) in totals.iter_mut().zip(row) {
+                *t += v;
+            }
+        }
+        let _ = writeln!(
+            summary,
+            "total {:>9} {:>9} {:>9} {:>9} {:>9}",
+            totals[0], totals[1], totals[2], totals[3], totals[4],
+        );
+    }
     let _ = writeln!(summary, "final worklist ({} candidate(s)):", worklist.len());
     for (i, (label, score)) in worklist.iter().take(args.top).enumerate() {
         let _ = writeln!(summary, "  {:<3} {:<20} {:.3}", i + 1, label, score);
@@ -735,6 +786,10 @@ pub fn stream(args: StreamArgs) -> Result<String, CliError> {
 /// loads the fitted library once, and serves every connection and
 /// session off that shared context.
 pub fn serve(args: ServeArgs) -> Result<String, CliError> {
+    // Recording is on for the server's whole life (whether or not a
+    // scrape endpoint is bound): session worklists carry latency
+    // quantiles, and `STATS` replies are only useful with live numbers.
+    loa_obs::enable_metrics();
     let t0 = std::time::Instant::now();
     let library = load_library_for(&args.library, args.app)?;
     let app = match args.app {
@@ -745,11 +800,18 @@ pub fn serve(args: ServeArgs) -> Result<String, CliError> {
     let ctx = loa_serve::ServeContext::new(app, library)?;
     // Cold start: library file open through scoring-ready context. The
     // .flcb path skips fit-state reconstruction, so this is the number
-    // the binary format exists to shrink.
-    eprintln!(
-        "fixy serve: cold start (library open → scoring context ready) {:.1}us",
-        t0.elapsed().as_secs_f64() * 1e6
-    );
+    // the binary format exists to shrink. Printed for scripts AND
+    // recorded as a gauge so a scrape sees it too.
+    let cold_us = t0.elapsed().as_secs_f64() * 1e6;
+    eprintln!("fixy serve: cold start (library open → scoring context ready) {cold_us:.1}us");
+    loa_obs::global().cold_start_us.set(cold_us);
+    if let Some(metrics_addr) = &args.metrics_addr {
+        let bound = loa_serve::serve_metrics(metrics_addr)?;
+        eprintln!("fixy serve: metrics on http://{bound}/metrics");
+        if let Some(metrics_port_file) = &args.metrics_port_file {
+            std::fs::write(metrics_port_file, bound.to_string())?;
+        }
+    }
     let listener = std::net::TcpListener::bind(&args.listen)?;
     let addr = listener.local_addr()?;
     if let Some(port_file) = &args.port_file {

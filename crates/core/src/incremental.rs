@@ -205,6 +205,7 @@ impl<'a> IncrementalScorer<'a> {
     /// If deltas are skipped or replayed: `delta.obs_start` /
     /// `bundle_start` must equal the counts already ingested.
     pub fn rescore_delta(&mut self, scene: &Scene, delta: &FrameDelta) -> usize {
+        let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Rescore);
         assert_eq!(
             self.n_obs, delta.obs_start,
             "rescore_delta: deltas must be applied in frame order from an empty scorer"
@@ -352,6 +353,9 @@ impl<'a> IncrementalScorer<'a> {
 
         self.n_obs = scene.n_observations();
         self.n_bundles = scene.n_bundles();
+        if let Some(metrics) = loa_obs::recorder() {
+            metrics.dirty_components.record(dirty.len() as u64);
+        }
         dirty.len()
     }
 
@@ -414,8 +418,15 @@ impl<'a> IncrementalScorer<'a> {
     /// `ScoreEngine::score_track` on the same snapshot, served from cache
     /// when the track is unchanged since the last pass.
     pub fn score_track(&mut self, scene: &Scene, track: TrackIdx) -> ComponentScore {
+        self.score_track_inner(scene, track).0
+    }
+
+    /// [`score_track`](Self::score_track) plus whether the per-track
+    /// cache served it — the sweeps aggregate these into the global
+    /// hit/miss counters once per pass instead of per candidate.
+    fn score_track_inner(&mut self, scene: &Scene, track: TrackIdx) -> (ComponentScore, bool) {
         if let Some(s) = self.track_cache[track.0] {
-            return s;
+            return (s, true);
         }
         let s = if let Some(root) = self.whole_root_of(scene.track_obs_iter(track)) {
             self.component_score(root)
@@ -431,13 +442,17 @@ impl<'a> IncrementalScorer<'a> {
             Self::fold_gathered(&mut self.gather)
         };
         self.track_cache[track.0] = Some(s);
-        s
+        (s, false)
     }
 
     /// Score a bundle — bit-identical to `ScoreEngine::score_bundle`.
     pub fn score_bundle(&mut self, scene: &Scene, bundle: BundleIdx) -> ComponentScore {
+        self.score_bundle_inner(scene, bundle).0
+    }
+
+    fn score_bundle_inner(&mut self, scene: &Scene, bundle: BundleIdx) -> (ComponentScore, bool) {
         if let Some(s) = self.bundle_cache[bundle.0] {
-            return s;
+            return (s, true);
         }
         let members = scene.bundle_obs(bundle);
         let s = if let Some(root) = self.whole_root_of(members.iter().copied()) {
@@ -472,22 +487,44 @@ impl<'a> IncrementalScorer<'a> {
             Self::fold_gathered(&mut self.gather)
         };
         self.bundle_cache[bundle.0] = Some(s);
-        s
+        (s, false)
     }
 
     /// Score every track, in track order — the incremental counterpart
     /// of `ScoreEngine::score_all_tracks`, O(Δ) when served from cache.
     pub fn score_all_tracks(&mut self, scene: &Scene) -> Vec<(TrackIdx, ComponentScore)> {
-        (0..scene.n_tracks())
-            .map(|t| (TrackIdx(t), self.score_track(scene, TrackIdx(t))))
-            .collect()
+        let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Score);
+        let mut hits = 0u64;
+        let out: Vec<_> = (0..scene.n_tracks())
+            .map(|t| {
+                let (s, hit) = self.score_track_inner(scene, TrackIdx(t));
+                hits += hit as u64;
+                (TrackIdx(t), s)
+            })
+            .collect();
+        if let Some(metrics) = loa_obs::recorder() {
+            metrics.cache_hits.add(hits);
+            metrics.cache_misses.add(out.len() as u64 - hits);
+        }
+        out
     }
 
     /// Score every bundle, in bundle order.
     pub fn score_all_bundles(&mut self, scene: &Scene) -> Vec<(BundleIdx, ComponentScore)> {
-        (0..scene.n_bundles())
-            .map(|b| (BundleIdx(b), self.score_bundle(scene, BundleIdx(b))))
-            .collect()
+        let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Score);
+        let mut hits = 0u64;
+        let out: Vec<_> = (0..scene.n_bundles())
+            .map(|b| {
+                let (s, hit) = self.score_bundle_inner(scene, BundleIdx(b));
+                hits += hit as u64;
+                (BundleIdx(b), s)
+            })
+            .collect();
+        if let Some(metrics) = loa_obs::recorder() {
+            metrics.cache_hits.add(hits);
+            metrics.cache_misses.add(out.len() as u64 - hits);
+        }
+        out
     }
 }
 

@@ -205,8 +205,14 @@ impl<R: SceneRanker> ScenePipeline<R> {
         data: SceneData,
         library: &FeatureLibrary,
     ) -> Result<RankedScene<R::Candidate>, FixyError> {
-        let scene = assemble_reusing_engine(&data, &self.assembly);
-        let candidates = self.ranker.rank_scene(&data, &scene, library)?;
+        let scene = {
+            let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Assemble);
+            assemble_reusing_engine(&data, &self.assembly)
+        };
+        let candidates = {
+            let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Rank);
+            self.ranker.rank_scene(&data, &scene, library)?
+        };
         Ok(RankedScene { index, id: data.id.clone(), data, scene, candidates })
     }
 

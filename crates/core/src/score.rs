@@ -45,6 +45,7 @@ impl<'a> ScoreEngine<'a> {
         library: &FeatureLibrary,
         options: ScoreOptions,
     ) -> Result<Self, FixyError> {
+        let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Compile);
         let compiled = compile_scene(scene, features, library)?;
         Ok(ScoreEngine { scene, compiled, options })
     }
@@ -130,6 +131,7 @@ impl<'a> ScoreEngine<'a> {
     /// the scene; candidates that are not whole components fall back to
     /// the per-candidate generic path.
     pub fn score_all_tracks(&self) -> Vec<(TrackIdx, ComponentScore)> {
+        let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Score);
         self.scene
             .tracks()
             .iter()
@@ -140,6 +142,7 @@ impl<'a> ScoreEngine<'a> {
     /// Score every bundle, in bundle order (see
     /// [`score_all_tracks`](Self::score_all_tracks) for the cost model).
     pub fn score_all_bundles(&self) -> Vec<(BundleIdx, ComponentScore)> {
+        let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Score);
         self.scene
             .bundles()
             .iter()

@@ -13,6 +13,8 @@
 //!   the `.fscb` binary scene format, streamed corpus sources),
 //! * [`serve`] — the resident multi-session audit service (sessions,
 //!   reorder buffers, the wire protocol, the TCP server and client),
+//! * [`obs`] — zero-overhead metrics, span tracing, and Prometheus
+//!   exposition for the streaming and serving layers,
 //! * [`render`] — BEV ASCII/SVG figures.
 //!
 //! ## Quickstart
@@ -51,6 +53,7 @@ pub use loa_eval as eval;
 pub use loa_geom as geom;
 pub use loa_graph as graph;
 pub use loa_ingest as ingest;
+pub use loa_obs as obs;
 pub use loa_render as render;
 pub use loa_serve as serve;
 pub use loa_stats as stats;

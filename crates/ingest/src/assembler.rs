@@ -99,7 +99,11 @@ impl StreamingAssembler {
             got if got > expected => return Err(IngestError::OutOfOrderFrame { expected, got }),
             _ => {}
         }
+        let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Push);
         self.engine.push_frame(frame);
+        if let Some(metrics) = loa_obs::recorder() {
+            metrics.ingest_frames_pushed.inc();
+        }
         Ok(())
     }
 
@@ -160,7 +164,11 @@ impl StreamingAssembler {
         if !self.streaming {
             return Err(IngestError::NotStreaming);
         }
+        let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Snapshot);
         self.engine.update_snapshot(scene);
+        if let Some(metrics) = loa_obs::recorder() {
+            metrics.snapshot_tracks.record(scene.n_tracks() as u64);
+        }
         Ok(())
     }
 

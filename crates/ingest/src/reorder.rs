@@ -135,9 +135,15 @@ impl ReorderBuffer {
         let index = frame.index.0;
         if index < self.watermark || self.pending.contains_key(&index) {
             self.duplicates_dropped += 1;
+            if let Some(metrics) = loa_obs::recorder() {
+                metrics.reorder_duplicates_dropped.inc();
+            }
             return Ok(ReorderOutcome::DuplicateDropped);
         }
         if index - self.watermark >= self.window {
+            if let Some(metrics) = loa_obs::recorder() {
+                metrics.reorder_rejected.inc();
+            }
             return Err(IngestError::ReorderWindowExceeded {
                 frame: index,
                 watermark: self.watermark,
@@ -146,6 +152,9 @@ impl ReorderBuffer {
         }
         if index > self.watermark {
             self.pending.insert(index, frame);
+            if let Some(metrics) = loa_obs::recorder() {
+                metrics.reorder_parked.inc();
+            }
             return Ok(ReorderOutcome::Buffered);
         }
         out.push(frame);
@@ -156,6 +165,9 @@ impl ReorderBuffer {
             self.watermark = self.watermark.saturating_add(1);
             self.reordered_released += 1;
             released += 1;
+        }
+        if let Some(metrics) = loa_obs::recorder() {
+            metrics.reorder_released.add(released as u64);
         }
         Ok(ReorderOutcome::Released(released))
     }
@@ -175,6 +187,11 @@ impl ReorderBuffer {
     pub fn take_stranded(&mut self) -> Vec<u32> {
         let stranded: Vec<u32> = self.pending.keys().copied().collect();
         self.pending.clear();
+        if !stranded.is_empty() {
+            if let Some(metrics) = loa_obs::recorder() {
+                metrics.reorder_stranded.add(stranded.len() as u64);
+            }
+        }
         stranded
     }
 }

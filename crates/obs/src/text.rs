@@ -1,0 +1,93 @@
+//! Prometheus text exposition (format version 0.0.4) line writers.
+//!
+//! Only the subset the registry needs: counters, gauges, and cumulative
+//! log-bucket histograms, with spec-compliant label-value escaping
+//! (`\\`, `\"`, `\n`). No dependency on the global state — everything
+//! renders from a caller-supplied instrument.
+
+use crate::metrics::{bucket_upper_bound, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+use std::fmt::Write;
+
+/// Escape a label value per the exposition spec: backslash, double
+/// quote, and newline must be escaped inside the quoted value.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+}
+
+pub fn push_help_type(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+pub fn push_counter(out: &mut String, name: &str, help: &str, c: &Counter) {
+    push_help_type(out, name, help, "counter");
+    let _ = writeln!(out, "{name} {}", c.get());
+}
+
+pub fn push_gauge(out: &mut String, name: &str, help: &str, g: &Gauge) {
+    push_help_type(out, name, help, "gauge");
+    let _ = writeln!(out, "{name} {}", g.get());
+}
+
+/// One histogram series: cumulative `_bucket{le=...}` lines (the last
+/// finite bucket folds into `+Inf`), then `_sum` and `_count`. Extra
+/// `labels` go before the `le` label on every bucket line.
+pub fn push_histogram_series(out: &mut String, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+    let counts = h.bucket_counts();
+    let mut cum = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        cum += c;
+        let _ = write!(out, "{name}_bucket");
+        out.push('{');
+        for (k, v) in labels {
+            let _ = write!(out, "{k}=\"{}\",", escape_label_value(v));
+        }
+        if i == HISTOGRAM_BUCKETS - 1 {
+            out.push_str("le=\"+Inf\"");
+        } else {
+            let _ = write!(out, "le=\"{}\"", bucket_upper_bound(i));
+        }
+        let _ = writeln!(out, "}} {cum}");
+    }
+    let _ = write!(out, "{name}_sum");
+    push_labels(out, labels);
+    let _ = writeln!(out, " {}", h.sum());
+    let _ = write!(out, "{name}_count");
+    push_labels(out, labels);
+    let _ = writeln!(out, " {}", h.count());
+}
+
+/// A standalone histogram: `# HELP`/`# TYPE` headers plus one series.
+pub fn push_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    h: &Histogram,
+) {
+    push_help_type(out, name, help, "histogram");
+    push_histogram_series(out, name, labels, h);
+}

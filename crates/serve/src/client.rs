@@ -6,7 +6,9 @@
 //! tests drive it against an in-process server.
 
 use crate::error::ServeError;
-use crate::protocol::{read_response, write_preamble, write_request, Request, Response, Worklist};
+use crate::protocol::{
+    read_response, write_preamble, write_request, Request, Response, SessionStats, Worklist,
+};
 use loa_data::Frame;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -61,6 +63,20 @@ impl FeedClient {
     pub fn flush(&mut self) -> Result<(), ServeError> {
         self.writer.flush()?;
         Ok(())
+    }
+
+    /// Snapshot a live session's delivery stats mid-session. Flushes
+    /// buffered frames first, and — because the server answers requests
+    /// in receive order — the reply doubles as a barrier: every frame
+    /// sent before this call is reflected in the returned stats.
+    pub fn stats(&mut self, session: u32) -> Result<SessionStats, ServeError> {
+        write_request(&mut self.writer, &Request::Stats { session })?;
+        self.writer.flush()?;
+        match self.await_response()? {
+            Response::Stats { session: s, stats } if s == session => Ok(stats),
+            Response::Error { message, .. } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!("expected STATS_REPLY, got {other:?}"))),
+        }
     }
 
     /// Close a session and await its final worklist.

@@ -30,10 +30,18 @@
 //!
 //! Everything fails typed ([`ServeError`]); per-frame rejections the
 //! session can survive (beyond-window, over-budget) are absorbed into
-//! [`SessionStats`] and reported with the final worklist.
+//! [`SessionStats`] and reported with the final worklist — or live,
+//! mid-session, through the `STATS` request/response pair.
+//!
+//! The serving layer is instrumented with `loa_obs` (frames, per-frame
+//! latency histograms, active sessions, engine-pool reuse, wire bytes;
+//! all free while the recorder is off), and [`serve_metrics`] exposes
+//! the global registry as a Prometheus text endpoint for `fixy serve
+//! --metrics-addr`.
 
 pub mod client;
 pub mod error;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;
@@ -41,6 +49,7 @@ pub mod session;
 
 pub use client::FeedClient;
 pub use error::ServeError;
+pub use metrics::serve_metrics;
 pub use protocol::{Request, Response, SessionStats, Worklist};
 pub use server::{serve, ServeSummary};
 pub use service::{AuditService, ServiceCfg};

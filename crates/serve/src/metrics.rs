@@ -1,0 +1,57 @@
+//! The Prometheus scrape endpoint: a minimal HTTP/1.0 responder that
+//! serves the global `loa_obs` registry as exposition text.
+//!
+//! Deliberately tiny — no routing, no keep-alive, no HTTP parsing
+//! beyond draining the request head. Every connection gets a `200` with
+//! the full registry and `Connection: close`; `curl
+//! http://host:port/metrics` (or any path) works. The responder runs on
+//! a detached thread that lives as long as the process — scrapes must
+//! keep working *while* the audit server is mid-shutdown, and the
+//! thread holds no state worth joining.
+
+use crate::error::ServeError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Bind `addr` and serve the global metrics registry over HTTP on a
+/// detached background thread, returning the bound address (useful with
+/// port 0). Does *not* flip the global enable switch — callers decide
+/// when recording starts.
+pub fn serve_metrics(addr: &str) -> Result<std::net::SocketAddr, ServeError> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("loa-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                // One scrape at a time: exposition is a single buffered
+                // write of an in-memory render, so there is nothing to
+                // gain from per-scrape threads.
+                let _ = answer_scrape(stream);
+            }
+        })?;
+    Ok(local)
+}
+
+fn answer_scrape(stream: TcpStream) -> std::io::Result<()> {
+    // Drain the request head (request line + headers) so the peer's
+    // write side is consumed before we respond and close.
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = loa_obs::global().render_prometheus();
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

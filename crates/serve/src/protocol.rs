@@ -17,21 +17,26 @@
 //! over the wire without recoding, and the server decodes with the same
 //! code path as a file read.
 //!
-//! Flow-control discipline: `OPEN`, `CLOSE`, and `SHUTDOWN` are
-//! request/response (the client awaits `OPENED` / `WORKLIST` / `BYE`);
-//! `FRAME` is fire-and-forget — the server never responds to a frame,
-//! so a client pumping frames full-tilt cannot deadlock against a
-//! server trying to write into an unread socket. Per-frame rejections
-//! (beyond-window, over-budget) are absorbed into [`SessionStats`] and
-//! surface in the `WORKLIST` at close.
+//! Flow-control discipline: `OPEN`, `CLOSE`, `STATS`, and `SHUTDOWN`
+//! are request/response (the client awaits `OPENED` / `WORKLIST` /
+//! `STATS_REPLY` / `BYE`); `FRAME` is fire-and-forget — the server
+//! never responds to a frame, so a client pumping frames full-tilt
+//! cannot deadlock against a server trying to write into an unread
+//! socket. Per-frame rejections (beyond-window, over-budget) are
+//! absorbed into [`SessionStats`] and surface in the `WORKLIST` at
+//! close — or live, mid-session, through a `STATS` request, which
+//! (being answered in receive order after any preceding frames) also
+//! doubles as a synchronization barrier for the fire-and-forget stream.
 
 use crate::error::ServeError;
 use std::io::{Read, Write};
 
 /// Connection preamble magic.
 pub const WIRE_MAGIC: [u8; 4] = *b"LOAS";
-/// Protocol version carried in the preamble.
-pub const WIRE_VERSION: u16 = 1;
+/// Protocol version carried in the preamble. v2 added the `STATS` /
+/// `STATS_REPLY` pair and the live-delivery + latency-quantile fields
+/// in [`SessionStats`] (which also ride in every `WORKLIST`).
+pub const WIRE_VERSION: u16 = 2;
 /// Envelope payload cap (matches the `.fscb` record cap): a corrupt
 /// length prefix must not become an allocation bomb.
 pub const MAX_PAYLOAD_LEN: u32 = 64 << 20;
@@ -39,10 +44,12 @@ pub const MAX_PAYLOAD_LEN: u32 = 64 << 20;
 const TAG_OPEN: u8 = 0x10;
 const TAG_FRAME: u8 = 0x11;
 const TAG_CLOSE: u8 = 0x12;
+const TAG_STATS: u8 = 0x13;
 const TAG_SHUTDOWN: u8 = 0x1f;
 const TAG_OPENED: u8 = 0x20;
 const TAG_WORKLIST: u8 = 0x21;
 const TAG_ERROR: u8 = 0x22;
+const TAG_STATS_REPLY: u8 = 0x23;
 const TAG_BYE: u8 = 0x2f;
 
 /// Client → server envelope.
@@ -54,6 +61,9 @@ pub enum Request {
     Frame { session: u32, record: Vec<u8> },
     /// End a session. Request/response: await [`Response::Worklist`].
     Close { session: u32 },
+    /// Snapshot a live session's delivery stats without ending it.
+    /// Request/response: await [`Response::Stats`].
+    Stats { session: u32 },
     /// Stop the whole server once in-flight connections finish.
     /// Request/response: await [`Response::Bye`].
     Shutdown,
@@ -62,13 +72,27 @@ pub enum Request {
 /// Server → client envelope.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    Opened { session: u32 },
-    Worklist { session: u32, worklist: Worklist },
-    Error { session: u32, message: String },
+    Opened {
+        session: u32,
+    },
+    Worklist {
+        session: u32,
+        worklist: Worklist,
+    },
+    /// Mid-session delivery snapshot (the `STATS` reply).
+    Stats {
+        session: u32,
+        stats: SessionStats,
+    },
+    Error {
+        session: u32,
+        message: String,
+    },
     Bye,
 }
 
-/// Per-session delivery accounting, reported with the final worklist.
+/// Per-session delivery accounting, reported with the final worklist
+/// and live through `STATS`.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SessionStats {
     /// Frames released through the reorder buffer and scored.
@@ -82,6 +106,15 @@ pub struct SessionStats {
     /// Frames still buffered at close because a gap below them never
     /// filled.
     pub stranded: u64,
+    /// Frames parked in the reorder buffer *right now*, awaiting the
+    /// watermark. Nonzero mid-session whenever the transport ran ahead;
+    /// always 0 in a close-time worklist (stranding has resolved it).
+    pub parked: u64,
+    /// Per-frame accept→rank latency estimates in microseconds (0 until
+    /// the first frame is scored).
+    pub frame_p50_us: u64,
+    pub frame_p99_us: u64,
+    pub frame_max_us: u64,
     /// The first recoverable rejection, verbatim — one concrete message
     /// beats a bare counter when debugging a lossy transport.
     pub first_reject: Option<String>,
@@ -175,6 +208,9 @@ fn write_envelope(
     w.write_all(&session.to_le_bytes())?;
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
+    if let Some(metrics) = loa_obs::recorder() {
+        metrics.bytes_out.add(9 + payload.len() as u64);
+    }
     Ok(())
 }
 
@@ -196,6 +232,9 @@ fn read_envelope(r: &mut impl Read) -> Result<Option<(u8, u32, Vec<u8>)>, ServeE
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
+    if let Some(metrics) = loa_obs::recorder() {
+        metrics.bytes_in.add(9 + payload.len() as u64);
+    }
     Ok(Some((tag[0], session, payload)))
 }
 
@@ -235,6 +274,7 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), ServeError
         }
         Request::Frame { session, record } => write_envelope(w, TAG_FRAME, *session, record),
         Request::Close { session } => write_envelope(w, TAG_CLOSE, *session, &[]),
+        Request::Stats { session } => write_envelope(w, TAG_STATS, *session, &[]),
         Request::Shutdown => write_envelope(w, TAG_SHUTDOWN, 0, &[]),
     }
 }
@@ -259,6 +299,12 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ServeError> {
             }
             Request::Close { session }
         }
+        TAG_STATS => {
+            if !payload.is_empty() {
+                return Err(ServeError::Protocol("stats carries no payload".into()));
+            }
+            Request::Stats { session }
+        }
         TAG_SHUTDOWN => {
             if !payload.is_empty() {
                 return Err(ServeError::Protocol("shutdown carries no payload".into()));
@@ -270,20 +316,52 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ServeError> {
     Ok(Some(req))
 }
 
-fn encode_worklist(worklist: &Worklist) -> Vec<u8> {
-    let mut payload = Vec::new();
-    put_str(&mut payload, &worklist.scene_id);
-    let s = &worklist.stats;
-    for v in [s.frames, s.duplicates_dropped, s.reordered, s.rejected, s.stranded] {
+fn encode_stats(payload: &mut Vec<u8>, s: &SessionStats) {
+    for v in [
+        s.frames,
+        s.duplicates_dropped,
+        s.reordered,
+        s.rejected,
+        s.stranded,
+        s.parked,
+        s.frame_p50_us,
+        s.frame_p99_us,
+        s.frame_max_us,
+    ] {
         payload.extend_from_slice(&v.to_le_bytes());
     }
     match &s.first_reject {
         Some(msg) => {
             payload.push(1);
-            put_str(&mut payload, msg);
+            put_str(payload, msg);
         }
         None => payload.push(0),
     }
+}
+
+fn decode_stats(c: &mut Cursor<'_>) -> Result<SessionStats, ServeError> {
+    Ok(SessionStats {
+        frames: c.u64()?,
+        duplicates_dropped: c.u64()?,
+        reordered: c.u64()?,
+        rejected: c.u64()?,
+        stranded: c.u64()?,
+        parked: c.u64()?,
+        frame_p50_us: c.u64()?,
+        frame_p99_us: c.u64()?,
+        frame_max_us: c.u64()?,
+        first_reject: match c.take(1)?[0] {
+            0 => None,
+            1 => Some(c.str()?),
+            b => return Err(ServeError::Protocol(format!("bad option byte {b}"))),
+        },
+    })
+}
+
+fn encode_worklist(worklist: &Worklist) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_str(&mut payload, &worklist.scene_id);
+    encode_stats(&mut payload, &worklist.stats);
     payload.extend_from_slice(&(worklist.entries.len() as u32).to_le_bytes());
     for (label, score) in &worklist.entries {
         put_str(&mut payload, label);
@@ -295,18 +373,7 @@ fn encode_worklist(worklist: &Worklist) -> Vec<u8> {
 fn decode_worklist(payload: &[u8]) -> Result<Worklist, ServeError> {
     let mut c = Cursor { buf: payload, pos: 0 };
     let scene_id = c.str()?;
-    let stats = SessionStats {
-        frames: c.u64()?,
-        duplicates_dropped: c.u64()?,
-        reordered: c.u64()?,
-        rejected: c.u64()?,
-        stranded: c.u64()?,
-        first_reject: match c.take(1)?[0] {
-            0 => None,
-            1 => Some(c.str()?),
-            b => return Err(ServeError::Protocol(format!("bad option byte {b}"))),
-        },
-    };
+    let stats = decode_stats(&mut c)?;
     let n = c.u32()? as usize;
     let mut entries = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
@@ -324,6 +391,11 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), ServeEr
         Response::Opened { session } => write_envelope(w, TAG_OPENED, *session, &[]),
         Response::Worklist { session, worklist } => {
             write_envelope(w, TAG_WORKLIST, *session, &encode_worklist(worklist))
+        }
+        Response::Stats { session, stats } => {
+            let mut payload = Vec::with_capacity(9 * 8 + 1);
+            encode_stats(&mut payload, stats);
+            write_envelope(w, TAG_STATS_REPLY, *session, &payload)
         }
         Response::Error { session, message } => {
             let mut payload = Vec::with_capacity(4 + message.len());
@@ -347,6 +419,12 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, ServeError> 
             Response::Opened { session }
         }
         TAG_WORKLIST => Response::Worklist { session, worklist: decode_worklist(&payload)? },
+        TAG_STATS_REPLY => {
+            let mut c = Cursor { buf: &payload, pos: 0 };
+            let stats = decode_stats(&mut c)?;
+            c.finish()?;
+            Response::Stats { session, stats }
+        }
         TAG_ERROR => {
             let mut c = Cursor { buf: &payload, pos: 0 };
             let message = c.str()?;
@@ -390,6 +468,10 @@ mod tests {
             roundtrip_request(Request::Close { session: 3 }),
             Request::Close { session: 3 }
         );
+        assert_eq!(
+            roundtrip_request(Request::Stats { session: 12 }),
+            Request::Stats { session: 12 }
+        );
         assert_eq!(roundtrip_request(Request::Shutdown), Request::Shutdown);
     }
 
@@ -406,11 +488,26 @@ mod tests {
                     reordered: 3,
                     rejected: 1,
                     stranded: 0,
+                    parked: 0,
+                    frame_p50_us: 180,
+                    frame_p99_us: 950,
+                    frame_max_us: 1400,
                     first_reject: Some("frame 99 beyond window".into()),
                 },
             },
         };
         assert_eq!(roundtrip_response(wl.clone()), wl);
+        let stats = Response::Stats {
+            session: 8,
+            stats: SessionStats {
+                frames: 5,
+                parked: 2,
+                reordered: 1,
+                frame_p50_us: 40,
+                ..Default::default()
+            },
+        };
+        assert_eq!(roundtrip_response(stats.clone()), stats);
         assert_eq!(
             roundtrip_response(Response::Opened { session: 1 }),
             Response::Opened { session: 1 }

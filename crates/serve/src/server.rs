@@ -51,6 +51,9 @@ pub fn serve(
             }
             let stream = stream?;
             connections.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = loa_obs::recorder() {
+                metrics.connections.inc();
+            }
             let shutdown = &shutdown;
             let sessions = &sessions;
             let frames = &frames;
@@ -113,6 +116,17 @@ fn handle_connection(
                 // await).
                 service.frame_record(session, &record)?;
                 frames.fetch_add(1, Ordering::Relaxed);
+            }
+            Request::Stats { session } => {
+                // Request/response, like close — and because requests are
+                // answered in receive order, a STATS reply also proves
+                // every frame sent before it has been processed.
+                let resp = match service.stats(session) {
+                    Ok(stats) => Response::Stats { session, stats },
+                    Err(e) => Response::Error { session, message: e.to_string() },
+                };
+                write_response(&mut writer, &resp)?;
+                writer.flush()?;
             }
             Request::Close { session } => {
                 let resp = match service.close(session) {

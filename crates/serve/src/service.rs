@@ -12,7 +12,7 @@
 //! nothing.
 
 use crate::error::ServeError;
-use crate::protocol::Worklist;
+use crate::protocol::{SessionStats, Worklist};
 use crate::session::{Engines, ServeContext, Session};
 use loa_data::Frame;
 use std::collections::HashMap;
@@ -87,7 +87,18 @@ impl<'c> AuditService<'c> {
         if self.sessions.len() >= self.cfg.max_sessions {
             return Err(ServeError::SessionLimit { max: self.cfg.max_sessions });
         }
-        let engines = self.pool.pop().unwrap_or_else(|| {
+        let pooled = self.pool.pop();
+        if let Some(metrics) = loa_obs::recorder() {
+            metrics.sessions_opened.inc();
+            metrics.active_sessions.add(1.0);
+            if pooled.is_some() {
+                metrics.engines_reused.inc();
+            } else {
+                metrics.engines_built.inc();
+            }
+        }
+        loa_obs::journal_event("session_open", session as u64, self.sessions.len() as u64 + 1);
+        let engines = pooled.unwrap_or_else(|| {
             self.engines_built += 1;
             self.ctx.new_engines(self.cfg.window)
         });
@@ -109,6 +120,7 @@ impl<'c> AuditService<'c> {
         match sess.push(self.ctx, frame) {
             Ok(_) => Ok(()),
             Err(e) if e.is_frame_recoverable() => {
+                loa_obs::journal_event("frame_reject", session as u64, frame_index(&e));
                 sess.record_reject(e.to_string());
                 Ok(())
             }
@@ -130,6 +142,15 @@ impl<'c> AuditService<'c> {
             .ok_or(ServeError::UnknownSession(session))
     }
 
+    /// A live delivery-stats snapshot for an open session — the `STATS`
+    /// request, mid-session, without disturbing the stream.
+    pub fn stats(&self, session: u32) -> Result<SessionStats, ServeError> {
+        self.sessions
+            .get(&session)
+            .map(|s| s.stats_snapshot())
+            .ok_or(ServeError::UnknownSession(session))
+    }
+
     /// Close a session: final worklist out, engines back to the pool.
     pub fn close(&mut self, session: u32) -> Result<Worklist, ServeError> {
         let sess = self
@@ -139,6 +160,26 @@ impl<'c> AuditService<'c> {
         let (worklist, engines) = sess.close();
         self.pool.push(engines);
         self.sessions_served += 1;
+        if let Some(metrics) = loa_obs::recorder() {
+            metrics.sessions_closed.inc();
+            metrics.active_sessions.add(-1.0);
+        }
+        loa_obs::journal_event("session_close", session as u64, worklist.stats.frames);
+        if worklist.stats.stranded > 0 {
+            loa_obs::journal_event("session_stranded", session as u64, worklist.stats.stranded);
+        }
         Ok(worklist)
+    }
+}
+
+/// Best-effort frame index out of a recoverable rejection, for the
+/// journal's numeric operand.
+fn frame_index(e: &ServeError) -> u64 {
+    match e {
+        ServeError::FrameLimit { frame, .. } => *frame as u64,
+        ServeError::Ingest(loa_ingest::IngestError::ReorderWindowExceeded { frame, .. }) => {
+            *frame as u64
+        }
+        _ => 0,
     }
 }

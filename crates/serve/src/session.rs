@@ -130,6 +130,7 @@ impl ServeContext {
     /// The app's (label, score) worklist from the session's cached
     /// component scores — the same labels `fixy stream` prints.
     fn rank(&self, scene: &Scene, scorer: &mut IncrementalScorer<'_>) -> Vec<(String, f64)> {
+        let _span = loa_obs::ObsSpan::enter(loa_obs::Stage::Rank);
         match self.app {
             ServeApp::MissingTracks => MissingTrackFinder::default()
                 .rank_incremental(scene, scorer)
@@ -190,6 +191,10 @@ pub struct Session<'c> {
     stats: SessionStats,
     max_frames: usize,
     released: Vec<Frame>,
+    /// Per-frame accept→rank latency for *this* session, recorded only
+    /// while metrics are enabled; quantiles surface in
+    /// [`SessionStats`] through `STATS` replies and the close worklist.
+    latency: loa_obs::Histogram,
 }
 
 impl<'c> Session<'c> {
@@ -210,6 +215,7 @@ impl<'c> Session<'c> {
             stats: SessionStats::default(),
             max_frames,
             released: Vec::new(),
+            latency: loa_obs::Histogram::new(),
         }
     }
 
@@ -236,6 +242,7 @@ impl<'c> Session<'c> {
         if index as usize >= self.max_frames {
             return Err(ServeError::FrameLimit { frame: index, max: self.max_frames });
         }
+        let t0 = loa_obs::metrics_enabled().then(std::time::Instant::now);
         self.released.clear();
         let before_dups = self.engines.reorder.duplicates_dropped();
         self.engines.reorder.accept_into(frame, &mut self.released)?;
@@ -254,6 +261,12 @@ impl<'c> Session<'c> {
         self.stats.frames += self.released.len() as u64;
         self.stats.reordered = self.engines.reorder.reordered_released();
         self.worklist = ctx.rank(&self.scene, &mut self.engines.scorer);
+        if let (Some(t0), Some(metrics)) = (t0, loa_obs::recorder()) {
+            let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.latency.record(us);
+            metrics.frame_latency_us.record(us);
+            metrics.frames.add(self.released.len() as u64);
+        }
         Ok(self.released.len())
     }
 
@@ -278,10 +291,26 @@ impl<'c> Session<'c> {
         &self.worklist
     }
 
+    /// A live copy of the delivery stats — what a `STATS` request
+    /// returns mid-session. Unlike [`stats`](Self::stats), this fills
+    /// the moment-in-time fields: frames currently parked in the
+    /// reorder buffer and the latency quantile estimates.
+    pub fn stats_snapshot(&self) -> SessionStats {
+        let mut stats = self.stats.clone();
+        stats.parked = self.engines.reorder.pending() as u64;
+        stats.frame_p50_us = self.latency.p50();
+        stats.frame_p99_us = self.latency.p99();
+        stats.frame_max_us = self.latency.max_value();
+        stats
+    }
+
     /// End the stream: the final worklist plus the engines, ready for
     /// the pool.
     pub(crate) fn close(mut self) -> (Worklist, Engines<'c>) {
         self.stats.stranded = self.engines.reorder.take_stranded().len() as u64;
+        self.stats.frame_p50_us = self.latency.p50();
+        self.stats.frame_p99_us = self.latency.p99();
+        self.stats.frame_max_us = self.latency.max_value();
         let worklist = Worklist {
             scene_id: self.scene_id,
             entries: self.worklist,

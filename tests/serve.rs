@@ -286,6 +286,102 @@ fn tcp_round_trip_interleaved_sessions_and_shutdown() {
     assert!(summary.connections >= 1);
 }
 
+/// Mid-session stats surface the reorder buffer's live state: frames
+/// parked behind a gap are visible *before* the watermark releases
+/// them, and the parked count drains to zero once the gap fills.
+#[test]
+fn mid_session_stats_surface_parked_frames_before_release() {
+    let ctx = &contexts()[0];
+    let data = ScenarioFuzzer::new(31).scene(3);
+    assert!(data.frames.len() > 4);
+    let cfg = ServiceCfg { window: 8, ..ServiceCfg::default() };
+    let mut svc = AuditService::new(ctx, cfg);
+    svc.open(0, &data.id, data.frame_dt).unwrap();
+
+    svc.frame(0, data.frames[0].clone()).unwrap();
+    // Skip frame 1: frames 2 and 3 park behind the gap.
+    svc.frame(0, data.frames[2].clone()).unwrap();
+    svc.frame(0, data.frames[3].clone()).unwrap();
+    let mid = svc.stats(0).expect("stats on live session");
+    assert_eq!(mid.frames, 1, "only frame 0 released");
+    assert_eq!(mid.parked, 2, "frames 2 and 3 parked behind the gap");
+    assert_eq!(mid.stranded, 0, "stranded is a close-time count");
+
+    // Fill the gap: the watermark run releases 1, 2, 3 at once.
+    svc.frame(0, data.frames[1].clone()).unwrap();
+    let after = svc.stats(0).unwrap();
+    assert_eq!(after.frames, 4);
+    assert_eq!(after.parked, 0, "buffer drained after the release run");
+    assert_eq!(after.reordered, 2, "frames 2 and 3 were released late");
+
+    assert!(matches!(svc.stats(9), Err(ServeError::UnknownSession(9))));
+    svc.close(0).unwrap();
+}
+
+/// The `STATS` round trip over real TCP: because the server answers
+/// requests in receive order, the reply is a barrier over the
+/// fire-and-forget frames sent before it — a mid-session snapshot sees
+/// the parked frames deterministically.
+#[test]
+fn tcp_stats_round_trip_sees_parked_frames_mid_session() {
+    let cfg = ServiceCfg { window: 8, ..ServiceCfg::default() };
+    let data = ScenarioFuzzer::new(33).scene(1);
+    assert!(data.frames.len() > 4);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || serve(listener, &contexts()[2], cfg));
+
+    let mut client = FeedClient::connect(addr).expect("connect");
+    client.open(7, &data.id, data.frame_dt).unwrap();
+    client.frame(7, &data.frames[0]).unwrap();
+    client.frame(7, &data.frames[2]).unwrap();
+    client.frame(7, &data.frames[3]).unwrap();
+    let mid = client.stats(7).expect("mid-session STATS");
+    assert_eq!(mid.frames, 1);
+    assert_eq!(mid.parked, 2, "STATS must reflect parked frames before release");
+
+    client.frame(7, &data.frames[1]).unwrap();
+    for frame in &data.frames[4..] {
+        client.frame(7, frame).unwrap();
+    }
+    let full = client.stats(7).unwrap();
+    assert_eq!(full.frames, data.frames.len() as u64);
+    assert_eq!(full.parked, 0);
+    assert_eq!(full.reordered, 2);
+
+    let worklist = client.close_session(7).unwrap();
+    assert_eq!(worklist.stats.frames, data.frames.len() as u64);
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("serve result");
+}
+
+/// The scrape endpoint answers plain HTTP with well-formed Prometheus
+/// exposition text rendered from the global registry.
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    use std::io::{Read as _, Write as _};
+    let addr = fixy::serve::serve_metrics("127.0.0.1:0").expect("bind metrics");
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "status line: {response}");
+    assert!(response.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"));
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+    assert!(body.contains("# TYPE loa_frames_total counter"));
+    assert!(body.contains("# TYPE loa_frame_latency_us histogram"));
+    assert!(body.contains("loa_frame_latency_us_bucket{le=\"+Inf\"}"));
+    // Every non-comment line must parse as `name[{labels}] value`.
+    for line in body.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let value = line.rsplit(' ').next().expect("value field");
+        assert!(value.parse::<f64>().is_ok(), "unparseable sample line: {line}");
+    }
+}
+
 /// Opening against a library fitted for a different app fails up front.
 #[test]
 fn context_rejects_mismatched_library() {
